@@ -1,0 +1,141 @@
+//! Feature-importance analysis for fitted decision trees: which of the
+//! §IV-B tensor features actually drive the launch choice. Importance is
+//! the classic split-count/coverage-weighted measure: every internal node
+//! credits its feature with the (approximate) fraction of the tree below
+//! it.
+
+use crate::tree::{DecisionTree, Node};
+
+/// Per-feature importance scores, normalised to sum to 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureImportance {
+    /// `scores[f]` for feature index `f`.
+    pub scores: Vec<f64>,
+}
+
+impl FeatureImportance {
+    /// Features ranked by descending importance: `(feature, score)`.
+    pub fn ranking(&self) -> Vec<(usize, f64)> {
+        let mut r: Vec<(usize, f64)> = self.scores.iter().copied().enumerate().collect();
+        r.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        r
+    }
+
+    /// Renders the ranking with the given feature names (extra names are
+    /// ignored; missing names fall back to indices).
+    pub fn render(&self, names: &[&str]) -> String {
+        let mut out = String::new();
+        for (f, s) in self.ranking() {
+            if s <= 0.0 {
+                continue;
+            }
+            let name = names.get(f).copied().unwrap_or("?");
+            out.push_str(&format!("{name:<24} ({f:>2})  {:>6.1}%\n", s * 100.0));
+        }
+        out
+    }
+}
+
+/// Computes split-based feature importance of a fitted tree.
+///
+/// # Panics
+/// Panics if the tree has not been fitted.
+pub fn tree_importance(tree: &DecisionTree, num_features: usize) -> FeatureImportance {
+    assert!(!tree.nodes().is_empty(), "importance requires a fitted tree");
+    let nodes = tree.nodes();
+    // Subtree leaf counts approximate coverage (the arena does not store
+    // sample counts).
+    fn leaves(nodes: &[Node], at: usize) -> usize {
+        match &nodes[at] {
+            Node::Leaf(_) => 1,
+            Node::Split { left, right, .. } => leaves(nodes, *left) + leaves(nodes, *right),
+        }
+    }
+    let total_leaves = leaves(nodes, 0) as f64;
+    let mut scores = vec![0.0f64; num_features];
+    for (i, n) in nodes.iter().enumerate() {
+        if let Node::Split { feature, .. } = n {
+            if *feature < num_features {
+                scores[*feature] += leaves(nodes, i) as f64 / total_leaves;
+            }
+        }
+    }
+    let total: f64 = scores.iter().sum();
+    if total > 0.0 {
+        for s in &mut scores {
+            *s /= total;
+        }
+    }
+    FeatureImportance { scores }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regressor;
+
+    #[test]
+    fn informative_feature_dominates() {
+        // y depends only on feature 0; feature 1 is noise.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let a = (i % 20) as f64;
+            let b = ((i * 7919) % 13) as f64;
+            x.push(vec![a, b]);
+            y.push((a - 10.0).abs() * 3.0);
+        }
+        let mut tree = DecisionTree::new(8, 4);
+        tree.fit(&x, &y);
+        let imp = tree_importance(&tree, 2);
+        assert!(
+            imp.scores[0] > 0.8,
+            "feature 0 should dominate: {:?}",
+            imp.scores
+        );
+        let ranking = imp.ranking();
+        assert_eq!(ranking[0].0, 0);
+    }
+
+    #[test]
+    fn scores_normalise_to_one() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            x.push(vec![(i % 10) as f64, (i / 10) as f64]);
+            y.push((i % 10) as f64 + 2.0 * (i / 10) as f64);
+        }
+        let mut tree = DecisionTree::new(6, 4);
+        tree.fit(&x, &y);
+        let imp = tree_importance(&tree, 2);
+        assert!((imp.scores.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp.scores.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn single_leaf_tree_has_zero_importance() {
+        let x = vec![vec![1.0], vec![1.0]];
+        let y = vec![2.0, 2.0];
+        let mut tree = DecisionTree::new(4, 2);
+        tree.fit(&x, &y);
+        let imp = tree_importance(&tree, 1);
+        assert_eq!(imp.scores, vec![0.0]);
+        assert!(imp.render(&["only"]).is_empty());
+    }
+
+    #[test]
+    fn render_names_features() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..60 {
+            x.push(vec![(i % 6) as f64, 0.0]);
+            y.push((i % 6) as f64);
+        }
+        let mut tree = DecisionTree::new(5, 2);
+        tree.fit(&x, &y);
+        let imp = tree_importance(&tree, 2);
+        let s = imp.render(&["log_nnz", "noise"]);
+        assert!(s.contains("log_nnz"));
+        assert!(!s.contains("noise"), "zero-importance features are hidden");
+    }
+}

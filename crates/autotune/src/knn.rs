@@ -1,0 +1,152 @@
+//! k-nearest-neighbour regression — the instance-based entrant of the
+//! model zoo (the paper's SVM slot is filled by the two non-tree models,
+//! kNN and ridge, both of which share SVM's "no tree structure" character
+//! while staying dependency-free).
+//!
+//! Features are z-score normalised from the training set; prediction is
+//! the inverse-distance-weighted mean of the `k` nearest samples.
+
+use crate::Regressor;
+
+/// A kNN regressor with z-score feature normalisation.
+#[derive(Clone, Debug)]
+pub struct KnnRegressor {
+    /// Number of neighbours.
+    pub k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl KnnRegressor {
+    /// A regressor with the given `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, x: Vec::new(), y: Vec::new(), mean: Vec::new(), std: Vec::new() }
+    }
+
+    /// Defaults for the launch-selection problem.
+    pub fn default_params() -> Self {
+        Self::new(5)
+    }
+
+    fn normalize(&self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v - self.mean[i]) / self.std[i])
+            .collect()
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty(), "cannot fit kNN on an empty dataset");
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        let dim = x[0].len();
+        let n = x.len() as f64;
+        self.mean = (0..dim).map(|j| x.iter().map(|r| r[j]).sum::<f64>() / n).collect();
+        self.std = (0..dim)
+            .map(|j| {
+                let m = self.mean[j];
+                let var = x.iter().map(|r| (r[j] - m).powi(2)).sum::<f64>() / n;
+                var.sqrt().max(1e-9)
+            })
+            .collect();
+        self.x = x
+            .iter()
+            .map(|r| r.iter().enumerate().map(|(j, &v)| (v - self.mean[j]) / self.std[j]).collect())
+            .collect();
+        self.y = y.to_vec();
+    }
+
+    fn predict(&self, features: &[f64]) -> f64 {
+        assert!(!self.x.is_empty(), "predict called before fit");
+        let q = self.normalize(features);
+        // Collect the k smallest distances with a simple partial selection.
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let d: f64 = r.iter().zip(&q).map(|(a, b)| (a - b).powi(2)).sum();
+                (d, i)
+            })
+            .collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).unwrap());
+        let neigh = &dists[..k];
+        let mut wsum = 0.0;
+        let mut acc = 0.0;
+        for &(d, i) in neigh {
+            let w = 1.0 / (d.sqrt() + 1e-9);
+            wsum += w;
+            acc += w * self.y[i];
+        }
+        acc / wsum
+    }
+
+    fn name(&self) -> &'static str {
+        "kNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_on_training_points() {
+        let x = vec![vec![0.0, 0.0], vec![10.0, 0.0], vec![0.0, 10.0]];
+        let y = vec![1.0, 2.0, 3.0];
+        let mut m = KnnRegressor::new(1);
+        m.fit(&x, &y);
+        assert!((m.predict(&[0.0, 0.0]) - 1.0).abs() < 1e-9);
+        assert!((m.predict(&[10.0, 0.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolates_between_neighbours() {
+        let x = vec![vec![0.0], vec![10.0]];
+        let y = vec![0.0, 10.0];
+        let mut m = KnnRegressor::new(2);
+        m.fit(&x, &y);
+        let p = m.predict(&[5.0]);
+        assert!((p - 5.0).abs() < 1e-6, "midpoint should average: {p}");
+    }
+
+    #[test]
+    fn normalisation_makes_scales_comparable() {
+        // Feature 1 has a huge scale; without normalisation it would drown
+        // feature 0, which is the informative one.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let a = (i % 10) as f64;
+            let b = (i as f64) * 1e6;
+            x.push(vec![a, b]);
+            y.push(a);
+        }
+        let mut m = KnnRegressor::new(3);
+        m.fit(&x, &y);
+        let p = m.predict(&[7.0, 50e6]);
+        assert!((p - 7.0).abs() < 1.5, "prediction {p} should track feature 0");
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let x = vec![vec![1.0], vec![2.0]];
+        let y = vec![1.0, 3.0];
+        let mut m = KnnRegressor::new(10);
+        m.fit(&x, &y);
+        let p = m.predict(&[1.5]);
+        assert!(p > 1.0 && p < 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        let _ = KnnRegressor::new(0);
+    }
+}

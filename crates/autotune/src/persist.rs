@@ -1,0 +1,159 @@
+//! Model persistence: a compact line-oriented text format for fitted
+//! decision trees, so the offline-trained predictor can ship with a
+//! deployment (and so benchmarks do not retrain on every run).
+//!
+//! Format (one node per line, arena order):
+//! ```text
+//! scalfrag-tree v1 <max_depth> <min_samples_split> <node_count>
+//! S <feature> <threshold> <left> <right>
+//! L <value>
+//! ```
+
+use crate::tree::{DecisionTree, Node};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from tree deserialisation.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem (1-based line, message).
+    Format(usize, String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "I/O error: {e}"),
+            PersistError::Format(l, m) => write!(f, "format error on line {l}: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Writes a fitted tree.
+pub fn save_tree(tree: &DecisionTree, mut w: impl Write) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "scalfrag-tree v1 {} {} {}",
+        tree.max_depth,
+        tree.min_samples_split,
+        tree.nodes().len()
+    )?;
+    for node in tree.nodes() {
+        match node {
+            Node::Split { feature, threshold, left, right } => {
+                writeln!(w, "S {feature} {threshold} {left} {right}")?;
+            }
+            Node::Leaf(v) => writeln!(w, "L {v}")?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads a tree written by [`save_tree`].
+pub fn load_tree(r: impl Read) -> Result<DecisionTree, PersistError> {
+    let mut lines = BufReader::new(r).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| PersistError::Format(1, "missing header".into()))??;
+    let h: Vec<&str> = header.split_whitespace().collect();
+    if h.len() != 5 || h[0] != "scalfrag-tree" || h[1] != "v1" {
+        return Err(PersistError::Format(1, format!("bad header '{header}'")));
+    }
+    let parse = |s: &str, line: usize| -> Result<usize, PersistError> {
+        s.parse().map_err(|_| PersistError::Format(line, format!("bad integer '{s}'")))
+    };
+    let max_depth = parse(h[2], 1)?;
+    let min_split = parse(h[3], 1)?;
+    let count = parse(h[4], 1)?;
+
+    let mut nodes = Vec::with_capacity(count);
+    for (i, line) in lines.enumerate() {
+        let lineno = i + 2;
+        let line = line?;
+        let f: Vec<&str> = line.split_whitespace().collect();
+        match f.as_slice() {
+            ["S", feat, thr, l, r] => nodes.push(Node::Split {
+                feature: parse(feat, lineno)?,
+                threshold: thr
+                    .parse()
+                    .map_err(|_| PersistError::Format(lineno, "bad threshold".into()))?,
+                left: parse(l, lineno)?,
+                right: parse(r, lineno)?,
+            }),
+            ["L", v] => nodes.push(Node::Leaf(
+                v.parse().map_err(|_| PersistError::Format(lineno, "bad leaf value".into()))?,
+            )),
+            [] => continue,
+            _ => return Err(PersistError::Format(lineno, format!("bad node line '{line}'"))),
+        }
+    }
+    if nodes.len() != count {
+        return Err(PersistError::Format(0, format!("expected {count} nodes, got {}", nodes.len())));
+    }
+    // Validate child indices.
+    for (i, n) in nodes.iter().enumerate() {
+        if let Node::Split { left, right, .. } = n {
+            if *left >= nodes.len() || *right >= nodes.len() {
+                return Err(PersistError::Format(i + 2, "child index out of range".into()));
+            }
+        }
+    }
+    Ok(DecisionTree::from_nodes(max_depth, min_split, nodes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regressor;
+
+    fn fitted_tree() -> DecisionTree {
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![(i % 10) as f64, (i / 10) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|v| v[0] * 2.0 + (v[1] - 4.0).abs()).collect();
+        let mut t = DecisionTree::new(8, 2);
+        t.fit(&x, &y);
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let tree = fitted_tree();
+        let mut buf = Vec::new();
+        save_tree(&tree, &mut buf).unwrap();
+        let loaded = load_tree(buf.as_slice()).unwrap();
+        for i in 0..50 {
+            let p = vec![(i % 13) as f64 * 0.7, (i % 7) as f64];
+            assert_eq!(tree.predict(&p), loaded.predict(&p), "point {p:?}");
+        }
+        assert_eq!(tree.nodes().len(), loaded.nodes().len());
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(load_tree("nonsense v9 1 2 3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let tree = fitted_tree();
+        let mut buf = Vec::new();
+        save_tree(&tree, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let truncated: String = text.lines().take(3).collect::<Vec<_>>().join("\n");
+        assert!(load_tree(truncated.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_child_index() {
+        let text = "scalfrag-tree v1 4 2 2\nS 0 1.5 1 7\nL 3.0\n";
+        assert!(matches!(load_tree(text.as_bytes()), Err(PersistError::Format(_, _))));
+    }
+}

@@ -1,0 +1,188 @@
+//! Ridge (L2-regularised linear) regression — the linear baseline of the
+//! model zoo. Solved in closed form via Gaussian elimination on the
+//! regularised normal equations `(XᵀX + λI) w = Xᵀy` (feature count is
+//! ~14, so no fancy numerics needed). Features are z-score normalised.
+
+use crate::Regressor;
+
+/// A ridge regressor.
+#[derive(Clone, Debug)]
+pub struct RidgeRegression {
+    /// L2 regularisation strength.
+    pub lambda: f64,
+    weights: Vec<f64>,
+    bias: f64,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl RidgeRegression {
+    /// A regressor with the given regularisation.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 0.0, "lambda must be non-negative");
+        Self { lambda, weights: Vec::new(), bias: 0.0, mean: Vec::new(), std: Vec::new() }
+    }
+
+    /// Defaults for the launch-selection problem.
+    pub fn default_params() -> Self {
+        Self::new(1e-2)
+    }
+
+    /// The fitted weight vector (normalised feature space).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+/// Solves `A w = b` by Gaussian elimination with partial pivoting.
+/// `A` is row-major `n × n`, consumed.
+fn solve(mut a: Vec<f64>, mut b: Vec<f64>, n: usize) -> Vec<f64> {
+    for col in 0..n {
+        // Pivot.
+        let mut piv = col;
+        for r in (col + 1)..n {
+            if a[r * n + col].abs() > a[piv * n + col].abs() {
+                piv = r;
+            }
+        }
+        if piv != col {
+            for c in 0..n {
+                a.swap(col * n + c, piv * n + c);
+            }
+            b.swap(col, piv);
+        }
+        let d = a[col * n + col];
+        assert!(d.abs() > 1e-12, "singular system despite regularisation");
+        for r in (col + 1)..n {
+            let f = a[r * n + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                a[r * n + c] -= f * a[col * n + c];
+            }
+            b[r] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut w = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut acc = b[col];
+        for c in (col + 1)..n {
+            acc -= a[col * n + c] * w[c];
+        }
+        w[col] = acc / a[col * n + col];
+    }
+    w
+}
+
+impl Regressor for RidgeRegression {
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) {
+        assert!(!x.is_empty(), "cannot fit ridge on an empty dataset");
+        assert_eq!(x.len(), y.len(), "feature/target length mismatch");
+        let n = x.len() as f64;
+        let dim = x[0].len();
+        self.mean = (0..dim).map(|j| x.iter().map(|r| r[j]).sum::<f64>() / n).collect();
+        self.std = (0..dim)
+            .map(|j| {
+                let m = self.mean[j];
+                (x.iter().map(|r| (r[j] - m).powi(2)).sum::<f64>() / n).sqrt().max(1e-9)
+            })
+            .collect();
+        let y_mean = y.iter().sum::<f64>() / n;
+
+        // Normal equations in normalised, centred space.
+        let mut xtx = vec![0.0; dim * dim];
+        let mut xty = vec![0.0; dim];
+        for (row, &target) in x.iter().zip(y) {
+            let z: Vec<f64> =
+                row.iter().enumerate().map(|(j, &v)| (v - self.mean[j]) / self.std[j]).collect();
+            let t = target - y_mean;
+            for i in 0..dim {
+                xty[i] += z[i] * t;
+                for j in i..dim {
+                    xtx[i * dim + j] += z[i] * z[j];
+                }
+            }
+        }
+        for i in 0..dim {
+            for j in 0..i {
+                xtx[i * dim + j] = xtx[j * dim + i];
+            }
+            xtx[i * dim + i] += self.lambda * n;
+        }
+        self.weights = solve(xtx, xty, dim);
+        self.bias = y_mean;
+    }
+
+    fn predict(&self, features: &[f64]) -> f64 {
+        assert!(!self.weights.is_empty(), "predict called before fit");
+        let mut acc = self.bias;
+        for (j, &v) in features.iter().enumerate() {
+            acc += self.weights[j] * (v - self.mean[j]) / self.std[j];
+        }
+        acc
+    }
+
+    fn name(&self) -> &'static str {
+        "Ridge"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_linear_function() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..100 {
+            let a = (i % 10) as f64;
+            let b = (i / 10) as f64;
+            x.push(vec![a, b]);
+            y.push(3.0 * a - 2.0 * b + 5.0);
+        }
+        let mut m = RidgeRegression::new(1e-8);
+        m.fit(&x, &y);
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((m.predict(xi) - yi).abs() < 1e-3);
+        }
+        assert!((m.predict(&[20.0, 0.0]) - 65.0).abs() < 1e-2, "extrapolation");
+    }
+
+    #[test]
+    fn regularisation_shrinks_weights() {
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..50 {
+            let a = i as f64;
+            x.push(vec![a]);
+            y.push(2.0 * a);
+        }
+        let mut weak = RidgeRegression::new(1e-8);
+        weak.fit(&x, &y);
+        let mut strong = RidgeRegression::new(100.0);
+        strong.fit(&x, &y);
+        assert!(strong.weights()[0].abs() < weak.weights()[0].abs());
+    }
+
+    #[test]
+    fn collinear_features_survive_via_regularisation() {
+        // Two identical features: OLS is singular, ridge is fine.
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64, i as f64]).collect();
+        let y: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let mut m = RidgeRegression::new(1e-3);
+        m.fit(&x, &y);
+        assert!((m.predict(&[10.0, 10.0]) - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn constant_target_learns_bias() {
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64]).collect();
+        let y = vec![4.0; 10];
+        let mut m = RidgeRegression::default_params();
+        m.fit(&x, &y);
+        assert!((m.predict(&[3.0]) - 4.0).abs() < 1e-6);
+    }
+}

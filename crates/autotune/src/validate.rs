@@ -1,0 +1,135 @@
+//! K-fold cross-validation over corpus *tensors* (not rows): launch
+//! selection must generalise to unseen tensors, so folds are cut at the
+//! tensor level — row-level CV would leak each tensor's other launch
+//! points into training and flatter every model.
+
+use crate::trainer::CorpusItem;
+use crate::{metrics, model_features, Regressor};
+
+/// Per-fold and aggregate cross-validation scores for one model family.
+#[derive(Clone, Debug)]
+pub struct CvReport {
+    /// MAPE (%) of time predictions per fold.
+    pub fold_mape: Vec<f64>,
+    /// R² of log-time predictions per fold.
+    pub fold_r2: Vec<f64>,
+}
+
+impl CvReport {
+    /// Mean MAPE across folds.
+    pub fn mean_mape(&self) -> f64 {
+        self.fold_mape.iter().sum::<f64>() / self.fold_mape.len().max(1) as f64
+    }
+
+    /// Mean R² across folds.
+    pub fn mean_r2(&self) -> f64 {
+        self.fold_r2.iter().sum::<f64>() / self.fold_r2.len().max(1) as f64
+    }
+
+    /// Worst-fold MAPE — the robustness figure.
+    pub fn worst_mape(&self) -> f64 {
+        self.fold_mape.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// Runs `k`-fold cross-validation of a model family over a corpus.
+/// `make_model` constructs a fresh (unfitted) model per fold.
+///
+/// # Panics
+/// Panics if `k < 2` or the corpus has fewer than `k` items.
+pub fn cross_validate(
+    corpus: &[CorpusItem],
+    k: usize,
+    mut make_model: impl FnMut() -> Box<dyn Regressor>,
+) -> CvReport {
+    assert!(k >= 2, "cross-validation needs at least two folds");
+    assert!(corpus.len() >= k, "need at least one tensor per fold");
+
+    let mut fold_mape = Vec::with_capacity(k);
+    let mut fold_r2 = Vec::with_capacity(k);
+    for fold in 0..k {
+        let train: Vec<&CorpusItem> =
+            corpus.iter().enumerate().filter(|(i, _)| i % k != fold).map(|(_, c)| c).collect();
+        let test: Vec<&CorpusItem> =
+            corpus.iter().enumerate().filter(|(i, _)| i % k == fold).map(|(_, c)| c).collect();
+
+        // Build the sample matrices inline (avoids cloning tensors just to
+        // reuse `to_samples`, which takes owned corpus slices).
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for item in &train {
+            for &(cfg, t) in &item.sweep.entries {
+                if t.is_finite() {
+                    x.push(model_features(&item.features, cfg.grid, cfg.block));
+                    y.push(t.log10());
+                }
+            }
+        }
+        let mut model = make_model();
+        model.fit(&x, &y);
+
+        let mut truth_t = Vec::new();
+        let mut pred_t = Vec::new();
+        let mut truth_log = Vec::new();
+        let mut pred_log = Vec::new();
+        for item in &test {
+            for &(cfg, t) in &item.sweep.entries {
+                if !t.is_finite() {
+                    continue;
+                }
+                let p = model.predict(&model_features(&item.features, cfg.grid, cfg.block));
+                truth_log.push(t.log10());
+                pred_log.push(p);
+                truth_t.push(t);
+                pred_t.push(10f64.powf(p));
+            }
+        }
+        fold_mape.push(metrics::mape(&truth_t, &pred_t));
+        fold_r2.push(metrics::r2(&truth_log, &pred_log));
+    }
+    CvReport { fold_mape, fold_r2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::generate_corpus;
+    use crate::{DecisionTree, RidgeRegression};
+    use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
+
+    fn corpus() -> Vec<CorpusItem> {
+        let d = DeviceSpec::rtx3090();
+        let space = LaunchConfig::coarse_sweep_space(&d);
+        generate_corpus(&d, 16, &space, &[4_000, 10_000, 25_000, 60_000], 3)
+    }
+
+    #[test]
+    fn cv_produces_k_fold_scores() {
+        let c = corpus();
+        let report = cross_validate(&c, 4, || Box::new(DecisionTree::default_params()));
+        assert_eq!(report.fold_mape.len(), 4);
+        assert!(report.mean_mape().is_finite() && report.mean_mape() > 0.0);
+        assert!(report.worst_mape() >= report.mean_mape() - 1e-9);
+        assert!(report.mean_r2() > 0.5, "tree CV R² {}", report.mean_r2());
+    }
+
+    #[test]
+    fn tree_generalises_better_than_linear() {
+        let c = corpus();
+        let tree = cross_validate(&c, 3, || Box::new(DecisionTree::default_params()));
+        let ridge = cross_validate(&c, 3, || Box::new(RidgeRegression::default_params()));
+        assert!(
+            tree.mean_mape() < ridge.mean_mape(),
+            "tree {} vs ridge {}",
+            tree.mean_mape(),
+            ridge.mean_mape()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two folds")]
+    fn single_fold_rejected() {
+        let c = corpus();
+        let _ = cross_validate(&c, 1, || Box::new(DecisionTree::default_params()));
+    }
+}

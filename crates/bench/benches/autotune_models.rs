@@ -1,0 +1,71 @@
+//! Criterion bench: training and inference latency of the launch-selection
+//! model zoo (the §IV-B "training < 0.5 s, inference negligible" claims).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalfrag_autotune::trainer::{generate_corpus, select_config, to_samples};
+use scalfrag_autotune::{AdaBoostR2, BaggingForest, DecisionTree, KnnRegressor, Regressor, RidgeRegression};
+use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
+
+fn bench_models(c: &mut Criterion) {
+    let device = DeviceSpec::rtx3090();
+    let space = LaunchConfig::coarse_sweep_space(&device);
+    let corpus = generate_corpus(&device, 16, &space, &[3_000, 15_000, 60_000], 7);
+    let (x, y) = to_samples(&corpus);
+
+    let mut group = c.benchmark_group("autotune_train");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("fit", "DecisionTree"), |b| {
+        b.iter(|| {
+            let mut t = DecisionTree::default_params();
+            t.fit(&x, &y);
+            t
+        })
+    });
+    group.bench_function(BenchmarkId::new("fit", "Bagging"), |b| {
+        b.iter(|| {
+            let mut m = BaggingForest::default_params();
+            m.fit(&x, &y);
+            m
+        })
+    });
+    group.bench_function(BenchmarkId::new("fit", "AdaBoost"), |b| {
+        b.iter(|| {
+            let mut m = AdaBoostR2::default_params();
+            m.fit(&x, &y);
+            m
+        })
+    });
+    group.bench_function(BenchmarkId::new("fit", "kNN"), |b| {
+        b.iter(|| {
+            let mut m = KnnRegressor::default_params();
+            m.fit(&x, &y);
+            m
+        })
+    });
+    group.bench_function(BenchmarkId::new("fit", "Ridge"), |b| {
+        b.iter(|| {
+            let mut m = RidgeRegression::default_params();
+            m.fit(&x, &y);
+            m
+        })
+    });
+    group.finish();
+
+    // Selection latency: one full argmin over the launch space.
+    let mut tree = DecisionTree::default_params();
+    tree.fit(&x, &y);
+    let features = &corpus[0].features;
+    let full_space = LaunchConfig::sweep_space(&device);
+    let mut group = c.benchmark_group("autotune_select");
+    group.bench_function("tree_select_config", |b| {
+        b.iter(|| select_config(&tree, features, &full_space))
+    });
+    group.bench_function("tree_single_predict", |b| {
+        let probe = scalfrag_autotune::model_features(features, 1024, 256);
+        b.iter(|| tree.predict(&probe))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

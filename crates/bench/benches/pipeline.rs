@@ -1,0 +1,40 @@
+//! Criterion bench: cost of the pipeline machinery itself — planning and
+//! resolving a full simulated schedule (dry run, no numeric kernels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalfrag_gpusim::{DeviceSpec, Gpu, LaunchConfig};
+use scalfrag_kernels::FactorSet;
+use scalfrag_pipeline::{execute_pipelined_dry, KernelChoice, PipelinePlan};
+use scalfrag_tensor::CooTensor;
+
+fn setup() -> (CooTensor, FactorSet) {
+    let dims = [2_000u32, 1_500, 800];
+    let mut t = scalfrag_tensor::gen::uniform(&dims, 150_000, 9);
+    t.sort_for_mode(0);
+    let f = FactorSet::random(&dims, 16, 10);
+    (t, f)
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (t, f) = setup();
+    let cfg = LaunchConfig::new(2048, 256);
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("plan_8_segments", |b| {
+        b.iter(|| PipelinePlan::new(&t, 0, cfg, 8, 4))
+    });
+    for segs in [2usize, 8, 16] {
+        group.bench_with_input(BenchmarkId::new("dry_execute", segs), &segs, |b, &segs| {
+            let plan = PipelinePlan::new(&t, 0, cfg, segs, 4.min(segs));
+            b.iter(|| {
+                let mut gpu = Gpu::new(DeviceSpec::rtx3090());
+                execute_pipelined_dry(&mut gpu, &t, &f, &plan, KernelChoice::Tiled)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: tensor-side preprocessing hot paths — sorting, format
+//! construction, feature extraction, segmentation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scalfrag_tensor::{segment, CooTensor, CsfTensor, HiCooTensor, TensorFeatures};
+
+fn tensor() -> CooTensor {
+    scalfrag_tensor::gen::zipf_slices(&[2_000, 1_500, 800], 200_000, 0.9, 5)
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let t = tensor();
+    let mut sorted = t.clone();
+    sorted.sort_for_mode(0);
+
+    let mut group = c.benchmark_group("tensor_ops");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("sort_for_mode", "200k"), &t, |b, t| {
+        b.iter(|| {
+            let mut c = t.clone();
+            c.sort_for_mode(0);
+            c
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("csf_build", "200k"), &t, |b, t| {
+        b.iter(|| CsfTensor::from_coo(t, 0))
+    });
+    group.bench_with_input(BenchmarkId::new("hicoo_build", "200k"), &t, |b, t| {
+        b.iter(|| HiCooTensor::from_coo(t, 4))
+    });
+    group.bench_with_input(BenchmarkId::new("features", "200k"), &t, |b, t| {
+        b.iter(|| TensorFeatures::extract(t, 0))
+    });
+    group.bench_with_input(BenchmarkId::new("segment_slice_aligned", "200k"), &sorted, |b, t| {
+        b.iter(|| segment::segment_on_slice_boundaries(t, 0, 8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

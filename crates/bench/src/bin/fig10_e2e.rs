@@ -1,0 +1,86 @@
+//! Fig. 10 — end-to-end MTTKRP performance: ScalFrag vs ParTI.
+//!
+//! Measures the full transfer + compute + return path: ParTI synchronous
+//! vs ScalFrag's segmented pipeline (adaptive launch + tiled kernel +
+//! stream overlap). Paper claims to check: 1.3×–2.0× speedups, largest on
+//! the small tensors (vast ≈ 2.0×) and still ≥ 1.3× when the transfer
+//! cannot be fully hidden (flickr-3d).
+//!
+//! Pass `--ablate` to add a pipeline-off column (kernel improvements only).
+//!
+//! Regenerate with `cargo run --release -p scalfrag-bench --bin fig10_e2e`.
+
+use scalfrag_bench::{factors_for, fmt_time, render_table, scaled_suite};
+use scalfrag_core::{Parti, ScalFrag};
+
+fn main() {
+    let ablate = std::env::args().any(|a| a == "--ablate");
+    println!("Fig. 10: end-to-end MTTKRP performance, ScalFrag vs ParTI\n");
+
+    let parti = Parti::rtx3090();
+    let scal = ScalFrag::builder().build();
+    let no_pipeline = ScalFrag::builder().pipelined(false).build();
+
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    let mut cats = Vec::new();
+    let mut parti_ms = Vec::new();
+    let mut scal_ms = Vec::new();
+    for (name, tensor) in scaled_suite() {
+        let factors = factors_for(&tensor);
+        let r_parti = parti.mttkrp_dry(&tensor, &factors, 0);
+        let r_scal = scal.mttkrp_dry(&tensor, &factors, 0);
+        let speedup = r_parti.timing.total_s / r_scal.timing.total_s;
+        speedups.push((name.clone(), speedup, tensor.nnz()));
+        cats.push(name.clone());
+        parti_ms.push(r_parti.timing.total_s * 1e3);
+        scal_ms.push(r_scal.timing.total_s * 1e3);
+
+        let mut row = vec![
+            name,
+            tensor.nnz().to_string(),
+            fmt_time(r_parti.timing.total_s),
+            fmt_time(r_scal.timing.total_s),
+            format!("{speedup:.2}x"),
+            format!("{}", r_scal.segments),
+            format!("{}", r_scal.streams),
+            format!("{:.0}%", r_scal.overlap_ratio * 100.0),
+        ];
+        if ablate {
+            let r_np = no_pipeline.mttkrp_dry(&tensor, &factors, 0);
+            row.push(format!("{:.2}x", r_parti.timing.total_s / r_np.timing.total_s));
+        }
+        rows.push(row);
+    }
+
+    let mut headers =
+        vec!["Tensor", "nnz", "ParTI e2e", "ScalFrag e2e", "Speedup", "Segs", "Streams", "Overlap"];
+    if ablate {
+        headers.push("NoPipe");
+    }
+    println!("{}", render_table(&headers, &rows));
+
+    let chart = scalfrag_bench::svg::BarChart {
+        title: "Fig. 10: end-to-end MTTKRP time (ms, lower is better)".into(),
+        y_label: "ms".into(),
+        categories: cats,
+        series: vec![("ParTI".into(), parti_ms), ("ScalFrag".into(), scal_ms)],
+    };
+    if let Ok(path) = scalfrag_bench::write_svg("fig10_e2e", &chart.render(860, 420)) {
+        println!("(SVG written to {path})");
+    }
+
+    let min = speedups.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+    let max = speedups.iter().map(|s| s.1).fold(0.0f64, f64::max);
+    println!("Speedup range: {min:.2}x – {max:.2}x  (paper: 1.3x – 2.0x)");
+
+    let mut by_size = speedups.clone();
+    by_size.sort_by_key(|s| s.2);
+    println!(
+        "Smallest tensor ({}) speedup {:.2}x; largest ({}) {:.2}x (paper: small tensors overlap best)",
+        by_size[0].0,
+        by_size[0].1,
+        by_size.last().unwrap().0,
+        by_size.last().unwrap().1
+    );
+}

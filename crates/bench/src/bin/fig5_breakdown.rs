@@ -1,0 +1,40 @@
+//! Fig. 5 — time breakdown of (synchronous, ParTI-style) MTTKRP
+//! processing: H2D transfer vs kernel vs D2H per dataset.
+//!
+//! The paper's claim to check: "transferring data from the host to the
+//! device (H2D) takes a lot of time … the vast majority of the time",
+//! kernel and D2H being much smaller.
+//!
+//! Regenerate with `cargo run --release -p scalfrag-bench --bin fig5_breakdown`.
+
+use scalfrag_bench::{factors_for, fmt_time, render_table, scaled_suite};
+use scalfrag_core::Parti;
+
+fn main() {
+    println!("Fig. 5: time breakdown of MTTKRP processing (synchronous schedule)\n");
+    let parti = Parti::rtx3090();
+    let mut rows = Vec::new();
+    for (name, tensor) in scaled_suite() {
+        let factors = factors_for(&tensor);
+        let r = parti.mttkrp_dry(&tensor, &factors, 0);
+        let total = r.timing.h2d_s + r.timing.kernel_s + r.timing.d2h_s;
+        rows.push(vec![
+            name,
+            fmt_time(r.timing.h2d_s),
+            fmt_time(r.timing.kernel_s),
+            fmt_time(r.timing.d2h_s),
+            format!("{:.0}%", 100.0 * r.timing.h2d_s / total),
+            format!("{:.0}%", 100.0 * r.timing.kernel_s / total),
+            format!("{:.0}%", 100.0 * r.timing.d2h_s / total),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Tensor", "H2D", "Kernel", "D2H", "H2D%", "Kernel%", "D2H%"],
+            &rows
+        )
+    );
+    println!("Expected shape (paper): H2D dominates the end-to-end time on every");
+    println!("tensor, kernel second, D2H smallest — which motivates pipelining.");
+}

@@ -1,0 +1,98 @@
+//! §IV-B — model comparison for the adaptive launching strategy.
+//!
+//! Trains the full zoo (DecisionTree, Bagging, AdaBoost, kNN, Ridge) on a
+//! sweep-labelled synthetic corpus and evaluates on held-out tensors.
+//! Paper claims to check: the DecisionTree regressor reaches the lowest
+//! MAPE (< 15 %), trains in under 0.5 s, and its inference cost is < 1 %
+//! of an MTTKRP.
+//!
+//! Regenerate with `cargo run --release -p scalfrag-bench --bin model_eval`.
+
+use scalfrag_autotune::trainer::{generate_corpus, train_and_evaluate};
+use scalfrag_bench::{factors_for, render_table, scaled_suite, RANK};
+use scalfrag_core::ScalFrag;
+use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
+
+fn main() {
+    let device = DeviceSpec::rtx3090();
+    let space = LaunchConfig::coarse_sweep_space(&device);
+
+    println!("SS IV-B: launch-parameter selection model comparison\n");
+    println!("Corpus: synthetic tensors across sizes/orders/sparsity regimes,");
+    println!("labelled by full launch-space sweeps (Fig. 7 pipeline).\n");
+
+    let train = generate_corpus(&device, RANK as u32, &space, scalfrag_autotune::trainer::DEFAULT_TIERS, 1);
+    let test = generate_corpus(&device, RANK as u32, &space, &[8_000, 120_000, 600_000], 0xdead);
+    println!(
+        "train: {} tensor-mode pairs x {} configs; test: {} pairs\n",
+        train.len(),
+        space.len(),
+        test.len()
+    );
+
+    let trained = train_and_evaluate(&train, &test, &space);
+    let rows: Vec<Vec<String>> = trained
+        .evals
+        .iter()
+        .map(|e| {
+            vec![
+                e.name.to_string(),
+                format!("{:.1}%", e.mape_time),
+                format!("{:.3}", e.r2_log),
+                format!("{:.3}s", e.train_time_s),
+                format!("{:.0}µs", e.select_time_us),
+                format!("{:.3}", e.selection_ratio),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Model", "MAPE(time)", "R²(log t)", "Train", "Select", "t(sel)/t(opt)"],
+            &rows
+        )
+    );
+    let best = &trained.evals[trained.best_index()];
+    println!("Best model by selection quality: {}\n", best.name);
+
+    // Tensor-level 4-fold cross-validation of the winning family, and the
+    // features the tree actually splits on.
+    let cv = scalfrag_autotune::cross_validate(&train, 4, || {
+        Box::new(scalfrag_autotune::DecisionTree::default_params())
+    });
+    println!(
+        "DecisionTree 4-fold CV: mean MAPE {:.1}% (worst fold {:.1}%), mean R² {:.3}\n",
+        cv.mean_mape(),
+        cv.worst_mape(),
+        cv.mean_r2()
+    );
+    let (x, y) = scalfrag_autotune::trainer::to_samples(&train);
+    let mut tree = scalfrag_autotune::DecisionTree::default_params();
+    use scalfrag_autotune::Regressor;
+    tree.fit(&x, &y);
+    let mut names: Vec<&str> = scalfrag_tensor::features::FEATURE_NAMES.to_vec();
+    names.push("log2_grid");
+    names.push("log2_block");
+    let imp = scalfrag_autotune::tree_importance(&tree, names.len());
+    println!("DecisionTree feature importance (top splits):");
+    println!("{}", imp.render(&names));
+
+    // Inference cost relative to one MTTKRP (the paper: "inference time is
+    // less than 1% of the MTTKRP computation").
+    let (name, tensor) = scaled_suite().into_iter().find(|(n, _)| n == "nell-2").unwrap();
+    let factors = factors_for(&tensor);
+    let ctx = ScalFrag::builder().build();
+    let r = ctx.mttkrp_dry(&tensor, &factors, 0);
+    let tree = trained.evals.iter().find(|e| e.name == "DecisionTree").unwrap();
+    let frac = tree.select_time_us * 1e-6 / r.timing.total_s * 100.0;
+    println!(
+        "DecisionTree selection time vs one simulated {} MTTKRP ({}): {:.2}%  (paper: < 1%)",
+        name,
+        scalfrag_bench::fmt_time(r.timing.total_s),
+        frac
+    );
+    println!(
+        "DecisionTree training time: {:.3}s  (paper: < 0.5 s, one-off)",
+        tree.train_time_s
+    );
+}

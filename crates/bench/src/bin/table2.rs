@@ -1,0 +1,56 @@
+//! Table II — hardware specifications of the simulated platform.
+//!
+//! Regenerate with `cargo run --release -p scalfrag-bench --bin table2`.
+
+use scalfrag_bench::render_table;
+use scalfrag_gpusim::{DeviceSpec, HostSpec};
+
+fn main() {
+    let cpu = HostSpec::i7_11700k();
+    let gpu = DeviceSpec::rtx3090();
+
+    println!("Table II: hardware specifications (simulated substrate)\n");
+    let rows = vec![
+        vec!["Model".into(), cpu.name.into(), gpu.name.into()],
+        vec![
+            "Frequency".into(),
+            format!("{:.1}GHz", cpu.clock_ghz),
+            format!("{:.1}GHz", gpu.clock_ghz),
+        ],
+        vec![
+            "Processing Units".into(),
+            format!("{}C{}T", cpu.cores, cpu.threads),
+            format!("{} ({} SMs)", gpu.num_sms * gpu.cores_per_sm, gpu.num_sms),
+        ],
+        vec![
+            "Cache".into(),
+            "80KB L1, 512KB L2, 16MB L3".into(),
+            format!(
+                "{}KB L1 (per SM), {}MB L2",
+                gpu.shared_mem_per_sm / 1024,
+                gpu.l2_bytes / (1024 * 1024)
+            ),
+        ],
+        vec![
+            "Memory".into(),
+            "32GB".into(),
+            format!("{}GB", gpu.global_mem_bytes / (1024 * 1024 * 1024)),
+        ],
+        vec![
+            "Bandwidth".into(),
+            format!("{:.1} GB/s", cpu.mem_bandwidth_gbs),
+            format!("{:.1} GB/s", gpu.mem_bandwidth_gbs),
+        ],
+        vec![
+            "PCIe (measured, §III-B)".into(),
+            format!("{:.1} GB/s", gpu.pcie_h2d_gbs),
+            format!("{:.1} GB/s", gpu.pcie_d2h_gbs),
+        ],
+    ];
+    println!("{}", render_table(&["", "CPU", "GPU"], &rows));
+    println!(
+        "Peak FP32: CPU {:.0} GFLOP/s, GPU {:.0} GFLOP/s",
+        cpu.peak_gflops(),
+        gpu.peak_gflops()
+    );
+}

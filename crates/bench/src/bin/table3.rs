@@ -1,0 +1,60 @@
+//! Table III — the tensors used for evaluation: the original FROSTT
+//! figures next to the synthetic stand-ins this reproduction materialises.
+//!
+//! Regenerate with `cargo run --release -p scalfrag-bench --bin table3`.
+
+use scalfrag_bench::{effective_scale, render_table};
+use scalfrag_tensor::frostt;
+
+fn fmt_dims(dims: &[u64]) -> String {
+    dims.iter().map(|d| human(*d)).collect::<Vec<_>>().join(" x ")
+}
+
+fn human(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.0}K", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
+fn main() {
+    println!("Table III: tensors used for evaluation (paper originals vs scaled synthetic stand-ins)\n");
+    let mut rows = Vec::new();
+    for p in frostt::all_presets() {
+        let scale = effective_scale(&p);
+        let t = p.materialize(scale);
+        let scaled_dims: Vec<u64> = t.dims().iter().map(|&d| d as u64).collect();
+        rows.push(vec![
+            p.name.to_string(),
+            format!("1/{scale}"),
+            p.order().to_string(),
+            fmt_dims(&p.dims),
+            human(p.nnz),
+            format!("{:.1e}", p.density()),
+            fmt_dims(&scaled_dims),
+            human(t.nnz() as u64),
+            format!("{:.1e}", t.density()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Tensor",
+                "Scale",
+                "Order",
+                "Dimensions (paper)",
+                "#nnz",
+                "Density",
+                "Dimensions (scaled)",
+                "#nnz",
+                "Density",
+            ],
+            &rows
+        )
+    );
+    println!("Generators: uniform (vast, uber), Zipf-skewed slices (nell-*, flickr-*, deli-*, nips), block-clustered (enron).");
+}

@@ -1,0 +1,65 @@
+//! Tuning-cost comparison — the abstract's claim that ScalFrag "is able
+//! to find more suitable kernel launch parameter configurations in a
+//! short time": model-guided selection vs random search vs an exhaustive
+//! sweep, scored by configuration quality and by how much measuring each
+//! strategy had to pay.
+//!
+//! Regenerate with `cargo run --release -p scalfrag-bench --bin tuning_cost`.
+
+use scalfrag_autotune::tuner::{tune, TuningStrategy};
+use scalfrag_autotune::LaunchPredictor;
+use scalfrag_bench::{render_table, scaled_suite, RANK};
+use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
+
+fn main() {
+    let device = DeviceSpec::rtx3090();
+    let space = LaunchConfig::sweep_space(&device);
+    println!("Tuning-strategy comparison (tiled kernel, rank {RANK}, mode 0)\n");
+    eprintln!("training the launch predictor (one-off)...");
+    let predictor = LaunchPredictor::train_default(&device, RANK as u32, 1);
+
+    let strategies = [
+        TuningStrategy::ModelGuided,
+        TuningStrategy::Random(8),
+        TuningStrategy::Random(32),
+        TuningStrategy::CoarseToFine,
+        TuningStrategy::Exhaustive,
+    ];
+
+    let mut rows = Vec::new();
+    let mut quality_sums = vec![0.0f64; strategies.len()];
+    let mut cost_sums = vec![0.0f64; strategies.len()];
+    let suite = scaled_suite();
+    for (name, tensor) in &suite {
+        for (si, &strat) in strategies.iter().enumerate() {
+            let o = tune(&device, tensor, 0, RANK as u32, &space, strat, Some(&predictor));
+            quality_sums[si] += o.quality();
+            cost_sums[si] += o.measure_cost_s;
+            if si == 0 {
+                rows.push(vec![
+                    name.clone(),
+                    format!("{}", o.chosen),
+                    format!("{:.3}x", o.quality()),
+                ]);
+            }
+        }
+    }
+    println!("Per-tensor model-guided selections:");
+    println!("{}", render_table(&["Tensor", "Model-chosen launch", "t(sel)/t(opt)"], &rows));
+
+    println!("Suite summary (lower is better):");
+    let mut srows = Vec::new();
+    for (si, strat) in strategies.iter().enumerate() {
+        srows.push(vec![
+            strat.name(),
+            format!("{:.3}x", quality_sums[si] / suite.len() as f64),
+            format!("{:.3}ms", cost_sums[si] * 1e3),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(&["Strategy", "Mean quality", "Total measuring cost"], &srows)
+    );
+    println!("Expected shape: the model reaches near-exhaustive quality at zero");
+    println!("measuring cost; random search needs many samples to close the gap.");
+}

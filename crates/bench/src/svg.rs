@@ -1,0 +1,325 @@
+//! Minimal SVG chart rendering for the figure harnesses — grouped bar
+//! charts (Figs. 9/10) and heatmaps (Fig. 4) written as standalone `.svg`
+//! files, with no external dependencies.
+
+use std::fmt::Write as _;
+
+/// Chart margins and geometry.
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 70.0;
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// A grouped bar chart: one group per category (x axis), one bar per
+/// series within each group.
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Category names (one group each).
+    pub categories: Vec<String>,
+    /// `(series name, per-category values)`; all series must match
+    /// `categories` in length.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl BarChart {
+    /// Renders the chart as an SVG document.
+    ///
+    /// # Panics
+    /// Panics if a series' length differs from the category count or the
+    /// chart is empty.
+    pub fn render(&self, width: u32, height: u32) -> String {
+        assert!(!self.categories.is_empty() && !self.series.is_empty(), "empty chart");
+        for (name, vals) in &self.series {
+            assert_eq!(vals.len(), self.categories.len(), "series '{name}' length mismatch");
+        }
+        let (w, h) = (width as f64, height as f64);
+        let plot_w = w - MARGIN_L - MARGIN_R;
+        let plot_h = h - MARGIN_T - MARGIN_B;
+        let max_v = self
+            .series
+            .iter()
+            .flat_map(|(_, v)| v.iter().copied())
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+
+        let palette = ["#4878d0", "#ee854a", "#6acc64", "#d65f5f", "#956cb4"];
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" font-family=\"sans-serif\">\n"
+        );
+        let _ = write!(
+            svg,
+            "<text x=\"{}\" y=\"22\" font-size=\"15\" text-anchor=\"middle\">{}</text>\n",
+            w / 2.0,
+            esc(&self.title)
+        );
+        // Y axis with 5 gridlines.
+        for i in 0..=5 {
+            let v = max_v * i as f64 / 5.0;
+            let y = MARGIN_T + plot_h * (1.0 - i as f64 / 5.0);
+            let _ = write!(
+                svg,
+                "<line x1=\"{MARGIN_L}\" y1=\"{y:.1}\" x2=\"{:.1}\" y2=\"{y:.1}\" stroke=\"#ddd\"/>\n",
+                w - MARGIN_R
+            );
+            let _ = write!(
+                svg,
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"end\">{}</text>\n",
+                MARGIN_L - 6.0,
+                y + 3.0,
+                format_value(v)
+            );
+        }
+        let _ = write!(
+            svg,
+            "<text x=\"14\" y=\"{:.1}\" font-size=\"11\" transform=\"rotate(-90 14 {:.1})\" text-anchor=\"middle\">{}</text>\n",
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            esc(&self.y_label)
+        );
+
+        // Bars.
+        let group_w = plot_w / self.categories.len() as f64;
+        let bar_w = (group_w * 0.8) / self.series.len() as f64;
+        for (ci, cat) in self.categories.iter().enumerate() {
+            let gx = MARGIN_L + ci as f64 * group_w;
+            for (si, (_, vals)) in self.series.iter().enumerate() {
+                let v = vals[ci];
+                let bh = plot_h * v / max_v;
+                let x = gx + group_w * 0.1 + si as f64 * bar_w;
+                let y = MARGIN_T + plot_h - bh;
+                let _ = write!(
+                    svg,
+                    "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{:.1}\" height=\"{bh:.1}\" fill=\"{}\"><title>{}: {}</title></rect>\n",
+                    bar_w.max(1.0) - 1.0,
+                    palette[si % palette.len()],
+                    esc(cat),
+                    format_value(v)
+                );
+            }
+            let _ = write!(
+                svg,
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"end\" transform=\"rotate(-35 {:.1} {:.1})\">{}</text>\n",
+                gx + group_w / 2.0,
+                h - MARGIN_B + 14.0,
+                gx + group_w / 2.0,
+                h - MARGIN_B + 14.0,
+                esc(cat)
+            );
+        }
+        // Legend.
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let lx = MARGIN_L + si as f64 * 130.0;
+            let ly = h - 18.0;
+            let _ = write!(
+                svg,
+                "<rect x=\"{lx:.1}\" y=\"{:.1}\" width=\"10\" height=\"10\" fill=\"{}\"/>\n",
+                ly - 9.0,
+                palette[si % palette.len()]
+            );
+            let _ = write!(
+                svg,
+                "<text x=\"{:.1}\" y=\"{ly:.1}\" font-size=\"11\">{}</text>\n",
+                lx + 14.0,
+                esc(name)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+/// A heatmap over a regular grid (Fig. 4 panels).
+pub struct HeatMap {
+    /// Chart title.
+    pub title: String,
+    /// Row labels (y axis, top to bottom).
+    pub row_labels: Vec<String>,
+    /// Column labels (x axis).
+    pub col_labels: Vec<String>,
+    /// Row-major values (`rows × cols`).
+    pub values: Vec<f64>,
+}
+
+impl HeatMap {
+    /// Renders as an SVG document with a white→blue colour ramp and the
+    /// maximum cell outlined.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != rows * cols` or the map is empty.
+    pub fn render(&self, width: u32, height: u32) -> String {
+        let (rows, cols) = (self.row_labels.len(), self.col_labels.len());
+        assert!(rows > 0 && cols > 0, "empty heatmap");
+        assert_eq!(self.values.len(), rows * cols, "value grid shape mismatch");
+        let (w, h) = (width as f64, height as f64);
+        let plot_w = w - MARGIN_L - MARGIN_R;
+        let plot_h = h - MARGIN_T - MARGIN_B;
+        let cell_w = plot_w / cols as f64;
+        let cell_h = plot_h / rows as f64;
+        let max_v = self.values.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+        let argmax = self
+            .values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" font-family=\"sans-serif\">\n"
+        );
+        let _ = write!(
+            svg,
+            "<text x=\"{}\" y=\"22\" font-size=\"15\" text-anchor=\"middle\">{}</text>\n",
+            w / 2.0,
+            esc(&self.title)
+        );
+        for r in 0..rows {
+            for c in 0..cols {
+                let v = self.values[r * cols + c];
+                let t = (v / max_v).clamp(0.0, 1.0);
+                let shade = (255.0 * (1.0 - t)) as u8;
+                let x = MARGIN_L + c as f64 * cell_w;
+                let y = MARGIN_T + r as f64 * cell_h;
+                let outline = if r * cols + c == argmax {
+                    " stroke=\"#d62728\" stroke-width=\"2\""
+                } else {
+                    " stroke=\"#fff\" stroke-width=\"0.5\""
+                };
+                let _ = write!(
+                    svg,
+                    "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{cell_w:.1}\" height=\"{cell_h:.1}\" fill=\"rgb({shade},{shade},255)\"{outline}><title>{}/{}: {}</title></rect>\n",
+                    esc(&self.row_labels[r]),
+                    esc(&self.col_labels[c]),
+                    format_value(v)
+                );
+                if cell_w > 34.0 && cell_h > 13.0 {
+                    let _ = write!(
+                        svg,
+                        "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"9\" text-anchor=\"middle\" fill=\"{}\">{}</text>\n",
+                        x + cell_w / 2.0,
+                        y + cell_h / 2.0 + 3.0,
+                        if t > 0.6 { "#fff" } else { "#333" },
+                        format_value(v)
+                    );
+                }
+            }
+        }
+        for (r, label) in self.row_labels.iter().enumerate() {
+            let _ = write!(
+                svg,
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"end\">{}</text>\n",
+                MARGIN_L - 6.0,
+                MARGIN_T + (r as f64 + 0.5) * cell_h + 3.0,
+                esc(label)
+            );
+        }
+        for (c, label) in self.col_labels.iter().enumerate() {
+            let _ = write!(
+                svg,
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"middle\">{}</text>\n",
+                MARGIN_L + (c as f64 + 0.5) * cell_w,
+                h - MARGIN_B + 16.0,
+                esc(label)
+            );
+        }
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bar() -> BarChart {
+        BarChart {
+            title: "kernel GFLOP/s".into(),
+            y_label: "GFLOP/s".into(),
+            categories: vec!["vast".into(), "nips".into()],
+            series: vec![
+                ("ParTI".into(), vec![108.0, 91.6]),
+                ("ScalFrag".into(), vec![155.5, 131.6]),
+            ],
+        }
+    }
+
+    #[test]
+    fn bar_chart_is_wellformed_svg() {
+        let svg = bar().render(640, 400);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // 2 categories x 2 series = 4 bars + legend swatches (2).
+        assert_eq!(svg.matches("<rect").count(), 6);
+        assert!(svg.contains("ScalFrag"));
+        assert_eq!(svg.matches('<').count(), svg.matches('>').count());
+    }
+
+    #[test]
+    fn bar_heights_scale_with_values() {
+        let svg = bar().render(640, 400);
+        // The tallest bar (155.5) should use (nearly) the full plot height.
+        let heights: Vec<f64> = svg
+            .split("height=\"")
+            .skip(2) // skip svg + first non-bar
+            .filter_map(|s| s.split('"').next()?.parse().ok())
+            .collect();
+        let max = heights.iter().copied().fold(0.0, f64::max);
+        assert!(max > 200.0, "expected a tall bar, got {heights:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_series_rejected() {
+        let mut b = bar();
+        b.series[0].1.pop();
+        let _ = b.render(400, 300);
+    }
+
+    #[test]
+    fn heatmap_marks_the_maximum() {
+        let hm = HeatMap {
+            title: "fig4".into(),
+            row_labels: vec!["32".into(), "64".into()],
+            col_labels: vec!["32".into(), "64".into(), "128".into()],
+            values: vec![1.0, 2.0, 3.0, 4.0, 9.0, 5.0],
+        };
+        let svg = hm.render(500, 300);
+        assert_eq!(svg.matches("<rect").count(), 6);
+        assert_eq!(svg.matches("#d62728").count(), 1, "exactly one max outline");
+        assert!(svg.contains("64/64: 9.0"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let svg = BarChart {
+            title: "a<b & \"c\"".into(),
+            y_label: "y".into(),
+            categories: vec!["<cat>".into()],
+            series: vec![("s".into(), vec![1.0])],
+        }
+        .render(300, 200);
+        assert!(svg.contains("a&lt;b &amp; &quot;c&quot;"));
+        assert!(!svg.contains("<cat>"));
+    }
+}

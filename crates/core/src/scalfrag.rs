@@ -1,0 +1,400 @@
+//! The ScalFrag framework facade (Fig. 6).
+
+use crate::report::{MttkrpReport, PhaseTiming};
+use scalfrag_autotune::LaunchPredictor;
+use scalfrag_gpusim::{DeviceSpec, Gpu, LaunchConfig};
+use scalfrag_kernels::{FactorSet, MttkrpBackend};
+use scalfrag_linalg::Mat;
+use scalfrag_pipeline::{
+    execute_hybrid, execute_pipelined, execute_pipelined_dry, execute_sync, execute_sync_dry,
+    split_by_slice_population, KernelChoice, PipelinePlan,
+};
+use scalfrag_tensor::{CooTensor, TensorFeatures};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Feature toggles for the ScalFrag stack — the ablation surface.
+#[derive(Clone, Debug)]
+pub struct ScalFragConfig {
+    /// Use the trained predictor to pick the launch configuration
+    /// (§IV-B); otherwise fall back to `fixed_config` or the ParTI
+    /// heuristic.
+    pub adaptive_launch: bool,
+    /// Launch the shared-memory tiled kernel (§IV-A) instead of the plain
+    /// atomic COO kernel.
+    pub tiled_kernel: bool,
+    /// Segment the tensor and overlap transfers with compute (§IV-C);
+    /// otherwise execute synchronously.
+    pub pipelined: bool,
+    /// Route near-empty slices to the host CPU (§I's hybrid optimisation).
+    pub hybrid: bool,
+    /// Slice-population threshold for the hybrid split.
+    pub hybrid_threshold: u32,
+    /// Segment count override (`None` = auto from device memory, min 4).
+    pub segments: Option<usize>,
+    /// Stream count override (`None` = auto).
+    pub streams: Option<usize>,
+    /// Launch configuration override used when `adaptive_launch` is off.
+    pub fixed_config: Option<LaunchConfig>,
+    /// Seed for predictor training.
+    pub train_seed: u64,
+    /// Non-zero tiers for predictor training (`None` = the autotune
+    /// crate's defaults, which cover ~3 K – 2 M nnz).
+    pub train_tiers: Option<Vec<usize>>,
+}
+
+impl Default for ScalFragConfig {
+    fn default() -> Self {
+        Self {
+            adaptive_launch: true,
+            tiled_kernel: true,
+            pipelined: true,
+            hybrid: false,
+            hybrid_threshold: 4,
+            segments: None,
+            streams: None,
+            fixed_config: None,
+            train_seed: 0x5ca1,
+            train_tiers: None,
+        }
+    }
+}
+
+/// Builder for [`ScalFrag`].
+pub struct ScalFragBuilder {
+    device: DeviceSpec,
+    config: ScalFragConfig,
+}
+
+impl ScalFragBuilder {
+    /// Sets the simulated device (default: RTX 3090).
+    pub fn device(mut self, d: DeviceSpec) -> Self {
+        self.device = d;
+        self
+    }
+
+    /// Enables/disables the adaptive launching strategy.
+    pub fn adaptive_launch(mut self, on: bool) -> Self {
+        self.config.adaptive_launch = on;
+        self
+    }
+
+    /// Enables/disables the tiled kernel.
+    pub fn tiled_kernel(mut self, on: bool) -> Self {
+        self.config.tiled_kernel = on;
+        self
+    }
+
+    /// Enables/disables pipelined execution.
+    pub fn pipelined(mut self, on: bool) -> Self {
+        self.config.pipelined = on;
+        self
+    }
+
+    /// Enables/disables the CPU–GPU hybrid split.
+    pub fn hybrid(mut self, on: bool) -> Self {
+        self.config.hybrid = on;
+        self
+    }
+
+    /// Slice-population threshold below which slices run on the host
+    /// (only meaningful with `hybrid(true)`).
+    pub fn hybrid_threshold(mut self, t: u32) -> Self {
+        self.config.hybrid_threshold = t;
+        self
+    }
+
+    /// Overrides the segment count.
+    pub fn segments(mut self, n: usize) -> Self {
+        self.config.segments = Some(n);
+        self
+    }
+
+    /// Overrides the stream count.
+    pub fn streams(mut self, n: usize) -> Self {
+        self.config.streams = Some(n);
+        self
+    }
+
+    /// Overrides the nnz tiers used to train the launch predictor (useful
+    /// for fast tests; defaults cover the full deployment range).
+    pub fn train_tiers(mut self, tiers: Vec<usize>) -> Self {
+        self.config.train_tiers = Some(tiers);
+        self
+    }
+
+    /// Pins a fixed launch configuration (implies `adaptive_launch(false)`).
+    pub fn fixed_config(mut self, c: LaunchConfig) -> Self {
+        self.config.fixed_config = Some(c);
+        self.config.adaptive_launch = false;
+        self
+    }
+
+    /// Finalises the framework instance.
+    pub fn build(self) -> ScalFrag {
+        ScalFrag { device: self.device, config: self.config, predictors: Mutex::new(HashMap::new()) }
+    }
+}
+
+/// The end-to-end ScalFrag framework.
+///
+/// One instance is reusable across tensors and ranks; launch-parameter
+/// predictors are trained lazily per rank and cached (the paper: "the
+/// training needs to be performed only once").
+pub struct ScalFrag {
+    device: DeviceSpec,
+    config: ScalFragConfig,
+    predictors: Mutex<HashMap<u32, std::sync::Arc<LaunchPredictor>>>,
+}
+
+impl ScalFrag {
+    /// Starts a builder with the paper's defaults (RTX 3090, everything on).
+    pub fn builder() -> ScalFragBuilder {
+        ScalFragBuilder { device: DeviceSpec::rtx3090(), config: ScalFragConfig::default() }
+    }
+
+    /// The simulated device.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ScalFragConfig {
+        &self.config
+    }
+
+    fn predictor(&self, rank: u32) -> std::sync::Arc<LaunchPredictor> {
+        let mut cache = self.predictors.lock().expect("predictor cache poisoned");
+        cache
+            .entry(rank)
+            .or_insert_with(|| {
+                std::sync::Arc::new(match &self.config.train_tiers {
+                    Some(tiers) => LaunchPredictor::train_with_tiers(
+                        &self.device,
+                        rank,
+                        self.config.train_seed,
+                        tiers,
+                    ),
+                    None => LaunchPredictor::train_default(
+                        &self.device,
+                        rank,
+                        self.config.train_seed,
+                    ),
+                })
+            })
+            .clone()
+    }
+
+    /// Selects the launch configuration for `(tensor, mode)` according to
+    /// the active strategy.
+    pub fn select_config(&self, tensor: &CooTensor, mode: usize, rank: u32) -> LaunchConfig {
+        if self.config.adaptive_launch {
+            let features = TensorFeatures::extract(tensor, mode).to_vec();
+            self.predictor(rank).predict_from_features(&features)
+        } else {
+            self.config.fixed_config.unwrap_or_else(|| LaunchConfig::parti_default(tensor.nnz()))
+        }
+    }
+
+    fn kernel_choice(&self) -> KernelChoice {
+        if self.config.tiled_kernel {
+            KernelChoice::Tiled
+        } else {
+            KernelChoice::CooAtomic
+        }
+    }
+
+    /// Runs one end-to-end MTTKRP (functional: the output is numerically
+    /// real and validated against the CPU reference in the test suite).
+    pub fn mttkrp(&self, tensor: &CooTensor, factors: &FactorSet, mode: usize) -> MttkrpReport {
+        self.run(tensor, factors, mode, true)
+    }
+
+    /// Timing-only variant for large benchmark sweeps.
+    pub fn mttkrp_dry(&self, tensor: &CooTensor, factors: &FactorSet, mode: usize) -> MttkrpReport {
+        self.run(tensor, factors, mode, false)
+    }
+
+    fn run(
+        &self,
+        tensor: &CooTensor,
+        factors: &FactorSet,
+        mode: usize,
+        functional: bool,
+    ) -> MttkrpReport {
+        let rank = factors.rank();
+        let cfg = self.select_config(tensor, mode, rank as u32);
+        let kernel = self.kernel_choice();
+        let mut gpu = Gpu::new(self.device.clone());
+        let stats = scalfrag_kernels::SegmentStats::compute(tensor, mode);
+
+        let (run, segments, streams) = if self.config.hybrid && functional {
+            let split = split_by_slice_population(tensor, mode, self.config.hybrid_threshold);
+            let segs = self.config.segments.unwrap_or(4);
+            let strs = self.config.streams.unwrap_or(4.min(segs.max(1)));
+            let run =
+                execute_hybrid(&mut gpu, &split, factors, mode, cfg, segs, strs, kernel);
+            (run, segs, strs)
+        } else if self.config.pipelined {
+            let mut sorted = tensor.clone();
+            sorted.sort_for_mode(mode);
+            let plan = match (self.config.segments, self.config.streams) {
+                (Some(segs), streams) => {
+                    PipelinePlan::new(&sorted, mode, cfg, segs, streams.unwrap_or(segs.min(4)))
+                }
+                (None, _) => {
+                    PipelinePlan::auto(&sorted, mode, cfg, &self.device, factors.byte_size())
+                }
+            };
+            let run = if functional {
+                execute_pipelined(&mut gpu, &sorted, factors, &plan, kernel)
+            } else {
+                execute_pipelined_dry(&mut gpu, &sorted, factors, &plan, kernel)
+            };
+            (run, plan.num_segments(), plan.num_streams)
+        } else {
+            let run = if functional {
+                execute_sync(&mut gpu, tensor, factors, mode, cfg, kernel)
+            } else {
+                execute_sync_dry(&mut gpu, tensor, factors, mode, cfg, kernel)
+            };
+            (run, 1, 1)
+        };
+
+        MttkrpReport {
+            backend: "scalfrag",
+            mode,
+            rank,
+            config: kernel.full_config(cfg, rank as u32),
+            segments,
+            streams,
+            flops: stats.flops(rank as u32),
+            timing: PhaseTiming::from_timeline(&run.timeline),
+            overlap_ratio: run.timeline.overlap_ratio(),
+            output: run.output,
+        }
+    }
+
+    /// An [`MttkrpBackend`] view of this framework (for CPD-ALS), which
+    /// also accumulates the simulated device seconds spent.
+    pub fn backend(&self) -> ScalFragBackend<'_> {
+        ScalFragBackend { ctx: self, simulated_seconds: 0.0 }
+    }
+}
+
+/// CPD-ALS backend adapter for [`ScalFrag`].
+pub struct ScalFragBackend<'a> {
+    ctx: &'a ScalFrag,
+    /// Total simulated device time over all MTTKRP calls.
+    pub simulated_seconds: f64,
+}
+
+impl MttkrpBackend for ScalFragBackend<'_> {
+    fn name(&self) -> &'static str {
+        "scalfrag"
+    }
+
+    fn mttkrp(&mut self, tensor: &CooTensor, factors: &FactorSet, mode: usize) -> Mat {
+        let report = self.ctx.mttkrp(tensor, factors, mode);
+        self.simulated_seconds += report.timing.total_s;
+        report.output
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalfrag_kernels::reference::mttkrp_seq;
+
+    fn small() -> (CooTensor, FactorSet) {
+        let dims = [150u32, 100, 80];
+        let t = scalfrag_tensor::gen::zipf_slices(&dims, 8_000, 0.9, 51);
+        let f = FactorSet::random(&dims, 16, 52);
+        (t, f)
+    }
+
+    #[test]
+    fn full_stack_output_matches_reference() {
+        let (t, f) = small();
+        // Fixed config avoids predictor training in the unit test.
+        let ctx = ScalFrag::builder()
+            .fixed_config(LaunchConfig::new(1024, 256))
+            .segments(4)
+            .build();
+        let r = ctx.mttkrp(&t, &f, 0);
+        let expect = mttkrp_seq(&t, &f, 0);
+        assert!(
+            r.output.max_abs_diff(&expect) < 1e-2,
+            "diff {}",
+            r.output.max_abs_diff(&expect)
+        );
+        assert!(r.timing.total_s > 0.0);
+        assert_eq!(r.segments, 4);
+        assert!(r.config.shared_mem_per_block > 0, "tiled kernel requests smem");
+    }
+
+    #[test]
+    fn hybrid_stack_output_matches_reference() {
+        let (t, f) = small();
+        // With avg ~50 nnz per slice, a threshold of 30 guarantees a
+        // non-empty host tail on the Zipf tensor.
+        let ctx = ScalFrag::builder()
+            .fixed_config(LaunchConfig::new(1024, 256))
+            .hybrid(true)
+            .hybrid_threshold(30)
+            .build();
+        let r = ctx.mttkrp(&t, &f, 0);
+        let expect = mttkrp_seq(&t, &f, 0);
+        assert!(r.output.max_abs_diff(&expect) < 1e-2);
+        assert!(r.timing.host_s > 0.0, "hybrid must use the host engine");
+    }
+
+    #[test]
+    fn sync_ablation_runs() {
+        let (t, f) = small();
+        let ctx = ScalFrag::builder()
+            .fixed_config(LaunchConfig::new(1024, 256))
+            .pipelined(false)
+            .build();
+        let r = ctx.mttkrp(&t, &f, 1);
+        assert_eq!(r.segments, 1);
+        assert!(r.overlap_ratio < 0.05);
+        let expect = mttkrp_seq(&t, &f, 1);
+        assert!(r.output.max_abs_diff(&expect) < 1e-2);
+    }
+
+    #[test]
+    fn backend_drives_cpd() {
+        let (t, f) = small();
+        let _ = f;
+        let ctx = ScalFrag::builder()
+            .fixed_config(LaunchConfig::new(512, 256))
+            .segments(2)
+            .build();
+        let mut backend = ctx.backend();
+        let opts = scalfrag_kernels::CpdOptions { rank: 4, max_iters: 2, tol: 0.0, seed: 3, nonnegative: false };
+        let res = scalfrag_kernels::cpd_als(&t, &opts, &mut backend);
+        assert_eq!(res.iters, 2);
+        assert!(res.final_fit().is_finite());
+        assert!(backend.simulated_seconds > 0.0);
+    }
+
+    #[test]
+    fn dry_run_times_without_computing() {
+        let (t, f) = small();
+        let ctx = ScalFrag::builder().fixed_config(LaunchConfig::new(1024, 256)).build();
+        let r = ctx.mttkrp_dry(&t, &f, 0);
+        assert!(r.timing.total_s > 0.0);
+        assert_eq!(r.output.frob_norm(), 0.0);
+    }
+
+    #[test]
+    fn adaptive_launch_trains_once_and_selects_valid_configs() {
+        let (t, f) = small();
+        let ctx = ScalFrag::builder().train_tiers(vec![3_000, 12_000]).build();
+        let c1 = ctx.select_config(&t, 0, f.rank() as u32);
+        let c2 = ctx.select_config(&t, 0, f.rank() as u32);
+        assert_eq!(c1, c2, "cached predictor must be deterministic");
+        assert!(c1.validate(ctx.device()).is_ok());
+    }
+}

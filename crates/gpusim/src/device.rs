@@ -1,0 +1,247 @@
+//! Hardware models: the simulated GPU and the host CPU.
+//!
+//! The RTX 3090 / i7-11700K presets mirror Table II of the paper; other
+//! presets exist so tests and ablations can check that the adaptive
+//! launching strategy reacts to the *hardware*, not just the tensor.
+
+/// Parameters of a simulated GPU.
+///
+/// All throughput numbers are *effective peaks*; the cost model in
+/// [`crate::cost`] derates them by occupancy and access-pattern factors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DeviceSpec {
+    /// Marketing name, e.g. `"NVIDIA GeForce RTX 3090"`.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Threads per warp (32 on every NVIDIA part).
+    pub warp_size: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum threads per block accepted by a launch.
+    pub max_threads_per_block: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Shared memory per SM in bytes.
+    pub shared_mem_per_sm: u32,
+    /// Maximum shared memory per block in bytes.
+    pub shared_mem_per_block: u32,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u32,
+    /// FP32 cores ("CUDA cores") per SM.
+    pub cores_per_sm: u32,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Device (HBM/GDDR) bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// L2 cache size in bytes.
+    pub l2_bytes: u64,
+    /// Global memory capacity in bytes.
+    pub global_mem_bytes: u64,
+    /// Host→device PCIe bandwidth in GB/s (the paper measures 24.3 GB/s).
+    pub pcie_h2d_gbs: f64,
+    /// Device→host PCIe bandwidth in GB/s.
+    pub pcie_d2h_gbs: f64,
+    /// Fixed per-transfer latency in microseconds.
+    pub pcie_latency_us: f64,
+    /// Fixed kernel launch overhead in microseconds.
+    pub kernel_launch_us: f64,
+    /// Global-memory f32 atomic throughput in Gops/s (conflict-free).
+    pub atomic_gops: f64,
+    /// Per-resident-block scheduling overhead in microseconds; penalises
+    /// launches with an enormous grid.
+    pub block_sched_us: f64,
+    /// Resident threads needed to reach ~50% of peak memory bandwidth
+    /// (the latency-hiding knee of the bandwidth saturation curve).
+    pub latency_hiding_threads: f64,
+}
+
+impl DeviceSpec {
+    /// The paper's evaluation GPU (Table II): RTX 3090 — 82 SMs,
+    /// 10 496 CUDA cores, 1.4 GHz, 24 GB @ 936.2 GB/s, PCIe at 24.3 GB/s.
+    pub fn rtx3090() -> Self {
+        Self {
+            name: "NVIDIA GeForce RTX 3090",
+            num_sms: 82,
+            warp_size: 32,
+            max_threads_per_sm: 1536,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 16,
+            shared_mem_per_sm: 128 * 1024,
+            shared_mem_per_block: 100 * 1024,
+            registers_per_sm: 65536,
+            cores_per_sm: 128,
+            clock_ghz: 1.4,
+            mem_bandwidth_gbs: 936.2,
+            l2_bytes: 6 * 1024 * 1024,
+            global_mem_bytes: 24 * 1024 * 1024 * 1024,
+            pcie_h2d_gbs: 24.3,
+            pcie_d2h_gbs: 24.3,
+            pcie_latency_us: 10.0,
+            kernel_launch_us: 5.0,
+            atomic_gops: 100.0,
+            block_sched_us: 0.02,
+            latency_hiding_threads: 40_000.0,
+        }
+    }
+
+    /// A mid-range part (RTX 3060-class) for hardware-sensitivity tests:
+    /// fewer SMs, less bandwidth, smaller memory.
+    pub fn rtx3060() -> Self {
+        Self {
+            name: "NVIDIA GeForce RTX 3060",
+            num_sms: 28,
+            warp_size: 32,
+            max_threads_per_sm: 1536,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 16,
+            shared_mem_per_sm: 100 * 1024,
+            shared_mem_per_block: 100 * 1024,
+            registers_per_sm: 65536,
+            cores_per_sm: 128,
+            clock_ghz: 1.32,
+            mem_bandwidth_gbs: 360.0,
+            l2_bytes: 3 * 1024 * 1024,
+            global_mem_bytes: 12 * 1024 * 1024 * 1024,
+            pcie_h2d_gbs: 24.3,
+            pcie_d2h_gbs: 24.3,
+            pcie_latency_us: 10.0,
+            kernel_launch_us: 5.0,
+            atomic_gops: 50.0,
+            block_sched_us: 0.02,
+            latency_hiding_threads: 16_000.0,
+        }
+    }
+
+    /// A datacenter part (A100-class): more SMs, HBM2e, bigger caches.
+    pub fn a100() -> Self {
+        Self {
+            name: "NVIDIA A100-SXM4-40GB",
+            num_sms: 108,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_threads_per_block: 1024,
+            max_blocks_per_sm: 32,
+            shared_mem_per_sm: 164 * 1024,
+            shared_mem_per_block: 160 * 1024,
+            registers_per_sm: 65536,
+            cores_per_sm: 64,
+            clock_ghz: 1.41,
+            mem_bandwidth_gbs: 1555.0,
+            l2_bytes: 40 * 1024 * 1024,
+            global_mem_bytes: 40 * 1024 * 1024 * 1024,
+            pcie_h2d_gbs: 24.3,
+            pcie_d2h_gbs: 24.3,
+            pcie_latency_us: 10.0,
+            kernel_launch_us: 4.0,
+            atomic_gops: 150.0,
+            block_sched_us: 0.016,
+            latency_hiding_threads: 64_000.0,
+        }
+    }
+
+    /// Peak FP32 throughput in GFLOP/s (2 FLOPs per core per cycle, FMA).
+    pub fn peak_gflops(&self) -> f64 {
+        self.num_sms as f64 * self.cores_per_sm as f64 * self.clock_ghz * 2.0
+    }
+
+    /// Maximum resident threads across the whole device.
+    pub fn max_resident_threads(&self) -> u64 {
+        self.num_sms as u64 * self.max_threads_per_sm as u64
+    }
+}
+
+/// Parameters of the host CPU executing the non-offloaded work (hybrid
+/// execution, §IV's "parts with low parallelism to the CPU").
+#[derive(Clone, Debug, PartialEq)]
+pub struct HostSpec {
+    /// Marketing name, e.g. `"Intel Core i7-11700K"`.
+    pub name: &'static str,
+    /// Physical cores.
+    pub cores: u32,
+    /// Hardware threads.
+    pub threads: u32,
+    /// Sustained all-core clock in GHz.
+    pub clock_ghz: f64,
+    /// Memory bandwidth in GB/s (Table II: 31.2 GB/s).
+    pub mem_bandwidth_gbs: f64,
+    /// FP32 FLOPs per core per cycle (AVX2 FMA ≈ 16).
+    pub flops_per_cycle: f64,
+}
+
+impl HostSpec {
+    /// The paper's host CPU (Table II): i7-11700K, 8C16T @ 3.6 GHz,
+    /// 32 GB @ 31.2 GB/s.
+    pub fn i7_11700k() -> Self {
+        Self {
+            name: "Intel Core i7-11700K",
+            cores: 8,
+            threads: 16,
+            clock_ghz: 3.6,
+            mem_bandwidth_gbs: 31.2,
+            flops_per_cycle: 16.0,
+        }
+    }
+
+    /// Peak FP32 throughput in GFLOP/s.
+    pub fn peak_gflops(&self) -> f64 {
+        self.cores as f64 * self.clock_ghz * self.flops_per_cycle
+    }
+
+    /// Analytic duration (seconds) of a host task reading `bytes` and
+    /// executing `flops`, assuming 35% of peak compute and 70% of peak
+    /// bandwidth (typical for streaming sparse codes).
+    pub fn task_duration_s(&self, flops: u64, bytes: u64) -> f64 {
+        let t_compute = flops as f64 / (self.peak_gflops() * 1e9 * 0.35);
+        let t_mem = bytes as f64 / (self.mem_bandwidth_gbs * 1e9 * 0.7);
+        t_compute.max(t_mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtx3090_matches_table2() {
+        let d = DeviceSpec::rtx3090();
+        assert_eq!(d.num_sms, 82);
+        assert_eq!(d.num_sms * d.cores_per_sm, 10_496);
+        assert!((d.mem_bandwidth_gbs - 936.2).abs() < 1e-9);
+        assert_eq!(d.global_mem_bytes, 24 * (1u64 << 30));
+        assert!((d.pcie_h2d_gbs - 24.3).abs() < 1e-9);
+        // ~29.4 TFLOPs FP32
+        assert!((d.peak_gflops() - 29_388.8).abs() < 1.0);
+    }
+
+    #[test]
+    fn i7_matches_table2() {
+        let h = HostSpec::i7_11700k();
+        assert_eq!(h.cores, 8);
+        assert_eq!(h.threads, 16);
+        assert!((h.mem_bandwidth_gbs - 31.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn device_presets_are_ordered_by_capability() {
+        let small = DeviceSpec::rtx3060();
+        let big = DeviceSpec::rtx3090();
+        let dc = DeviceSpec::a100();
+        assert!(small.peak_gflops() < big.peak_gflops());
+        assert!(small.mem_bandwidth_gbs < big.mem_bandwidth_gbs);
+        assert!(big.mem_bandwidth_gbs < dc.mem_bandwidth_gbs);
+        assert!(small.max_resident_threads() < dc.max_resident_threads());
+    }
+
+    #[test]
+    fn host_task_duration_is_max_of_roofs() {
+        let h = HostSpec::i7_11700k();
+        // Pure compute task.
+        let tc = h.task_duration_s(1_000_000_000, 0);
+        // Pure memory task.
+        let tm = h.task_duration_s(0, 1_000_000_000);
+        let both = h.task_duration_s(1_000_000_000, 1_000_000_000);
+        assert!(both >= tc.max(tm) - 1e-12);
+        assert!(tc > 0.0 && tm > 0.0);
+    }
+}

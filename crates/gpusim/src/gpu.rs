@@ -1,0 +1,530 @@
+//! The simulated GPU: CUDA-like streams, events, async copies and kernel
+//! launches, resolved by a deterministic event-driven timeline simulation.
+//!
+//! Semantics mirror the CUDA runtime subset the paper uses (§IV-C):
+//!
+//! * operations enqueued on one stream execute in FIFO order;
+//! * the H2D copy engine, the D2H copy engine and the SM array are three
+//!   independent resources — ops on *different* streams overlap freely as
+//!   long as they need different engines (this is exactly what makes the
+//!   segmented pipeline hide transfer time);
+//! * each engine itself is exclusive and serves ops in submission order
+//!   (matching the hardware copy queues; concurrent kernels are not
+//!   modelled — the paper launches one MTTKRP kernel per segment, so
+//!   compute-engine exclusivity is the right fidelity);
+//! * events ([`Gpu::record_event`] / [`Gpu::wait_event`]) provide
+//!   cross-stream ordering.
+//!
+//! Operations may carry a closure that is *functionally executed* on the
+//! host when the simulation resolves (in submission order, which respects
+//! every dependency expressible through streams and events), so numeric
+//! results are real while the clock stays analytic.
+
+use crate::cost::{kernel_duration, KernelWorkload};
+use crate::device::{DeviceSpec, HostSpec};
+use crate::launch::LaunchConfig;
+use crate::memory::MemoryPool;
+use crate::timeline::{Engine, Span, SpanKind, Timeline};
+use std::collections::HashMap;
+
+/// Identifier of a stream created by [`Gpu::create_stream`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub u32);
+
+/// Identifier of an event created by [`Gpu::record_event`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+/// Identifier of an enqueued operation (submission order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OpId(u64);
+
+enum OpPayload {
+    Copy { bytes: u64, h2d: bool },
+    Kernel { config: LaunchConfig, workload: KernelWorkload },
+    HostTask { flops: u64, bytes: u64 },
+    EventRecord { event: EventId },
+}
+
+struct PendingOp {
+    id: u64,
+    stream: StreamId,
+    label: String,
+    payload: OpPayload,
+    waits: Vec<EventId>,
+    exec: Option<Box<dyn FnOnce() + Send>>,
+}
+
+/// The simulated GPU device and its host.
+pub struct Gpu {
+    spec: DeviceSpec,
+    host: HostSpec,
+    memory: MemoryPool,
+    num_streams: u32,
+    next_op: u64,
+    next_event: u64,
+    pending: Vec<PendingOp>,
+    pending_waits: HashMap<StreamId, Vec<EventId>>,
+    stream_ready: HashMap<StreamId, f64>,
+    engine_ready: HashMap<Engine, f64>,
+    event_time: HashMap<EventId, f64>,
+    history: Timeline,
+}
+
+impl Gpu {
+    /// Creates a GPU with the default host (i7-11700K, as in Table II).
+    pub fn new(spec: DeviceSpec) -> Self {
+        Self::with_host(spec, HostSpec::i7_11700k())
+    }
+
+    /// Creates a GPU paired with an explicit host model.
+    pub fn with_host(spec: DeviceSpec, host: HostSpec) -> Self {
+        let memory = MemoryPool::new(spec.global_mem_bytes);
+        Self {
+            spec,
+            host,
+            memory,
+            num_streams: 0,
+            next_op: 0,
+            next_event: 0,
+            pending: Vec::new(),
+            pending_waits: HashMap::new(),
+            stream_ready: HashMap::new(),
+            engine_ready: HashMap::new(),
+            event_time: HashMap::new(),
+            history: Timeline::default(),
+        }
+    }
+
+    /// The device model.
+    pub fn spec(&self) -> &DeviceSpec {
+        &self.spec
+    }
+
+    /// The host model.
+    pub fn host_spec(&self) -> &HostSpec {
+        &self.host
+    }
+
+    /// The device memory pool (allocate segment buffers against it).
+    pub fn memory(&self) -> &MemoryPool {
+        &self.memory
+    }
+
+    /// Creates a new stream.
+    pub fn create_stream(&mut self) -> StreamId {
+        let id = StreamId(self.num_streams);
+        self.num_streams += 1;
+        id
+    }
+
+    fn enqueue(
+        &mut self,
+        stream: StreamId,
+        label: impl Into<String>,
+        payload: OpPayload,
+        exec: Option<Box<dyn FnOnce() + Send>>,
+    ) -> OpId {
+        assert!(stream.0 < self.num_streams, "unknown stream {stream:?}");
+        let id = self.next_op;
+        self.next_op += 1;
+        let waits = self.pending_waits.remove(&stream).unwrap_or_default();
+        self.pending.push(PendingOp { id, stream, label: label.into(), payload, waits, exec });
+        OpId(id)
+    }
+
+    /// Enqueues an asynchronous host→device copy of `bytes`.
+    pub fn h2d(&mut self, stream: StreamId, bytes: u64, label: impl Into<String>) -> OpId {
+        self.enqueue(stream, label, OpPayload::Copy { bytes, h2d: true }, None)
+    }
+
+    /// Enqueues an H2D copy that also runs `f` when it resolves (e.g. to
+    /// stage data into a device-side mirror buffer).
+    pub fn h2d_exec(
+        &mut self,
+        stream: StreamId,
+        bytes: u64,
+        label: impl Into<String>,
+        f: impl FnOnce() + Send + 'static,
+    ) -> OpId {
+        self.enqueue(stream, label, OpPayload::Copy { bytes, h2d: true }, Some(Box::new(f)))
+    }
+
+    /// Enqueues an asynchronous device→host copy of `bytes`.
+    pub fn d2h(&mut self, stream: StreamId, bytes: u64, label: impl Into<String>) -> OpId {
+        self.enqueue(stream, label, OpPayload::Copy { bytes, h2d: false }, None)
+    }
+
+    /// Enqueues a D2H copy with an execution closure.
+    pub fn d2h_exec(
+        &mut self,
+        stream: StreamId,
+        bytes: u64,
+        label: impl Into<String>,
+        f: impl FnOnce() + Send + 'static,
+    ) -> OpId {
+        self.enqueue(stream, label, OpPayload::Copy { bytes, h2d: false }, Some(Box::new(f)))
+    }
+
+    /// Enqueues a kernel launch with the given configuration and workload.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid for this device.
+    pub fn launch(
+        &mut self,
+        stream: StreamId,
+        config: LaunchConfig,
+        workload: KernelWorkload,
+        label: impl Into<String>,
+    ) -> OpId {
+        config
+            .validate(&self.spec)
+            .unwrap_or_else(|e| panic!("invalid launch {config}: {e}"));
+        self.enqueue(stream, label, OpPayload::Kernel { config, workload }, None)
+    }
+
+    /// Enqueues a kernel launch whose body `f` is functionally executed when
+    /// the simulation resolves (the numeric MTTKRP work).
+    pub fn launch_exec(
+        &mut self,
+        stream: StreamId,
+        config: LaunchConfig,
+        workload: KernelWorkload,
+        label: impl Into<String>,
+        f: impl FnOnce() + Send + 'static,
+    ) -> OpId {
+        config
+            .validate(&self.spec)
+            .unwrap_or_else(|e| panic!("invalid launch {config}: {e}"));
+        self.enqueue(stream, label, OpPayload::Kernel { config, workload }, Some(Box::new(f)))
+    }
+
+    /// Enqueues a host-CPU task (hybrid execution) ordered within `stream`.
+    pub fn host_task(
+        &mut self,
+        stream: StreamId,
+        flops: u64,
+        bytes: u64,
+        label: impl Into<String>,
+        f: impl FnOnce() + Send + 'static,
+    ) -> OpId {
+        self.enqueue(stream, label, OpPayload::HostTask { flops, bytes }, Some(Box::new(f)))
+    }
+
+    /// Records an event on `stream`: it completes when every op enqueued on
+    /// `stream` so far has completed.
+    pub fn record_event(&mut self, stream: StreamId) -> EventId {
+        let event = EventId(self.next_event);
+        self.next_event += 1;
+        self.enqueue(stream, "event", OpPayload::EventRecord { event }, None);
+        event
+    }
+
+    /// Makes every op enqueued on `stream` *after* this call wait for
+    /// `event` (which must have been recorded already).
+    ///
+    /// # Panics
+    /// Panics if the event has not been recorded.
+    pub fn wait_event(&mut self, stream: StreamId, event: EventId) {
+        assert!(event.0 < self.next_event, "event {event:?} was never recorded");
+        self.pending_waits.entry(stream).or_default().push(event);
+    }
+
+    fn op_duration(&self, payload: &OpPayload) -> f64 {
+        match payload {
+            OpPayload::Copy { bytes, h2d } => {
+                let bw = if *h2d { self.spec.pcie_h2d_gbs } else { self.spec.pcie_d2h_gbs };
+                self.spec.pcie_latency_us * 1e-6 + *bytes as f64 / (bw * 1e9)
+            }
+            OpPayload::Kernel { config, workload } => {
+                let t = kernel_duration(&self.spec, config, workload).total;
+                assert!(t.is_finite(), "unschedulable kernel launch {config}");
+                t
+            }
+            OpPayload::HostTask { flops, bytes } => self.host.task_duration_s(*flops, *bytes),
+            OpPayload::EventRecord { .. } => 0.0,
+        }
+    }
+
+    /// Resolves every pending operation: computes the simulated schedule,
+    /// runs the execution closures (submission order — consistent with all
+    /// stream/event dependencies), appends the spans to the history and
+    /// returns the timeline of *this batch*.
+    pub fn synchronize(&mut self) -> Timeline {
+        let mut batch = Timeline::default();
+        let pending = std::mem::take(&mut self.pending);
+        for op in pending {
+            let duration = self.op_duration(&op.payload);
+            let stream_ready = self.stream_ready.get(&op.stream).copied().unwrap_or(0.0);
+            let waits: f64 = op
+                .waits
+                .iter()
+                .map(|e| {
+                    *self
+                        .event_time
+                        .get(e)
+                        .unwrap_or_else(|| panic!("wait on unresolved event {e:?}"))
+                })
+                .fold(0.0, f64::max);
+
+            let (engine, kind) = match &op.payload {
+                OpPayload::Copy { h2d: true, .. } => (Some(Engine::H2D), SpanKind::CopyH2D),
+                OpPayload::Copy { h2d: false, .. } => (Some(Engine::D2H), SpanKind::CopyD2H),
+                OpPayload::Kernel { .. } => (Some(Engine::Compute), SpanKind::Kernel),
+                OpPayload::HostTask { .. } => (Some(Engine::Host), SpanKind::HostTask),
+                OpPayload::EventRecord { .. } => (None, SpanKind::Kernel),
+            };
+
+            let engine_ready = engine
+                .and_then(|e| self.engine_ready.get(&e).copied())
+                .unwrap_or(0.0);
+            let start = stream_ready.max(engine_ready).max(waits);
+            let end = start + duration;
+
+            self.stream_ready.insert(op.stream, end);
+            if let Some(e) = engine {
+                self.engine_ready.insert(e, end);
+                let span = Span {
+                    op: op.id,
+                    stream: op.stream.0,
+                    engine: e,
+                    kind,
+                    label: op.label,
+                    start,
+                    end,
+                };
+                batch.spans.push(span.clone());
+                self.history.spans.push(span);
+            }
+            if let OpPayload::EventRecord { event } = op.payload {
+                self.event_time.insert(event, end);
+            }
+            if let Some(f) = op.exec {
+                f();
+            }
+        }
+        batch
+    }
+
+    /// The accumulated timeline across all synchronizations.
+    pub fn full_timeline(&self) -> &Timeline {
+        &self.history
+    }
+
+    /// Current simulated time (max readiness over streams and engines).
+    pub fn elapsed(&self) -> f64 {
+        self.history.makespan()
+    }
+
+    /// Clears the simulated clock and history while keeping streams and
+    /// memory accounting (start a fresh experiment on a warm device).
+    pub fn reset_clock(&mut self) {
+        assert!(self.pending.is_empty(), "cannot reset with pending operations");
+        self.stream_ready.clear();
+        self.engine_ready.clear();
+        self.event_time.clear();
+        self.pending_waits.clear();
+        self.history = Timeline::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn gpu() -> Gpu {
+        Gpu::new(DeviceSpec::rtx3090())
+    }
+
+    fn small_kernel(items: u64) -> KernelWorkload {
+        let mut w = KernelWorkload::empty();
+        w.work_items = items;
+        w.flops = items * 48;
+        w.bytes_read = items * 100;
+        w.item_cycles = 100.0;
+        w
+    }
+
+    #[test]
+    fn copy_duration_matches_bandwidth() {
+        let mut g = gpu();
+        let s = g.create_stream();
+        g.h2d(s, 243_000_000, "h2d"); // 243 MB at 24.3 GB/s = 10 ms
+        let t = g.synchronize();
+        let span = &t.spans[0];
+        assert!((span.duration() - (0.010 + 10e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn same_stream_is_fifo() {
+        let mut g = gpu();
+        let s = g.create_stream();
+        g.h2d(s, 1_000_000, "a");
+        g.launch(s, LaunchConfig::new(256, 256), small_kernel(100_000), "k");
+        g.d2h(s, 1_000_000, "b");
+        let t = g.synchronize();
+        assert!(t.validate().is_ok());
+        for w in t.spans.windows(2) {
+            assert!(w[1].start >= w[0].end - 1e-15, "FIFO violated");
+        }
+    }
+
+    #[test]
+    fn different_streams_overlap_on_different_engines() {
+        let mut g = gpu();
+        let s0 = g.create_stream();
+        let s1 = g.create_stream();
+        // Big copy on s0 and a kernel on s1: they should overlap fully.
+        g.h2d(s0, 100_000_000, "copy");
+        g.launch(s1, LaunchConfig::new(4096, 256), small_kernel(10_000_000), "k");
+        let t = g.synchronize();
+        let copy = &t.spans[0];
+        let kernel = &t.spans[1];
+        assert_eq!(copy.start, 0.0);
+        assert_eq!(kernel.start, 0.0, "independent engines must start together");
+        assert!(t.overlap_ratio() > 0.0);
+    }
+
+    #[test]
+    fn same_engine_serializes_across_streams() {
+        let mut g = gpu();
+        let s0 = g.create_stream();
+        let s1 = g.create_stream();
+        g.h2d(s0, 50_000_000, "c0");
+        g.h2d(s1, 50_000_000, "c1");
+        let t = g.synchronize();
+        assert!(t.spans[1].start >= t.spans[0].end - 1e-15, "one H2D engine only");
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        let mut g = gpu();
+        let s0 = g.create_stream();
+        let s1 = g.create_stream();
+        g.h2d(s0, 100_000_000, "copy");
+        let ev = g.record_event(s0);
+        g.wait_event(s1, ev);
+        g.launch(s1, LaunchConfig::new(256, 256), small_kernel(1_000), "k");
+        let t = g.synchronize();
+        let copy_end = t.spans[0].end;
+        let kernel = t.spans.iter().find(|s| s.kind == SpanKind::Kernel).unwrap();
+        assert!(kernel.start >= copy_end - 1e-15, "kernel must wait for the event");
+    }
+
+    #[test]
+    #[should_panic(expected = "never recorded")]
+    fn waiting_on_unrecorded_event_panics() {
+        let mut g = gpu();
+        let s = g.create_stream();
+        g.wait_event(s, EventId(42));
+    }
+
+    #[test]
+    fn closures_execute_in_dependency_order() {
+        let mut g = gpu();
+        let s0 = g.create_stream();
+        let s1 = g.create_stream();
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+
+        let l = Arc::clone(&log);
+        g.h2d_exec(s0, 1000, "copy", move || l.lock().push("h2d"));
+        let ev = g.record_event(s0);
+        g.wait_event(s1, ev);
+        let l = Arc::clone(&log);
+        g.launch_exec(s1, LaunchConfig::new(32, 32), small_kernel(10), "k", move || {
+            l.lock().push("kernel")
+        });
+        g.synchronize();
+        assert_eq!(*log.lock(), vec!["h2d", "kernel"]);
+    }
+
+    #[test]
+    fn host_tasks_run_on_their_own_engine() {
+        let mut g = gpu();
+        let s0 = g.create_stream();
+        let s1 = g.create_stream();
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        g.host_task(s0, 1_000_000, 1_000_000, "cpu", move || {
+            c.fetch_add(1, Ordering::SeqCst);
+        });
+        g.launch(s1, LaunchConfig::new(256, 256), small_kernel(1_000_000), "k");
+        let t = g.synchronize();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+        let host = t.spans.iter().find(|s| s.engine == Engine::Host).unwrap();
+        let kern = t.spans.iter().find(|s| s.engine == Engine::Compute).unwrap();
+        assert_eq!(host.start, 0.0);
+        assert_eq!(kern.start, 0.0, "host and device work overlap");
+    }
+
+    #[test]
+    fn synchronize_batches_accumulate_history() {
+        let mut g = gpu();
+        let s = g.create_stream();
+        g.h2d(s, 1_000_000, "a");
+        let t1 = g.synchronize();
+        g.h2d(s, 1_000_000, "b");
+        let t2 = g.synchronize();
+        assert_eq!(t1.spans.len(), 1);
+        assert_eq!(t2.spans.len(), 1);
+        assert_eq!(g.full_timeline().spans.len(), 2);
+        // Second batch continues after the first on the same clock.
+        assert!(t2.spans[0].start >= t1.spans[0].end - 1e-15);
+        g.reset_clock();
+        assert_eq!(g.full_timeline().spans.len(), 0);
+        assert_eq!(g.elapsed(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_schedules() {
+        let run = || {
+            let mut g = gpu();
+            let streams: Vec<StreamId> = (0..4).map(|_| g.create_stream()).collect();
+            for (i, &s) in streams.iter().enumerate() {
+                g.h2d(s, 10_000_000 + i as u64 * 1000, format!("c{i}"));
+                g.launch(
+                    s,
+                    LaunchConfig::new(1024, 256),
+                    small_kernel(1_000_000),
+                    format!("k{i}"),
+                );
+                g.d2h(s, 1_000_000, format!("d{i}"));
+            }
+            g.synchronize()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn pipelined_segments_beat_serial_execution() {
+        // The §IV-C claim in miniature: 4 segments on 4 streams vs one
+        // stream. Total work identical; pipelining must shrink makespan.
+        let bytes = 100_000_000u64;
+        let work = small_kernel(10_000_000);
+        let cfg = LaunchConfig::new(4096, 256);
+
+        let mut serial = gpu();
+        let s = serial.create_stream();
+        for i in 0..4 {
+            serial.h2d(s, bytes / 4, format!("c{i}"));
+            serial.launch(s, cfg, work, format!("k{i}"));
+        }
+        let t_serial = serial.synchronize().makespan();
+
+        let mut piped = gpu();
+        let streams: Vec<StreamId> = (0..4).map(|_| piped.create_stream()).collect();
+        for (i, &st) in streams.iter().enumerate() {
+            piped.h2d(st, bytes / 4, format!("c{i}"));
+            piped.launch(st, cfg, work, format!("k{i}"));
+        }
+        let t_piped = piped.synchronize().makespan();
+
+        assert!(
+            t_piped < t_serial * 0.95,
+            "pipelining should overlap: {t_piped} vs {t_serial}"
+        );
+    }
+}

@@ -1,0 +1,168 @@
+//! Kernel launch configurations — the `gridSize` × `blockSize` space that
+//! the adaptive launching strategy (§IV-B) searches.
+
+use crate::DeviceSpec;
+
+/// A kernel launch configuration.
+///
+/// Matches the paper's terminology: `grid` is the number of thread blocks
+/// in the grid and `block` the threads per block; `shared_mem_per_block`
+/// is the dynamic shared-memory request of the tiled kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LaunchConfig {
+    /// Number of thread blocks (`gridSize`).
+    pub grid: u32,
+    /// Threads per block (`blockSize`).
+    pub block: u32,
+    /// Dynamic shared memory per block, in bytes.
+    pub shared_mem_per_block: u32,
+}
+
+impl LaunchConfig {
+    /// Creates a configuration with no dynamic shared memory.
+    pub fn new(grid: u32, block: u32) -> Self {
+        Self { grid, block, shared_mem_per_block: 0 }
+    }
+
+    /// Creates a configuration with a dynamic shared-memory request.
+    pub fn with_shared(grid: u32, block: u32, shared_mem_per_block: u32) -> Self {
+        Self { grid, block, shared_mem_per_block }
+    }
+
+    /// Total threads in the grid.
+    pub fn total_threads(&self) -> u64 {
+        self.grid as u64 * self.block as u64
+    }
+
+    /// Validates against device limits, returning a description of the
+    /// first violated constraint.
+    pub fn validate(&self, device: &DeviceSpec) -> Result<(), String> {
+        if self.grid == 0 {
+            return Err("gridSize must be positive".into());
+        }
+        if self.block == 0 {
+            return Err("blockSize must be positive".into());
+        }
+        if self.block > device.max_threads_per_block {
+            return Err(format!(
+                "blockSize {} exceeds device limit {}",
+                self.block, device.max_threads_per_block
+            ));
+        }
+        if self.block % device.warp_size != 0 {
+            return Err(format!(
+                "blockSize {} is not a multiple of the warp size {}",
+                self.block, device.warp_size
+            ));
+        }
+        if self.shared_mem_per_block > device.shared_mem_per_block {
+            return Err(format!(
+                "shared memory request {} exceeds per-block limit {}",
+                self.shared_mem_per_block, device.shared_mem_per_block
+            ));
+        }
+        Ok(())
+    }
+
+    /// The ParTI-style default heuristic: 256 threads per block, one thread
+    /// per non-zero, grid capped at `2^16` blocks (entries then loop).
+    pub fn parti_default(nnz: usize) -> Self {
+        let block = 256u32;
+        let grid = (nnz as u64).div_ceil(block as u64).clamp(1, 1 << 16) as u32;
+        Self::new(grid, block)
+    }
+
+    /// The sweep space of Fig. 4: `blockSize ∈ {32, 64, …, 1024}` ×
+    /// `gridSize ∈ {32, 64, …, 2^17}` (powers of two), all validated
+    /// against `device`.
+    pub fn sweep_space(device: &DeviceSpec) -> Vec<LaunchConfig> {
+        let mut out = Vec::new();
+        let mut block = device.warp_size;
+        while block <= device.max_threads_per_block {
+            let mut grid = 32u32;
+            while grid <= (1 << 17) {
+                let cfg = LaunchConfig::new(grid, block);
+                if cfg.validate(device).is_ok() {
+                    out.push(cfg);
+                }
+                grid *= 2;
+            }
+            block *= 2;
+        }
+        out
+    }
+
+    /// A coarser sweep (every other power of two) for fast training loops.
+    pub fn coarse_sweep_space(device: &DeviceSpec) -> Vec<LaunchConfig> {
+        Self::sweep_space(device)
+            .into_iter()
+            .filter(|c| c.grid.trailing_zeros() % 2 == 1 || c.grid == 32)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for LaunchConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "<<<{}, {}, {}B>>>", self.grid, self.block, self.shared_mem_per_block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_reasonable_config() {
+        let d = DeviceSpec::rtx3090();
+        assert!(LaunchConfig::new(1024, 256).validate(&d).is_ok());
+        assert!(LaunchConfig::with_shared(64, 128, 48 * 1024).validate(&d).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let d = DeviceSpec::rtx3090();
+        assert!(LaunchConfig::new(0, 256).validate(&d).is_err());
+        assert!(LaunchConfig::new(16, 0).validate(&d).is_err());
+        assert!(LaunchConfig::new(16, 2048).validate(&d).is_err());
+        assert!(LaunchConfig::new(16, 100).validate(&d).is_err(), "non-warp-multiple");
+        assert!(LaunchConfig::with_shared(16, 128, 101 * 1024).validate(&d).is_err());
+    }
+
+    #[test]
+    fn parti_default_covers_nnz() {
+        let c = LaunchConfig::parti_default(100_000);
+        assert_eq!(c.block, 256);
+        assert!(c.total_threads() >= 100_000);
+        // Tiny tensor: at least one block.
+        assert_eq!(LaunchConfig::parti_default(1).grid, 1);
+        // Huge tensor: capped grid.
+        assert_eq!(LaunchConfig::parti_default(1 << 30).grid, 1 << 16);
+    }
+
+    #[test]
+    fn sweep_space_is_valid_and_covers_both_axes() {
+        let d = DeviceSpec::rtx3090();
+        let space = LaunchConfig::sweep_space(&d);
+        assert!(space.len() > 40, "expected a rich sweep, got {}", space.len());
+        assert!(space.iter().all(|c| c.validate(&d).is_ok()));
+        let blocks: std::collections::HashSet<u32> = space.iter().map(|c| c.block).collect();
+        assert!(blocks.contains(&32) && blocks.contains(&1024));
+        let grids: std::collections::HashSet<u32> = space.iter().map(|c| c.grid).collect();
+        assert!(grids.contains(&32) && grids.contains(&(1 << 17)));
+    }
+
+    #[test]
+    fn coarse_sweep_is_a_subset() {
+        let d = DeviceSpec::rtx3090();
+        let full: std::collections::HashSet<_> = LaunchConfig::sweep_space(&d).into_iter().collect();
+        let coarse = LaunchConfig::coarse_sweep_space(&d);
+        assert!(coarse.len() < full.len());
+        assert!(coarse.iter().all(|c| full.contains(c)));
+    }
+
+    #[test]
+    fn display_formats_like_cuda() {
+        let c = LaunchConfig::with_shared(8, 256, 1024);
+        assert_eq!(format!("{c}"), "<<<8, 256, 1024B>>>");
+    }
+}

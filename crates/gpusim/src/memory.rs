@@ -1,0 +1,182 @@
+//! Device memory accounting.
+//!
+//! The pipeline of §IV-C must "reasonably allocate storage space …
+//! according to the performance and storage capacity of the GPU", so the
+//! simulator tracks allocations against the device capacity and fails a
+//! request that would not fit — which is what forces large tensors to be
+//! segmented in the first place.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Error returned when an allocation exceeds the remaining capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes currently free.
+    pub available: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "device out of memory: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// A live device allocation. Freed via [`MemoryPool::free`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct Allocation {
+    id: u64,
+    bytes: u64,
+}
+
+impl Allocation {
+    /// Size of the allocation in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+/// A capacity-tracked device memory pool.
+///
+/// Thread-safe: allocations may be requested from kernel closures running
+/// on the rayon pool.
+#[derive(Debug)]
+pub struct MemoryPool {
+    capacity: u64,
+    used: AtomicU64,
+    next_id: AtomicU64,
+    peak: AtomicU64,
+}
+
+impl MemoryPool {
+    /// Creates a pool with the given byte capacity.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            used: AtomicU64::new(0),
+            next_id: AtomicU64::new(1),
+            peak: AtomicU64::new(0),
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently free.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// High-water mark of allocated bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Allocates `bytes`, failing if the pool cannot hold them.
+    pub fn alloc(&self, bytes: u64) -> Result<Allocation, OutOfMemory> {
+        let mut current = self.used.load(Ordering::Relaxed);
+        loop {
+            let new = current + bytes;
+            if new > self.capacity {
+                return Err(OutOfMemory { requested: bytes, available: self.capacity - current });
+            }
+            match self.used.compare_exchange_weak(
+                current,
+                new,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(new, Ordering::Relaxed);
+                    let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Allocation { id, bytes });
+                }
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    /// Releases an allocation back to the pool.
+    pub fn free(&self, alloc: Allocation) {
+        let _ = alloc.id;
+        self.used.fetch_sub(alloc.bytes, Ordering::AcqRel);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_free_round_trip() {
+        let pool = MemoryPool::new(1000);
+        let a = pool.alloc(400).unwrap();
+        assert_eq!(pool.used(), 400);
+        assert_eq!(pool.available(), 600);
+        let b = pool.alloc(600).unwrap();
+        assert_eq!(pool.available(), 0);
+        pool.free(a);
+        assert_eq!(pool.available(), 400);
+        pool.free(b);
+        assert_eq!(pool.used(), 0);
+        assert_eq!(pool.peak(), 1000);
+    }
+
+    #[test]
+    fn over_allocation_fails_with_details() {
+        let pool = MemoryPool::new(100);
+        let _a = pool.alloc(80).unwrap();
+        let err = pool.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.available, 20);
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn zero_byte_allocations_are_fine() {
+        let pool = MemoryPool::new(10);
+        let a = pool.alloc(0).unwrap();
+        assert_eq!(pool.used(), 0);
+        pool.free(a);
+    }
+
+    #[test]
+    fn concurrent_allocations_never_exceed_capacity() {
+        use std::sync::Arc;
+        let pool = Arc::new(MemoryPool::new(10_000));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let p = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                let mut allocs = Vec::new();
+                for _ in 0..100 {
+                    if let Ok(a) = p.alloc(37) {
+                        allocs.push(a);
+                    }
+                }
+                for a in allocs {
+                    p.free(a);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(pool.used(), 0);
+        assert!(pool.peak() <= 10_000);
+    }
+}

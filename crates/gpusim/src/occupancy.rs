@@ -1,0 +1,197 @@
+//! SM occupancy calculation.
+//!
+//! Occupancy — how many blocks/threads of a launch are resident on each SM
+//! — is the mechanism behind the paper's observation that "when gridSize
+//! and blockSize reach a certain value, the performance decreases": blocks
+//! that are too large quantise badly against the per-SM thread limit, and
+//! shared-memory-hungry blocks limit residency. This module mirrors the
+//! CUDA occupancy calculator rules for threads, blocks, shared memory and
+//! registers.
+
+use crate::{DeviceSpec, LaunchConfig};
+
+/// What limited the occupancy of a launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Limiter {
+    /// Resident-thread limit per SM.
+    Threads,
+    /// Resident-block limit per SM.
+    Blocks,
+    /// Shared-memory capacity per SM.
+    SharedMem,
+    /// Register file capacity per SM.
+    Registers,
+    /// The grid is too small to fill the device.
+    GridSize,
+}
+
+/// Result of the occupancy computation for one launch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident per SM (hardware limit, ignoring grid size).
+    pub blocks_per_sm: u32,
+    /// Threads resident per SM.
+    pub active_threads_per_sm: u32,
+    /// `active_threads_per_sm / max_threads_per_sm`.
+    pub ratio: f64,
+    /// The binding constraint.
+    pub limiter: Limiter,
+    /// Number of full waves the grid needs
+    /// (`ceil(grid / (blocks_per_sm * num_sms))`).
+    pub waves: u32,
+    /// Threads actually resident across the device considering the grid
+    /// size (last wave may be partial).
+    pub resident_threads: u64,
+}
+
+/// Computes the occupancy of `config` on `device` assuming
+/// `regs_per_thread` registers per thread.
+///
+/// # Panics
+/// Panics if the configuration fails [`LaunchConfig::validate`].
+pub fn occupancy(device: &DeviceSpec, config: &LaunchConfig, regs_per_thread: u32) -> Occupancy {
+    config
+        .validate(device)
+        .unwrap_or_else(|e| panic!("invalid launch configuration {config}: {e}"));
+
+    let by_threads = device.max_threads_per_sm / config.block;
+    let by_blocks = device.max_blocks_per_sm;
+    let by_smem = if config.shared_mem_per_block == 0 {
+        u32::MAX
+    } else {
+        device.shared_mem_per_sm / config.shared_mem_per_block
+    };
+    let regs_per_block = regs_per_thread.max(1) * config.block;
+    let by_regs = device.registers_per_sm / regs_per_block.max(1);
+
+    let mut blocks_per_sm = by_threads.min(by_blocks).min(by_smem).min(by_regs);
+    let mut limiter = if blocks_per_sm == by_threads {
+        Limiter::Threads
+    } else if blocks_per_sm == by_smem {
+        Limiter::SharedMem
+    } else if blocks_per_sm == by_regs {
+        Limiter::Registers
+    } else {
+        Limiter::Blocks
+    };
+    // A launch whose block cannot fit even once is rejected by hardware; we
+    // clamp to zero residency and mark the limiter.
+    if blocks_per_sm == 0 {
+        return Occupancy {
+            blocks_per_sm: 0,
+            active_threads_per_sm: 0,
+            ratio: 0.0,
+            limiter,
+            waves: u32::MAX,
+            resident_threads: 0,
+        };
+    }
+
+    // The grid may be too small to reach the hardware residency.
+    let hw_blocks_device = blocks_per_sm as u64 * device.num_sms as u64;
+    if (config.grid as u64) < hw_blocks_device {
+        limiter = Limiter::GridSize;
+        // Residency per SM is still the hardware figure, but the device is
+        // under-filled; reflect that in resident_threads below.
+    }
+    blocks_per_sm = blocks_per_sm.min(config.grid.max(1));
+
+    let active = blocks_per_sm * config.block;
+    let waves = (config.grid as u64).div_ceil(hw_blocks_device).max(1) as u32;
+    let resident = (config.grid as u64).min(hw_blocks_device) * config.block as u64;
+
+    Occupancy {
+        blocks_per_sm,
+        active_threads_per_sm: active,
+        ratio: active as f64 / device.max_threads_per_sm as f64,
+        limiter,
+        waves,
+        resident_threads: resident,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> DeviceSpec {
+        DeviceSpec::rtx3090()
+    }
+
+    #[test]
+    fn block_256_is_thread_limited_at_full_occupancy() {
+        // 1536 / 256 = 6 blocks per SM, 1536 active threads -> ratio 1.0.
+        let o = occupancy(&dev(), &LaunchConfig::new(1 << 16, 256), 32);
+        assert_eq!(o.blocks_per_sm, 6);
+        assert_eq!(o.active_threads_per_sm, 1536);
+        assert!((o.ratio - 1.0).abs() < 1e-12);
+        assert_eq!(o.limiter, Limiter::Threads);
+    }
+
+    #[test]
+    fn block_1024_quantizes_badly() {
+        // 1536 / 1024 = 1 block per SM -> only 1024 of 1536 threads: 66%.
+        let o = occupancy(&dev(), &LaunchConfig::new(1 << 16, 1024), 32);
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.active_threads_per_sm, 1024);
+        assert!(o.ratio < 0.7);
+    }
+
+    #[test]
+    fn shared_memory_limits_residency() {
+        // 48 KB per block on a 128 KB SM -> 2 blocks; with block=128 that is
+        // 256 threads of 1536.
+        let o = occupancy(&dev(), &LaunchConfig::with_shared(1 << 16, 128, 48 * 1024), 32);
+        assert_eq!(o.blocks_per_sm, 2);
+        assert_eq!(o.limiter, Limiter::SharedMem);
+        assert!(o.ratio < 0.2);
+    }
+
+    #[test]
+    fn registers_limit_residency() {
+        // 128 regs/thread * 512 threads = 65536 regs = whole file -> 1 block.
+        let o = occupancy(&dev(), &LaunchConfig::new(1 << 16, 512), 128);
+        assert_eq!(o.blocks_per_sm, 1);
+        assert_eq!(o.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn small_grid_underfills_device() {
+        let o = occupancy(&dev(), &LaunchConfig::new(32, 256), 32);
+        assert_eq!(o.limiter, Limiter::GridSize);
+        assert_eq!(o.resident_threads, 32 * 256);
+        assert_eq!(o.waves, 1);
+    }
+
+    #[test]
+    fn waves_scale_with_grid() {
+        // 6 blocks/SM * 82 SMs = 492 concurrent blocks.
+        let o1 = occupancy(&dev(), &LaunchConfig::new(492, 256), 32);
+        assert_eq!(o1.waves, 1);
+        let o2 = occupancy(&dev(), &LaunchConfig::new(493, 256), 32);
+        assert_eq!(o2.waves, 2);
+        let o10 = occupancy(&dev(), &LaunchConfig::new(4920, 256), 32);
+        assert_eq!(o10.waves, 10);
+    }
+
+    #[test]
+    fn resident_threads_cap_at_hardware() {
+        let o = occupancy(&dev(), &LaunchConfig::new(1 << 17, 256), 32);
+        assert_eq!(o.resident_threads, dev().max_resident_threads());
+    }
+
+    #[test]
+    fn block_resident_limit_applies_to_tiny_blocks() {
+        // block=32: thread limit allows 48 blocks, but max_blocks_per_sm=16.
+        let o = occupancy(&dev(), &LaunchConfig::new(1 << 16, 32), 32);
+        assert_eq!(o.blocks_per_sm, 16);
+        assert_eq!(o.limiter, Limiter::Blocks);
+        assert_eq!(o.active_threads_per_sm, 512);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid launch configuration")]
+    fn invalid_config_panics() {
+        let _ = occupancy(&dev(), &LaunchConfig::new(0, 256), 32);
+    }
+}

@@ -1,0 +1,62 @@
+//! The MTTKRP backend abstraction.
+//!
+//! CPD-ALS (and the examples/benchmarks) only need "give me the MTTKRP of
+//! this tensor for this mode"; *how* it is produced — CPU reference, the
+//! ParTI baseline on the simulated GPU, or the full ScalFrag pipeline — is
+//! a backend. The GPU-backed implementations live in `scalfrag-core`.
+
+use crate::factors::FactorSet;
+use crate::reference;
+use scalfrag_linalg::Mat;
+use scalfrag_tensor::CooTensor;
+
+/// Anything that can compute a mode-`n` MTTKRP.
+pub trait MttkrpBackend {
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes `M = X₍ₙ₎ (⊙_{m≠n} A⁽ᵐ⁾)` — Equation (4).
+    fn mttkrp(&mut self, tensor: &CooTensor, factors: &FactorSet, mode: usize) -> Mat;
+}
+
+/// Sequential CPU reference backend.
+pub struct CpuSequentialBackend;
+
+impl MttkrpBackend for CpuSequentialBackend {
+    fn name(&self) -> &'static str {
+        "cpu-seq"
+    }
+
+    fn mttkrp(&mut self, tensor: &CooTensor, factors: &FactorSet, mode: usize) -> Mat {
+        reference::mttkrp_seq(tensor, factors, mode)
+    }
+}
+
+/// Rayon-parallel CPU backend.
+pub struct CpuParallelBackend;
+
+impl MttkrpBackend for CpuParallelBackend {
+    fn name(&self) -> &'static str {
+        "cpu-par"
+    }
+
+    fn mttkrp(&mut self, tensor: &CooTensor, factors: &FactorSet, mode: usize) -> Mat {
+        reference::mttkrp_par(tensor, factors, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backends_agree() {
+        let t = CooTensor::random_uniform(&[20, 15, 10], 500, 1);
+        let f = FactorSet::random(&[20, 15, 10], 8, 2);
+        let a = CpuSequentialBackend.mttkrp(&t, &f, 1);
+        let b = CpuParallelBackend.mttkrp(&t, &f, 1);
+        assert!(a.max_abs_diff(&b) < 1e-3);
+        assert_eq!(CpuSequentialBackend.name(), "cpu-seq");
+        assert_eq!(CpuParallelBackend.name(), "cpu-par");
+    }
+}

@@ -1,0 +1,283 @@
+//! A BCSF-style load-balanced kernel (Nisa et al., IPDPS'19 — cited in
+//! §II-D as the CSF variant that "mainly optimize[s] the load imbalance
+//! issue of CSF format").
+//!
+//! The plain CSF fiber-parallel kernel assigns one worker per slice, so a
+//! Zipf-headed tensor serialises on its heaviest slice. BCSF splits the
+//! slices by population:
+//!
+//! * **heavy slices** (population ≥ threshold) are processed
+//!   *entry-parallel* with atomic accumulation into their row — many
+//!   workers cooperate on one output row;
+//! * **light slices** keep the one-worker-per-slice scheme with plain
+//!   writes.
+//!
+//! Functionally both halves land in the same output buffer; the cost
+//! model reflects the balance repair through `work_items` (heavy entries
+//! spread across workers) and a shortened per-worker serial chain.
+
+use crate::atomic_buf::AtomicF32Buffer;
+use crate::factors::FactorSet;
+use crate::workload::SegmentStats;
+use rayon::prelude::*;
+use scalfrag_gpusim::KernelWorkload;
+use scalfrag_tensor::CooTensor;
+
+/// The heavy/light split kernel over a mode-sorted COO tensor.
+pub struct BcsfKernel;
+
+/// The heavy/light partition of a tensor's slices.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HeavyLightSplit {
+    /// Entry ranges (over the mode-sorted tensor) of heavy slices.
+    pub heavy: Vec<std::ops::Range<usize>>,
+    /// Entry ranges of contiguous *runs* of light slices.
+    pub light_runs: Vec<std::ops::Range<usize>>,
+    /// Population threshold used.
+    pub threshold: u32,
+}
+
+impl BcsfKernel {
+    /// Kernel name for reports.
+    pub const NAME: &'static str = "bcsf-heavy-light";
+
+    /// Partitions a *mode-sorted* tensor's slices into heavy singletons and
+    /// runs of light slices.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not sorted for `mode`.
+    pub fn split(tensor: &CooTensor, mode: usize, threshold: u32) -> HeavyLightSplit {
+        assert!(
+            tensor.is_sorted_by_order(&tensor.mode_order(mode)),
+            "BCSF split requires a mode-sorted tensor"
+        );
+        let idx = tensor.mode_indices(mode);
+        let nnz = tensor.nnz();
+        let mut heavy = Vec::new();
+        let mut light_runs = Vec::new();
+        let mut e = 0usize;
+        let mut light_start: Option<usize> = None;
+        while e < nnz {
+            let row = idx[e];
+            let mut end = e + 1;
+            while end < nnz && idx[end] == row {
+                end += 1;
+            }
+            if (end - e) as u32 >= threshold {
+                if let Some(ls) = light_start.take() {
+                    light_runs.push(ls..e);
+                }
+                heavy.push(e..end);
+            } else if light_start.is_none() {
+                light_start = Some(e);
+            }
+            e = end;
+        }
+        if let Some(ls) = light_start {
+            light_runs.push(ls..nnz);
+        }
+        HeavyLightSplit { heavy, light_runs, threshold }
+    }
+
+    /// Cost-model workload: heavy entries are spread entry-parallel, so the
+    /// per-worker serial chain is bounded by the *light* threshold rather
+    /// than the heaviest slice; atomics only occur on the heavy rows.
+    pub fn workload(
+        stats: &SegmentStats,
+        rank: u32,
+        split: &HeavyLightSplit,
+    ) -> KernelWorkload {
+        let heavy_nnz: u64 = split.heavy.iter().map(|r| r.len() as u64).sum();
+        KernelWorkload {
+            // Heavy entries parallelise individually; each light run is one
+            // work item.
+            work_items: heavy_nnz + split.light_runs.len().max(1) as u64,
+            flops: stats.flops(rank),
+            bytes_read: stats.bytes_read(rank),
+            bytes_written: stats.output_bytes(rank),
+            atomic_ops: heavy_nnz * rank as u64,
+            // Heavy rows are few and hot by construction, but the per-row
+            // concurrency is what tiling/cta-reduction absorbs; model the
+            // residual contention with the plain hotness of the heavy part.
+            atomic_hotness: stats.row_hotness,
+            coalescing: 0.5,
+            regs_per_thread: 48,
+            shared_tile_reduction: 32.0, // CTA-level reduction on heavy rows
+            item_cycles: (split.threshold.max(1) * rank * (stats.order + 1)) as f64,
+        }
+    }
+
+    /// Functional body over a mode-sorted tensor.
+    pub fn execute(
+        tensor: &CooTensor,
+        factors: &FactorSet,
+        mode: usize,
+        split: &HeavyLightSplit,
+        out: &AtomicF32Buffer,
+    ) {
+        let rank = factors.rank();
+        assert_eq!(
+            out.len(),
+            tensor.dims()[mode] as usize * rank,
+            "output buffer shape mismatch"
+        );
+        let order = tensor.order();
+
+        let accumulate = |e: usize, acc: &mut [f32]| {
+            let v = tensor.values()[e];
+            for a in acc.iter_mut() {
+                *a = v;
+            }
+            for m in 0..order {
+                if m == mode {
+                    continue;
+                }
+                let row = factors.get(m).row(tensor.mode_indices(m)[e] as usize);
+                for (a, &w) in acc.iter_mut().zip(row) {
+                    *a *= w;
+                }
+            }
+        };
+
+        // Heavy slices: entry-parallel with atomic adds (chunked so each
+        // worker pre-reduces a run before touching the shared row).
+        split.heavy.par_iter().for_each(|r| {
+            let row = tensor.mode_indices(mode)[r.start] as usize;
+            let base = row * rank;
+            r.clone().collect::<Vec<_>>().par_chunks(256).for_each(|chunk| {
+                let mut sum = vec![0.0f32; rank];
+                let mut acc = vec![0.0f32; rank];
+                for &e in chunk {
+                    accumulate(e, &mut acc);
+                    for (s, &a) in sum.iter_mut().zip(acc.iter()) {
+                        *s += a;
+                    }
+                }
+                for (f, &s) in sum.iter().enumerate() {
+                    if s != 0.0 {
+                        out.add(base + f, s);
+                    }
+                }
+            });
+        });
+
+        // Light runs: one worker per run, row-local accumulation.
+        split.light_runs.par_iter().for_each(|r| {
+            let mut acc = vec![0.0f32; rank];
+            let mut sum = vec![0.0f32; rank];
+            let mut open = usize::MAX;
+            for e in r.clone() {
+                let row = tensor.mode_indices(mode)[e] as usize;
+                if row != open {
+                    if open != usize::MAX {
+                        let base = open * rank;
+                        for (f, s) in sum.iter_mut().enumerate() {
+                            if *s != 0.0 {
+                                out.add(base + f, *s);
+                            }
+                            *s = 0.0;
+                        }
+                    }
+                    open = row;
+                }
+                accumulate(e, &mut acc);
+                for (s, &a) in sum.iter_mut().zip(acc.iter()) {
+                    *s += a;
+                }
+            }
+            if open != usize::MAX {
+                let base = open * rank;
+                for (f, &s) in sum.iter().enumerate() {
+                    if s != 0.0 {
+                        out.add(base + f, s);
+                    }
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::mttkrp_seq;
+    use scalfrag_linalg::Mat;
+
+    fn skewed(mode: usize) -> CooTensor {
+        let mut t = scalfrag_tensor::gen::zipf_slices(&[80, 60, 50], 4_000, 1.2, 5);
+        t.sort_for_mode(mode);
+        t
+    }
+
+    #[test]
+    fn split_partitions_all_entries() {
+        let t = skewed(0);
+        let split = BcsfKernel::split(&t, 0, 100);
+        let heavy: usize = split.heavy.iter().map(|r| r.len()).sum();
+        let light: usize = split.light_runs.iter().map(|r| r.len()).sum();
+        assert_eq!(heavy + light, t.nnz());
+        assert!(!split.heavy.is_empty(), "a Zipf head must be heavy");
+        // Every heavy range is one slice with >= threshold entries.
+        let idx = t.mode_indices(0);
+        for r in &split.heavy {
+            assert!(r.len() >= 100);
+            assert!(idx[r.clone()].iter().all(|&i| i == idx[r.start]));
+        }
+    }
+
+    #[test]
+    fn matches_reference_across_thresholds() {
+        for mode in 0..3 {
+            let t = skewed(mode);
+            let f = FactorSet::random(t.dims(), 8, 9);
+            let expect = mttkrp_seq(&t, &f, mode);
+            for threshold in [1u32, 16, 64, 100_000] {
+                let split = BcsfKernel::split(&t, mode, threshold);
+                let out = AtomicF32Buffer::new(t.dims()[mode] as usize * 8);
+                BcsfKernel::execute(&t, &f, mode, &split, &out);
+                let m = Mat::from_vec(t.dims()[mode] as usize, 8, out.to_vec());
+                assert!(
+                    m.max_abs_diff(&expect) < 1e-2,
+                    "mode {mode} threshold {threshold}: {}",
+                    m.max_abs_diff(&expect)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_one_makes_everything_heavy() {
+        let t = skewed(0);
+        let split = BcsfKernel::split(&t, 0, 1);
+        assert!(split.light_runs.is_empty());
+        assert_eq!(split.heavy.len(), t.num_nonempty_slices(0));
+    }
+
+    #[test]
+    fn huge_threshold_makes_everything_light() {
+        let t = skewed(0);
+        let split = BcsfKernel::split(&t, 0, u32::MAX);
+        assert!(split.heavy.is_empty());
+        assert_eq!(split.light_runs.len(), 1);
+    }
+
+    #[test]
+    fn workload_caps_the_serial_chain() {
+        let t = skewed(0);
+        let stats = SegmentStats::compute(&t, 0);
+        let split = BcsfKernel::split(&t, 0, 32);
+        let w = BcsfKernel::workload(&stats, 16, &split);
+        let csf_w = crate::workload::csf_fiber_workload(&stats, 16, t.num_nonempty_slices(0) as u64);
+        // BCSF's per-worker chain is bounded by the threshold, far below
+        // the CSF kernel's heaviest-slice chain on a skewed tensor.
+        assert!(w.item_cycles < csf_w.item_cycles);
+        assert!(w.work_items > csf_w.work_items / 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "mode-sorted")]
+    fn unsorted_tensor_rejected() {
+        let t = scalfrag_tensor::gen::zipf_slices(&[50, 40, 30], 2_000, 1.0, 7);
+        let _ = BcsfKernel::split(&t, 0, 8);
+    }
+}

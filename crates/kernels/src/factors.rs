@@ -1,0 +1,126 @@
+//! CPD factor matrices.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scalfrag_linalg::Mat;
+use scalfrag_tensor::Idx;
+
+/// The set of dense factor matrices `A⁽¹⁾ … A⁽ᴺ⁾` of a CPD model: one
+/// `Iₙ × F` matrix per tensor mode.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FactorSet {
+    rank: usize,
+    mats: Vec<Mat>,
+}
+
+impl FactorSet {
+    /// Random factors in `[0, 1)` for the given mode sizes — the standard
+    /// CPD-ALS initialisation (Algorithm 1's "randomly initialized dense
+    /// factor matrices"). Deterministic in `seed`.
+    pub fn random(dims: &[Idx], rank: usize, seed: u64) -> Self {
+        assert!(rank > 0, "rank must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mats = dims.iter().map(|&d| Mat::random(d as usize, rank, &mut rng)).collect();
+        Self { rank, mats }
+    }
+
+    /// Builds a factor set from explicit matrices.
+    ///
+    /// # Panics
+    /// Panics if the matrices disagree on the column count or the set is
+    /// empty.
+    pub fn from_mats(mats: Vec<Mat>) -> Self {
+        assert!(!mats.is_empty(), "a factor set needs at least one matrix");
+        let rank = mats[0].cols();
+        assert!(
+            mats.iter().all(|m| m.cols() == rank),
+            "all factor matrices must share the rank"
+        );
+        Self { rank, mats }
+    }
+
+    /// The CPD rank `F`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of modes.
+    pub fn order(&self) -> usize {
+        self.mats.len()
+    }
+
+    /// The factor matrix of mode `n`.
+    pub fn get(&self, n: usize) -> &Mat {
+        &self.mats[n]
+    }
+
+    /// Mutable access to the factor matrix of mode `n` (the ALS update).
+    pub fn get_mut(&mut self, n: usize) -> &mut Mat {
+        &mut self.mats[n]
+    }
+
+    /// Replaces the factor matrix of mode `n`.
+    ///
+    /// # Panics
+    /// Panics if the replacement's shape differs.
+    pub fn set(&mut self, n: usize, m: Mat) {
+        assert_eq!(m.cols(), self.rank, "rank mismatch");
+        assert_eq!(m.rows(), self.mats[n].rows(), "mode size mismatch");
+        self.mats[n] = m;
+    }
+
+    /// Mode sizes of the factor set.
+    pub fn dims(&self) -> Vec<Idx> {
+        self.mats.iter().map(|m| m.rows() as Idx).collect()
+    }
+
+    /// Total bytes of all factor matrices (the resident device footprint).
+    pub fn byte_size(&self) -> usize {
+        self.mats.iter().map(|m| m.rows() * m.cols() * 4).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_factors_match_dims() {
+        let f = FactorSet::random(&[10, 20, 30], 8, 1);
+        assert_eq!(f.order(), 3);
+        assert_eq!(f.rank(), 8);
+        assert_eq!(f.get(1).rows(), 20);
+        assert_eq!(f.get(1).cols(), 8);
+        assert_eq!(f.dims(), vec![10, 20, 30]);
+        assert_eq!(f.byte_size(), (10 + 20 + 30) * 8 * 4);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = FactorSet::random(&[5, 6], 4, 9);
+        let b = FactorSet::random(&[5, 6], 4, 9);
+        assert_eq!(a, b);
+        let c = FactorSet::random(&[5, 6], 4, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn set_replaces_and_checks_shape() {
+        let mut f = FactorSet::random(&[5, 6], 4, 0);
+        f.set(0, Mat::zeros(5, 4));
+        assert_eq!(f.get(0).frob_norm(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn set_rejects_wrong_rank() {
+        let mut f = FactorSet::random(&[5, 6], 4, 0);
+        f.set(0, Mat::zeros(5, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "share the rank")]
+    fn from_mats_rejects_mixed_ranks() {
+        let _ = FactorSet::from_mats(vec![Mat::zeros(5, 4), Mat::zeros(6, 3)]);
+    }
+}

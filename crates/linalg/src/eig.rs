@@ -1,0 +1,165 @@
+//! Cyclic Jacobi eigendecomposition for small symmetric matrices.
+//!
+//! The ALS normal matrix `V = (BᵀB * CᵀC * …)` of Equation (2) is symmetric
+//! positive semi-definite and only `F×F` (rank × rank), so the classic
+//! cyclic Jacobi rotation method converges in a handful of sweeps and is
+//! numerically robust — more than enough for the pseudo-inverse in
+//! [`crate::pinv`].
+
+use crate::Mat;
+
+/// Options controlling the Jacobi iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct JacobiOptions {
+    /// Maximum number of full sweeps over all off-diagonal pairs.
+    pub max_sweeps: usize,
+    /// Convergence threshold on the off-diagonal Frobenius norm relative to
+    /// the total Frobenius norm.
+    pub tol: f32,
+}
+
+impl Default for JacobiOptions {
+    fn default() -> Self {
+        Self { max_sweeps: 64, tol: 1e-10 }
+    }
+}
+
+/// Computes the eigendecomposition `A = V · diag(λ) · Vᵀ` of a symmetric
+/// matrix using cyclic Jacobi rotations.
+///
+/// Returns `(eigenvalues, eigenvectors)` where column `k` of the returned
+/// matrix is the eigenvector for `λ_k`. Eigenvalues are sorted descending.
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn jacobi_eigen(a: &Mat, opts: JacobiOptions) -> (Vec<f32>, Mat) {
+    assert_eq!(a.rows(), a.cols(), "jacobi_eigen requires a square matrix");
+    let n = a.rows();
+    // Work in f64: the normal matrices of big factors can be ill-conditioned.
+    let mut m: Vec<f64> = a.as_slice().iter().map(|&x| x as f64).collect();
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let idx = |r: usize, c: usize| r * n + c;
+    let total_norm: f64 = m.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-300);
+
+    for _sweep in 0..opts.max_sweeps {
+        let off: f64 = {
+            let mut s = 0.0;
+            for r in 0..n {
+                for c in (r + 1)..n {
+                    s += m[idx(r, c)] * m[idx(r, c)];
+                }
+            }
+            (2.0 * s).sqrt()
+        };
+        if off <= opts.tol as f64 * total_norm {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m[idx(p, q)];
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m[idx(p, p)];
+                let aqq = m[idx(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Stable computation of tan of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Apply the rotation G(p,q,θ) on both sides: M <- GᵀMG.
+                for k in 0..n {
+                    let mkp = m[idx(k, p)];
+                    let mkq = m[idx(k, q)];
+                    m[idx(k, p)] = c * mkp - s * mkq;
+                    m[idx(k, q)] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[idx(p, k)];
+                    let mqk = m[idx(q, k)];
+                    m[idx(p, k)] = c * mpk - s * mqk;
+                    m[idx(q, k)] = s * mpk + c * mqk;
+                }
+                // Accumulate eigenvectors: V <- VG.
+                for k in 0..n {
+                    let vkp = v[idx(k, p)];
+                    let vkq = v[idx(k, q)];
+                    v[idx(k, p)] = c * vkp - s * vkq;
+                    v[idx(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|i| (m[idx(i, i)], i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+    let eigenvalues: Vec<f32> = pairs.iter().map(|&(l, _)| l as f32).collect();
+    let eigenvectors = Mat::from_fn(n, n, |r, c| v[idx(r, pairs[c].1)] as f32);
+    (eigenvalues, eigenvectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{matmul, matmul_transb};
+
+    fn reconstruct(vals: &[f32], vecs: &Mat) -> Mat {
+        let n = vals.len();
+        let d = Mat::from_fn(n, n, |r, c| if r == c { vals[r] } else { 0.0 });
+        matmul_transb(&matmul(vecs, &d), vecs)
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Mat::from_fn(3, 3, |r, c| if r == c { (3 - r) as f32 } else { 0.0 });
+        let (vals, _) = jacobi_eigen(&a, JacobiOptions::default());
+        assert!((vals[0] - 3.0).abs() < 1e-5);
+        assert!((vals[1] - 2.0).abs() < 1e-5);
+        assert!((vals[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Mat::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let (vals, vecs) = jacobi_eigen(&a, JacobiOptions::default());
+        assert!((vals[0] - 3.0).abs() < 1e-5);
+        assert!((vals[1] - 1.0).abs() < 1e-5);
+        assert!(reconstruct(&vals, &vecs).max_abs_diff(&a) < 1e-4);
+    }
+
+    #[test]
+    fn reconstructs_random_spd() {
+        let mut rng = rand::rngs::mock::StepRng::new(42, 0x9E3779B97F4A7C15);
+        let b = Mat::random(10, 6, &mut rng);
+        let a = crate::ops::gram(&b); // SPD (or PSD)
+        let (vals, vecs) = jacobi_eigen(&a, JacobiOptions::default());
+        // Eigenvalues of a Gram matrix are non-negative.
+        assert!(vals.iter().all(|&l| l > -1e-3));
+        // Sorted descending.
+        assert!(vals.windows(2).all(|w| w[0] >= w[1] - 1e-6));
+        let rec = reconstruct(&vals, &vecs);
+        let scale = a.frob_norm().max(1.0);
+        assert!(rec.max_abs_diff(&a) / scale < 1e-4, "reconstruction error too large");
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let a = Mat::from_vec(3, 3, vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 2.0]);
+        let (_, vecs) = jacobi_eigen(&a, JacobiOptions::default());
+        let vtv = matmul(&vecs.transpose(), &vecs);
+        assert!(vtv.max_abs_diff(&Mat::identity(3)) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_panics() {
+        let _ = jacobi_eigen(&Mat::zeros(2, 3), JacobiOptions::default());
+    }
+}

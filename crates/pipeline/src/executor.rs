@@ -1,0 +1,408 @@
+//! Pipeline execution on the simulated GPU.
+//!
+//! [`execute_pipelined`] implements §IV-C: per-segment asynchronous H2D
+//! copies and kernel launches spread over streams, one event-ordered D2H
+//! at the end. [`execute_sync`] is the ParTI-style monolithic schedule the
+//! paper compares against (whole-tensor H2D → kernel → D2H on one stream).
+
+use crate::plan::PipelinePlan;
+use scalfrag_gpusim::{Gpu, LaunchConfig, StreamId, Timeline};
+use scalfrag_kernels::{AtomicF32Buffer, CooAtomicKernel, FactorSet, SegmentStats, TiledKernel};
+use scalfrag_linalg::Mat;
+use scalfrag_tensor::CooTensor;
+use std::sync::Arc;
+
+/// Which kernel the executor launches per segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// ParTI-style atomic COO kernel.
+    CooAtomic,
+    /// ScalFrag shared-memory tiled kernel.
+    Tiled,
+}
+
+impl KernelChoice {
+    /// The full launch configuration (with this kernel's shared-memory
+    /// request) for a base `(grid, block)`.
+    pub fn full_config(&self, base: LaunchConfig, rank: u32) -> LaunchConfig {
+        match self {
+            KernelChoice::CooAtomic => base,
+            KernelChoice::Tiled => TiledKernel::config_with_smem(base, rank),
+        }
+    }
+
+    /// The cost-model workload of this kernel over a segment.
+    pub fn workload(
+        &self,
+        stats: &SegmentStats,
+        rank: u32,
+        block: u32,
+    ) -> scalfrag_gpusim::KernelWorkload {
+        match self {
+            KernelChoice::CooAtomic => {
+                scalfrag_kernels::workload::coo_atomic_workload(stats, rank)
+            }
+            KernelChoice::Tiled => scalfrag_kernels::workload::tiled_workload(stats, rank, block),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn enqueue(
+        &self,
+        gpu: &mut Gpu,
+        stream: StreamId,
+        config: LaunchConfig,
+        seg: Arc<CooTensor>,
+        factors: Arc<FactorSet>,
+        mode: usize,
+        out: Option<Arc<AtomicF32Buffer>>,
+        label: String,
+    ) {
+        match out {
+            Some(out) => match self {
+                KernelChoice::CooAtomic => {
+                    CooAtomicKernel::enqueue(gpu, stream, config, seg, factors, mode, out, label);
+                }
+                KernelChoice::Tiled => {
+                    TiledKernel::enqueue(gpu, stream, config, seg, factors, mode, out, label);
+                }
+            },
+            None => {
+                // Timing-only launch: same cost-model workload, no numerics.
+                let rank = factors.rank() as u32;
+                let cfg = self.full_config(config, rank);
+                let stats = SegmentStats::compute(&seg, mode);
+                let workload = self.workload(&stats, rank, cfg.block);
+                gpu.launch(stream, cfg, workload, label);
+            }
+        }
+    }
+}
+
+/// The result of one executed MTTKRP schedule.
+#[derive(Clone, Debug)]
+pub struct PipelineRun {
+    /// The MTTKRP output matrix `M ∈ ℝ^{Iₙ × F}`.
+    pub output: Mat,
+    /// Timeline of this run only.
+    pub timeline: Timeline,
+}
+
+impl PipelineRun {
+    /// End-to-end simulated seconds of this run.
+    pub fn makespan(&self) -> f64 {
+        self.timeline.makespan()
+    }
+
+    /// Fraction of busy time hidden by overlap (0 = fully serial).
+    pub fn overlap_ratio(&self) -> f64 {
+        self.timeline.overlap_ratio()
+    }
+}
+
+/// Executes an MTTKRP with the segmented pipeline of §IV-C.
+///
+/// `tensor` must be sorted for `plan.mode` (the plan constructor enforced
+/// that). Factors are transferred once up front (resident across the CPD
+/// iteration); each segment then flows H2D → kernel on its stream, and one
+/// event-ordered D2H returns the result.
+pub fn execute_pipelined(
+    gpu: &mut Gpu,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    plan: &PipelinePlan,
+    kernel: KernelChoice,
+) -> PipelineRun {
+    execute_pipelined_impl(gpu, tensor, factors, plan, kernel, true)
+}
+
+/// Timing-only variant of [`execute_pipelined`]: identical schedule and
+/// simulated clock, but kernels skip their numeric bodies and the returned
+/// output is zero. Used by the benchmark sweeps (Fig. 10/11), which probe
+/// makespans across many settings.
+pub fn execute_pipelined_dry(
+    gpu: &mut Gpu,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    plan: &PipelinePlan,
+    kernel: KernelChoice,
+) -> PipelineRun {
+    execute_pipelined_impl(gpu, tensor, factors, plan, kernel, false)
+}
+
+fn execute_pipelined_impl(
+    gpu: &mut Gpu,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    plan: &PipelinePlan,
+    kernel: KernelChoice,
+    functional: bool,
+) -> PipelineRun {
+    let mode = plan.mode;
+    let rank = factors.rank();
+    let rows = tensor.dims()[mode] as usize;
+    let out = Arc::new(AtomicF32Buffer::new(rows * rank));
+    let factors = Arc::new(factors.clone());
+
+    // Device allocations: factors + output + all segment buffers. The plan
+    // is expected to fit (auto mode sizes segments accordingly).
+    let mut allocs = Vec::new();
+    let mem = |b: usize| b as u64;
+    allocs.push(
+        gpu.memory()
+            .alloc(mem(factors.byte_size()))
+            .expect("factor matrices must fit on the device"),
+    );
+    allocs.push(
+        gpu.memory().alloc(mem(rows * rank * 4)).expect("output matrix must fit on the device"),
+    );
+
+    let streams: Vec<StreamId> = (0..plan.num_streams).map(|_| gpu.create_stream()).collect();
+
+    // Factors travel once, on stream 0; every other stream waits for them.
+    gpu.h2d(streams[0], factors.byte_size() as u64, "factors H2D");
+    let factors_ready = gpu.record_event(streams[0]);
+    for &s in &streams[1..] {
+        gpu.wait_event(s, factors_ready);
+    }
+
+    let mut kernel_done = Vec::with_capacity(plan.segments.len());
+    for (i, seg) in plan.segments.iter().enumerate() {
+        let stream = streams[plan.stream_of(i)];
+        let piece = Arc::new(tensor.slice_range(seg.start, seg.end));
+        let bytes = seg.byte_size(tensor.order());
+        allocs.push(gpu.memory().alloc(mem(bytes)).expect("segment buffer must fit"));
+        gpu.h2d(stream, bytes as u64, format!("seg{i} H2D ({} nnz)", seg.nnz()));
+        kernel.enqueue(
+            gpu,
+            stream,
+            plan.config,
+            piece,
+            Arc::clone(&factors),
+            mode,
+            functional.then(|| Arc::clone(&out)),
+            format!("seg{i} kernel"),
+        );
+        kernel_done.push(gpu.record_event(stream));
+    }
+
+    // One D2H of the output, ordered after every kernel.
+    let d2h_stream = streams[0];
+    for ev in kernel_done {
+        gpu.wait_event(d2h_stream, ev);
+    }
+    gpu.d2h(d2h_stream, (rows * rank * 4) as u64, "output D2H");
+
+    let timeline = gpu.synchronize();
+    for a in allocs {
+        gpu.memory().free(a);
+    }
+    let output = Mat::from_vec(rows, rank, out.to_vec());
+    PipelineRun { output, timeline }
+}
+
+/// Executes the ParTI-style synchronous schedule: one stream, whole-tensor
+/// H2D, one kernel over all non-zeros, D2H — the §III-B baseline whose
+/// "idle waiting time" motivates the pipeline.
+pub fn execute_sync(
+    gpu: &mut Gpu,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    config: LaunchConfig,
+    kernel: KernelChoice,
+) -> PipelineRun {
+    execute_sync_impl(gpu, tensor, factors, mode, config, kernel, true)
+}
+
+/// Timing-only variant of [`execute_sync`] (see [`execute_pipelined_dry`]).
+pub fn execute_sync_dry(
+    gpu: &mut Gpu,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    config: LaunchConfig,
+    kernel: KernelChoice,
+) -> PipelineRun {
+    execute_sync_impl(gpu, tensor, factors, mode, config, kernel, false)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn execute_sync_impl(
+    gpu: &mut Gpu,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    config: LaunchConfig,
+    kernel: KernelChoice,
+    functional: bool,
+) -> PipelineRun {
+    let rank = factors.rank();
+    let rows = tensor.dims()[mode] as usize;
+    let out = Arc::new(AtomicF32Buffer::new(rows * rank));
+    let factors_arc = Arc::new(factors.clone());
+    let whole = Arc::new(tensor.clone());
+
+    let a1 = gpu.memory().alloc(factors.byte_size() as u64).expect("factors fit");
+    let a2 = gpu.memory().alloc((rows * rank * 4) as u64).expect("output fits");
+    let a3 = gpu.memory().alloc(tensor.byte_size() as u64).expect("tensor fits");
+
+    let s = gpu.create_stream();
+    gpu.h2d(s, factors.byte_size() as u64, "factors H2D");
+    gpu.h2d(s, tensor.byte_size() as u64, "tensor H2D");
+    kernel.enqueue(
+        gpu,
+        s,
+        config,
+        whole,
+        factors_arc,
+        mode,
+        functional.then(|| Arc::clone(&out)),
+        "kernel".to_string(),
+    );
+    gpu.d2h(s, (rows * rank * 4) as u64, "output D2H");
+
+    let timeline = gpu.synchronize();
+    gpu.memory().free(a1);
+    gpu.memory().free(a2);
+    gpu.memory().free(a3);
+    let output = Mat::from_vec(rows, rank, out.to_vec());
+    PipelineRun { output, timeline }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalfrag_gpusim::DeviceSpec;
+    use scalfrag_kernels::reference::mttkrp_seq;
+
+    fn setup(nnz: usize) -> (CooTensor, FactorSet) {
+        let dims = [300u32, 200, 150];
+        let mut t = scalfrag_tensor::gen::zipf_slices(&dims, nnz, 0.7, 11);
+        t.sort_for_mode(0);
+        let f = FactorSet::random(&dims, 16, 12);
+        (t, f)
+    }
+
+    #[test]
+    fn pipelined_output_matches_reference() {
+        let (t, f) = setup(20_000);
+        let mut gpu = Gpu::new(DeviceSpec::rtx3090());
+        let plan = PipelinePlan::new(&t, 0, LaunchConfig::new(1024, 256), 4, 4);
+        let run = execute_pipelined(&mut gpu, &t, &f, &plan, KernelChoice::Tiled);
+        let expect = mttkrp_seq(&t, &f, 0);
+        assert!(
+            run.output.max_abs_diff(&expect) < 1e-2,
+            "diff {}",
+            run.output.max_abs_diff(&expect)
+        );
+        assert!(run.timeline.validate().is_ok());
+        // Memory fully released.
+        assert_eq!(gpu.memory().used(), 0);
+    }
+
+    #[test]
+    fn sync_output_matches_reference() {
+        let (t, f) = setup(10_000);
+        let mut gpu = Gpu::new(DeviceSpec::rtx3090());
+        let run = execute_sync(
+            &mut gpu,
+            &t,
+            &f,
+            0,
+            LaunchConfig::parti_default(t.nnz()),
+            KernelChoice::CooAtomic,
+        );
+        let expect = mttkrp_seq(&t, &f, 0);
+        assert!(run.output.max_abs_diff(&expect) < 1e-2);
+    }
+
+    #[test]
+    fn pipelining_beats_sync_end_to_end() {
+        // At paper-like scale the transfer and kernel times are comparable,
+        // so overlap pays; timing-only execution keeps the test fast.
+        let dims = [2_000u32, 1_500, 1_000];
+        let mut t = scalfrag_tensor::gen::uniform(&dims, 400_000, 31);
+        t.sort_for_mode(0);
+        let f = FactorSet::random(&dims, 16, 32);
+        let cfg = LaunchConfig::new(2048, 256);
+
+        let mut g1 = Gpu::new(DeviceSpec::rtx3090());
+        let sync = execute_sync_dry(&mut g1, &t, &f, 0, cfg, KernelChoice::Tiled);
+
+        let mut g2 = Gpu::new(DeviceSpec::rtx3090());
+        let plan = PipelinePlan::new(&t, 0, cfg, 4, 4);
+        let piped = execute_pipelined_dry(&mut g2, &t, &f, &plan, KernelChoice::Tiled);
+
+        assert!(
+            piped.makespan() < sync.makespan(),
+            "pipelined {} should beat sync {}",
+            piped.makespan(),
+            sync.makespan()
+        );
+        assert!(piped.overlap_ratio() > 0.1, "overlap {}", piped.overlap_ratio());
+    }
+
+    #[test]
+    fn dry_and_functional_schedules_have_identical_makespans() {
+        let (t, f) = setup(10_000);
+        let cfg = LaunchConfig::new(1024, 256);
+        let plan = PipelinePlan::new(&t, 0, cfg, 4, 2);
+        let mut g1 = Gpu::new(DeviceSpec::rtx3090());
+        let wet = execute_pipelined(&mut g1, &t, &f, &plan, KernelChoice::Tiled);
+        let mut g2 = Gpu::new(DeviceSpec::rtx3090());
+        let dry = execute_pipelined_dry(&mut g2, &t, &f, &plan, KernelChoice::Tiled);
+        assert_eq!(wet.makespan(), dry.makespan());
+        assert_eq!(dry.output.frob_norm(), 0.0, "dry runs compute nothing");
+    }
+
+    #[test]
+    fn single_segment_single_stream_degenerates_to_sync_shape() {
+        let (t, f) = setup(5_000);
+        let cfg = LaunchConfig::new(512, 256);
+        let mut gpu = Gpu::new(DeviceSpec::rtx3090());
+        let plan = PipelinePlan::new(&t, 0, cfg, 1, 1);
+        let run = execute_pipelined(&mut gpu, &t, &f, &plan, KernelChoice::Tiled);
+        // One segment: H2D factors, H2D seg, kernel, D2H = 4 spans.
+        assert_eq!(run.timeline.spans.len(), 4);
+        assert!(run.overlap_ratio() < 0.05);
+    }
+
+    #[test]
+    fn works_for_every_mode_and_4way() {
+        let dims = [40u32, 30, 20, 10];
+        let f = FactorSet::random(&dims, 8, 5);
+        for mode in 0..4 {
+            let mut t = scalfrag_tensor::gen::uniform(&dims, 3_000, 9);
+            t.sort_for_mode(mode);
+            let mut gpu = Gpu::new(DeviceSpec::rtx3090());
+            let plan = PipelinePlan::new(&t, mode, LaunchConfig::new(256, 128), 3, 2);
+            let run = execute_pipelined(&mut gpu, &t, &f, &plan, KernelChoice::Tiled);
+            let expect = mttkrp_seq(&t, &f, mode);
+            assert!(run.output.max_abs_diff(&expect) < 1e-2, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn more_streams_help_until_engines_saturate() {
+        // Fig. 11's mechanism: with 8 segments, 1 stream serialises
+        // everything, 4 streams overlap; beyond that gains flatten because
+        // there is one H2D engine and one compute engine.
+        let dims = [2_000u32, 1_500, 1_000];
+        let mut t = scalfrag_tensor::gen::uniform(&dims, 400_000, 33);
+        t.sort_for_mode(0);
+        let f = FactorSet::random(&dims, 16, 34);
+        let cfg = LaunchConfig::new(2048, 256);
+        let mut times = Vec::new();
+        for streams in [1usize, 2, 4, 8] {
+            let mut gpu = Gpu::new(DeviceSpec::rtx3090());
+            let plan = PipelinePlan::new(&t, 0, cfg, 8, streams);
+            let run = execute_pipelined_dry(&mut gpu, &t, &f, &plan, KernelChoice::Tiled);
+            times.push(run.makespan());
+        }
+        assert!(times[1] < times[0], "2 streams should beat 1: {times:?}");
+        let gain_12 = times[0] / times[1];
+        let gain_48 = times[2] / times[3];
+        assert!(gain_48 < gain_12, "stream gains should flatten: {times:?}");
+    }
+}

@@ -1,0 +1,31 @@
+//! # scalfrag-pipeline
+//!
+//! The pipelined parallel processing of ScalFrag (§IV-C) plus the hybrid
+//! CPU–GPU execution of §I.
+//!
+//! The paper's flow, reproduced stage by stage:
+//!
+//! 1. **Data preprocessing** — the COO tensor is sorted for the target
+//!    mode and segmented on slice boundaries into nnz-balanced chunks
+//!    ([`plan`]).
+//! 2. **Storage allocation** — segment buffers, factors and the output are
+//!    charged against the simulated 24 GB device pool; the segment count
+//!    adapts to what fits ([`PipelinePlan::auto`]).
+//! 3. **Streamed transfer + compute** — each segment's H2D copy and kernel
+//!    launch are issued on one of `num_streams` CUDA-style streams, so
+//!    segment *k+1* transfers while segment *k* computes ([`executor`]).
+//! 4. **Result synchronisation** — a single D2H copy, ordered after every
+//!    kernel through events, returns the output matrix.
+//! 5. **Hybrid execution** — optionally, the low-parallelism slices run on
+//!    the host CPU while the device processes the bulk ([`hybrid`]).
+
+pub mod executor;
+pub mod hybrid;
+pub mod plan;
+
+pub use executor::{
+    execute_pipelined, execute_pipelined_dry, execute_sync, execute_sync_dry, KernelChoice,
+    PipelineRun,
+};
+pub use hybrid::{execute_hybrid, split_by_slice_population, HybridSplit};
+pub use plan::PipelinePlan;

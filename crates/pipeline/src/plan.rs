@@ -1,0 +1,188 @@
+//! Pipeline planning: how many segments, how many streams, which launch
+//! configuration.
+
+use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
+use scalfrag_tensor::{segment, CooTensor, Segment};
+
+/// Upper bound on segments/streams exposed to auto mode; the paper's
+/// Fig. 11 sweeps 1–16.
+pub const MAX_SEGMENTS: usize = 16;
+
+/// An executable pipeline plan for one MTTKRP.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelinePlan {
+    /// Target MTTKRP mode.
+    pub mode: usize,
+    /// Kernel launch configuration (base; the tiled kernel adds its
+    /// shared-memory request).
+    pub config: LaunchConfig,
+    /// Number of CUDA streams to spread segments over.
+    pub num_streams: usize,
+    /// Slice-aligned entry ranges (over the mode-sorted tensor).
+    pub segments: Vec<Segment>,
+    /// Explicit segment→stream assignment; `None` = round-robin.
+    assignment: Option<Vec<usize>>,
+}
+
+impl PipelinePlan {
+    /// Plans `num_segments` slice-aligned segments over a *mode-sorted*
+    /// tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor is not sorted for `mode`, or either count is 0.
+    pub fn new(
+        tensor: &CooTensor,
+        mode: usize,
+        config: LaunchConfig,
+        num_segments: usize,
+        num_streams: usize,
+    ) -> Self {
+        assert!(num_streams > 0, "need at least one stream");
+        let segments = segment::segment_on_slice_boundaries(tensor, mode, num_segments);
+        Self { mode, config, num_streams, segments, assignment: None }
+    }
+
+    /// Auto mode: picks the segment count from the device memory budget
+    /// (the paper "empirically determine[s] the appropriate number of
+    /// segments"; 4 segments / 4 streams is its Fig. 11 default operating
+    /// point, used whenever memory pressure does not force more).
+    pub fn auto(
+        tensor: &CooTensor,
+        mode: usize,
+        config: LaunchConfig,
+        device: &DeviceSpec,
+        resident_bytes: usize,
+    ) -> Self {
+        let by_memory = segment::auto_segment_count(
+            tensor.byte_size(),
+            resident_bytes,
+            device.global_mem_bytes as usize,
+            MAX_SEGMENTS,
+        );
+        let num_segments = by_memory.max(4).min(MAX_SEGMENTS);
+        let num_streams = num_segments.min(4);
+        Self::new(tensor, mode, config, num_segments, num_streams)
+    }
+
+    /// Number of planned segments (may be fewer than requested when slices
+    /// are coarse).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Total non-zeros covered by the plan.
+    pub fn total_nnz(&self) -> usize {
+        self.segments.iter().map(Segment::nnz).sum()
+    }
+
+    /// The stream index segment `i` is assigned to (round-robin by default,
+    /// as in the paper's "each stream is responsible for … one or more
+    /// specific data segments"; [`PipelinePlan::balance_streams`] switches
+    /// to a size-balanced assignment).
+    pub fn stream_of(&self, segment_idx: usize) -> usize {
+        match &self.assignment {
+            Some(a) => a[segment_idx],
+            None => segment_idx % self.num_streams,
+        }
+    }
+
+    /// Replaces round-robin with an LPT (longest-processing-time-first)
+    /// size-balanced assignment: segments are sorted by nnz descending and
+    /// each goes to the currently lightest stream. With slice-aligned cuts
+    /// on skewed tensors, segment sizes can differ a lot; balancing evens
+    /// the per-stream byte totals so no stream becomes the straggler.
+    pub fn balance_streams(&mut self) {
+        let mut order: Vec<usize> = (0..self.segments.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(self.segments[i].nnz()));
+        let mut load = vec![0usize; self.num_streams];
+        let mut assignment = vec![0usize; self.segments.len()];
+        for i in order {
+            let s = (0..self.num_streams).min_by_key(|&s| load[s]).unwrap_or(0);
+            assignment[i] = s;
+            load[s] += self.segments[i].nnz();
+        }
+        self.assignment = Some(assignment);
+    }
+
+    /// Per-stream total nnz under the current assignment.
+    pub fn stream_loads(&self) -> Vec<usize> {
+        let mut load = vec![0usize; self.num_streams];
+        for (i, s) in self.segments.iter().enumerate() {
+            load[self.stream_of(i)] += s.nnz();
+        }
+        load
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_tensor() -> CooTensor {
+        let mut t = scalfrag_tensor::gen::zipf_slices(&[100, 60, 60], 5_000, 0.8, 3);
+        t.sort_for_mode(0);
+        t
+    }
+
+    #[test]
+    fn plan_covers_all_nnz() {
+        let t = sorted_tensor();
+        let p = PipelinePlan::new(&t, 0, LaunchConfig::new(1024, 256), 6, 3);
+        assert_eq!(p.total_nnz(), 5_000);
+        assert!(p.num_segments() >= 1 && p.num_segments() <= 7);
+        assert_eq!(p.stream_of(0), 0);
+        assert_eq!(p.stream_of(4), 1);
+    }
+
+    #[test]
+    fn auto_plan_defaults_to_four_segments_when_memory_is_ample() {
+        let t = sorted_tensor();
+        let d = DeviceSpec::rtx3090();
+        let p = PipelinePlan::auto(&t, 0, LaunchConfig::new(1024, 256), &d, 1 << 20);
+        assert!(p.num_segments() >= 2, "got {}", p.num_segments());
+        assert!(p.num_streams <= 4);
+    }
+
+    #[test]
+    fn auto_plan_scales_segments_under_memory_pressure() {
+        let t = sorted_tensor();
+        // A tiny device forces many segments.
+        let mut d = DeviceSpec::rtx3090();
+        d.global_mem_bytes = (t.byte_size() / 3) as u64;
+        let p = PipelinePlan::auto(&t, 0, LaunchConfig::new(1024, 256), &d, 0);
+        assert!(p.num_segments() > 4, "got {}", p.num_segments());
+    }
+
+    #[test]
+    fn balanced_assignment_evens_stream_loads() {
+        // A heavily skewed tensor with slice-aligned cuts produces very
+        // uneven segments; LPT must beat round-robin on max stream load.
+        let mut t = scalfrag_tensor::gen::zipf_slices(&[60, 80, 80], 8_000, 1.3, 9);
+        t.sort_for_mode(0);
+        let mut p = PipelinePlan::new(&t, 0, LaunchConfig::new(512, 256), 8, 3);
+        let rr_loads = p.stream_loads();
+        let rr_max = *rr_loads.iter().max().unwrap();
+        p.balance_streams();
+        let lpt_loads = p.stream_loads();
+        let lpt_max = *lpt_loads.iter().max().unwrap();
+        assert_eq!(
+            rr_loads.iter().sum::<usize>(),
+            lpt_loads.iter().sum::<usize>(),
+            "total work must be preserved"
+        );
+        assert!(lpt_max <= rr_max, "LPT {lpt_max} must not exceed round-robin {rr_max}");
+        // Every segment still maps to a valid stream.
+        for i in 0..p.num_segments() {
+            assert!(p.stream_of(i) < p.num_streams);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn unsorted_tensor_rejected() {
+        let t = scalfrag_tensor::gen::zipf_slices(&[100, 60, 60], 5_000, 0.8, 3);
+        // zipf tensors are generated in insertion order — almost surely
+        // unsorted for mode 0.
+        let _ = PipelinePlan::new(&t, 0, LaunchConfig::new(64, 64), 4, 4);
+    }
+}

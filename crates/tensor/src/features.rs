@@ -1,0 +1,235 @@
+//! Tensor feature extraction for the adaptive launching strategy (§IV-B).
+//!
+//! The paper: *"The feature parameters we focus on mainly include tensor
+//! size (dimension and number of elements) and sparsity (distribution and
+//! proportion of nonzero elements). For example, the feature parameters
+//! include numSlices, numFibers, sliceRatio, fiberRatio, maxNnzPerSlice,
+//! …"* — this module computes exactly that set (plus the spread statistics
+//! needed to characterise skew) for a given target mode, and flattens it
+//! into the numeric vector consumed by the `scalfrag-autotune` models.
+
+use crate::{CooTensor, Idx};
+
+/// The §IV-B feature parameters of one `(tensor, mode)` pair.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TensorFeatures {
+    /// Tensor order `N`.
+    pub order: usize,
+    /// Number of non-zero entries.
+    pub nnz: usize,
+    /// Size of the target mode (number of possible slices).
+    pub mode_dim: Idx,
+    /// Product of the other mode sizes (possible fiber positions), saturated
+    /// into `f64`.
+    pub other_dims_product: f64,
+    /// Overall density `nnz / ∏ dims`.
+    pub density: f64,
+    /// Non-empty mode-`n` slices (`numSlices`).
+    pub num_slices: usize,
+    /// Distinct mode-`n` fibers (`numFibers`).
+    pub num_fibers: usize,
+    /// `numSlices / mode_dim` (`sliceRatio`).
+    pub slice_ratio: f64,
+    /// `numFibers / other_dims_product` (`fiberRatio`).
+    pub fiber_ratio: f64,
+    /// Largest slice population (`maxNnzPerSlice`).
+    pub max_nnz_per_slice: u32,
+    /// Mean non-zeros per non-empty slice.
+    pub avg_nnz_per_slice: f64,
+    /// Population standard deviation of non-zeros per non-empty slice.
+    pub std_nnz_per_slice: f64,
+    /// Mean non-zeros per fiber.
+    pub avg_nnz_per_fiber: f64,
+    /// `max/avg` slice population — the load-imbalance indicator.
+    pub slice_imbalance: f64,
+}
+
+/// Names of the flattened feature vector entries, in [`TensorFeatures::to_vec`]
+/// order — used by model introspection and reports.
+pub const FEATURE_NAMES: [&str; 12] = [
+    "order",
+    "log_nnz",
+    "log_mode_dim",
+    "log_other_dims",
+    "log_density",
+    "slice_ratio",
+    "fiber_ratio",
+    "log_max_nnz_per_slice",
+    "log_avg_nnz_per_slice",
+    "cv_nnz_per_slice",
+    "log_avg_nnz_per_fiber",
+    "slice_imbalance",
+];
+
+impl TensorFeatures {
+    /// Extracts the features of `tensor` for mode-`mode` MTTKRP.
+    ///
+    /// # Panics
+    /// Panics if `mode >= tensor.order()`.
+    pub fn extract(tensor: &CooTensor, mode: usize) -> Self {
+        assert!(mode < tensor.order(), "mode out of range");
+        let nnz = tensor.nnz();
+        let mode_dim = tensor.dims()[mode];
+        let other_dims_product: f64 = tensor
+            .dims()
+            .iter()
+            .enumerate()
+            .filter(|&(m, _)| m != mode)
+            .map(|(_, &d)| d as f64)
+            .product();
+
+        let hist = tensor.slice_nnz_histogram(mode);
+        let nonempty: Vec<u32> = hist.into_iter().filter(|&c| c > 0).collect();
+        let num_slices = nonempty.len();
+        let max_nnz_per_slice = nonempty.iter().copied().max().unwrap_or(0);
+        let avg_nnz_per_slice = if num_slices == 0 { 0.0 } else { nnz as f64 / num_slices as f64 };
+        let var = if num_slices == 0 {
+            0.0
+        } else {
+            nonempty
+                .iter()
+                .map(|&c| {
+                    let d = c as f64 - avg_nnz_per_slice;
+                    d * d
+                })
+                .sum::<f64>()
+                / num_slices as f64
+        };
+
+        let num_fibers = tensor.num_fibers(mode);
+        let avg_nnz_per_fiber = if num_fibers == 0 { 0.0 } else { nnz as f64 / num_fibers as f64 };
+
+        Self {
+            order: tensor.order(),
+            nnz,
+            mode_dim,
+            other_dims_product,
+            density: tensor.density(),
+            num_slices,
+            num_fibers,
+            slice_ratio: num_slices as f64 / mode_dim as f64,
+            fiber_ratio: if other_dims_product > 0.0 {
+                num_fibers as f64 / other_dims_product
+            } else {
+                0.0
+            },
+            max_nnz_per_slice,
+            avg_nnz_per_slice,
+            std_nnz_per_slice: var.sqrt(),
+            avg_nnz_per_fiber,
+            slice_imbalance: if avg_nnz_per_slice > 0.0 {
+                max_nnz_per_slice as f64 / avg_nnz_per_slice
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Flattens into the numeric vector the ML models consume. Counts are
+    /// `log10`-scaled (they span 6+ orders of magnitude across the FROSTT
+    /// suite); ratios stay raw. Order matches [`FEATURE_NAMES`].
+    pub fn to_vec(&self) -> Vec<f64> {
+        let l = |x: f64| if x > 0.0 { x.log10() } else { -12.0 };
+        vec![
+            self.order as f64,
+            l(self.nnz as f64),
+            l(self.mode_dim as f64),
+            l(self.other_dims_product),
+            l(self.density),
+            self.slice_ratio,
+            self.fiber_ratio,
+            l(self.max_nnz_per_slice as f64),
+            l(self.avg_nnz_per_slice),
+            if self.avg_nnz_per_slice > 0.0 {
+                self.std_nnz_per_slice / self.avg_nnz_per_slice
+            } else {
+                0.0
+            },
+            l(self.avg_nnz_per_fiber),
+            self.slice_imbalance,
+        ]
+    }
+
+    /// Number of entries of [`TensorFeatures::to_vec`].
+    pub const fn dim() -> usize {
+        FEATURE_NAMES.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn features_of_known_tensor() {
+        // 3x2x2 tensor: slices 0 and 2 populated for mode 0.
+        let t = CooTensor::from_entries(
+            &[3, 2, 2],
+            &[
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 1, 0], 1.0),
+                (vec![0, 1, 1], 1.0),
+                (vec![2, 0, 1], 1.0),
+            ],
+        );
+        let f = TensorFeatures::extract(&t, 0);
+        assert_eq!(f.order, 3);
+        assert_eq!(f.nnz, 4);
+        assert_eq!(f.mode_dim, 3);
+        assert_eq!(f.num_slices, 2);
+        assert_eq!(f.max_nnz_per_slice, 3);
+        assert!((f.slice_ratio - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f.avg_nnz_per_slice - 2.0).abs() < 1e-12);
+        assert!((f.slice_imbalance - 1.5).abs() < 1e-12);
+        // Mode-0 fibers fix (j,k): distinct pairs are (0,0),(1,0),(1,1),(0,1) = 4.
+        assert_eq!(f.num_fibers, 4);
+        assert!((f.fiber_ratio - 1.0).abs() < 1e-12);
+        assert!((f.density - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vector_has_stable_layout() {
+        let t = CooTensor::random_uniform(&[40, 30, 20], 200, 4);
+        let f = TensorFeatures::extract(&t, 1);
+        let v = f.to_vec();
+        assert_eq!(v.len(), TensorFeatures::dim());
+        assert_eq!(v.len(), FEATURE_NAMES.len());
+        assert_eq!(v[0], 3.0);
+        assert!((v[1] - (200f64).log10()).abs() < 1e-12);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn skewed_tensor_has_higher_imbalance() {
+        let uni = crate::gen::uniform(&[100, 50, 50], 2_000, 7);
+        let skew = crate::gen::zipf_slices(&[100, 50, 50], 2_000, 1.2, 7);
+        let fu = TensorFeatures::extract(&uni, 0);
+        let fs = TensorFeatures::extract(&skew, 0);
+        assert!(
+            fs.slice_imbalance > 2.0 * fu.slice_imbalance,
+            "skewed {} vs uniform {}",
+            fs.slice_imbalance,
+            fu.slice_imbalance
+        );
+        assert!(fs.std_nnz_per_slice > fu.std_nnz_per_slice);
+    }
+
+    #[test]
+    fn empty_tensor_is_safe() {
+        let t = CooTensor::new(&[10, 10]);
+        let f = TensorFeatures::extract(&t, 0);
+        assert_eq!(f.num_slices, 0);
+        assert_eq!(f.max_nnz_per_slice, 0);
+        assert_eq!(f.slice_imbalance, 0.0);
+        assert!(f.to_vec().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn per_mode_features_differ() {
+        let t = crate::gen::zipf_slices(&[200, 10, 10], 1_000, 1.0, 3);
+        let f0 = TensorFeatures::extract(&t, 0);
+        let f1 = TensorFeatures::extract(&t, 1);
+        assert_ne!(f0.mode_dim, f1.mode_dim);
+        assert_ne!(f0.num_slices, f1.num_slices);
+    }
+}

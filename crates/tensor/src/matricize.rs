@@ -1,0 +1,140 @@
+//! Mode-n matricization (§II-C).
+//!
+//! Matricization unfolds a tensor into a matrix: `X₍ₙ₎` lays out the
+//! mode-`n` fibers of `X` as columns, so entry `(i₁,…,i_N)` lands at row
+//! `i_n` and a column index linearised over the remaining modes. Sparse
+//! MTTKRP never materialises `X₍ₙ₎`, but the mapping itself is needed to
+//! (a) define the column index that the Khatri-Rao side uses and (b)
+//! validate the kernels against the dense Equation (4) on small tensors.
+
+use crate::{CooTensor, Idx};
+
+/// The mode-`n` matricized coordinate of one tensor entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MatricizedIndex {
+    /// Row of `X₍ₙ₎` (the mode-`n` index).
+    pub row: Idx,
+    /// Column of `X₍ₙ₎` (linearised remaining modes).
+    pub col: u64,
+}
+
+/// Computes the matricized column index of a coordinate for mode `n`.
+///
+/// The linearisation follows the Kolda-Bader convention used by
+/// Equation (4): with remaining modes `m ≠ n` taken in **descending** mode
+/// order (matching `A⁽ᴺ⁾ ⊙ … ⊙ A⁽ⁿ⁺¹⁾ ⊙ A⁽ⁿ⁻¹⁾ ⊙ … ⊙ A⁽¹⁾` where the
+/// left operand of `⊙` varies slowest), the column is
+/// `((i_N · I_{N-1} + i_{N-1}) · … )` over modes `≠ n` from highest to
+/// lowest.
+pub fn matricized_col(dims: &[Idx], coord: &[Idx], mode: usize) -> u64 {
+    debug_assert_eq!(dims.len(), coord.len());
+    let mut col: u64 = 0;
+    for m in (0..dims.len()).rev() {
+        if m == mode {
+            continue;
+        }
+        col = col * dims[m] as u64 + coord[m] as u64;
+    }
+    col
+}
+
+/// Computes the full matricized index of entry `e` of `tensor` for `mode`.
+pub fn matricize_entry(tensor: &CooTensor, e: usize, mode: usize) -> MatricizedIndex {
+    let coord = tensor.coord(e);
+    MatricizedIndex {
+        row: coord[mode],
+        col: matricized_col(tensor.dims(), &coord, mode),
+    }
+}
+
+/// Number of columns of `X₍ₙ₎` (product of the other mode sizes).
+pub fn matricized_cols(dims: &[Idx], mode: usize) -> u64 {
+    dims.iter()
+        .enumerate()
+        .filter(|&(m, _)| m != mode)
+        .map(|(_, &d)| d as u64)
+        .product()
+}
+
+/// Densely matricizes a *small* tensor, returning a row-major
+/// `dims[mode] × matricized_cols` matrix. Validation only.
+///
+/// # Panics
+/// Panics if the dense matrix would exceed `1 << 24` elements.
+pub fn to_dense_matricized(tensor: &CooTensor, mode: usize) -> (usize, usize, Vec<f32>) {
+    let rows = tensor.dims()[mode] as usize;
+    let cols = matricized_cols(tensor.dims(), mode) as usize;
+    assert!(rows * cols <= 1 << 24, "matricization only for small tensors");
+    let mut dense = vec![0.0f32; rows * cols];
+    for e in 0..tensor.nnz() {
+        let mi = matricize_entry(tensor, e, mode);
+        dense[mi.row as usize * cols + mi.col as usize] += tensor.values()[e];
+    }
+    (rows, cols, dense)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn col_index_descending_convention() {
+        // dims (I,J,K) = (2,3,4), mode 0: col = k*J + j.
+        let dims = [2, 3, 4];
+        assert_eq!(matricized_col(&dims, &[1, 2, 3], 0), 3 * 3 + 2);
+        // mode 1: col = k*I + i.
+        assert_eq!(matricized_col(&dims, &[1, 2, 3], 1), 3 * 2 + 1);
+        // mode 2: col = j*I + i.
+        assert_eq!(matricized_col(&dims, &[1, 2, 3], 2), 2 * 2 + 1);
+    }
+
+    #[test]
+    fn cols_product() {
+        assert_eq!(matricized_cols(&[2, 3, 4], 0), 12);
+        assert_eq!(matricized_cols(&[2, 3, 4], 1), 8);
+        assert_eq!(matricized_cols(&[2, 3, 4], 2), 6);
+    }
+
+    #[test]
+    fn col_indices_are_unique_per_fiber() {
+        let t = CooTensor::random_uniform(&[6, 5, 4], 60, 11);
+        // Two entries with the same matricized (row, col) would be the same
+        // coordinate; since generator coordinates are distinct, all
+        // (row, col) pairs must be distinct.
+        let mut seen: Vec<(Idx, u64)> = (0..t.nnz())
+            .map(|e| {
+                let mi = matricize_entry(&t, e, 1);
+                (mi.row, mi.col)
+            })
+            .collect();
+        seen.sort_unstable();
+        let len = seen.len();
+        seen.dedup();
+        assert_eq!(seen.len(), len);
+    }
+
+    #[test]
+    fn dense_matricization_preserves_mass() {
+        let t = CooTensor::random_uniform(&[4, 5, 6], 40, 9);
+        for mode in 0..3 {
+            let (r, c, m) = to_dense_matricized(&t, mode);
+            assert_eq!(r, t.dims()[mode] as usize);
+            assert_eq!(c as u64, matricized_cols(t.dims(), mode));
+            let sum: f32 = m.iter().sum();
+            let expect: f32 = t.values().iter().sum();
+            assert!((sum - expect).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matricization_matches_dense_reshape_mode0() {
+        // For mode 0 with dims (I,J,K): X_(0)[i, k*J+j] = X[i,j,k].
+        let t = CooTensor::from_entries(
+            &[2, 3, 4],
+            &[(vec![1, 2, 3], 5.0), (vec![0, 1, 0], 2.0)],
+        );
+        let (_, cols, m) = to_dense_matricized(&t, 0);
+        assert_eq!(m[1 * cols + (3 * 3 + 2)], 5.0);
+        assert_eq!(m[0 * cols + (0 * 3 + 1)], 2.0);
+    }
+}

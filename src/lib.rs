@@ -1,0 +1,58 @@
+//! # ScalFrag
+//!
+//! A full-system Rust reproduction of *“ScalFrag: Efficient Tiled-MTTKRP
+//! with Adaptive Launching on GPUs”* (IEEE CLUSTER 2024).
+//!
+//! This facade crate re-exports every sub-crate of the workspace so that
+//! downstream users can depend on a single `scalfrag` crate:
+//!
+//! * [`tensor`] — sparse tensor formats (COO, CSF, HiCOO-lite), synthetic
+//!   FROSTT-like dataset generators, feature extraction and `.tns` I/O.
+//! * [`linalg`] — the small dense linear algebra CPD-ALS needs (Gram,
+//!   Hadamard, Khatri-Rao, pseudo-inverse).
+//! * [`gpusim`] — the GPU execution simulator substrate: device model,
+//!   occupancy, streams, copy engines and the analytic kernel cost model.
+//! * [`kernels`] — MTTKRP kernels (CPU reference, ParTI-style COO atomic,
+//!   ScalFrag shared-memory tiled, CSF) and the CPD-ALS driver.
+//! * [`autotune`] — the adaptive launching strategy: from-scratch ML models
+//!   (CART, bagging, AdaBoost.R2, kNN, ridge) mapping tensor features to
+//!   launch configurations.
+//! * [`pipeline`] — tensor segmentation, CUDA-stream-style scheduling and
+//!   the pipelined transfer/compute overlap of §IV-C.
+//! * [`core`] — the end-to-end [`core::ScalFrag`] framework facade and the
+//!   [`core::Parti`] baseline it is evaluated against.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scalfrag::prelude::*;
+//!
+//! // A small synthetic 3-way tensor, rank-8 factors.
+//! let tensor = CooTensor::random_uniform(&[64, 48, 32], 2_000, 1);
+//! let factors = FactorSet::random(tensor.dims(), 8, 42);
+//!
+//! // End-to-end MTTKRP through the ScalFrag stack (tiled kernel +
+//! // pipelined transfers) on a simulated RTX 3090. A fixed launch
+//! // configuration skips the adaptive-launch training for this example;
+//! // the default builder trains a DecisionTree predictor instead.
+//! let ctx = ScalFrag::builder().fixed_config(LaunchConfig::new(512, 256)).build();
+//! let report = ctx.mttkrp(&tensor, &factors, 0);
+//! assert!(report.timing.total_s > 0.0);
+//! ```
+
+pub use scalfrag_autotune as autotune;
+pub use scalfrag_core as core;
+pub use scalfrag_gpusim as gpusim;
+pub use scalfrag_kernels as kernels;
+pub use scalfrag_linalg as linalg;
+pub use scalfrag_pipeline as pipeline;
+pub use scalfrag_tensor as tensor;
+
+/// Convenient glob-importable re-exports of the most used types.
+pub mod prelude {
+    pub use scalfrag_core::{MttkrpReport, Parti, ScalFrag};
+    pub use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
+    pub use scalfrag_kernels::{FactorSet, MttkrpBackend};
+    pub use scalfrag_linalg::Mat;
+    pub use scalfrag_tensor::{CooTensor, CsfTensor, TensorFeatures};
+}
