@@ -88,11 +88,7 @@ mod tests {
         let mut tree = DecisionTree::new(8, 4);
         tree.fit(&x, &y);
         let imp = tree_importance(&tree, 2);
-        assert!(
-            imp.scores[0] > 0.8,
-            "feature 0 should dominate: {:?}",
-            imp.scores
-        );
+        assert!(imp.scores[0] > 0.8, "feature 0 should dominate: {:?}", imp.scores);
         let ranking = imp.ranking();
         assert_eq!(ranking[0].0, 0);
     }

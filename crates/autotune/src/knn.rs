@@ -32,11 +32,7 @@ impl KnnRegressor {
     }
 
     fn normalize(&self, features: &[f64]) -> Vec<f64> {
-        features
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v - self.mean[i]) / self.std[i])
-            .collect()
+        features.iter().enumerate().map(|(i, &v)| (v - self.mean[i]) / self.std[i]).collect()
     }
 }
 

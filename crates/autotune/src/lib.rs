@@ -30,9 +30,9 @@ pub mod predictor;
 pub mod ridge;
 pub mod sweep;
 pub mod trainer;
+pub mod tree;
 pub mod tuner;
 pub mod validate;
-pub mod tree;
 
 pub use boost::AdaBoostR2;
 pub use forest::BaggingForest;

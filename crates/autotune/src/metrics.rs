@@ -7,12 +7,7 @@
 /// Panics on empty or mismatched inputs.
 pub fn mape(truth: &[f64], pred: &[f64]) -> f64 {
     check(truth, pred);
-    100.0
-        * truth
-            .iter()
-            .zip(pred)
-            .map(|(&t, &p)| ((t - p) / t.abs().max(1e-12)).abs())
-            .sum::<f64>()
+    100.0 * truth.iter().zip(pred).map(|(&t, &p)| ((t - p) / t.abs().max(1e-12)).abs()).sum::<f64>()
         / truth.len() as f64
 }
 

@@ -61,9 +61,7 @@ pub fn save_tree(tree: &DecisionTree, mut w: impl Write) -> std::io::Result<()> 
 /// Reads a tree written by [`save_tree`].
 pub fn load_tree(r: impl Read) -> Result<DecisionTree, PersistError> {
     let mut lines = BufReader::new(r).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| PersistError::Format(1, "missing header".into()))??;
+    let header = lines.next().ok_or_else(|| PersistError::Format(1, "missing header".into()))??;
     let h: Vec<&str> = header.split_whitespace().collect();
     if h.len() != 5 || h[0] != "scalfrag-tree" || h[1] != "v1" {
         return Err(PersistError::Format(1, format!("bad header '{header}'")));
@@ -97,7 +95,10 @@ pub fn load_tree(r: impl Read) -> Result<DecisionTree, PersistError> {
         }
     }
     if nodes.len() != count {
-        return Err(PersistError::Format(0, format!("expected {count} nodes, got {}", nodes.len())));
+        return Err(PersistError::Format(
+            0,
+            format!("expected {count} nodes, got {}", nodes.len()),
+        ));
     }
     // Validate child indices.
     for (i, n) in nodes.iter().enumerate() {

@@ -87,7 +87,12 @@ mod tests {
             let cfg = p.predict(t, 0);
             assert!(cfg.validate(&d).is_ok());
             let sweep = sweep_tensor(&d, KernelFlavor::Tiled, t, 0, 16, &space);
-            let t_sel = KernelFlavor::Tiled.duration(&d, &scalfrag_kernels::SegmentStats::compute(t, 0), 16, cfg);
+            let t_sel = KernelFlavor::Tiled.duration(
+                &d,
+                &scalfrag_kernels::SegmentStats::compute(t, 0),
+                16,
+                cfg,
+            );
             let (_, t_best) = sweep.best();
             assert!(
                 t_sel / t_best < 2.0,
@@ -114,10 +119,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "non-empty")]
     fn empty_space_rejected() {
-        let _ = LaunchPredictor::from_model(
-            Box::new(DecisionTree::default_params()),
-            Vec::new(),
-            16,
-        );
+        let _ =
+            LaunchPredictor::from_model(Box::new(DecisionTree::default_params()), Vec::new(), 16);
     }
 }

@@ -113,10 +113,8 @@ pub fn sweep_stats(
     rank: u32,
     space: &[LaunchConfig],
 ) -> SweepResult {
-    let entries = space
-        .iter()
-        .map(|&cfg| (cfg, flavor.duration(device, stats, rank, cfg)))
-        .collect();
+    let entries =
+        space.iter().map(|&cfg| (cfg, flavor.duration(device, stats, rank, cfg))).collect();
     SweepResult { entries, flops: stats.flops(rank) }
 }
 
@@ -125,10 +123,7 @@ mod tests {
     use super::*;
 
     fn setup() -> (DeviceSpec, CooTensor) {
-        (
-            DeviceSpec::rtx3090(),
-            scalfrag_tensor::gen::zipf_slices(&[300, 200, 200], 20_000, 0.9, 1),
-        )
+        (DeviceSpec::rtx3090(), scalfrag_tensor::gen::zipf_slices(&[300, 200, 200], 20_000, 0.9, 1))
     }
 
     #[test]
@@ -144,11 +139,7 @@ mod tests {
         // The Fig. 4 shape: both the tiny-launch corner and the huge-grid
         // edge must lose to the optimum, which therefore sits inside.
         let time_at = |g: u32, b: u32| {
-            res.entries
-                .iter()
-                .find(|(c, _)| c.grid == g && c.block == b)
-                .map(|&(_, t)| t)
-                .unwrap()
+            res.entries.iter().find(|(c, _)| c.grid == g && c.block == b).map(|&(_, t)| t).unwrap()
         };
         assert!(time_at(32, 32) > 1.5 * t_best, "tiny corner should be slow");
         assert!(time_at(1 << 17, 256) > 1.1 * t_best, "huge grid should decline");

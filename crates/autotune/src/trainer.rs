@@ -2,7 +2,10 @@
 //! MTTKRP sweeps → collect data & train → evaluate.
 
 use crate::sweep::{sweep_tensor, KernelFlavor, SweepResult};
-use crate::{model_features, AdaBoostR2, BaggingForest, DecisionTree, KnnRegressor, Regressor, RidgeRegression};
+use crate::{
+    model_features, AdaBoostR2, BaggingForest, DecisionTree, KnnRegressor, Regressor,
+    RidgeRegression,
+};
 use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
 use scalfrag_tensor::{gen, CooTensor, TensorFeatures};
 use std::time::Instant;
@@ -24,9 +27,8 @@ pub struct CorpusItem {
 /// that range — a predictor asked about tensors far outside its training
 /// distribution extrapolates poorly, exactly like any hardware-measured
 /// auto-tuner.
-pub const DEFAULT_TIERS: &[usize] = &[
-    3_000, 8_000, 15_000, 30_000, 60_000, 125_000, 250_000, 500_000, 1_000_000, 2_000_000,
-];
+pub const DEFAULT_TIERS: &[usize] =
+    &[3_000, 8_000, 15_000, 30_000, 60_000, 125_000, 250_000, 500_000, 1_000_000, 2_000_000];
 
 /// Generates the training corpus ("Generating Tensors" of Fig. 7): for
 /// every nnz tier, tensors across orders, mode-size shapes (thin slices vs
@@ -206,8 +208,7 @@ pub fn train_and_evaluate(
             let (_, t_best) = item.sweep.best();
             ratios.push(t_chosen / t_best);
         }
-        let select_time_us =
-            t_sel0.elapsed().as_secs_f64() * 1e6 / selections.max(1) as f64;
+        let select_time_us = t_sel0.elapsed().as_secs_f64() * 1e6 / selections.max(1) as f64;
 
         evals.push(ModelEval {
             name: model.name(),
@@ -242,8 +243,13 @@ mod tests {
             train.iter().map(|i| i.tensor.order()).collect();
         assert!(orders.contains(&3) && orders.contains(&4));
         // Different optima exist in the corpus.
-        let bests: std::collections::HashSet<(u32, u32)> =
-            train.iter().map(|i| { let b = i.sweep.best().0; (b.grid, b.block) }).collect();
+        let bests: std::collections::HashSet<(u32, u32)> = train
+            .iter()
+            .map(|i| {
+                let b = i.sweep.best().0;
+                (b.grid, b.block)
+            })
+            .collect();
         assert!(bests.len() >= 2, "all tensors share one optimum — corpus too uniform");
     }
 

@@ -121,6 +121,9 @@ fn best_split(x: &[Vec<f64>], y: &[f64], idx: &[usize]) -> Option<(usize, f64)> 
     let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
 
     let mut order: Vec<usize> = idx.to_vec();
+    // `f` indexes the inner feature vectors, not `x` itself, so the
+    // iterator form clippy suggests would be wrong here.
+    #[allow(clippy::needless_range_loop)]
     for f in 0..num_features {
         order.sort_unstable_by(|&a, &b| x[a][f].partial_cmp(&x[b][f]).unwrap());
         // Prefix sums over the sorted order.
@@ -138,8 +141,9 @@ fn best_split(x: &[Vec<f64>], y: &[f64], idx: &[usize]) -> Option<(usize, f64)> 
             let nr = n - nl;
             let right_sum = total_sum - left_sum;
             let right_sq = total_sq - left_sq;
-            let sse = (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
-            if best.map_or(true, |(_, _, b)| sse < b) {
+            let sse =
+                (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+            if best.is_none_or(|(_, _, b)| sse < b) {
                 best = Some((f, 0.5 * (xv + xn), sse));
             }
         }

@@ -117,9 +117,8 @@ pub fn tune(
         }
         TuningStrategy::Random(n) => {
             assert!(n > 0, "random strategy needs at least one sample");
-            let mut state = 0x7ea5_e11e_d00d_f00du64
-                ^ (tensor.nnz() as u64)
-                ^ ((mode as u64) << 32);
+            let mut state =
+                0x7ea5_e11e_d00d_f00du64 ^ (tensor.nnz() as u64) ^ ((mode as u64) << 32);
             let mut best: Option<(LaunchConfig, f64)> = None;
             let mut cost = 0.0;
             for _ in 0..n {
@@ -129,7 +128,7 @@ pub fn tune(
                     continue;
                 }
                 cost += t;
-                if best.map_or(true, |(_, bt)| t < bt) {
+                if best.is_none_or(|(_, bt)| t < bt) {
                     best = Some((cfg, t));
                 }
             }
@@ -150,7 +149,7 @@ pub fn tune(
                     continue;
                 }
                 cost += t;
-                if best.map_or(true, |(_, bt)| t < bt) {
+                if best.is_none_or(|(_, bt)| t < bt) {
                     best = Some((i, t));
                 }
             }

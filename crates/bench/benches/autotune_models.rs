@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scalfrag_autotune::trainer::{generate_corpus, select_config, to_samples};
-use scalfrag_autotune::{AdaBoostR2, BaggingForest, DecisionTree, KnnRegressor, Regressor, RidgeRegression};
+use scalfrag_autotune::{
+    AdaBoostR2, BaggingForest, DecisionTree, KnnRegressor, Regressor, RidgeRegression,
+};
 use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
 
 fn bench_models(c: &mut Criterion) {

@@ -21,9 +21,7 @@ fn bench_pipeline(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
-    group.bench_function("plan_8_segments", |b| {
-        b.iter(|| PipelinePlan::new(&t, 0, cfg, 8, 4))
-    });
+    group.bench_function("plan_8_segments", |b| b.iter(|| PipelinePlan::new(&t, 0, cfg, 8, 4)));
     for segs in [2usize, 8, 16] {
         group.bench_with_input(BenchmarkId::new("dry_execute", segs), &segs, |b, &segs| {
             let plan = PipelinePlan::new(&t, 0, cfg, segs, 4.min(segs));

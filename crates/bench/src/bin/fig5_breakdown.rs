@@ -30,10 +30,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["Tensor", "H2D", "Kernel", "D2H", "H2D%", "Kernel%", "D2H%"],
-            &rows
-        )
+        render_table(&["Tensor", "H2D", "Kernel", "D2H", "H2D%", "Kernel%", "D2H%"], &rows)
     );
     println!("Expected shape (paper): H2D dominates the end-to-end time on every");
     println!("tensor, kernel second, D2H smallest — which motivates pipelining.");

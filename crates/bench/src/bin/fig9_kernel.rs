@@ -60,7 +60,8 @@ fn main() {
         rows.push(row);
     }
 
-    let mut headers = vec!["Tensor", "nnz", "ParTI GF/s", "ScalFrag GF/s", "Speedup", "Chosen launch"];
+    let mut headers =
+        vec!["Tensor", "nnz", "ParTI GF/s", "ScalFrag GF/s", "Speedup", "Chosen launch"];
     if ablate {
         headers.push("AdaptOnly");
         headers.push("TiledOnly");
@@ -85,14 +86,8 @@ fn main() {
     by_size.sort_by_key(|s| s.2);
     let small_avg: f64 = by_size[..3].iter().map(|s| s.1).sum::<f64>() / 3.0;
     let large_avg: f64 = by_size[by_size.len() - 3..].iter().map(|s| s.1).sum::<f64>() / 3.0;
-    println!(
-        "Mean speedup, 3 smallest tensors: {small_avg:.2}x; 3 largest: {large_avg:.2}x"
-    );
-    println!(
-        "(Paper attributes the spread to tensor size; in this reproduction the"
-    );
-    println!(
-        "spread tracks slice skew — the atomic relief of the tiled kernel — which"
-    );
+    println!("Mean speedup, 3 smallest tensors: {small_avg:.2}x; 3 largest: {large_avg:.2}x");
+    println!("(Paper attributes the spread to tensor size; in this reproduction the");
+    println!("spread tracks slice skew — the atomic relief of the tiled kernel — which");
     println!("correlates with the same dataset split. See EXPERIMENTS.md.)");
 }

@@ -22,9 +22,14 @@ fn main() {
     for (name, tensor) in scaled_suite() {
         let stats = SegmentStats::compute(&tensor, 0);
         let t_coo = kernel_duration(&device, &cfg, &coo_atomic_workload(&stats, RANK as u32)).total;
-        let tiled_cfg = LaunchConfig::with_shared(cfg.grid, cfg.block, tiled_smem_bytes(RANK as u32, cfg.block));
+        let tiled_cfg = LaunchConfig::with_shared(
+            cfg.grid,
+            cfg.block,
+            tiled_smem_bytes(RANK as u32, cfg.block),
+        );
         let t_tiled =
-            kernel_duration(&device, &tiled_cfg, &tiled_workload(&stats, RANK as u32, cfg.block)).total;
+            kernel_duration(&device, &tiled_cfg, &tiled_workload(&stats, RANK as u32, cfg.block))
+                .total;
 
         let fcoo = FCooTensor::from_coo(&tensor, 0, 1024);
         let t_fcoo = kernel_duration(
@@ -50,9 +55,8 @@ fn main() {
         )
         .total;
 
-        let best = [t_coo, t_fcoo, t_hicoo, t_tiled, t_csf]
-            .into_iter()
-            .fold(f64::INFINITY, f64::min);
+        let best =
+            [t_coo, t_fcoo, t_hicoo, t_tiled, t_csf].into_iter().fold(f64::INFINITY, f64::min);
         let mark = |t: f64| {
             if (t - best).abs() < 1e-12 {
                 format!("{:.1}µs *", t * 1e6)
@@ -88,10 +92,7 @@ fn main() {
         )
     );
     println!("Storage footprint:");
-    println!(
-        "{}",
-        render_table(&["Tensor", "COO", "F-COO", "HiCOO", "CSF"], &mem_rows)
-    );
+    println!("{}", render_table(&["Tensor", "COO", "F-COO", "HiCOO", "CSF"], &mem_rows));
     println!("Expected shape: the tiled kernel leads on skewed tensors (atomic");
     println!("relief); CSF/F-COO win when slices are long and balanced; HiCOO");
     println!("compresses the clustered tensors (enron) best.");

@@ -21,7 +21,8 @@ fn main() {
     println!("Corpus: synthetic tensors across sizes/orders/sparsity regimes,");
     println!("labelled by full launch-space sweeps (Fig. 7 pipeline).\n");
 
-    let train = generate_corpus(&device, RANK as u32, &space, scalfrag_autotune::trainer::DEFAULT_TIERS, 1);
+    let train =
+        generate_corpus(&device, RANK as u32, &space, scalfrag_autotune::trainer::DEFAULT_TIERS, 1);
     let test = generate_corpus(&device, RANK as u32, &space, &[8_000, 120_000, 600_000], 0xdead);
     println!(
         "train: {} tensor-mode pairs x {} configs; test: {} pairs\n",
@@ -91,8 +92,5 @@ fn main() {
         scalfrag_bench::fmt_time(r.timing.total_s),
         frac
     );
-    println!(
-        "DecisionTree training time: {:.3}s  (paper: < 0.5 s, one-off)",
-        tree.train_time_s
-    );
+    println!("DecisionTree training time: {:.3}s  (paper: < 0.5 s, one-off)", tree.train_time_s);
 }

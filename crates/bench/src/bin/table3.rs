@@ -21,7 +21,9 @@ fn human(n: u64) -> String {
 }
 
 fn main() {
-    println!("Table III: tensors used for evaluation (paper originals vs scaled synthetic stand-ins)\n");
+    println!(
+        "Table III: tensors used for evaluation (paper originals vs scaled synthetic stand-ins)\n"
+    );
     let mut rows = Vec::new();
     for p in frostt::all_presets() {
         let scale = effective_scale(&p);

@@ -56,10 +56,7 @@ fn main() {
             format!("{:.3}ms", cost_sums[si] * 1e3),
         ]);
     }
-    println!(
-        "{}",
-        render_table(&["Strategy", "Mean quality", "Total measuring cost"], &srows)
-    );
+    println!("{}", render_table(&["Strategy", "Mean quality", "Total measuring cost"], &srows));
     println!("Expected shape: the model reaches near-exhaustive quality at zero");
     println!("measuring cost; random search needs many samples to close the gap.");
 }

@@ -13,6 +13,7 @@
 //! | Fig. 10  | `fig10_e2e`             | end-to-end time, ScalFrag vs ParTI      |
 //! | Fig. 11  | `fig11_segments_streams`| segment/stream count sensitivity        |
 //! | §IV-B    | `model_eval`            | model zoo MAPE / train / infer times    |
+//! | Fig. 12  | `fig12_multi_gpu`       | multi-GPU scaling + scheduling (ext.)   |
 //!
 //! Criterion benches (`cargo bench`) measure the wall-clock hot paths of
 //! the implementation itself (kernels, models, tensor ops, scheduling).
@@ -85,10 +86,7 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         out.push('\n');
     };
     line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    line(
-        &mut out,
-        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
-    );
+    line(&mut out, &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(&mut out, row);
     }
@@ -107,6 +105,7 @@ pub fn write_svg(name: &str, svg: &str) -> std::io::Result<String> {
 
 /// Formats seconds adaptively (`µs` / `ms` / `s`).
 pub fn fmt_time(seconds: f64) -> String {
+    let seconds = seconds + 0.0; // normalise -0.0 so it never prints a sign
     if seconds < 1e-3 {
         format!("{:.1}µs", seconds * 1e6)
     } else if seconds < 1.0 {

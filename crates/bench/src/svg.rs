@@ -2,6 +2,11 @@
 //! charts (Figs. 9/10) and heatmaps (Fig. 4) written as standalone `.svg`
 //! files, with no external dependencies.
 
+// The renderer emits one SVG element per `write!`, each terminated by a
+// literal newline inside the format string; `writeln!` would scatter the
+// line structure of the multi-line templates.
+#![allow(clippy::write_with_newline)]
+
 use std::fmt::Write as _;
 
 /// Chart margins and geometry.

@@ -1,0 +1,472 @@
+//! Multi-device MTTKRP execution: shard → per-device pipeline → reduce.
+//!
+//! Every device runs its assigned shards through the same per-segment
+//! H2D/kernel pipeline the single-GPU executor uses (one simulated [`Gpu`]
+//! per device, PCIe bandwidth derated by the node's interconnect model).
+//! Partial outputs are kept **per shard**, not per device, and folded on
+//! the host in shard-index order — so the numeric result is bitwise
+//! invariant to the device count and the scheduler, which only move work
+//! between timelines.
+//!
+//! The reduction stage depends on the shard policy:
+//!
+//! * slice-aligned shards own disjoint output rows; each device returns
+//!   exactly its final row block and the merge costs nothing;
+//! * nnz-balanced shards overlap on rows; every shard's full partial
+//!   output returns D2H and the host pays one add per extra shard — or,
+//!   with peer links, partials gather device-to-device and only the merged
+//!   result crosses PCIe.
+
+use crate::node::{Interconnect, NodeSpec};
+use crate::schedule::{assign_shards, DeviceScheduler};
+use crate::shard::{shard_tensor, Shard, ShardPolicy};
+use scalfrag_gpusim::{Gpu, LaunchConfig, StreamId, Timeline};
+use scalfrag_kernels::{AtomicF32Buffer, FactorSet};
+use scalfrag_linalg::Mat;
+use scalfrag_pipeline::KernelChoice;
+use scalfrag_tensor::{segment::segment_by_nnz, CooTensor};
+use std::sync::Arc;
+
+/// Execution knobs of one cluster MTTKRP.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterOptions {
+    /// Kernel launched per segment (tiled or ParTI-style atomic COO).
+    pub kernel: KernelChoice,
+    /// How the tensor is cut into shards.
+    pub policy: ShardPolicy,
+    /// How shards are placed on devices.
+    pub scheduler: DeviceScheduler,
+    /// Shard count. Fixing this independently of the device count keeps
+    /// the numeric output bitwise identical across node sizes.
+    pub num_shards: usize,
+    /// Pipeline segments per shard (transfer/compute overlap within a
+    /// device).
+    pub segments_per_shard: usize,
+    /// Streams per device.
+    pub streams_per_device: usize,
+    /// Kernel launch configuration (shared by all devices).
+    pub config: LaunchConfig,
+}
+
+impl ClusterOptions {
+    /// Paper-style defaults: tiled kernel, slice-aligned shards, LPT
+    /// placement, 2 segments per shard on 2 streams.
+    pub fn new(config: LaunchConfig, num_shards: usize) -> Self {
+        assert!(num_shards > 0, "need at least one shard");
+        Self {
+            kernel: KernelChoice::Tiled,
+            policy: ShardPolicy::SliceAligned,
+            scheduler: DeviceScheduler::Lpt,
+            num_shards,
+            segments_per_shard: 2,
+            streams_per_device: 2,
+            config,
+        }
+    }
+}
+
+/// One device's slice of a cluster execution.
+#[derive(Clone, Debug)]
+pub struct DeviceRun {
+    /// Marketing name of the simulated device.
+    pub device_name: &'static str,
+    /// Global indices of the shards this device executed (ascending).
+    pub shard_indices: Vec<usize>,
+    /// This device's timeline (empty if it received no shards).
+    pub timeline: Timeline,
+}
+
+impl DeviceRun {
+    /// Simulated seconds this device was busy end-to-end.
+    pub fn makespan(&self) -> f64 {
+        self.timeline.makespan()
+    }
+}
+
+/// The result of one multi-device MTTKRP.
+#[derive(Clone, Debug)]
+pub struct ClusterRun {
+    /// The MTTKRP output `M ∈ ℝ^{Iₙ × F}` (zeros for dry runs).
+    pub output: Mat,
+    /// Per-device runs, index-aligned with the node's device list.
+    pub devices: Vec<DeviceRun>,
+    /// Simulated seconds of the cross-shard reduction stage (0 for
+    /// slice-aligned shards).
+    pub reduction_s: f64,
+    /// Number of shards actually cut (≤ the requested count).
+    pub num_shards: usize,
+}
+
+impl ClusterRun {
+    /// Cluster makespan: the slowest device plus the reduction stage.
+    pub fn makespan(&self) -> f64 {
+        self.compute_makespan() + self.reduction_s
+    }
+
+    /// Makespan of the compute phase alone (slowest device).
+    pub fn compute_makespan(&self) -> f64 {
+        self.devices.iter().map(DeviceRun::makespan).fold(0.0, f64::max)
+    }
+
+    /// Busy seconds summed across devices as `(h2d, kernel, d2h, host)`.
+    pub fn breakdown(&self) -> (f64, f64, f64, f64) {
+        let mut acc = (0.0, 0.0, 0.0, 0.0);
+        for d in &self.devices {
+            let (h2d, kernel, d2h, host) = d.timeline.breakdown();
+            acc.0 += h2d;
+            acc.1 += kernel;
+            acc.2 += d2h;
+            acc.3 += host;
+        }
+        acc
+    }
+}
+
+/// Executes one MTTKRP across the node's devices (functional: the output
+/// is numerically real).
+pub fn execute_cluster(
+    node: &NodeSpec,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    opts: &ClusterOptions,
+) -> ClusterRun {
+    execute_cluster_impl(node, tensor, factors, mode, opts, true)
+}
+
+/// Timing-only variant of [`execute_cluster`] for benchmark sweeps: the
+/// schedule and simulated clock are identical, the output stays zero.
+pub fn execute_cluster_dry(
+    node: &NodeSpec,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    opts: &ClusterOptions,
+) -> ClusterRun {
+    execute_cluster_impl(node, tensor, factors, mode, opts, false)
+}
+
+fn execute_cluster_impl(
+    node: &NodeSpec,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    opts: &ClusterOptions,
+    functional: bool,
+) -> ClusterRun {
+    assert!(opts.segments_per_shard > 0, "need at least one segment per shard");
+    assert!(opts.streams_per_device > 0, "need at least one stream per device");
+    let rank = factors.rank();
+    let rows = tensor.dims()[mode] as usize;
+    let out_bytes = (rows * rank * 4) as u64;
+
+    let mut sorted = tensor.clone();
+    sorted.sort_for_mode(mode);
+    let shards = shard_tensor(&sorted, mode, opts.policy, opts.num_shards);
+    let assignment = assign_shards(&shards, node, opts.scheduler, rank);
+
+    // Per-SHARD partial outputs (not per device): the fold below walks
+    // them in shard order, making numerics independent of placement.
+    let buffers: Vec<Arc<AtomicF32Buffer>> = shards
+        .iter()
+        .map(|_| Arc::new(AtomicF32Buffer::new(if functional { rows * rank } else { 0 })))
+        .collect();
+    let factors_arc = Arc::new(factors.clone());
+
+    // Peer-linked nodes gather row-overlapping partials device-to-device,
+    // so the per-shard D2H hop disappears from the device timelines.
+    let peer_reduce =
+        opts.policy == ShardPolicy::NnzBalanced && node.peer_bandwidth_gbs().is_some();
+
+    let mut devices = Vec::with_capacity(node.num_devices());
+    for (d, shard_indices) in assignment.iter().enumerate() {
+        let spec = node.effective_device(d);
+        let device_name = spec.name;
+        if shard_indices.is_empty() {
+            devices.push(DeviceRun {
+                device_name,
+                shard_indices: Vec::new(),
+                timeline: Timeline::default(),
+            });
+            continue;
+        }
+
+        let mut gpu = Gpu::with_host(spec, node.host.clone());
+        let streams: Vec<StreamId> =
+            (0..opts.streams_per_device).map(|_| gpu.create_stream()).collect();
+        // Returning partials on a dedicated stream keeps the per-shard
+        // D2H waits off the worker streams — otherwise a later shard's
+        // H2D queued behind the wait would stall until the earlier
+        // shard's kernels finish, serialising the pipeline at every
+        // shard boundary.
+        let d2h_stream = gpu.create_stream();
+        let mut allocs = Vec::new();
+        allocs.push(
+            gpu.memory()
+                .alloc(factors.byte_size() as u64)
+                .expect("factor matrices must fit on each device"),
+        );
+
+        // Factors travel once per device; all streams wait for them.
+        gpu.h2d(streams[0], factors.byte_size() as u64, "factors H2D");
+        let factors_ready = gpu.record_event(streams[0]);
+        for &s in &streams[1..] {
+            gpu.wait_event(s, factors_ready);
+        }
+
+        let mut next_stream = 0usize;
+        for &si in shard_indices {
+            let shard = &shards[si];
+            allocs.push(
+                gpu.memory()
+                    .alloc(shard_output_bytes(shard, rank, out_bytes))
+                    .expect("shard output must fit"),
+            );
+            let segments = segment_by_nnz(shard.nnz(), opts.segments_per_shard);
+            let mut kernel_done = Vec::with_capacity(segments.len());
+            for (j, seg) in segments.iter().enumerate() {
+                let stream = streams[next_stream % streams.len()];
+                next_stream += 1;
+                let piece = Arc::new(shard.tensor.slice_range(seg.start, seg.end));
+                let bytes = seg.byte_size(sorted.order());
+                allocs.push(gpu.memory().alloc(bytes as u64).expect("segment must fit"));
+                gpu.h2d(stream, bytes as u64, format!("shard{si} seg{j} H2D"));
+                opts.kernel.enqueue(
+                    &mut gpu,
+                    stream,
+                    opts.config,
+                    piece,
+                    Arc::clone(&factors_arc),
+                    mode,
+                    functional.then(|| Arc::clone(&buffers[si])),
+                    format!("shard{si} seg{j} kernel"),
+                );
+                kernel_done.push(gpu.record_event(stream));
+            }
+            if !peer_reduce {
+                // The shard's partial result returns on the host link:
+                // only its owned rows when slice-aligned, the full
+                // partial matrix when rows may straddle shards.
+                for ev in kernel_done {
+                    gpu.wait_event(d2h_stream, ev);
+                }
+                gpu.d2h(
+                    d2h_stream,
+                    shard_output_bytes(&shards[si], rank, out_bytes),
+                    format!("shard{si} D2H"),
+                );
+            }
+        }
+
+        let timeline = gpu.synchronize();
+        for a in allocs {
+            gpu.memory().free(a);
+        }
+        devices.push(DeviceRun { device_name, shard_indices: shard_indices.clone(), timeline });
+    }
+
+    let reduction_s = reduction_seconds(node, &shards, &assignment, rows, rank);
+    let output = if functional {
+        fold_partials(&shards, &buffers, rows, rank)
+    } else {
+        Mat::zeros(rows, rank)
+    };
+
+    ClusterRun { output, devices, reduction_s, num_shards: shards.len() }
+}
+
+/// Bytes of one shard's D2H result: its owned row block when slice-aligned,
+/// the full partial output otherwise.
+fn shard_output_bytes(shard: &Shard, rank: usize, full_out_bytes: u64) -> u64 {
+    match shard.rows {
+        Some((lo, hi)) => ((hi - lo + 1) as u64) * rank as u64 * 4,
+        None => full_out_bytes,
+    }
+}
+
+/// Host-side fold of the per-shard partial outputs, in shard-index order.
+/// Slice-aligned shards copy their disjoint row blocks (bit-preserving);
+/// nnz-balanced shards sum, giving a deterministic shard-ordered
+/// accumulation.
+fn fold_partials(
+    shards: &[Shard],
+    buffers: &[Arc<AtomicF32Buffer>],
+    rows: usize,
+    rank: usize,
+) -> Mat {
+    let mut out = Mat::zeros(rows, rank);
+    for shard in shards {
+        let partial = buffers[shard.index].to_vec();
+        match shard.rows {
+            Some((lo, hi)) => {
+                for r in lo as usize..=hi as usize {
+                    out.row_mut(r).copy_from_slice(&partial[r * rank..(r + 1) * rank]);
+                }
+            }
+            None => out.axpy(1.0, &Mat::from_vec(rows, rank, partial)),
+        }
+    }
+    out
+}
+
+/// Analytic cost of the cross-shard reduction stage.
+fn reduction_seconds(
+    node: &NodeSpec,
+    shards: &[Shard],
+    assignment: &[Vec<usize>],
+    rows: usize,
+    rank: usize,
+) -> f64 {
+    let num_shards = shards.len();
+    if num_shards <= 1 {
+        return 0.0;
+    }
+    // Slice-aligned shards own disjoint rows: the per-shard D2H copies in
+    // the device timelines already returned the final rows.
+    if shards.iter().all(|s| s.rows.is_some()) {
+        return 0.0;
+    }
+    let bytes = (rows * rank * 4) as f64;
+    let extra = (num_shards - 1) as f64;
+    match node.interconnect {
+        Interconnect::PerLinkPcie | Interconnect::SharedHost { .. } => {
+            // Host sums S partial matrices: one add per extra shard,
+            // streaming two operands in and one result out.
+            extra * node.host.task_duration_s((rows * rank) as u64, 3 * (rows * rank * 4) as u64)
+        }
+        Interconnect::PeerLinks { peer_gbs } => {
+            // Gather on the device owning shard 0: off-root partials hop
+            // one peer link each, every extra shard costs one device-side
+            // add, and the merged matrix crosses PCIe once.
+            let root = assignment.iter().position(|list| list.contains(&0)).unwrap_or(0);
+            let off_root =
+                shards.iter().skip(1).filter(|s| !assignment[root].contains(&s.index)).count()
+                    as f64;
+            let gather = off_root * bytes / (peer_gbs * 1e9);
+            let root_spec = node.effective_device(root);
+            let adds = extra * 3.0 * bytes / (root_spec.mem_bandwidth_gbs * 1e9);
+            let d2h = root_spec.pcie_latency_us * 1e-6 + bytes / (root_spec.pcie_d2h_gbs * 1e9);
+            gather + adds + d2h
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalfrag_gpusim::DeviceSpec;
+    use scalfrag_kernels::reference::mttkrp_seq;
+
+    fn setup() -> (CooTensor, FactorSet) {
+        let dims = [120u32, 90, 70];
+        let t = scalfrag_tensor::gen::zipf_slices(&dims, 9_000, 0.8, 41);
+        let f = FactorSet::random(&dims, 8, 42);
+        (t, f)
+    }
+
+    fn opts(policy: ShardPolicy, kernel: KernelChoice) -> ClusterOptions {
+        let mut o = ClusterOptions::new(LaunchConfig::new(512, 256), 4);
+        o.policy = policy;
+        o.kernel = kernel;
+        o
+    }
+
+    #[test]
+    fn slice_aligned_output_matches_reference() {
+        let (t, f) = setup();
+        let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 2);
+        let run = execute_cluster(
+            &node,
+            &t,
+            &f,
+            0,
+            &opts(ShardPolicy::SliceAligned, KernelChoice::Tiled),
+        );
+        let mut sorted = t.clone();
+        sorted.sort_for_mode(0);
+        let expect = mttkrp_seq(&sorted, &f, 0);
+        assert!(run.output.max_abs_diff(&expect) < 1e-2);
+        assert_eq!(run.reduction_s, 0.0, "slice-aligned reduce is free");
+        for d in &run.devices {
+            assert!(d.timeline.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn nnz_balanced_pays_for_reduction() {
+        let (t, f) = setup();
+        let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 2);
+        let run =
+            execute_cluster(&node, &t, &f, 0, &opts(ShardPolicy::NnzBalanced, KernelChoice::Tiled));
+        let mut sorted = t.clone();
+        sorted.sort_for_mode(0);
+        let expect = mttkrp_seq(&sorted, &f, 0);
+        assert!(run.output.max_abs_diff(&expect) < 1e-2);
+        assert!(run.reduction_s > 0.0, "cross-shard rows must cost a reduction");
+    }
+
+    #[test]
+    fn output_is_bitwise_invariant_to_device_count() {
+        let (t, f) = setup();
+        let o = opts(ShardPolicy::SliceAligned, KernelChoice::CooAtomic);
+        let outputs: Vec<Vec<f32>> = [1usize, 2, 3]
+            .iter()
+            .map(|&n| {
+                let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), n);
+                execute_cluster(&node, &t, &f, 0, &o).output.into_vec()
+            })
+            .collect();
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+    }
+
+    #[test]
+    fn dry_run_matches_functional_timing_and_computes_nothing() {
+        let (t, f) = setup();
+        let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 2);
+        let o = opts(ShardPolicy::SliceAligned, KernelChoice::Tiled);
+        let wet = execute_cluster(&node, &t, &f, 0, &o);
+        let dry = execute_cluster_dry(&node, &t, &f, 0, &o);
+        assert_eq!(wet.makespan(), dry.makespan());
+        assert_eq!(dry.output.frob_norm(), 0.0);
+    }
+
+    #[test]
+    fn peer_links_cheapen_the_nnz_balanced_reduction() {
+        // Output large enough for bandwidth (not PCIe latency) to dominate
+        // the reduction: 4000 rows × rank 32 ≈ 512 KB of partial output.
+        let dims = [4_000u32, 90, 70];
+        let t = scalfrag_tensor::gen::zipf_slices(&dims, 20_000, 0.8, 41);
+        let f = FactorSet::random(&dims, 32, 42);
+        let base = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 2)
+            .with_interconnect(Interconnect::PerLinkPcie);
+        let peered = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 2)
+            .with_interconnect(Interconnect::PeerLinks { peer_gbs: 300.0 });
+        let o = opts(ShardPolicy::NnzBalanced, KernelChoice::Tiled);
+        let host_path = execute_cluster_dry(&base, &t, &f, 0, &o);
+        let peer_path = execute_cluster_dry(&peered, &t, &f, 0, &o);
+        assert!(
+            peer_path.reduction_s < host_path.reduction_s,
+            "peer gather {} should beat host adds {}",
+            peer_path.reduction_s,
+            host_path.reduction_s
+        );
+        // Peer reduction also drops the per-shard D2H hops from the device
+        // timelines, so the end-to-end makespan improves as well.
+        assert!(peer_path.makespan() < host_path.makespan());
+    }
+
+    #[test]
+    fn devices_beyond_shard_count_stay_idle() {
+        let (t, f) = setup();
+        let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 6);
+        let mut o = opts(ShardPolicy::SliceAligned, KernelChoice::Tiled);
+        o.num_shards = 2;
+        let run = execute_cluster_dry(&node, &t, &f, 0, &o);
+        let idle = run.devices.iter().filter(|d| d.shard_indices.is_empty()).count();
+        assert!(idle >= 4, "only 2 shards: at least 4 of 6 devices idle");
+        for d in run.devices.iter().filter(|d| d.shard_indices.is_empty()) {
+            assert_eq!(d.makespan(), 0.0);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # scalfrag-cluster
+//!
+//! Multi-GPU sharded MTTKRP on the simulated-GPU substrate: one tensor,
+//! `N` simulated devices, an interconnect model, and a reduction stage —
+//! the strong-scaling extension of the single-device ScalFrag pipeline.
+//!
+//! The flow mirrors the single-GPU stack, lifted one level:
+//!
+//! 1. **Node model** ([`node`]) — `N` (possibly heterogeneous) devices
+//!    behind a host, with per-link PCIe, shared-host-bandwidth contention,
+//!    or NVLink-style peer lanes.
+//! 2. **Sharding** ([`shard`]) — the mode-sorted COO tensor is cut into
+//!    contiguous shards, either perfectly nnz-balanced or aligned to slice
+//!    boundaries so output rows never straddle devices.
+//! 3. **Scheduling** ([`schedule`]) — shards are placed round-robin or by
+//!    speed-weighted LPT (which is what makes a 3090 + 3060 node finish
+//!    together instead of waiting on the slow card).
+//! 4. **Execution** ([`executor`]) — each device pipelines its shards
+//!    H2D → kernel per segment on its own streams, exactly like the
+//!    single-GPU executor; partial outputs are kept per shard.
+//! 5. **Reduction** ([`executor`]) — slice-aligned shards merge for free
+//!    (disjoint rows); nnz-balanced shards pay a modeled D2H + host-add,
+//!    or a peer-to-peer gather when the node has peer links.
+//!
+//! Numerics are decoupled from placement: partial outputs live per
+//! *shard* and fold in shard-index order, so for a fixed shard count the
+//! result is bitwise identical across device counts and schedulers.
+
+pub mod executor;
+pub mod node;
+pub mod schedule;
+pub mod shard;
+
+pub use executor::{execute_cluster, execute_cluster_dry, ClusterOptions, ClusterRun, DeviceRun};
+pub use node::{Interconnect, NodeSpec};
+pub use schedule::{assign_shards, DeviceScheduler};
+pub use shard::{shard_tensor, Shard, ShardPolicy};

@@ -1,0 +1,150 @@
+//! Device-level shard scheduling: which device runs which shard.
+//!
+//! Round-robin is oblivious to both shard sizes and device speeds; LPT
+//! (longest processing time first) greedily places the heaviest remaining
+//! shard on the device with the earliest projected finish, using the
+//! node's end-to-end speed proxy (effective host link + kernel memory
+//! bandwidth, see [`NodeSpec::device_speed_proxy`]) — on equal PCIe links
+//! a 3090 still retires a shard faster than a 3060, but only by the
+//! kernel term, not by the raw 2.6× memory-bandwidth ratio.
+
+use crate::node::NodeSpec;
+use crate::shard::Shard;
+
+/// The shard-to-device placement policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeviceScheduler {
+    /// Shard `i` on device `i mod N` — ignores shard size and device speed.
+    RoundRobin,
+    /// Longest-processing-time-first onto the least-loaded device,
+    /// speed-weighted; the classic 4/3-approximation for makespan on
+    /// uniform machines.
+    Lpt,
+}
+
+/// Assigns shards to the node's devices for an MTTKRP at CPD rank `rank`
+/// (the rank sets how compute-bound the kernel is, and therefore how much
+/// LPT should favour faster devices). Returns one shard-index list per
+/// device, each sorted ascending (devices execute their shards in global
+/// shard order, which keeps the numeric fold order scheduler-invariant).
+pub fn assign_shards(
+    shards: &[Shard],
+    node: &NodeSpec,
+    scheduler: DeviceScheduler,
+    rank: usize,
+) -> Vec<Vec<usize>> {
+    let n = node.num_devices();
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); n];
+    match scheduler {
+        DeviceScheduler::RoundRobin => {
+            for shard in shards {
+                assignment[shard.index % n].push(shard.index);
+            }
+        }
+        DeviceScheduler::Lpt => {
+            // Speed proxy: effective end-to-end throughput (host link +
+            // kernel bandwidth). Projected finish = assigned nnz / speed.
+            let speeds: Vec<f64> = (0..n).map(|d| node.device_speed_proxy(d, rank)).collect();
+            let mut order: Vec<usize> = (0..shards.len()).collect();
+            // Heaviest first; ties broken by shard index for determinism.
+            order.sort_by(|&a, &b| shards[b].nnz().cmp(&shards[a].nnz()).then(a.cmp(&b)));
+            let mut load = vec![0.0f64; n];
+            for s in order {
+                let cost = |d: usize| (load[d] + shards[s].nnz() as f64) / speeds[d];
+                let best = (0..n)
+                    .min_by(|&a, &b| {
+                        cost(a).partial_cmp(&cost(b)).expect("finite loads").then(a.cmp(&b))
+                    })
+                    .expect("node has devices");
+                load[best] += shards[s].nnz() as f64;
+                assignment[best].push(s);
+            }
+            for list in &mut assignment {
+                list.sort_unstable();
+            }
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shard::{shard_tensor, ShardPolicy};
+    use scalfrag_gpusim::DeviceSpec;
+
+    fn shards(num: usize) -> Vec<Shard> {
+        let mut t = scalfrag_tensor::gen::zipf_slices(&[80, 50, 40], 6_000, 1.1, 23);
+        t.sort_for_mode(0);
+        shard_tensor(&t, 0, ShardPolicy::SliceAligned, num)
+    }
+
+    fn assigned_nnz(shards: &[Shard], list: &[usize]) -> usize {
+        list.iter().map(|&s| shards[s].nnz()).sum()
+    }
+
+    #[test]
+    fn round_robin_cycles_devices() {
+        let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 3);
+        let s = shards(7);
+        let a = assign_shards(&s, &node, DeviceScheduler::RoundRobin, 16);
+        for (d, list) in a.iter().enumerate() {
+            for &i in list {
+                assert_eq!(i % 3, d);
+            }
+        }
+    }
+
+    #[test]
+    fn every_shard_assigned_exactly_once() {
+        let node = NodeSpec::heterogeneous(vec![DeviceSpec::rtx3090(), DeviceSpec::rtx3060()]);
+        let s = shards(8);
+        for sched in [DeviceScheduler::RoundRobin, DeviceScheduler::Lpt] {
+            let a = assign_shards(&s, &node, sched, 16);
+            let mut seen = vec![false; s.len()];
+            for list in &a {
+                for &i in list {
+                    assert!(!seen[i], "shard {i} assigned twice under {sched:?}");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.into_iter().all(|x| x), "unassigned shard under {sched:?}");
+        }
+    }
+
+    #[test]
+    fn lpt_weights_by_device_speed() {
+        // 3090 vs 3060 share the PCIe generation, so the end-to-end proxy
+        // tilts toward the 3090 by the kernel term only — mildly at rank
+        // 16 (link-bound), decisively at rank 64 (compute-bound, where
+        // the raw memory-bandwidth ratio is 2.6×).
+        let node = NodeSpec::heterogeneous(vec![DeviceSpec::rtx3090(), DeviceSpec::rtx3060()]);
+        let s = shards(8);
+        let total: usize = s.iter().map(Shard::nnz).sum();
+        let frac = |rank: usize| {
+            let a = assign_shards(&s, &node, DeviceScheduler::Lpt, rank);
+            assigned_nnz(&s, &a[0]) as f64 / total as f64
+        };
+        let at16 = frac(16);
+        let at64 = frac(64);
+        assert!(
+            (0.5..0.95).contains(&at64),
+            "fast device should carry the bulk at rank 64, got {at64}"
+        );
+        assert!(at64 >= at16, "higher rank must not reduce the tilt");
+        let rr = assign_shards(&s, &node, DeviceScheduler::RoundRobin, 64);
+        let rr_fast = assigned_nnz(&s, &rr[0]) as f64 / total as f64;
+        assert!(at64 > rr_fast, "LPT must shift load toward the fast device");
+    }
+
+    #[test]
+    fn lpt_balances_homogeneous_devices() {
+        let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 4);
+        let s = shards(8);
+        let a = assign_shards(&s, &node, DeviceScheduler::Lpt, 16);
+        let loads: Vec<usize> = a.iter().map(|l| assigned_nnz(&s, l)).collect();
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        assert!(max / min.max(1.0) < 2.0, "LPT loads too skewed: {loads:?}");
+    }
+}

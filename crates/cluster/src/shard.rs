@@ -1,0 +1,148 @@
+//! Tensor sharding: partitioning one COO tensor into contiguous,
+//! nnz-balanced pieces for the devices of a node.
+//!
+//! Both policies reuse the single-GPU segmentation machinery of
+//! `scalfrag_tensor::segment`; the difference is what the reduction stage
+//! later has to pay:
+//!
+//! * [`ShardPolicy::SliceAligned`] cuts on mode-slice boundaries, so every
+//!   output row is written by exactly one shard and the cross-device merge
+//!   is free (each device returns its disjoint row block).
+//! * [`ShardPolicy::NnzBalanced`] cuts anywhere for perfect nnz balance,
+//!   so rows can straddle shards and the partial outputs must be summed.
+
+use scalfrag_tensor::segment::{
+    mode_index_bounds, segment_by_nnz, segment_on_slice_boundaries, Segment,
+};
+use scalfrag_tensor::{CooTensor, Idx};
+
+/// How the tensor is cut into shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardPolicy {
+    /// Perfect nnz balance; output rows may straddle shards (reduction
+    /// pays a cross-shard sum).
+    NnzBalanced,
+    /// Cuts on slice boundaries; each output row owned by one shard
+    /// (reduction is free), at the cost of some nnz imbalance.
+    SliceAligned,
+}
+
+/// One contiguous piece of the sharded tensor.
+#[derive(Clone, Debug)]
+pub struct Shard {
+    /// Position in the global shard order (the reduction folds partial
+    /// outputs in this order, which keeps numerics device-count-invariant).
+    pub index: usize,
+    /// Entry range in the mode-sorted parent tensor.
+    pub range: Segment,
+    /// The materialised piece (inherits the parent's sort order).
+    pub tensor: CooTensor,
+    /// Inclusive `(first, last)` owned mode-index bounds. Disjoint across
+    /// shards for [`ShardPolicy::SliceAligned`]; `None` for nnz-balanced
+    /// shards, which have no row-exclusivity guarantee.
+    pub rows: Option<(Idx, Idx)>,
+}
+
+impl Shard {
+    /// Non-zeros in this shard.
+    pub fn nnz(&self) -> usize {
+        self.range.nnz()
+    }
+
+    /// Bytes of the shard's device COO layout.
+    pub fn byte_size(&self) -> usize {
+        self.range.byte_size(self.tensor.order())
+    }
+}
+
+/// Cuts a *mode-sorted* tensor into at most `num_shards` shards under
+/// `policy`. Returns fewer shards when the tensor is too small (or, for
+/// slice-aligned cuts, too skewed) to honour the request; never returns
+/// an empty shard for a non-empty tensor.
+///
+/// # Panics
+/// Panics if `num_shards == 0` or `tensor` is not sorted for `mode`.
+pub fn shard_tensor(
+    tensor: &CooTensor,
+    mode: usize,
+    policy: ShardPolicy,
+    num_shards: usize,
+) -> Vec<Shard> {
+    assert!(num_shards > 0, "need at least one shard");
+    let order = tensor.mode_order(mode);
+    assert!(
+        tensor.is_sorted_by_order(&order),
+        "tensor must be sorted for mode {mode} before sharding"
+    );
+    let segments = match policy {
+        ShardPolicy::NnzBalanced => segment_by_nnz(tensor.nnz(), num_shards),
+        ShardPolicy::SliceAligned => segment_on_slice_boundaries(tensor, mode, num_shards),
+    };
+    segments
+        .into_iter()
+        .enumerate()
+        .map(|(index, range)| {
+            let rows = match policy {
+                ShardPolicy::SliceAligned => mode_index_bounds(tensor, mode, &range),
+                ShardPolicy::NnzBalanced => None,
+            };
+            Shard { index, tensor: tensor.slice_range(range.start, range.end), range, rows }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted_tensor() -> CooTensor {
+        let mut t = scalfrag_tensor::gen::zipf_slices(&[60, 40, 30], 3_000, 0.8, 17);
+        t.sort_for_mode(0);
+        t
+    }
+
+    #[test]
+    fn nnz_balanced_shards_partition_exactly() {
+        let t = sorted_tensor();
+        let shards = shard_tensor(&t, 0, ShardPolicy::NnzBalanced, 4);
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(Shard::nnz).sum();
+        assert_eq!(total, t.nnz());
+        let max = shards.iter().map(Shard::nnz).max().unwrap();
+        let min = shards.iter().map(Shard::nnz).min().unwrap();
+        assert!(max - min <= 1, "nnz-balanced shards must be near-equal");
+    }
+
+    #[test]
+    fn slice_aligned_shards_own_disjoint_row_ranges() {
+        let t = sorted_tensor();
+        let shards = shard_tensor(&t, 0, ShardPolicy::SliceAligned, 4);
+        let total: usize = shards.iter().map(Shard::nnz).sum();
+        assert_eq!(total, t.nnz());
+        for w in shards.windows(2) {
+            let (_, hi) = w[0].rows.unwrap();
+            let (lo, _) = w[1].rows.unwrap();
+            assert!(hi < lo, "owned row ranges must be disjoint and ordered");
+        }
+    }
+
+    #[test]
+    fn shard_tensors_concatenate_to_the_parent() {
+        let t = sorted_tensor();
+        for policy in [ShardPolicy::NnzBalanced, ShardPolicy::SliceAligned] {
+            let shards = shard_tensor(&t, 0, policy, 3);
+            let mut vals = Vec::new();
+            for s in &shards {
+                vals.extend_from_slice(s.tensor.values());
+            }
+            assert_eq!(vals, t.values(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted for mode")]
+    fn unsorted_tensor_is_rejected() {
+        let t = scalfrag_tensor::gen::uniform(&[30, 30, 30], 500, 3);
+        let _ = shard_tensor(&t, 2, ShardPolicy::SliceAligned, 2);
+    }
+}

@@ -13,11 +13,17 @@
 //! [`Parti`] reproduces the baseline strategy: the nnz-parallel atomic COO
 //! kernel at ParTI's suggested launch heuristic, executed synchronously
 //! (whole-tensor H2D → kernel → D2H).
+//!
+//! [`ClusterScalFrag`] lifts the same stack onto a multi-GPU node: the
+//! tensor is sharded, shards are scheduled onto `N` simulated devices
+//! behind an interconnect model, and partial outputs are reduced.
 
+pub mod cluster;
 pub mod parti;
 pub mod report;
 pub mod scalfrag;
 
+pub use cluster::{ClusterConfig, ClusterMttkrpReport, ClusterScalFrag, ClusterScalFragBuilder};
 pub use parti::Parti;
 pub use report::{MttkrpReport, PhaseTiming};
 pub use scalfrag::{ScalFrag, ScalFragBuilder, ScalFragConfig};

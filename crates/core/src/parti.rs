@@ -150,10 +150,8 @@ mod tests {
         let parti = Parti::rtx3090();
         let r_parti = parti.mttkrp_dry(&t, &f, 0);
 
-        let scal = ScalFrag::builder()
-            .fixed_config(LaunchConfig::new(4096, 256))
-            .segments(4)
-            .build();
+        let scal =
+            ScalFrag::builder().fixed_config(LaunchConfig::new(4096, 256)).segments(4).build();
         let r_scal = scal.mttkrp_dry(&t, &f, 0);
 
         let speedup = r_parti.timing.total_s / r_scal.timing.total_s;
@@ -187,7 +185,13 @@ mod tests {
         let (t, _) = &tensors()[0];
         let parti = Parti::rtx3090();
         let mut backend = parti.backend();
-        let opts = scalfrag_kernels::CpdOptions { rank: 4, max_iters: 2, tol: 0.0, seed: 9, nonnegative: false };
+        let opts = scalfrag_kernels::CpdOptions {
+            rank: 4,
+            max_iters: 2,
+            tol: 0.0,
+            seed: 9,
+            nonnegative: false,
+        };
         let res = scalfrag_kernels::cpd_als(t, &opts, &mut backend);
         assert_eq!(res.iters, 2);
         assert!(backend.simulated_seconds > 0.0);

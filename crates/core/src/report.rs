@@ -108,15 +108,7 @@ mod tests {
     use scalfrag_gpusim::{Engine, Span, SpanKind};
 
     fn span(engine: Engine, start: f64, end: f64) -> Span {
-        Span {
-            op: 0,
-            stream: 0,
-            engine,
-            kind: SpanKind::Kernel,
-            label: String::new(),
-            start,
-            end,
-        }
+        Span { op: 0, stream: 0, engine, kind: SpanKind::Kernel, label: String::new(), start, end }
     }
 
     #[test]
@@ -146,7 +138,13 @@ mod tests {
             segments: 4,
             streams: 4,
             flops: 2_000_000_000,
-            timing: PhaseTiming { h2d_s: 0.01, kernel_s: 0.004, d2h_s: 0.001, host_s: 0.0, total_s: 0.012 },
+            timing: PhaseTiming {
+                h2d_s: 0.01,
+                kernel_s: 0.004,
+                d2h_s: 0.001,
+                host_s: 0.0,
+                total_s: 0.012,
+            },
             overlap_ratio: 0.2,
             output: Mat::zeros(1, 1),
         };

@@ -132,7 +132,11 @@ impl ScalFragBuilder {
 
     /// Finalises the framework instance.
     pub fn build(self) -> ScalFrag {
-        ScalFrag { device: self.device, config: self.config, predictors: Mutex::new(HashMap::new()) }
+        ScalFrag {
+            device: self.device,
+            config: self.config,
+            predictors: Mutex::new(HashMap::new()),
+        }
     }
 }
 
@@ -175,11 +179,9 @@ impl ScalFrag {
                         self.config.train_seed,
                         tiers,
                     ),
-                    None => LaunchPredictor::train_default(
-                        &self.device,
-                        rank,
-                        self.config.train_seed,
-                    ),
+                    None => {
+                        LaunchPredictor::train_default(&self.device, rank, self.config.train_seed)
+                    }
                 })
             })
             .clone()
@@ -232,8 +234,7 @@ impl ScalFrag {
             let split = split_by_slice_population(tensor, mode, self.config.hybrid_threshold);
             let segs = self.config.segments.unwrap_or(4);
             let strs = self.config.streams.unwrap_or(4.min(segs.max(1)));
-            let run =
-                execute_hybrid(&mut gpu, &split, factors, mode, cfg, segs, strs, kernel);
+            let run = execute_hybrid(&mut gpu, &split, factors, mode, cfg, segs, strs, kernel);
             (run, segs, strs)
         } else if self.config.pipelined {
             let mut sorted = tensor.clone();
@@ -317,17 +318,11 @@ mod tests {
     fn full_stack_output_matches_reference() {
         let (t, f) = small();
         // Fixed config avoids predictor training in the unit test.
-        let ctx = ScalFrag::builder()
-            .fixed_config(LaunchConfig::new(1024, 256))
-            .segments(4)
-            .build();
+        let ctx =
+            ScalFrag::builder().fixed_config(LaunchConfig::new(1024, 256)).segments(4).build();
         let r = ctx.mttkrp(&t, &f, 0);
         let expect = mttkrp_seq(&t, &f, 0);
-        assert!(
-            r.output.max_abs_diff(&expect) < 1e-2,
-            "diff {}",
-            r.output.max_abs_diff(&expect)
-        );
+        assert!(r.output.max_abs_diff(&expect) < 1e-2, "diff {}", r.output.max_abs_diff(&expect));
         assert!(r.timing.total_s > 0.0);
         assert_eq!(r.segments, 4);
         assert!(r.config.shared_mem_per_block > 0, "tiled kernel requests smem");
@@ -352,10 +347,8 @@ mod tests {
     #[test]
     fn sync_ablation_runs() {
         let (t, f) = small();
-        let ctx = ScalFrag::builder()
-            .fixed_config(LaunchConfig::new(1024, 256))
-            .pipelined(false)
-            .build();
+        let ctx =
+            ScalFrag::builder().fixed_config(LaunchConfig::new(1024, 256)).pipelined(false).build();
         let r = ctx.mttkrp(&t, &f, 1);
         assert_eq!(r.segments, 1);
         assert!(r.overlap_ratio < 0.05);
@@ -367,12 +360,15 @@ mod tests {
     fn backend_drives_cpd() {
         let (t, f) = small();
         let _ = f;
-        let ctx = ScalFrag::builder()
-            .fixed_config(LaunchConfig::new(512, 256))
-            .segments(2)
-            .build();
+        let ctx = ScalFrag::builder().fixed_config(LaunchConfig::new(512, 256)).segments(2).build();
         let mut backend = ctx.backend();
-        let opts = scalfrag_kernels::CpdOptions { rank: 4, max_iters: 2, tol: 0.0, seed: 3, nonnegative: false };
+        let opts = scalfrag_kernels::CpdOptions {
+            rank: 4,
+            max_iters: 2,
+            tol: 0.0,
+            seed: 3,
+            nonnegative: false,
+        };
         let res = scalfrag_kernels::cpd_als(&t, &opts, &mut backend);
         assert_eq!(res.iters, 2);
         assert!(res.final_fit().is_finite());

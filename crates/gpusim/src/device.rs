@@ -140,6 +140,16 @@ impl DeviceSpec {
         }
     }
 
+    /// The same device behind a host link of different bandwidth — how a
+    /// multi-GPU node models PCIe contention: when several devices share
+    /// the host's memory bandwidth, each sees a derated effective link.
+    pub fn with_pcie_bandwidth(mut self, h2d_gbs: f64, d2h_gbs: f64) -> Self {
+        assert!(h2d_gbs > 0.0 && d2h_gbs > 0.0, "link bandwidth must be positive");
+        self.pcie_h2d_gbs = h2d_gbs;
+        self.pcie_d2h_gbs = d2h_gbs;
+        self
+    }
+
     /// Peak FP32 throughput in GFLOP/s (2 FLOPs per core per cycle, FMA).
     pub fn peak_gflops(&self) -> f64 {
         self.num_sms as f64 * self.cores_per_sm as f64 * self.clock_ghz * 2.0

@@ -177,9 +177,7 @@ impl Gpu {
         workload: KernelWorkload,
         label: impl Into<String>,
     ) -> OpId {
-        config
-            .validate(&self.spec)
-            .unwrap_or_else(|e| panic!("invalid launch {config}: {e}"));
+        config.validate(&self.spec).unwrap_or_else(|e| panic!("invalid launch {config}: {e}"));
         self.enqueue(stream, label, OpPayload::Kernel { config, workload }, None)
     }
 
@@ -193,9 +191,7 @@ impl Gpu {
         label: impl Into<String>,
         f: impl FnOnce() + Send + 'static,
     ) -> OpId {
-        config
-            .validate(&self.spec)
-            .unwrap_or_else(|e| panic!("invalid launch {config}: {e}"));
+        config.validate(&self.spec).unwrap_or_else(|e| panic!("invalid launch {config}: {e}"));
         self.enqueue(stream, label, OpPayload::Kernel { config, workload }, Some(Box::new(f)))
     }
 
@@ -275,9 +271,8 @@ impl Gpu {
                 OpPayload::EventRecord { .. } => (None, SpanKind::Kernel),
             };
 
-            let engine_ready = engine
-                .and_then(|e| self.engine_ready.get(&e).copied())
-                .unwrap_or(0.0);
+            let engine_ready =
+                engine.and_then(|e| self.engine_ready.get(&e).copied()).unwrap_or(0.0);
             let start = stream_ready.max(engine_ready).max(waits);
             let end = start + duration;
 
@@ -485,12 +480,7 @@ mod tests {
             let streams: Vec<StreamId> = (0..4).map(|_| g.create_stream()).collect();
             for (i, &s) in streams.iter().enumerate() {
                 g.h2d(s, 10_000_000 + i as u64 * 1000, format!("c{i}"));
-                g.launch(
-                    s,
-                    LaunchConfig::new(1024, 256),
-                    small_kernel(1_000_000),
-                    format!("k{i}"),
-                );
+                g.launch(s, LaunchConfig::new(1024, 256), small_kernel(1_000_000), format!("k{i}"));
                 g.d2h(s, 1_000_000, format!("d{i}"));
             }
             g.synchronize()
@@ -522,9 +512,6 @@ mod tests {
         }
         let t_piped = piped.synchronize().makespan();
 
-        assert!(
-            t_piped < t_serial * 0.95,
-            "pipelining should overlap: {t_piped} vs {t_serial}"
-        );
+        assert!(t_piped < t_serial * 0.95, "pipelining should overlap: {t_piped} vs {t_serial}");
     }
 }

@@ -49,7 +49,7 @@ impl LaunchConfig {
                 self.block, device.max_threads_per_block
             ));
         }
-        if self.block % device.warp_size != 0 {
+        if !self.block.is_multiple_of(device.warp_size) {
             return Err(format!(
                 "blockSize {} is not a multiple of the warp size {}",
                 self.block, device.warp_size
@@ -154,7 +154,8 @@ mod tests {
     #[test]
     fn coarse_sweep_is_a_subset() {
         let d = DeviceSpec::rtx3090();
-        let full: std::collections::HashSet<_> = LaunchConfig::sweep_space(&d).into_iter().collect();
+        let full: std::collections::HashSet<_> =
+            LaunchConfig::sweep_space(&d).into_iter().collect();
         let coarse = LaunchConfig::coarse_sweep_space(&d);
         assert!(coarse.len() < full.len());
         assert!(coarse.iter().all(|c| full.contains(c)));

@@ -94,12 +94,8 @@ impl MemoryPool {
             if new > self.capacity {
                 return Err(OutOfMemory { requested: bytes, available: self.capacity - current });
             }
-            match self.used.compare_exchange_weak(
-                current,
-                new,
-                Ordering::AcqRel,
-                Ordering::Relaxed,
-            ) {
+            match self.used.compare_exchange_weak(current, new, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => {
                     self.peak.fetch_max(new, Ordering::Relaxed);
                     let id = self.next_id.fetch_add(1, Ordering::Relaxed);

@@ -56,11 +56,8 @@ pub fn occupancy(device: &DeviceSpec, config: &LaunchConfig, regs_per_thread: u3
 
     let by_threads = device.max_threads_per_sm / config.block;
     let by_blocks = device.max_blocks_per_sm;
-    let by_smem = if config.shared_mem_per_block == 0 {
-        u32::MAX
-    } else {
-        device.shared_mem_per_sm / config.shared_mem_per_block
-    };
+    let by_smem =
+        device.shared_mem_per_sm.checked_div(config.shared_mem_per_block).unwrap_or(u32::MAX);
     let regs_per_block = regs_per_thread.max(1) * config.block;
     let by_regs = device.registers_per_sm / regs_per_block.max(1);
 

@@ -82,11 +82,7 @@ impl BcsfKernel {
     /// Cost-model workload: heavy entries are spread entry-parallel, so the
     /// per-worker serial chain is bounded by the *light* threshold rather
     /// than the heaviest slice; atomics only occur on the heavy rows.
-    pub fn workload(
-        stats: &SegmentStats,
-        rank: u32,
-        split: &HeavyLightSplit,
-    ) -> KernelWorkload {
+    pub fn workload(stats: &SegmentStats, rank: u32, split: &HeavyLightSplit) -> KernelWorkload {
         let heavy_nnz: u64 = split.heavy.iter().map(|r| r.len() as u64).sum();
         KernelWorkload {
             // Heavy entries parallelise individually; each light run is one
@@ -116,11 +112,7 @@ impl BcsfKernel {
         out: &AtomicF32Buffer,
     ) {
         let rank = factors.rank();
-        assert_eq!(
-            out.len(),
-            tensor.dims()[mode] as usize * rank,
-            "output buffer shape mismatch"
-        );
+        assert_eq!(out.len(), tensor.dims()[mode] as usize * rank, "output buffer shape mismatch");
         let order = tensor.order();
 
         let accumulate = |e: usize, acc: &mut [f32]| {
@@ -267,7 +259,8 @@ mod tests {
         let stats = SegmentStats::compute(&t, 0);
         let split = BcsfKernel::split(&t, 0, 32);
         let w = BcsfKernel::workload(&stats, 16, &split);
-        let csf_w = crate::workload::csf_fiber_workload(&stats, 16, t.num_nonempty_slices(0) as u64);
+        let csf_w =
+            crate::workload::csf_fiber_workload(&stats, 16, t.num_nonempty_slices(0) as u64);
         // BCSF's per-worker chain is bounded by the threshold, far below
         // the CSF kernel's heaviest-slice chain on a skewed tensor.
         assert!(w.item_cycles < csf_w.item_cycles);

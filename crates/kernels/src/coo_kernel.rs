@@ -33,11 +33,7 @@ impl CooAtomicKernel {
     /// `out` must have `dims[mode] * rank` elements.
     pub fn execute(seg: &CooTensor, factors: &FactorSet, mode: usize, out: &AtomicF32Buffer) {
         let rank = factors.rank();
-        assert_eq!(
-            out.len(),
-            seg.dims()[mode] as usize * rank,
-            "output buffer shape mismatch"
-        );
+        assert_eq!(out.len(), seg.dims()[mode] as usize * rank, "output buffer shape mismatch");
         let order = seg.order();
         (0..seg.nnz()).into_par_iter().for_each(|e| {
             let v = seg.values()[e];

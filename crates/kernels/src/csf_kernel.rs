@@ -31,11 +31,7 @@ impl CsfFiberKernel {
     pub fn execute(csf: &CsfTensor, factors: &FactorSet, out: &AtomicF32Buffer) {
         let mode = csf.mode_order()[0];
         let rank = factors.rank();
-        assert_eq!(
-            out.len(),
-            csf.dims()[mode] as usize * rank,
-            "output buffer shape mismatch"
-        );
+        assert_eq!(out.len(), csf.dims()[mode] as usize * rank, "output buffer shape mismatch");
         let m = reference::mttkrp_csf(csf, factors);
         for r in 0..m.rows() {
             let row = m.row(r);
@@ -49,6 +45,7 @@ impl CsfFiberKernel {
     }
 
     /// Enqueues this kernel on the simulated GPU.
+    #[allow(clippy::too_many_arguments)]
     pub fn enqueue(
         gpu: &mut Gpu,
         stream: StreamId,

@@ -32,10 +32,7 @@ impl FactorSet {
     pub fn from_mats(mats: Vec<Mat>) -> Self {
         assert!(!mats.is_empty(), "a factor set needs at least one matrix");
         let rank = mats[0].cols();
-        assert!(
-            mats.iter().all(|m| m.cols() == rank),
-            "all factor matrices must share the rank"
-        );
+        assert!(mats.iter().all(|m| m.cols() == rank), "all factor matrices must share the rank");
         Self { rank, mats }
     }
 

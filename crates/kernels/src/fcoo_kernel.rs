@@ -51,11 +51,7 @@ impl FCooKernel {
     pub fn execute(fcoo: &FCooTensor, factors: &FactorSet, out: &AtomicF32Buffer) {
         let rank = factors.rank();
         let mode = fcoo.mode();
-        assert_eq!(
-            out.len(),
-            fcoo.dims()[mode] as usize * rank,
-            "output buffer shape mismatch"
-        );
+        assert_eq!(out.len(), fcoo.dims()[mode] as usize * rank, "output buffer shape mismatch");
         if fcoo.nnz() == 0 {
             return;
         }
@@ -103,6 +99,7 @@ impl FCooKernel {
     }
 
     /// Enqueues this kernel on the simulated GPU.
+    #[allow(clippy::too_many_arguments)]
     pub fn enqueue(
         gpu: &mut Gpu,
         stream: StreamId,

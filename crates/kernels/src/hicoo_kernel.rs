@@ -52,19 +52,9 @@ impl HiCooKernel {
 
     /// Functional body: per-HiCOO-block local accumulation into a dense
     /// `block_edge × rank` tile, flushed once per touched row.
-    pub fn execute(
-        hicoo: &HiCooTensor,
-        factors: &FactorSet,
-        mode: usize,
-        out: &AtomicF32Buffer,
-    ) {
+    pub fn execute(hicoo: &HiCooTensor, factors: &FactorSet, mode: usize, out: &AtomicF32Buffer) {
         let rank = factors.rank();
-        assert_eq!(
-            out.len(),
-            hicoo.dims()[mode] as usize * rank,
-            "output buffer shape mismatch"
-        );
-        let order = hicoo.order();
+        assert_eq!(out.len(), hicoo.dims()[mode] as usize * rank, "output buffer shape mismatch");
         let edge = hicoo.block_edge() as usize;
 
         hicoo.blocks().par_iter().for_each(|b| {
@@ -80,11 +70,11 @@ impl HiCooKernel {
                 for x in prod.iter_mut() {
                     *x = v;
                 }
-                for m in 0..order {
+                for (m, &c) in coord.iter().enumerate() {
                     if m == mode {
                         continue;
                     }
-                    let row = factors.get(m).row(coord[m] as usize);
+                    let row = factors.get(m).row(c as usize);
                     for (x, &w) in prod.iter_mut().zip(row) {
                         *x *= w;
                     }
@@ -111,6 +101,7 @@ impl HiCooKernel {
     }
 
     /// Enqueues this kernel on the simulated GPU.
+    #[allow(clippy::too_many_arguments)]
     pub fn enqueue(
         gpu: &mut Gpu,
         stream: StreamId,

@@ -26,9 +26,9 @@ pub mod bcsf_kernel;
 pub mod coo_kernel;
 pub mod cpd;
 pub mod csf_kernel;
+pub mod factors;
 pub mod fcoo_kernel;
 pub mod hicoo_kernel;
-pub mod factors;
 pub mod reference;
 pub mod spttm;
 pub mod tiled_kernel;
@@ -41,9 +41,9 @@ pub use bcsf_kernel::BcsfKernel;
 pub use coo_kernel::CooAtomicKernel;
 pub use cpd::{cpd_als, CpdOptions, CpdResult};
 pub use csf_kernel::CsfFiberKernel;
+pub use factors::FactorSet;
 pub use fcoo_kernel::FCooKernel;
 pub use hicoo_kernel::HiCooKernel;
-pub use factors::FactorSet;
 pub use tiled_kernel::TiledKernel;
 pub use tucker::{tucker_hosvd, TuckerResult};
 pub use workload::SegmentStats;

@@ -101,7 +101,7 @@ pub fn mttkrp_par(tensor: &CooTensor, factors: &FactorSet, mode: usize) -> Mat {
 /// row, so slices parallelise without atomics; within a slice the tree is
 /// walked depth-first accumulating fiber partials (the classic SPLATT
 /// 3-way recursion, generalised to any order).
-pub fn mttkrp_csf(csf: &CsfTensor, factors: &FactorSet, ) -> Mat {
+pub fn mttkrp_csf(csf: &CsfTensor, factors: &FactorSet) -> Mat {
     let mode = csf.mode_order()[0];
     let rank = factors.rank();
     let rows = csf.dims()[mode] as usize;
@@ -179,7 +179,8 @@ pub fn mttkrp_dense_validation(tensor: &CooTensor, factors: &FactorSet, mode: us
     let xmat = Mat::from_vec(rows, cols, x);
     // Column linearisation in `matricize` runs highest mode slowest, so the
     // Khatri-Rao chain must be A^(N) ⊙ ... skipping mode n ... ⊙ A^(1).
-    let mats: Vec<&Mat> = (0..tensor.order()).rev().filter(|&m| m != mode).map(|m| factors.get(m)).collect();
+    let mats: Vec<&Mat> =
+        (0..tensor.order()).rev().filter(|&m| m != mode).map(|m| factors.get(m)).collect();
     let kr = khatri_rao_chain(&mats);
     matmul(&xmat, &kr)
 }
@@ -188,11 +189,7 @@ fn check_shapes(tensor: &CooTensor, factors: &FactorSet, mode: usize) {
     assert!(mode < tensor.order(), "mode out of range");
     assert_eq!(factors.order(), tensor.order(), "factor count != tensor order");
     for (m, &d) in tensor.dims().iter().enumerate() {
-        assert_eq!(
-            factors.get(m).rows(),
-            d as usize,
-            "factor {m} rows != tensor dim"
-        );
+        assert_eq!(factors.get(m).rows(), d as usize, "factor {m} rows != tensor dim");
     }
 }
 

@@ -172,11 +172,7 @@ pub fn spttm_dense_validation(tensor: &CooTensor, u: &Mat, mode: usize) -> Vec<f
 }
 
 /// SpTTM against a factor set's mode matrix (convenience for chains).
-pub fn spttm_with_factor(
-    tensor: &CooTensor,
-    factors: &FactorSet,
-    mode: usize,
-) -> SemiSparseTensor {
+pub fn spttm_with_factor(tensor: &CooTensor, factors: &FactorSet, mode: usize) -> SemiSparseTensor {
     spttm_par(tensor, factors.get(mode), mode)
 }
 

@@ -54,11 +54,7 @@ impl TiledKernel {
         out: &AtomicF32Buffer,
     ) {
         let rank = factors.rank();
-        assert_eq!(
-            out.len(),
-            seg.dims()[mode] as usize * rank,
-            "output buffer shape mismatch"
-        );
+        assert_eq!(out.len(), seg.dims()[mode] as usize * rank, "output buffer shape mismatch");
         let order = seg.order();
         let nnz = seg.nnz();
         if nnz == 0 {
@@ -66,55 +62,52 @@ impl TiledKernel {
         }
         let window = (block as usize).max(32);
 
-        (0..nnz)
-            .into_par_iter()
-            .chunks(window)
-            .for_each(|entries| {
-                // The `mvals` tile: partial sums for the row currently being
-                // accumulated. Sorted input => row changes are monotone, so a
-                // single open row suffices (the shared-memory tile of the
-                // real kernel holds one row per warp).
-                let mut open_row = usize::MAX;
-                let mut mvals = vec![0.0f32; rank];
-                let mut acc = vec![0.0f32; rank];
+        (0..nnz).into_par_iter().chunks(window).for_each(|entries| {
+            // The `mvals` tile: partial sums for the row currently being
+            // accumulated. Sorted input => row changes are monotone, so a
+            // single open row suffices (the shared-memory tile of the
+            // real kernel holds one row per warp).
+            let mut open_row = usize::MAX;
+            let mut mvals = vec![0.0f32; rank];
+            let mut acc = vec![0.0f32; rank];
 
-                let flush = |row: usize, mvals: &mut [f32]| {
-                    if row != usize::MAX {
-                        let base = row * rank;
-                        for (f, m) in mvals.iter_mut().enumerate() {
-                            if *m != 0.0 {
-                                out.add(base + f, *m);
-                            }
-                            *m = 0.0;
+            let flush = |row: usize, mvals: &mut [f32]| {
+                if row != usize::MAX {
+                    let base = row * rank;
+                    for (f, m) in mvals.iter_mut().enumerate() {
+                        if *m != 0.0 {
+                            out.add(base + f, *m);
                         }
-                    }
-                };
-
-                for e in entries {
-                    let row = seg.mode_indices(mode)[e] as usize;
-                    if row != open_row {
-                        flush(open_row, &mut mvals);
-                        open_row = row;
-                    }
-                    let v = seg.values()[e];
-                    for a in acc.iter_mut() {
-                        *a = v;
-                    }
-                    for m in 0..order {
-                        if m == mode {
-                            continue;
-                        }
-                        let frow = factors.get(m).row(seg.mode_indices(m)[e] as usize);
-                        for (a, &w) in acc.iter_mut().zip(frow) {
-                            *a *= w;
-                        }
-                    }
-                    for (mv, &a) in mvals.iter_mut().zip(acc.iter()) {
-                        *mv += a;
+                        *m = 0.0;
                     }
                 }
-                flush(open_row, &mut mvals);
-            });
+            };
+
+            for e in entries {
+                let row = seg.mode_indices(mode)[e] as usize;
+                if row != open_row {
+                    flush(open_row, &mut mvals);
+                    open_row = row;
+                }
+                let v = seg.values()[e];
+                for a in acc.iter_mut() {
+                    *a = v;
+                }
+                for m in 0..order {
+                    if m == mode {
+                        continue;
+                    }
+                    let frow = factors.get(m).row(seg.mode_indices(m)[e] as usize);
+                    for (a, &w) in acc.iter_mut().zip(frow) {
+                        *a *= w;
+                    }
+                }
+                for (mv, &a) in mvals.iter_mut().zip(acc.iter()) {
+                    *mv += a;
+                }
+            }
+            flush(open_row, &mut mvals);
+        });
     }
 
     /// Enqueues this kernel on the simulated GPU.

@@ -193,11 +193,7 @@ mod tests {
             err += ((a - b) as f64).powi(2);
             norm += (*a as f64).powi(2);
         }
-        assert!(
-            err.sqrt() / norm.sqrt() < 1e-3,
-            "relative error {}",
-            err.sqrt() / norm.sqrt()
-        );
+        assert!(err.sqrt() / norm.sqrt() < 1e-3, "relative error {}", err.sqrt() / norm.sqrt());
     }
 
     #[test]
@@ -213,8 +209,7 @@ mod tests {
                 }
             }
         }
-        let norm_x: f64 =
-            t.values().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+        let norm_x: f64 = t.values().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
         let res = tucker_hosvd(&t, &[2, 2, 2]);
         // Orthonormal factors: captured energy == core norm.
         assert!(

@@ -201,10 +201,7 @@ mod tests {
         let t_coo = kernel_duration(&d, &cfg, &coo_atomic_workload(&z, 16)).total;
         let cfg_t = LaunchConfig::with_shared(2048, 256, tiled_smem_bytes(16, 256));
         let t_tiled = kernel_duration(&d, &cfg_t, &tiled_workload(&z, 16, 256)).total;
-        assert!(
-            t_tiled < t_coo,
-            "tiled {t_tiled} must beat atomic COO {t_coo} under skew"
-        );
+        assert!(t_tiled < t_coo, "tiled {t_tiled} must beat atomic COO {t_coo} under skew");
     }
 
     #[test]

@@ -36,9 +36,7 @@ pub fn matmul(a: &Mat, b: &Mat) -> Mat {
 pub fn matmul_transb(a: &Mat, b: &Mat) -> Mat {
     assert_eq!(a.cols(), b.cols(), "inner dimensions must agree");
     let (m, n) = (a.rows(), b.rows());
-    Mat::from_fn(m, n, |i, j| {
-        a.row(i).iter().zip(b.row(j)).map(|(x, y)| x * y).sum()
-    })
+    Mat::from_fn(m, n, |i, j| a.row(i).iter().zip(b.row(j)).map(|(x, y)| x * y).sum())
 }
 
 /// Gram matrix `G = Aᵀ · A` (an `F×F` symmetric PSD matrix) — line 3 of the

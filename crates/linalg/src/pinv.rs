@@ -22,13 +22,18 @@ pub fn pinv_spd(a: &Mat) -> Mat {
     let n = vals.len();
     let lmax = vals.first().copied().unwrap_or(0.0).abs();
     let cutoff = EIG_EPS * lmax.max(1e-30);
-    let dinv = Mat::from_fn(n, n, |r, c| {
-        if r == c && vals[r].abs() > cutoff {
-            1.0 / vals[r]
-        } else {
-            0.0
-        }
-    });
+    let dinv =
+        Mat::from_fn(
+            n,
+            n,
+            |r, c| {
+                if r == c && vals[r].abs() > cutoff {
+                    1.0 / vals[r]
+                } else {
+                    0.0
+                }
+            },
+        );
     // A† = V · diag(1/λ) · Vᵀ
     matmul_transb(&matmul(&vecs, &dinv), &vecs)
 }

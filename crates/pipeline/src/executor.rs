@@ -39,15 +39,18 @@ impl KernelChoice {
         block: u32,
     ) -> scalfrag_gpusim::KernelWorkload {
         match self {
-            KernelChoice::CooAtomic => {
-                scalfrag_kernels::workload::coo_atomic_workload(stats, rank)
-            }
+            KernelChoice::CooAtomic => scalfrag_kernels::workload::coo_atomic_workload(stats, rank),
             KernelChoice::Tiled => scalfrag_kernels::workload::tiled_workload(stats, rank, block),
         }
     }
 
+    /// Enqueues one segment's kernel launch on `stream`: resolves the
+    /// launch configuration, cost-model workload and (when `out` is given)
+    /// the functional kernel body. Public so multi-device executors (the
+    /// cluster crate) can drive per-segment launches with the same kernel
+    /// dispatch the single-GPU pipeline uses.
     #[allow(clippy::too_many_arguments)]
-    fn enqueue(
+    pub fn enqueue(
         &self,
         gpu: &mut Gpu,
         stream: StreamId,

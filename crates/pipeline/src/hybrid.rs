@@ -66,6 +66,7 @@ pub fn split_by_slice_population(tensor: &CooTensor, mode: usize, threshold: u32
 ///
 /// `split.gpu_part` is sorted internally; `plan_segments`/`plan_streams`
 /// configure the GPU-side pipeline.
+#[allow(clippy::too_many_arguments)]
 pub fn execute_hybrid(
     gpu: &mut Gpu,
     split: &HybridSplit,

@@ -59,7 +59,7 @@ impl PipelinePlan {
             device.global_mem_bytes as usize,
             MAX_SEGMENTS,
         );
-        let num_segments = by_memory.max(4).min(MAX_SEGMENTS);
+        let num_segments = by_memory.clamp(4, MAX_SEGMENTS);
         let num_streams = num_segments.min(4);
         Self::new(tensor, mode, config, num_segments, num_streams)
     }

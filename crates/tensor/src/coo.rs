@@ -32,11 +32,7 @@ impl CooTensor {
     pub fn new(dims: &[Idx]) -> Self {
         assert!(!dims.is_empty(), "a tensor needs at least one mode");
         assert!(dims.iter().all(|&d| d > 0), "mode sizes must be positive");
-        Self {
-            dims: dims.to_vec(),
-            inds: vec![Vec::new(); dims.len()],
-            vals: Vec::new(),
-        }
+        Self { dims: dims.to_vec(), inds: vec![Vec::new(); dims.len()], vals: Vec::new() }
     }
 
     /// Builds a tensor from parallel per-mode index vectors and values.
@@ -255,12 +251,7 @@ impl CooTensor {
     /// the other modes.
     pub fn num_fibers(&self, mode: usize) -> usize {
         let mut keys: Vec<Vec<Idx>> = (0..self.nnz())
-            .map(|e| {
-                (0..self.order())
-                    .filter(|&m| m != mode)
-                    .map(|m| self.inds[m][e])
-                    .collect()
-            })
+            .map(|e| (0..self.order()).filter(|&m| m != mode).map(|m| self.inds[m][e]).collect())
             .collect();
         keys.sort_unstable();
         keys.dedup();
@@ -393,12 +384,7 @@ mod tests {
     fn dedup_sums_duplicates() {
         let mut t = CooTensor::from_entries(
             &[2, 2],
-            &[
-                (vec![0, 1], 1.0),
-                (vec![0, 1], 2.5),
-                (vec![1, 0], 3.0),
-                (vec![0, 1], 0.5),
-            ],
+            &[(vec![0, 1], 1.0), (vec![0, 1], 2.5), (vec![1, 0], 3.0), (vec![0, 1], 0.5)],
         );
         let order = t.mode_order(0);
         t.sort_by_order(&order);
@@ -448,6 +434,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op, clippy::erasing_op)] // spelled-out index maths
     fn to_dense_round_trip() {
         let t = small();
         let dense = t.to_dense();

@@ -65,8 +65,7 @@ impl CsfTensor {
             };
             if d == n {
                 // Exact duplicate coordinate: merge into the open leaf.
-                *vals.last_mut().expect("duplicate implies a previous leaf") +=
-                    coo.values()[e];
+                *vals.last_mut().expect("duplicate implies a previous leaf") += coo.values()[e];
                 continue;
             }
             // Open new nodes at levels d..N-1.

@@ -110,9 +110,7 @@ impl DatasetPreset {
         match self.kind {
             GenKind::Uniform => crate::gen::uniform(&dims, nnz, seed),
             GenKind::Zipf(s) => crate::gen::zipf_slices(&dims, nnz, s, seed),
-            GenKind::Blocked(blocks, edge) => {
-                crate::gen::blocked(&dims, nnz, blocks, edge, seed)
-            }
+            GenKind::Blocked(blocks, edge) => crate::gen::blocked(&dims, nnz, blocks, edge, seed),
         }
     }
 
@@ -206,10 +204,7 @@ pub fn by_name(name: &str) -> Option<DatasetPreset> {
 /// The subset used in most figures: small, medium and large representatives
 /// of both orders. Useful for fast test/bench loops.
 pub fn small_suite() -> Vec<DatasetPreset> {
-    ["vast", "nell-2", "uber", "nips"]
-        .iter()
-        .map(|n| by_name(n).expect("preset exists"))
-        .collect()
+    ["vast", "nell-2", "uber", "nips"].iter().map(|n| by_name(n).expect("preset exists")).collect()
 }
 
 #[cfg(test)]
@@ -235,11 +230,7 @@ mod tests {
             let dims = p.scaled_dims(512);
             let nnz = p.scaled_nnz(512) as f64;
             let cells: f64 = dims.iter().map(|&d| d as f64).product();
-            assert!(
-                cells >= 3.9 * nnz,
-                "{}: only {cells} cells for {nnz} nnz",
-                p.name
-            );
+            assert!(cells >= 3.9 * nnz, "{}: only {cells} cells for {nnz} nnz", p.name);
         }
     }
 
@@ -271,11 +262,8 @@ mod tests {
             let ratio = |sum_dims: f64, nnz: f64, order: f64| {
                 (sum_dims * 16.0 * 4.0) / (nnz * (order * 4.0 + 4.0))
             };
-            let orig = ratio(
-                p.dims.iter().map(|&d| d as f64).sum(),
-                p.nnz as f64,
-                p.order() as f64,
-            );
+            let orig =
+                ratio(p.dims.iter().map(|&d| d as f64).sum(), p.nnz as f64, p.order() as f64);
             let dims = p.scaled_dims(512);
             let scaled = ratio(
                 dims.iter().map(|&d| d as f64).sum(),

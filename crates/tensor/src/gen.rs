@@ -25,10 +25,7 @@ const MAX_OVERSAMPLE: usize = 64;
 
 fn checked_budget(dims: &[Idx], nnz: usize) {
     let cells: f64 = dims.iter().map(|&d| d as f64).product();
-    assert!(
-        (nnz as f64) <= cells,
-        "requested {nnz} nnz exceeds the {cells} cells of the tensor"
-    );
+    assert!((nnz as f64) <= cells, "requested {nnz} nnz exceeds the {cells} cells of the tensor");
 }
 
 /// Generates `nnz` distinct uniform-random coordinates.
@@ -159,14 +156,19 @@ fn push_uniform_fallback(
 /// random axis-aligned blocks of edge `block_edge` (clipped at the mode
 /// borders). Mimics co-occurrence tensors and is the regime where blocked
 /// formats (HiCOO) and shared-memory tiling shine.
-pub fn blocked(dims: &[Idx], nnz: usize, num_blocks: usize, block_edge: Idx, seed: u64) -> CooTensor {
+pub fn blocked(
+    dims: &[Idx],
+    nnz: usize,
+    num_blocks: usize,
+    block_edge: Idx,
+    seed: u64,
+) -> CooTensor {
     checked_budget(dims, nnz);
     assert!(num_blocks > 0 && block_edge > 0);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca1_f4a6_0000_0003);
     // Pick block origins.
-    let origins: Vec<Vec<Idx>> = (0..num_blocks)
-        .map(|_| dims.iter().map(|&d| rng.gen_range(0..d)).collect())
-        .collect();
+    let origins: Vec<Vec<Idx>> =
+        (0..num_blocks).map(|_| dims.iter().map(|&d| rng.gen_range(0..d)).collect()).collect();
 
     let mut seen = HashSet::with_capacity(nnz * 2);
     let mut t = CooTensor::new(dims);
@@ -296,10 +298,10 @@ mod tests {
 
     #[test]
     fn generators_are_deterministic() {
-        assert_eq!(zipf_slices(&[64, 64, 64], 300, 1.0, 9), zipf_slices(&[64, 64, 64], 300, 1.0, 9));
         assert_eq!(
-            blocked(&[64, 64, 64], 300, 4, 8, 9),
-            blocked(&[64, 64, 64], 300, 4, 8, 9)
+            zipf_slices(&[64, 64, 64], 300, 1.0, 9),
+            zipf_slices(&[64, 64, 64], 300, 1.0, 9)
         );
+        assert_eq!(blocked(&[64, 64, 64], 300, 4, 8, 9), blocked(&[64, 64, 64], 300, 4, 8, 9));
     }
 }

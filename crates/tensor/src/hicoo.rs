@@ -56,11 +56,13 @@ impl HiCooTensor {
         let key = |e: usize| -> Vec<Idx> {
             (0..n).map(|m| coo.mode_indices(m)[e] >> block_bits).collect()
         };
-        perm.sort_by(|&a, &b| key(a).cmp(&key(b)).then_with(|| {
-            let la: Vec<Idx> = (0..n).map(|m| coo.mode_indices(m)[a]).collect();
-            let lb: Vec<Idx> = (0..n).map(|m| coo.mode_indices(m)[b]).collect();
-            la.cmp(&lb)
-        }));
+        perm.sort_by(|&a, &b| {
+            key(a).cmp(&key(b)).then_with(|| {
+                let la: Vec<Idx> = (0..n).map(|m| coo.mode_indices(m)[a]).collect();
+                let lb: Vec<Idx> = (0..n).map(|m| coo.mode_indices(m)[b]).collect();
+                la.cmp(&lb)
+            })
+        });
 
         let mask = (1u32 << block_bits) - 1;
         let mut blocks: Vec<Block> = Vec::new();
@@ -149,9 +151,7 @@ impl HiCooTensor {
     pub fn coord_in(&self, b: &Block, e: usize) -> Vec<Idx> {
         debug_assert!((b.start..b.end).contains(&e), "entry outside the given block");
         let n = self.order();
-        (0..n)
-            .map(|m| (b.bidx[m] << self.block_bits) | self.offsets[e * n + m] as Idx)
-            .collect()
+        (0..n).map(|m| (b.bidx[m] << self.block_bits) | self.offsets[e * n + m] as Idx).collect()
     }
 
     /// Reconstructs the full coordinate of entry `e` (searches for the
@@ -171,8 +171,8 @@ impl HiCooTensor {
         let mut inds = vec![Vec::with_capacity(self.nnz()); n];
         for b in &self.blocks {
             for e in b.start..b.end {
-                for m in 0..n {
-                    inds[m].push((b.bidx[m] << self.block_bits) | self.offsets[e * n + m] as Idx);
+                for (m, col) in inds.iter_mut().enumerate() {
+                    col.push((b.bidx[m] << self.block_bits) | self.offsets[e * n + m] as Idx);
                 }
             }
         }
@@ -191,7 +191,8 @@ mod tests {
         assert_eq!(h.nnz(), 400);
         let back = h.to_coo();
         // Same entry multiset.
-        let mut a: Vec<(Vec<Idx>, Val)> = (0..400).map(|e| (coo.coord(e), coo.values()[e])).collect();
+        let mut a: Vec<(Vec<Idx>, Val)> =
+            (0..400).map(|e| (coo.coord(e), coo.values()[e])).collect();
         let mut b: Vec<(Vec<Idx>, Val)> =
             (0..400).map(|e| (back.coord(e), back.values()[e])).collect();
         a.sort_by(|x, y| x.0.cmp(&y.0));

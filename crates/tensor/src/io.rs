@@ -78,9 +78,8 @@ pub fn read_tns(reader: impl Read) -> Result<CooTensor, TnsError> {
             _ => {}
         }
         for (m, f) in fields[..n].iter().enumerate() {
-            let one_based: u64 = f
-                .parse()
-                .map_err(|_| TnsError::Parse(lineno, format!("bad index '{f}'")))?;
+            let one_based: u64 =
+                f.parse().map_err(|_| TnsError::Parse(lineno, format!("bad index '{f}'")))?;
             if one_based == 0 {
                 return Err(TnsError::Parse(lineno, "indices are 1-based; found 0".into()));
             }

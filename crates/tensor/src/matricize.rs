@@ -41,19 +41,12 @@ pub fn matricized_col(dims: &[Idx], coord: &[Idx], mode: usize) -> u64 {
 /// Computes the full matricized index of entry `e` of `tensor` for `mode`.
 pub fn matricize_entry(tensor: &CooTensor, e: usize, mode: usize) -> MatricizedIndex {
     let coord = tensor.coord(e);
-    MatricizedIndex {
-        row: coord[mode],
-        col: matricized_col(tensor.dims(), &coord, mode),
-    }
+    MatricizedIndex { row: coord[mode], col: matricized_col(tensor.dims(), &coord, mode) }
 }
 
 /// Number of columns of `X₍ₙ₎` (product of the other mode sizes).
 pub fn matricized_cols(dims: &[Idx], mode: usize) -> u64 {
-    dims.iter()
-        .enumerate()
-        .filter(|&(m, _)| m != mode)
-        .map(|(_, &d)| d as u64)
-        .product()
+    dims.iter().enumerate().filter(|&(m, _)| m != mode).map(|(_, &d)| d as u64).product()
 }
 
 /// Densely matricizes a *small* tensor, returning a row-major
@@ -127,12 +120,10 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op, clippy::erasing_op)] // spelled-out index maths
     fn matricization_matches_dense_reshape_mode0() {
         // For mode 0 with dims (I,J,K): X_(0)[i, k*J+j] = X[i,j,k].
-        let t = CooTensor::from_entries(
-            &[2, 3, 4],
-            &[(vec![1, 2, 3], 5.0), (vec![0, 1, 0], 2.0)],
-        );
+        let t = CooTensor::from_entries(&[2, 3, 4], &[(vec![1, 2, 3], 5.0), (vec![0, 1, 0], 2.0)]);
         let (_, cols, m) = to_dense_matricized(&t, 0);
         assert_eq!(m[1 * cols + (3 * 3 + 2)], 5.0);
         assert_eq!(m[0 * cols + (0 * 3 + 1)], 2.0);

@@ -112,7 +112,7 @@ mod tests {
         let reordered = order.apply(&t);
 
         let rank = 1usize;
-        let mut direct = vec![0.0f32; 50];
+        let mut direct = [0.0f32; 50];
         for e in 0..t.nnz() {
             direct[t.mode_indices(0)[e] as usize] += t.values()[e];
         }

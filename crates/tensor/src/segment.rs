@@ -96,6 +96,21 @@ pub fn segment_on_slice_boundaries(
     segs
 }
 
+/// The inclusive `(first, last)` mode-`mode` index bounds of a segment of a
+/// *mode-sorted* tensor — the output rows the segment writes. For segments
+/// cut by [`segment_on_slice_boundaries`] these row ranges are disjoint
+/// across segments, which is what lets a multi-device reduction skip the
+/// cross-shard row merge entirely.
+///
+/// Returns `None` for an empty segment.
+pub fn mode_index_bounds(tensor: &CooTensor, mode: usize, seg: &Segment) -> Option<(Idx, Idx)> {
+    if seg.nnz() == 0 {
+        return None;
+    }
+    let idx = tensor.mode_indices(mode);
+    Some((idx[seg.start], idx[seg.end - 1]))
+}
+
 /// Materialises segments as independent [`CooTensor`] pieces (the host-side
 /// staging buffers of the pipeline).
 pub fn materialize_segments(tensor: &CooTensor, segs: &[Segment]) -> Vec<CooTensor> {

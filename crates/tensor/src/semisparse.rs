@@ -138,6 +138,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::identity_op, clippy::erasing_op)] // spelled-out index maths
     fn to_coo_drops_zeros() {
         let mut t = SemiSparseTensor::new(&[2, 2, 3], 2);
         t.push_fiber(&[0, 1], &[1.0, 0.0, 2.0]);

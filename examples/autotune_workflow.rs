@@ -53,27 +53,23 @@ fn main() {
     let restored = load_tree(file.as_slice()).unwrap();
 
     // --- Online: predict configurations for fresh tensors (right half). ---
-    let predictor = LaunchPredictor::from_model(
-        Box::new(restored),
-        LaunchConfig::sweep_space(&device),
-        rank,
-    );
+    let predictor =
+        LaunchPredictor::from_model(Box::new(restored), LaunchConfig::sweep_space(&device), rank);
     println!("\nonline predictions on unseen tensors:");
     let fresh = [
         ("small uniform", scalfrag::tensor::gen::uniform(&[300, 200, 150], 8_000, 71)),
         ("large uniform", scalfrag::tensor::gen::uniform(&[4_000, 3_000, 1_500], 500_000, 72)),
-        ("large skewed", scalfrag::tensor::gen::zipf_slices(&[2_000, 5_000, 2_000], 300_000, 1.1, 73)),
+        (
+            "large skewed",
+            scalfrag::tensor::gen::zipf_slices(&[2_000, 5_000, 2_000], 300_000, 1.1, 73),
+        ),
     ];
     let full_space = LaunchConfig::sweep_space(&device);
     for (label, t) in &fresh {
         let cfg = predictor.predict(t, 0);
         let sweep = sweep_tensor(&device, KernelFlavor::Tiled, t, 0, rank, &full_space);
-        let t_sel = sweep
-            .entries
-            .iter()
-            .find(|(c, _)| *c == cfg)
-            .map(|&(_, s)| s)
-            .unwrap_or(f64::INFINITY);
+        let t_sel =
+            sweep.entries.iter().find(|(c, _)| *c == cfg).map(|&(_, s)| s).unwrap_or(f64::INFINITY);
         let (best_cfg, t_best) = sweep.best();
         println!(
             "  {label:<14} ({:>7} nnz): predicted {cfg} -> {:.1}µs (optimum {best_cfg} -> {:.1}µs, ratio {:.2})",
@@ -87,5 +83,8 @@ fn main() {
     // The same machinery, one call: select_config on the boxed best model.
     let best = trained.best();
     let cfg = select_config(best, &test[0].features, &space);
-    println!("\nbest zoo model ({}) would launch the first held-out tensor with {cfg}", best.name());
+    println!(
+        "\nbest zoo model ({}) would launch the first held-out tensor with {cfg}",
+        best.name()
+    );
 }

@@ -15,16 +15,16 @@ fn main() {
     let devices = [DeviceSpec::rtx3060(), DeviceSpec::rtx3090(), DeviceSpec::a100()];
     let tensors = [
         ("small-uniform", scalfrag::tensor::gen::uniform(&[400, 300, 200], 25_000, 1)),
-        ("large-skewed", scalfrag::tensor::gen::zipf_slices(&[3_000, 2_000, 1_200], 600_000, 1.0, 2)),
+        (
+            "large-skewed",
+            scalfrag::tensor::gen::zipf_slices(&[3_000, 2_000, 1_200], 600_000, 1.0, 2),
+        ),
     ];
     let rank = 16u32;
     let tiers = [10_000usize, 60_000, 300_000, 800_000];
 
     println!("Per-device adaptive launch selections (rank {rank}):\n");
-    println!(
-        "{:<26} {:>14} {:>22} {:>14}",
-        "device", "tensor", "chosen launch", "kernel time"
-    );
+    println!("{:<26} {:>14} {:>22} {:>14}", "device", "tensor", "chosen launch", "kernel time");
     for d in &devices {
         // One predictor per device — the offline phase is hardware-specific,
         // exactly as the paper's training on the deployment GPU is.
@@ -33,13 +33,7 @@ fn main() {
             let cfg = p.predict(t, 0);
             let stats = scalfrag::kernels::SegmentStats::compute(t, 0);
             let dur = scalfrag::autotune::sweep::KernelFlavor::Tiled.duration(d, &stats, rank, cfg);
-            println!(
-                "{:<26} {:>14} {:>22} {:>12.1}µs",
-                d.name,
-                name,
-                format!("{cfg}"),
-                dur * 1e6
-            );
+            println!("{:<26} {:>14} {:>22} {:>12.1}µs", d.name, name, format!("{cfg}"), dur * 1e6);
         }
     }
 
@@ -49,10 +43,7 @@ fn main() {
     for d in &devices {
         let parti = Parti::new(d.clone());
         let rp = parti.mttkrp_dry(t, &f, 0);
-        let scal = ScalFrag::builder()
-            .device(d.clone())
-            .train_tiers(tiers.to_vec())
-            .build();
+        let scal = ScalFrag::builder().device(d.clone()).train_tiers(tiers.to_vec()).build();
         let rs = scal.mttkrp_dry(t, &f, 0);
         println!(
             "  {:<26} ParTI {:>9.3}ms | ScalFrag {:>9.3}ms | speedup {:.2}x",

@@ -6,9 +6,7 @@
 
 use scalfrag::gpusim::{DeviceSpec, Gpu};
 use scalfrag::kernels::FactorSet;
-use scalfrag::pipeline::{
-    execute_pipelined_dry, execute_sync_dry, KernelChoice, PipelinePlan,
-};
+use scalfrag::pipeline::{execute_pipelined_dry, execute_sync_dry, KernelChoice, PipelinePlan};
 use scalfrag::prelude::*;
 
 fn main() {
@@ -17,12 +15,7 @@ fn main() {
     let mut tensor = preset.materialize(64);
     tensor.sort_for_mode(0);
     let factors = FactorSet::random(tensor.dims(), 16, 5);
-    println!(
-        "tensor: {} ({} nnz), factors rank {}\n",
-        preset.name,
-        tensor.nnz(),
-        factors.rank()
-    );
+    println!("tensor: {} ({} nnz), factors rank {}\n", preset.name, tensor.nnz(), factors.rank());
     let cfg = LaunchConfig::new(4096, 256);
 
     // --- The ParTI-style synchronous schedule (§III-B). ---
@@ -43,10 +36,7 @@ fn main() {
         piped.overlap_ratio() * 100.0
     );
     println!("{}", piped.timeline.ascii_gantt(90));
-    println!(
-        "speedup over the synchronous schedule: {:.2}x\n",
-        sync.makespan() / piped.makespan()
-    );
+    println!("speedup over the synchronous schedule: {:.2}x\n", sync.makespan() / piped.makespan());
 
     // --- The Fig. 11 sensitivity in one loop. ---
     println!("segments x streams sensitivity (end-to-end time):");
@@ -60,7 +50,8 @@ fn main() {
         for streams in [1usize, 2, 4, 8] {
             let plan = PipelinePlan::new(&tensor, 0, cfg, segments, streams);
             let mut gpu = Gpu::new(DeviceSpec::rtx3090());
-            let run = execute_pipelined_dry(&mut gpu, &tensor, &factors, &plan, KernelChoice::Tiled);
+            let run =
+                execute_pipelined_dry(&mut gpu, &tensor, &factors, &plan, KernelChoice::Tiled);
             print!("{:>11}", scalfrag_fmt(run.makespan()));
         }
         println!();

@@ -26,9 +26,8 @@ fn build_ratings(seed: u64) -> (CooTensor, Vec<usize>, Vec<usize>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let user_comm: Vec<usize> = (0..USERS).map(|_| rng.gen_range(0..COMMUNITIES)).collect();
     let item_comm: Vec<usize> = (0..ITEMS).map(|_| rng.gen_range(0..COMMUNITIES)).collect();
-    let ctx_affinity: Vec<Vec<f32>> = (0..COMMUNITIES)
-        .map(|_| (0..CONTEXTS).map(|_| 0.5 + rng.gen::<f32>()).collect())
-        .collect();
+    let ctx_affinity: Vec<Vec<f32>> =
+        (0..COMMUNITIES).map(|_| (0..CONTEXTS).map(|_| 0.5 + rng.gen::<f32>()).collect()).collect();
 
     let mut t = CooTensor::new(&[USERS, ITEMS, CONTEXTS]);
     let mut seen = std::collections::HashSet::new();
@@ -51,9 +50,7 @@ fn build_ratings(seed: u64) -> (CooTensor, Vec<usize>, Vec<usize>) {
 /// Predicted rating from the CPD factors: `Σ_f A(u,f) B(i,f) C(c,f)`.
 fn predict(f: &FactorSet, u: u32, i: u32, c: u32) -> f32 {
     (0..f.rank())
-        .map(|r| {
-            f.get(0)[(u as usize, r)] * f.get(1)[(i as usize, r)] * f.get(2)[(c as usize, r)]
-        })
+        .map(|r| f.get(0)[(u as usize, r)] * f.get(1)[(i as usize, r)] * f.get(2)[(c as usize, r)])
         .sum()
 }
 
@@ -71,7 +68,13 @@ fn main() {
     // stack on the simulated RTX 3090.
     let ctx = ScalFrag::builder().build();
     let mut backend = ctx.backend();
-    let opts = CpdOptions { rank: COMMUNITIES + 2, max_iters: 15, tol: 1e-4, seed: 11, nonnegative: false };
+    let opts = CpdOptions {
+        rank: COMMUNITIES + 2,
+        max_iters: 15,
+        tol: 1e-4,
+        seed: 11,
+        nonnegative: false,
+    };
     println!("\nrunning CPD-ALS (rank {}) through ScalFrag...", opts.rank);
     let cpd = cpd_als(&ratings, &opts, &mut backend);
     println!(
@@ -112,14 +115,10 @@ fn main() {
 
     // Top-5 items for one user in their preferred context.
     let user = 3u32;
-    let mut scored: Vec<(u32, f32)> =
-        (0..ITEMS).map(|i| (i, predict(f, user, i, 1))).collect();
+    let mut scored: Vec<(u32, f32)> = (0..ITEMS).map(|i| (i, predict(f, user, i, 1))).collect();
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\ntop-5 recommendations for user {user} in context 1:");
     for (item, score) in &scored[..5] {
-        println!(
-            "  item {item:>4} (community {}) score {score:.3}",
-            item_comm[*item as usize]
-        );
+        println!("  item {item:>4} (community {}) score {score:.3}", item_comm[*item as usize]);
     }
 }

@@ -1,0 +1,221 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps the `criterion_group!`/`criterion_main!` harness contract and the
+//! `Criterion` → `BenchmarkGroup` → `Bencher` call surface, but replaces
+//! statistical sampling with a plain fixed-count timing loop that prints
+//! one mean-per-iteration line per benchmark. Good enough to keep the
+//! `[[bench]]` targets compiling, runnable, and comparable run-to-run
+//! without a registry dependency.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimisation barrier.
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark: a function name plus a parameter label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `"<name>/<parameter>"`, mirroring upstream display form.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self { id: format!("{name}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Times one closure over a fixed number of iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` `iters` times, accumulating total wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(group: &str, id: &BenchmarkId, iters: u64, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / iters.max(1) as f64;
+    let label = if group.is_empty() { id.id.clone() } else { format!("{group}/{}", id.id) };
+    println!("{label:<48} {iters:>4} iters   mean {}", fmt_duration(mean));
+}
+
+fn fmt_duration(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Top-level benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the iteration count used for subsequent benchmarks.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== {name} ==");
+        BenchmarkGroup { name, sample_size: self.sample_size, _criterion: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<ID: Into<BenchmarkId>>(
+        &mut self,
+        id: ID,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one("", &id.into(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Times `f` under `id`.
+    pub fn bench_function<ID: Into<BenchmarkId>>(
+        &mut self,
+        id: ID,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Times `f` under `id`, passing `input` by reference.
+    pub fn bench_with_input<ID: Into<BenchmarkId>, I: ?Sized>(
+        &mut self,
+        id: ID,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&self.name, &id.into(), self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group (prints a trailing newline).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function. Supports
+/// both the positional form and the `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main()` invoking each group produced by [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_function(BenchmarkId::new("named", 7), |b| b.iter(|| 2 * 2));
+        group.bench_with_input(BenchmarkId::new("with_input", "x"), &21, |b, &x| b.iter(|| x * 2));
+        group.finish();
+        c.bench_function("ungrouped", |b| b.iter(|| black_box(3) + 1));
+    }
+
+    criterion_group!(positional, sample_target);
+    criterion_group! {
+        name = configured;
+        config = Criterion::default().sample_size(2);
+        targets = sample_target, sample_target
+    }
+
+    #[test]
+    fn groups_run_to_completion() {
+        positional();
+        configured();
+    }
+
+    #[test]
+    fn iter_measures_something() {
+        let mut b = Bencher { iters: 100, elapsed: Duration::ZERO };
+        b.iter(|| std::hint::black_box(42u64).wrapping_mul(3));
+        assert!(b.elapsed >= Duration::ZERO);
+    }
+}

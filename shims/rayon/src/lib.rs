@@ -1,0 +1,173 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the parallel-iterator API surface the workspace uses — `par_iter`,
+//! `into_par_iter`, `par_chunks`, `.chunks(n)` — executed **sequentially in
+//! submission order**. That trades wall-clock parallelism for a property
+//! the simulator stack values more: numeric results are bit-deterministic
+//! and, by construction, invariant to any notion of thread count (there is
+//! exactly one). All downstream combinators (`map`, `for_each`, `sum`,
+//! `collect`, …) come from [`std::iter::Iterator`], which [`ParIter`]
+//! implements.
+
+/// Number of worker threads in the (sequential) pool. Always 1, so every
+/// chunking heuristic that divides by the thread count stays well-defined
+/// and every execution order is reproducible.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Sequential stand-in for rayon's `ParallelIterator`: a thin wrapper over
+/// a standard iterator that adds the rayon-specific adapters the workspace
+/// uses (`chunks`, `with_min_len`).
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Groups items into `Vec`s of at most `size` (rayon's
+    /// `IndexedParallelIterator::chunks`).
+    pub fn chunks(self, size: usize) -> Chunks<I> {
+        assert!(size > 0, "chunk size must be positive");
+        Chunks { inner: self.0, size }
+    }
+
+    /// Work-splitting hint; a no-op in the sequential shim.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Work-splitting hint; a no-op in the sequential shim.
+    pub fn with_max_len(self, _max: usize) -> Self {
+        self
+    }
+}
+
+/// Iterator of `Vec` chunks produced by [`ParIter::chunks`].
+pub struct Chunks<I: Iterator> {
+    inner: I,
+    size: usize,
+}
+
+impl<I: Iterator> Iterator for Chunks<I> {
+    type Item = Vec<I::Item>;
+
+    fn next(&mut self) -> Option<Vec<I::Item>> {
+        let mut chunk = Vec::with_capacity(self.size);
+        for _ in 0..self.size {
+            match self.inner.next() {
+                Some(x) => chunk.push(x),
+                None => break,
+            }
+        }
+        if chunk.is_empty() {
+            None
+        } else {
+            Some(chunk)
+        }
+    }
+}
+
+/// `into_par_iter()` for every `IntoIterator` (ranges, `Vec`, …).
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Converts into a (sequential) "parallel" iterator.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+/// `par_iter()` / `par_chunks()` on slices (and, via deref, `Vec`).
+pub trait ParallelSlice<T> {
+    /// Borrowing (sequential) "parallel" iterator over the elements.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+
+    /// Borrowing iterator over `chunk_size`-sized sub-slices.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// Mutable `par_iter_mut()` / `par_chunks_mut()` on slices.
+pub trait ParallelSliceMut<T> {
+    /// Mutably borrowing (sequential) "parallel" iterator.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+
+    /// Mutably borrowing iterator over `chunk_size`-sized sub-slices.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter(self.chunks_mut(chunk_size))
+    }
+}
+
+/// Glob-importable traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_into_par_iter_behaves_like_iter() {
+        let sum: u64 = (0u64..100).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(sum, 9900);
+    }
+
+    #[test]
+    fn chunks_groups_and_preserves_order() {
+        let chunks: Vec<Vec<usize>> = (0..7usize).into_par_iter().chunks(3).collect();
+        assert_eq!(chunks, vec![vec![0, 1, 2], vec![3, 4, 5], vec![6]]);
+    }
+
+    #[test]
+    fn slice_par_iter_and_par_chunks() {
+        let v = [1, 2, 3, 4, 5];
+        let s: i32 = v.par_iter().sum();
+        assert_eq!(s, 15);
+        let c: Vec<&[i32]> = v.par_chunks(2).collect();
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn for_each_runs_in_order() {
+        let mut log = Vec::new();
+        // Sequential shim: side effects land in submission order.
+        (0..5usize).into_par_iter().for_each(|i| log.push(i));
+        assert_eq!(log, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn one_thread_reported() {
+        assert_eq!(super::current_num_threads(), 1);
+    }
+}

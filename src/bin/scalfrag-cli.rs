@@ -160,7 +160,13 @@ fn cmd_mttkrp(tensor: &CooTensor, args: &Args) {
 }
 
 fn cmd_cpd(tensor: &CooTensor, args: &Args) {
-    let opts = CpdOptions { rank: args.rank, max_iters: args.iters, tol: 1e-4, seed: 42, nonnegative: false };
+    let opts = CpdOptions {
+        rank: args.rank,
+        max_iters: args.iters,
+        tol: 1e-4,
+        seed: 42,
+        nonnegative: false,
+    };
     let run = |backend: &mut dyn MttkrpBackend| {
         let t0 = std::time::Instant::now();
         let res = cpd_als(tensor, &opts, backend);
@@ -212,15 +218,7 @@ fn cmd_tune(tensor: &CooTensor, args: &Args) {
         TuningStrategy::Random(32),
         TuningStrategy::Exhaustive,
     ] {
-        let o = tune(
-            &device,
-            tensor,
-            args.mode,
-            args.rank as u32,
-            &space,
-            strat,
-            Some(&predictor),
-        );
+        let o = tune(&device, tensor, args.mode, args.rank as u32, &space, strat, Some(&predictor));
         println!(
             "{:<12} {:>22} {:>9.3}x {:>10.3}ms {:>12.1} runs",
             o.strategy,

@@ -19,8 +19,12 @@
 //!   launch configurations.
 //! * [`pipeline`] — tensor segmentation, CUDA-stream-style scheduling and
 //!   the pipelined transfer/compute overlap of §IV-C.
-//! * [`core`] — the end-to-end [`core::ScalFrag`] framework facade and the
-//!   [`core::Parti`] baseline it is evaluated against.
+//! * [`cluster`] — multi-GPU sharded MTTKRP: node/interconnect model,
+//!   shard policies, device-level scheduling and the cross-device
+//!   reduction stage.
+//! * [`core`] — the end-to-end [`core::ScalFrag`] framework facade, the
+//!   [`core::Parti`] baseline it is evaluated against, and the
+//!   multi-GPU [`core::ClusterScalFrag`] facade.
 //!
 //! ## Quickstart
 //!
@@ -41,6 +45,7 @@
 //! ```
 
 pub use scalfrag_autotune as autotune;
+pub use scalfrag_cluster as cluster;
 pub use scalfrag_core as core;
 pub use scalfrag_gpusim as gpusim;
 pub use scalfrag_kernels as kernels;
@@ -50,7 +55,8 @@ pub use scalfrag_tensor as tensor;
 
 /// Convenient glob-importable re-exports of the most used types.
 pub mod prelude {
-    pub use scalfrag_core::{MttkrpReport, Parti, ScalFrag};
+    pub use scalfrag_cluster::{DeviceScheduler, Interconnect, NodeSpec, ShardPolicy};
+    pub use scalfrag_core::{ClusterMttkrpReport, ClusterScalFrag, MttkrpReport, Parti, ScalFrag};
     pub use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
     pub use scalfrag_kernels::{FactorSet, MttkrpBackend};
     pub use scalfrag_linalg::Mat;

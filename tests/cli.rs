@@ -53,16 +53,7 @@ fn mttkrp_runs_on_cpu_and_parti_backends() {
 fn cpd_reports_fits() {
     let path = write_sample_tns();
     let out = cli()
-        .args([
-            "cpd",
-            path.to_str().unwrap(),
-            "--backend",
-            "cpu",
-            "--rank",
-            "3",
-            "--iters",
-            "2",
-        ])
+        .args(["cpd", path.to_str().unwrap(), "--backend", "cpu", "--rank", "3", "--iters", "2"])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -76,12 +67,7 @@ fn trace_writes_chrome_json() {
     let path = write_sample_tns();
     let trace_path = std::env::temp_dir().join("scalfrag_cli_tests").join("t.json");
     let out = cli()
-        .args([
-            "trace",
-            path.to_str().unwrap(),
-            "--out",
-            trace_path.to_str().unwrap(),
-        ])
+        .args(["trace", path.to_str().unwrap(), "--out", trace_path.to_str().unwrap()])
         .output()
         .unwrap();
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
@@ -106,10 +92,7 @@ fn bad_arguments_exit_nonzero() {
 #[test]
 fn mode_out_of_range_is_rejected() {
     let path = write_sample_tns();
-    let out = cli()
-        .args(["info", path.to_str().unwrap(), "--mode", "9"])
-        .output()
-        .unwrap();
+    let out = cli().args(["info", path.to_str().unwrap(), "--mode", "9"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("out of range"));
 }

@@ -21,10 +21,7 @@ fn test_tensors() -> Vec<CooTensor> {
 
 #[test]
 fn scalfrag_full_stack_matches_reference_on_every_mode() {
-    let ctx = ScalFrag::builder()
-        .fixed_config(LaunchConfig::new(1024, 256))
-        .segments(4)
-        .build();
+    let ctx = ScalFrag::builder().fixed_config(LaunchConfig::new(1024, 256)).segments(4).build();
     for (i, t) in test_tensors().iter().enumerate() {
         let f = FactorSet::random(t.dims(), 8, 100 + i as u64);
         for mode in 0..t.order() {
@@ -108,7 +105,12 @@ fn gpu_backed_cpd_matches_cpu_cpd_trajectory() {
 
     assert_eq!(cpu.iters, gpu.iters);
     for (a, b) in cpu.fits.iter().zip(&gpu.fits) {
-        assert!((a - b).abs() < 1e-3, "fit trajectories diverged: {:?} vs {:?}", cpu.fits, gpu.fits);
+        assert!(
+            (a - b).abs() < 1e-3,
+            "fit trajectories diverged: {:?} vs {:?}",
+            cpu.fits,
+            gpu.fits
+        );
     }
 
     let parti = Parti::rtx3090();

@@ -17,18 +17,10 @@ fn simulated_timings_are_bit_identical_across_runs() {
     let t = scalfrag::tensor::gen::zipf_slices(&[400, 300, 200], 20_000, 0.9, 5);
     let f = FactorSet::random(t.dims(), 16, 6);
     let run = || {
-        let ctx = ScalFrag::builder()
-            .fixed_config(LaunchConfig::new(1024, 256))
-            .segments(4)
-            .build();
+        let ctx =
+            ScalFrag::builder().fixed_config(LaunchConfig::new(1024, 256)).segments(4).build();
         let r = ctx.mttkrp_dry(&t, &f, 0);
-        (
-            r.timing.h2d_s,
-            r.timing.kernel_s,
-            r.timing.d2h_s,
-            r.timing.total_s,
-            r.overlap_ratio,
-        )
+        (r.timing.h2d_s, r.timing.kernel_s, r.timing.d2h_s, r.timing.total_s, r.overlap_ratio)
     };
     assert_eq!(run(), run());
 
@@ -58,6 +50,27 @@ fn trained_predictor_is_deterministic() {
     let p2 = scalfrag::autotune::LaunchPredictor::train_with_tiers(&d, 16, 3, &[5_000, 20_000]);
     let t = scalfrag::tensor::gen::uniform(&[500, 300, 200], 15_000, 9);
     assert_eq!(p1.predict(&t, 0), p2.predict(&t, 0));
+}
+
+#[test]
+fn multi_gpu_timelines_are_bit_identical_across_runs() {
+    use scalfrag::cluster::NodeSpec;
+    let t = scalfrag::tensor::gen::zipf_slices(&[400, 300, 200], 20_000, 0.9, 5);
+    let f = FactorSet::random(t.dims(), 16, 6);
+    let run = || {
+        let ctx = ClusterScalFrag::builder()
+            .node(NodeSpec::heterogeneous(vec![DeviceSpec::rtx3090(), DeviceSpec::rtx3060()]))
+            .fixed_config(LaunchConfig::new(1024, 256))
+            .shards(4)
+            .build();
+        let r = ctx.mttkrp_dry(&t, &f, 0);
+        (r.per_device.clone(), r.assignments.clone(), r.reduction_s, r.total_s)
+    };
+    assert_eq!(run(), run());
+    // The parallel runtime is the sequential rayon shim, so the simulated
+    // schedule cannot depend on a worker-thread count: there is exactly
+    // one, by construction (see shims/README.md).
+    assert_eq!(rayon::current_num_threads(), 1);
 }
 
 #[test]

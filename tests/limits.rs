@@ -23,13 +23,7 @@ fn auto_plan_segments_more_under_memory_pressure() {
     t.sort_for_mode(0);
     let cfg = LaunchConfig::new(1024, 256);
 
-    let roomy = scalfrag::pipeline::PipelinePlan::auto(
-        &t,
-        0,
-        cfg,
-        &DeviceSpec::rtx3090(),
-        1 << 20,
-    );
+    let roomy = scalfrag::pipeline::PipelinePlan::auto(&t, 0, cfg, &DeviceSpec::rtx3090(), 1 << 20);
 
     let mut tiny = DeviceSpec::rtx3090();
     tiny.global_mem_bytes = (t.byte_size() / 8) as u64;
@@ -79,8 +73,7 @@ fn requesting_more_segments_than_slices_degrades_gracefully() {
     }
     let mut t = CooTensor::from_entries(&[3, 30, 2], &entries);
     t.sort_for_mode(0);
-    let plan =
-        scalfrag::pipeline::PipelinePlan::new(&t, 0, LaunchConfig::new(64, 64), 16, 16);
+    let plan = scalfrag::pipeline::PipelinePlan::new(&t, 0, LaunchConfig::new(64, 64), 16, 16);
     assert!(plan.num_segments() <= 3);
     assert_eq!(plan.total_nnz(), 30);
 }

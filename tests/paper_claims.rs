@@ -20,9 +20,7 @@ fn trained_scalfrag() -> &'static ScalFrag {
     // launch (the paper trains once, too).
     static S: OnceLock<ScalFrag> = OnceLock::new();
     S.get_or_init(|| {
-        ScalFrag::builder()
-            .train_tiers(vec![20_000, 100_000, 400_000, 1_000_000])
-            .build()
+        ScalFrag::builder().train_tiers(vec![20_000, 100_000, 400_000, 1_000_000]).build()
     })
 }
 
@@ -133,10 +131,7 @@ fn fig11_shape_segment_sensitivity() {
     assert!(t4 < t1, "4 segments must beat 1: {t4} vs {t1}");
     let gain_14 = t1 / t4;
     let gain_416 = t4 / t16;
-    assert!(
-        gain_416 < gain_14,
-        "gains must flatten: 1->4 {gain_14}, 4->16 {gain_416}"
-    );
+    assert!(gain_416 < gain_14, "gains must flatten: 1->4 {gain_14}, 4->16 {gain_416}");
 }
 
 /// §IV-B: the adaptive launch must choose configurations close to the

@@ -8,12 +8,10 @@ use scalfrag::tensor::segment;
 
 /// Strategy: a small random tensor (order 3, bounded dims/nnz).
 fn arb_tensor() -> impl Strategy<Value = CooTensor> {
-    (2u32..24, 2u32..24, 2u32..24, 1usize..200, any::<u64>()).prop_map(
-        |(i, j, k, nnz, seed)| {
-            let cells = (i as usize) * (j as usize) * (k as usize);
-            CooTensor::random_uniform(&[i, j, k], nnz.min(cells / 2).max(1), seed)
-        },
-    )
+    (2u32..24, 2u32..24, 2u32..24, 1usize..200, any::<u64>()).prop_map(|(i, j, k, nnz, seed)| {
+        let cells = (i as usize) * (j as usize) * (k as usize);
+        CooTensor::random_uniform(&[i, j, k], nnz.min(cells / 2).max(1), seed)
+    })
 }
 
 proptest! {
@@ -189,5 +187,48 @@ proptest! {
         let space = LaunchConfig::sweep_space(&d);
         let cfg = space[idx % space.len()];
         prop_assert!(cfg.validate(&d).is_ok());
+    }
+
+    #[test]
+    fn sharding_partitions_nnz_exactly(t in arb_tensor(), shards in 1usize..8, mode in 0usize..3) {
+        use scalfrag::cluster::{shard_tensor, ShardPolicy};
+        let mut sorted = t.clone();
+        sorted.sort_for_mode(mode);
+        for policy in [ShardPolicy::NnzBalanced, ShardPolicy::SliceAligned] {
+            let parts = shard_tensor(&sorted, mode, policy, shards);
+            let total: usize = parts.iter().map(|s| s.nnz()).sum();
+            prop_assert_eq!(total, t.nnz());
+            // Contiguous, gap-free cover of the entry range.
+            for w in parts.windows(2) {
+                prop_assert_eq!(w[0].range.end, w[1].range.start);
+            }
+            if let (Some(first), Some(last)) = (parts.first(), parts.last()) {
+                prop_assert_eq!(first.range.start, 0);
+                prop_assert_eq!(last.range.end, t.nnz());
+            }
+        }
+    }
+
+    #[test]
+    fn slice_aligned_shards_never_share_output_rows(t in arb_tensor(), shards in 1usize..8) {
+        use scalfrag::cluster::{shard_tensor, ShardPolicy};
+        let mut sorted = t.clone();
+        sorted.sort_for_mode(0);
+        let parts = shard_tensor(&sorted, 0, ShardPolicy::SliceAligned, shards);
+        let mut owner = std::collections::HashMap::new();
+        for s in &parts {
+            let (lo, hi) = s.rows.expect("slice-aligned shards own a row range");
+            prop_assert!(lo <= hi);
+            for r in lo..=hi {
+                prop_assert!(
+                    owner.insert(r, s.index).is_none(),
+                    "row {r} owned by two shards"
+                );
+            }
+            // Every entry of the shard writes inside its owned range.
+            for &i in s.tensor.mode_indices(0) {
+                prop_assert!((lo..=hi).contains(&i));
+            }
+        }
     }
 }
