@@ -19,4 +19,7 @@ cargo test -q
 echo "==> compile-check examples"
 cargo build --release --examples
 
+echo "==> serving-layer smoke test"
+cargo run --release -q -p scalfrag-bench --bin serve_load -- --smoke
+
 echo "CI green."

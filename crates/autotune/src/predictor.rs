@@ -8,6 +8,9 @@ use crate::tree::DecisionTree;
 use crate::Regressor;
 use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
 use scalfrag_tensor::{CooTensor, TensorFeatures};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A trained launch-parameter predictor bound to a device and launch space.
 pub struct LaunchPredictor {
@@ -68,6 +71,85 @@ impl LaunchPredictor {
     }
 }
 
+/// A cheap-to-clone handle over lazily-trained per-rank [`LaunchPredictor`]s.
+///
+/// The paper's claim — *"the training needs to be performed only once, the
+/// cost can be considered negligible"* — only holds if the trained model is
+/// actually shared. This handle is that sharing point: every clone refers
+/// to the same per-rank predictor table, so a serving layer (or a pool of
+/// `ScalFrag` facades, one per device) pays predictor training once per
+/// rank across its whole lifetime instead of once per run/worker.
+#[derive(Clone)]
+pub struct TrainedPredictor {
+    inner: Arc<TrainedPredictorInner>,
+}
+
+struct TrainedPredictorInner {
+    device: DeviceSpec,
+    seed: u64,
+    tiers: Option<Vec<usize>>,
+    per_rank: Mutex<HashMap<u32, Arc<LaunchPredictor>>>,
+    trainings: AtomicUsize,
+}
+
+impl TrainedPredictor {
+    /// Creates the shared handle. Training itself is lazy — the first
+    /// [`TrainedPredictor::for_rank`] call for each rank trains that
+    /// rank's model; every later call (from any clone) reuses it.
+    ///
+    /// `tiers = None` uses [`crate::trainer::DEFAULT_TIERS`].
+    pub fn train_once(device: &DeviceSpec, seed: u64, tiers: Option<Vec<usize>>) -> Self {
+        Self {
+            inner: Arc::new(TrainedPredictorInner {
+                device: device.clone(),
+                seed,
+                tiers,
+                per_rank: Mutex::new(HashMap::new()),
+                trainings: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// The predictor for `rank`, training it on first use.
+    pub fn for_rank(&self, rank: u32) -> Arc<LaunchPredictor> {
+        let mut table = self.inner.per_rank.lock().expect("predictor table poisoned");
+        table
+            .entry(rank)
+            .or_insert_with(|| {
+                self.inner.trainings.fetch_add(1, Ordering::Relaxed);
+                Arc::new(match &self.inner.tiers {
+                    Some(tiers) => LaunchPredictor::train_with_tiers(
+                        &self.inner.device,
+                        rank,
+                        self.inner.seed,
+                        tiers,
+                    ),
+                    None => {
+                        LaunchPredictor::train_default(&self.inner.device, rank, self.inner.seed)
+                    }
+                })
+            })
+            .clone()
+    }
+
+    /// How many full trainings have actually run — the honesty counter the
+    /// serving tests assert on (a shared handle must report 1 per rank no
+    /// matter how many jobs/devices used it).
+    pub fn trainings(&self) -> usize {
+        self.inner.trainings.load(Ordering::Relaxed)
+    }
+
+    /// The device the models are trained against.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.inner.device
+    }
+
+    /// The training seed.
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +203,31 @@ mod tests {
     fn empty_space_rejected() {
         let _ =
             LaunchPredictor::from_model(Box::new(DecisionTree::default_params()), Vec::new(), 16);
+    }
+
+    #[test]
+    fn train_once_shares_models_across_clones() {
+        let d = DeviceSpec::rtx3090();
+        let handle = TrainedPredictor::train_once(&d, 42, Some(vec![3_000, 12_000]));
+        assert_eq!(handle.trainings(), 0, "training is lazy");
+        let clone = handle.clone();
+        let a = handle.for_rank(16);
+        let b = clone.for_rank(16);
+        assert!(Arc::ptr_eq(&a, &b), "clones must share the trained model");
+        assert_eq!(handle.trainings(), 1, "one rank, one training");
+        let _ = clone.for_rank(8);
+        assert_eq!(handle.trainings(), 2, "second rank trains once more");
+        let _ = handle.for_rank(8);
+        assert_eq!(clone.trainings(), 2, "re-requests never retrain");
+    }
+
+    #[test]
+    fn train_once_predictions_match_direct_training() {
+        let d = DeviceSpec::rtx3090();
+        let tiers = vec![3_000usize, 12_000];
+        let handle = TrainedPredictor::train_once(&d, 7, Some(tiers.clone()));
+        let direct = LaunchPredictor::train_with_tiers(&d, 16, 7, &tiers);
+        let t = scalfrag_tensor::gen::zipf_slices(&[300, 200, 100], 9_000, 0.8, 5);
+        assert_eq!(handle.for_rank(16).predict(&t, 0), direct.predict(&t, 0));
     }
 }

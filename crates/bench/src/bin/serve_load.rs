@@ -1,0 +1,149 @@
+//! Serving-layer load test: an open-loop, bursty, multi-tenant MTTKRP
+//! request stream against the `scalfrag-serve` scheduler, in three runs:
+//!
+//! 1. **Steady state** (~60 % utilisation) — headline throughput, latency
+//!    percentiles and plan-cache hit rate on a skewed 200-job workload.
+//! 2. **Cache-off ablation** — the identical stream with plan caching
+//!    disabled; the total planning time ratio is the cache's payoff.
+//! 3. **2× overload** — the arrival rate doubled past pool capacity;
+//!    admission control must answer with typed rejections while the
+//!    latency of admitted jobs stays bounded.
+//!
+//! Regenerate with `cargo run --release -p scalfrag-bench --bin serve_load`.
+//! CI runs `serve_load --smoke`, which additionally asserts the acceptance
+//! thresholds (hit rate ≥ 80 %, plan time ≥ 5× down, typed rejections with
+//! bounded p99 under overload).
+
+use scalfrag_gpusim::DeviceSpec;
+use scalfrag_serve::{
+    synthesize, workload::mean_service_estimate_s, AdmissionPolicy, DevicePool, ScalFragServer,
+    ServeReport, WorkloadSpec,
+};
+
+const DEVICES: usize = 2;
+const JOBS: usize = 200;
+const TRAIN_TIERS: [usize; 2] = [3_000, 12_000];
+
+fn spec(seed: u64, mean_interarrival_s: f64) -> WorkloadSpec {
+    WorkloadSpec {
+        jobs: JOBS,
+        tenants: 4,
+        shape_classes: 12,
+        variants_per_class: 3,
+        skew: 1.0,
+        mean_interarrival_s,
+        burstiness: 3.0,
+        rank: 16,
+        base_nnz: 3_000,
+        seed,
+    }
+}
+
+fn server(pool: DevicePool, caching: bool, server0: Option<&ScalFragServer>) -> ScalFragServer {
+    let mut b = ScalFragServer::builder()
+        .pool(pool)
+        .plan_caching(caching)
+        .train_tiers(TRAIN_TIERS.to_vec())
+        .admission(AdmissionPolicy { max_queue_depth: 32, makespan_budget_s: 0.05 });
+    // Every run shares one trained predictor, so training cost never
+    // skews the plan-time comparison.
+    if let Some(s) = server0 {
+        b = b.predictor(s.trained_predictor().clone());
+    }
+    b.build()
+}
+
+fn print_run(title: &str, report: &ServeReport) {
+    println!("--- {title} ---");
+    print!("{}", report.render());
+    println!();
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let device = DeviceSpec::rtx3090();
+    let pool = DevicePool::homogeneous(device.clone(), DEVICES);
+    println!(
+        "ScalFrag serving load test: {JOBS} jobs, 12 shape classes (zipf popularity), \
+         4 tenants, {DEVICES}x {}\n",
+        device.name
+    );
+
+    // Calibrate the arrival rate against the admission-time service
+    // estimate: steady state at ~60 % utilisation, overload at 2x capacity.
+    let probe = synthesize(&spec(7, 1.0));
+    let mean_est = mean_service_estimate_s(&probe, &device);
+    let steady_gap = mean_est / (0.6 * DEVICES as f64);
+    let overload_gap = mean_est / (2.0 * DEVICES as f64);
+    println!(
+        "mean service estimate {:.3}ms -> interarrival {:.3}ms steady / {:.3}ms overload\n",
+        mean_est * 1e3,
+        steady_gap * 1e3,
+        overload_gap * 1e3
+    );
+
+    let steady_jobs = synthesize(&spec(7, steady_gap));
+    let srv = server(pool.clone(), true, None);
+    let steady = srv.run(steady_jobs.clone());
+    print_run("steady state (plan cache on)", &steady);
+
+    let srv_nocache = server(pool.clone(), false, Some(&srv));
+    let nocache = srv_nocache.run(steady_jobs);
+    print_run("cache-off ablation", &nocache);
+
+    let srv_overload = server(pool, true, Some(&srv));
+    let overload = srv_overload.run(synthesize(&spec(7, overload_gap)));
+    print_run("2x overload", &overload);
+
+    let plan_ratio = nocache.total_plan_s() / steady.total_plan_s().max(1e-12);
+    println!("plan-time ratio (cache off / on): {plan_ratio:.1}x");
+    println!(
+        "overload: {} rejected ({:.0}%), p99 of admitted {:.3}ms (steady p99 {:.3}ms)",
+        overload.rejected.len(),
+        overload.rejection_rate() * 100.0,
+        overload.p99_latency_s() * 1e3,
+        steady.p99_latency_s() * 1e3,
+    );
+
+    if smoke {
+        // Steady state: every job admitted, the skewed working set mostly
+        // hits the cache, and caching pays >= 5x on planning time.
+        assert!(steady.rejected.is_empty(), "steady state must admit everything");
+        assert_eq!(steady.completed.len(), JOBS);
+        assert!(steady.throughput_jobs_per_s() > 0.0);
+        assert!(
+            steady.cache.hit_rate() >= 0.80,
+            "hit rate {:.3} below the 0.80 acceptance floor",
+            steady.cache.hit_rate()
+        );
+        assert!(
+            plan_ratio >= 5.0,
+            "plan caching must cut total plan time >= 5x, got {plan_ratio:.2}x"
+        );
+        // Determinism: same seed + same stream -> identical report.
+        let replay =
+            server(DevicePool::homogeneous(DeviceSpec::rtx3090(), DEVICES), true, Some(&srv))
+                .run(synthesize(&spec(7, steady_gap)));
+        assert_eq!(replay.fingerprint(), steady.fingerprint(), "replay must be bit-identical");
+
+        // Overload: typed rejections, bounded queue, bounded p99 of the
+        // jobs that were admitted.
+        assert!(!overload.rejected.is_empty(), "2x overload must produce rejections");
+        assert!(overload.peak_queue_depth <= 32, "queue depth must respect the cap");
+        for r in &overload.rejected {
+            assert!(
+                r.retry_after_s.is_finite() && r.retry_after_s > 0.0,
+                "rejection must carry a usable retry hint: {r}"
+            );
+        }
+        let budget = 0.05;
+        let p99_cap = budget + 20.0 * mean_est;
+        assert!(
+            overload.p99_latency_s() <= p99_cap,
+            "admitted p99 {:.4}s exceeds bound {:.4}s under overload",
+            overload.p99_latency_s(),
+            p99_cap
+        );
+        println!("\nsmoke assertions passed.");
+    }
+}

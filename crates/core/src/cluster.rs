@@ -2,7 +2,7 @@
 //! builder pattern lifted onto a [`NodeSpec`] of simulated devices.
 
 use crate::report::PhaseTiming;
-use scalfrag_autotune::LaunchPredictor;
+use scalfrag_autotune::TrainedPredictor;
 use scalfrag_cluster::{
     execute_cluster, execute_cluster_dry, ClusterOptions, ClusterRun, DeviceScheduler, NodeSpec,
     ShardPolicy,
@@ -12,8 +12,6 @@ use scalfrag_kernels::FactorSet;
 use scalfrag_linalg::Mat;
 use scalfrag_pipeline::KernelChoice;
 use scalfrag_tensor::{CooTensor, TensorFeatures};
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
 
 /// Feature toggles of the cluster stack — the multi-GPU ablation surface.
 #[derive(Clone, Debug)]
@@ -66,6 +64,7 @@ impl Default for ClusterConfig {
 pub struct ClusterScalFragBuilder {
     node: NodeSpec,
     config: ClusterConfig,
+    predictor: Option<TrainedPredictor>,
 }
 
 impl ClusterScalFragBuilder {
@@ -131,13 +130,25 @@ impl ClusterScalFragBuilder {
         self
     }
 
+    /// Shares an already-created [`TrainedPredictor`] handle instead of
+    /// training privately (see [`crate::ScalFragBuilder::predictor`]).
+    pub fn predictor(mut self, handle: TrainedPredictor) -> Self {
+        self.predictor = Some(handle);
+        self
+    }
+
     /// Finalises the framework instance.
     pub fn build(self) -> ClusterScalFrag {
-        ClusterScalFrag {
-            node: self.node,
-            config: self.config,
-            predictors: Mutex::new(HashMap::new()),
-        }
+        let predictor = self.predictor.unwrap_or_else(|| {
+            // Train against the node's first device; the launch space is
+            // shared by all devices in the node.
+            TrainedPredictor::train_once(
+                &self.node.devices[0],
+                self.config.train_seed,
+                self.config.train_tiers.clone(),
+            )
+        });
+        ClusterScalFrag { node: self.node, config: self.config, predictor }
     }
 }
 
@@ -147,7 +158,7 @@ impl ClusterScalFragBuilder {
 pub struct ClusterScalFrag {
     node: NodeSpec,
     config: ClusterConfig,
-    predictors: Mutex<HashMap<u32, Arc<LaunchPredictor>>>,
+    predictor: TrainedPredictor,
 }
 
 impl ClusterScalFrag {
@@ -157,6 +168,7 @@ impl ClusterScalFrag {
         ClusterScalFragBuilder {
             node: NodeSpec::homogeneous(DeviceSpec::rtx3090(), 2),
             config: ClusterConfig::default(),
+            predictor: None,
         }
     }
 
@@ -170,32 +182,16 @@ impl ClusterScalFrag {
         &self.config
     }
 
-    fn predictor(&self, rank: u32) -> Arc<LaunchPredictor> {
-        let mut cache = self.predictors.lock().expect("predictor cache poisoned");
-        cache
-            .entry(rank)
-            .or_insert_with(|| {
-                // Train against the node's first device; the launch space
-                // is shared by all devices in the node.
-                let device = &self.node.devices[0];
-                Arc::new(match &self.config.train_tiers {
-                    Some(tiers) => LaunchPredictor::train_with_tiers(
-                        device,
-                        rank,
-                        self.config.train_seed,
-                        tiers,
-                    ),
-                    None => LaunchPredictor::train_default(device, rank, self.config.train_seed),
-                })
-            })
-            .clone()
+    /// The shared trained-predictor handle.
+    pub fn trained_predictor(&self) -> &TrainedPredictor {
+        &self.predictor
     }
 
     /// Selects the launch configuration for `(tensor, mode)`.
     pub fn select_config(&self, tensor: &CooTensor, mode: usize, rank: u32) -> LaunchConfig {
         if self.config.adaptive_launch {
             let features = TensorFeatures::extract(tensor, mode).to_vec();
-            self.predictor(rank).predict_from_features(&features)
+            self.predictor.for_rank(rank).predict_from_features(&features)
         } else {
             self.config.fixed_config.unwrap_or_else(|| LaunchConfig::parti_default(tensor.nnz()))
         }

@@ -15,26 +15,78 @@ pub struct PhaseTiming {
     pub d2h_s: f64,
     /// Host-CPU task busy time (s).
     pub host_s: f64,
-    /// End-to-end makespan (s) — smaller than the sum when phases overlap.
+    /// Time spent queued before execution started (s) — zero for one-shot
+    /// runs; the serving layer fills it in. Queue wait is *not* busy time:
+    /// it is excluded from [`PhaseTiming::busy_s`] and
+    /// [`PhaseTiming::h2d_fraction`] but included in
+    /// [`PhaseTiming::total`].
+    pub queue_s: f64,
+    /// Execution makespan (s), from first phase start to last phase end —
+    /// smaller than the busy sum when phases overlap. Excludes queue wait.
     pub total_s: f64,
 }
 
 impl PhaseTiming {
-    /// Extracts phase timing from a timeline.
+    /// Extracts phase timing from a timeline (queue wait zero).
     pub fn from_timeline(t: &Timeline) -> Self {
         let (h2d_s, kernel_s, d2h_s, host_s) = t.breakdown();
-        Self { h2d_s, kernel_s, d2h_s, host_s, total_s: t.makespan() }
+        Self { h2d_s, kernel_s, d2h_s, host_s, queue_s: 0.0, total_s: t.makespan() }
+    }
+
+    /// Returns `self` with the queue wait filled in.
+    pub fn with_queue(mut self, queue_s: f64) -> Self {
+        self.queue_s = queue_s;
+        self
+    }
+
+    /// Sum of all busy phases — H2D + kernel + D2H + host. Every phase is
+    /// accounted for here; queue wait is idle time and deliberately not
+    /// part of the sum.
+    pub fn busy_s(&self) -> f64 {
+        self.h2d_s + self.kernel_s + self.d2h_s + self.host_s
+    }
+
+    /// End-to-end latency: queue wait plus execution makespan.
+    pub fn total(&self) -> f64 {
+        self.queue_s + self.total_s
     }
 
     /// Fraction of total busy time spent in H2D — the §III-B observation
     /// that "H2D takes up the vast majority of the time".
     pub fn h2d_fraction(&self) -> f64 {
-        let busy = self.h2d_s + self.kernel_s + self.d2h_s + self.host_s;
+        let busy = self.busy_s();
         if busy <= 0.0 {
             0.0
         } else {
             self.h2d_s / busy
         }
+    }
+
+    /// Structural consistency check: every phase is non-negative and
+    /// finite, and the makespan is bounded below by the busiest single
+    /// engine (engines are exclusive, so no engine can be busy longer than
+    /// the whole execution) and above by the serialized busy sum plus
+    /// dependency slack.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        const EPS: f64 = 1e-9;
+        let phases = [
+            ("h2d_s", self.h2d_s),
+            ("kernel_s", self.kernel_s),
+            ("d2h_s", self.d2h_s),
+            ("host_s", self.host_s),
+            ("queue_s", self.queue_s),
+            ("total_s", self.total_s),
+        ];
+        for (name, v) in phases {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} = {v} is not a finite non-negative time"));
+            }
+        }
+        let busiest = self.h2d_s.max(self.kernel_s).max(self.d2h_s).max(self.host_s);
+        if self.total_s + EPS < busiest {
+            return Err(format!("makespan {} shorter than busiest engine {busiest}", self.total_s));
+        }
+        Ok(())
     }
 }
 
@@ -82,10 +134,17 @@ impl MttkrpReport {
         }
     }
 
-    /// One-line human-readable summary.
+    /// One-line human-readable summary. The host phase used to be silently
+    /// dropped from the breakdown; it now shows whenever a hybrid run put
+    /// work on the CPU.
     pub fn summary(&self) -> String {
+        let host = if self.timing.host_s > 0.0 {
+            format!(" host {:.3}ms", self.timing.host_s * 1e3)
+        } else {
+            String::new()
+        };
         format!(
-            "{:<9} mode-{} {} segs={} streams={} | H2D {:.3}ms kernel {:.3}ms D2H {:.3}ms | total {:.3}ms ({:.1} GF/s kernel, {:.1} GF/s e2e, overlap {:.0}%)",
+            "{:<9} mode-{} {} segs={} streams={} | H2D {:.3}ms kernel {:.3}ms D2H {:.3}ms{host} | total {:.3}ms ({:.1} GF/s kernel, {:.1} GF/s e2e, overlap {:.0}%)",
             self.backend,
             self.mode,
             self.config,
@@ -143,6 +202,7 @@ mod tests {
                 kernel_s: 0.004,
                 d2h_s: 0.001,
                 host_s: 0.0,
+                queue_s: 0.0,
                 total_s: 0.012,
             },
             overlap_ratio: 0.2,
@@ -158,5 +218,56 @@ mod tests {
     fn zero_time_is_safe() {
         let p = PhaseTiming::default();
         assert_eq!(p.h2d_fraction(), 0.0);
+        assert!(p.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn queue_wait_extends_total_but_not_busy() {
+        let t =
+            Timeline { spans: vec![span(Engine::H2D, 0.0, 2.0), span(Engine::Compute, 2.0, 3.0)] };
+        let p = PhaseTiming::from_timeline(&t).with_queue(1.5);
+        assert_eq!(p.queue_s, 1.5);
+        assert_eq!(p.busy_s(), 3.0, "queue wait is not busy time");
+        assert_eq!(p.total_s, 3.0);
+        assert_eq!(p.total(), 4.5, "end-to-end latency includes the wait");
+        assert!((p.h2d_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(p.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn consistency_check_catches_impossible_timings() {
+        // Makespan shorter than the busiest engine is impossible.
+        let bad = PhaseTiming { h2d_s: 3.0, total_s: 2.0, ..Default::default() };
+        assert!(bad.check_consistency().is_err());
+        let negative = PhaseTiming { kernel_s: -1.0, ..Default::default() };
+        assert!(negative.check_consistency().is_err());
+        let nan = PhaseTiming { queue_s: f64::NAN, ..Default::default() };
+        assert!(nan.check_consistency().is_err());
+    }
+
+    #[test]
+    fn hybrid_host_phase_shows_in_summary() {
+        let mut r = MttkrpReport {
+            backend: "scalfrag",
+            mode: 0,
+            rank: 16,
+            config: LaunchConfig::new(1024, 256),
+            segments: 4,
+            streams: 4,
+            flops: 1_000,
+            timing: PhaseTiming {
+                h2d_s: 0.01,
+                kernel_s: 0.004,
+                d2h_s: 0.001,
+                host_s: 0.002,
+                queue_s: 0.0,
+                total_s: 0.012,
+            },
+            overlap_ratio: 0.0,
+            output: Mat::zeros(1, 1),
+        };
+        assert!(r.summary().contains("host"), "host phase must not be silently dropped");
+        r.timing.host_s = 0.0;
+        assert!(!r.summary().contains("host"));
     }
 }

@@ -1,7 +1,7 @@
 //! The ScalFrag framework facade (Fig. 6).
 
 use crate::report::{MttkrpReport, PhaseTiming};
-use scalfrag_autotune::LaunchPredictor;
+use scalfrag_autotune::TrainedPredictor;
 use scalfrag_gpusim::{DeviceSpec, Gpu, LaunchConfig};
 use scalfrag_kernels::{FactorSet, MttkrpBackend};
 use scalfrag_linalg::Mat;
@@ -10,8 +10,6 @@ use scalfrag_pipeline::{
     split_by_slice_population, KernelChoice, PipelinePlan,
 };
 use scalfrag_tensor::{CooTensor, TensorFeatures};
-use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// Feature toggles for the ScalFrag stack — the ablation surface.
 #[derive(Clone, Debug)]
@@ -64,6 +62,7 @@ impl Default for ScalFragConfig {
 pub struct ScalFragBuilder {
     device: DeviceSpec,
     config: ScalFragConfig,
+    predictor: Option<TrainedPredictor>,
 }
 
 impl ScalFragBuilder {
@@ -130,13 +129,25 @@ impl ScalFragBuilder {
         self
     }
 
+    /// Shares an already-created [`TrainedPredictor`] handle instead of
+    /// training privately — the handle's training device/seed/tiers win
+    /// over this builder's. This is how a fleet of facades (one per pool
+    /// device, or a serving layer) pays predictor training exactly once.
+    pub fn predictor(mut self, handle: TrainedPredictor) -> Self {
+        self.predictor = Some(handle);
+        self
+    }
+
     /// Finalises the framework instance.
     pub fn build(self) -> ScalFrag {
-        ScalFrag {
-            device: self.device,
-            config: self.config,
-            predictors: Mutex::new(HashMap::new()),
-        }
+        let predictor = self.predictor.unwrap_or_else(|| {
+            TrainedPredictor::train_once(
+                &self.device,
+                self.config.train_seed,
+                self.config.train_tiers.clone(),
+            )
+        });
+        ScalFrag { device: self.device, config: self.config, predictor }
     }
 }
 
@@ -148,13 +159,17 @@ impl ScalFragBuilder {
 pub struct ScalFrag {
     device: DeviceSpec,
     config: ScalFragConfig,
-    predictors: Mutex<HashMap<u32, std::sync::Arc<LaunchPredictor>>>,
+    predictor: TrainedPredictor,
 }
 
 impl ScalFrag {
     /// Starts a builder with the paper's defaults (RTX 3090, everything on).
     pub fn builder() -> ScalFragBuilder {
-        ScalFragBuilder { device: DeviceSpec::rtx3090(), config: ScalFragConfig::default() }
+        ScalFragBuilder {
+            device: DeviceSpec::rtx3090(),
+            config: ScalFragConfig::default(),
+            predictor: None,
+        }
     }
 
     /// The simulated device.
@@ -167,24 +182,10 @@ impl ScalFrag {
         &self.config
     }
 
-    fn predictor(&self, rank: u32) -> std::sync::Arc<LaunchPredictor> {
-        let mut cache = self.predictors.lock().expect("predictor cache poisoned");
-        cache
-            .entry(rank)
-            .or_insert_with(|| {
-                std::sync::Arc::new(match &self.config.train_tiers {
-                    Some(tiers) => LaunchPredictor::train_with_tiers(
-                        &self.device,
-                        rank,
-                        self.config.train_seed,
-                        tiers,
-                    ),
-                    None => {
-                        LaunchPredictor::train_default(&self.device, rank, self.config.train_seed)
-                    }
-                })
-            })
-            .clone()
+    /// The shared trained-predictor handle (clone it into other facades or
+    /// a serving layer to reuse the trained models).
+    pub fn trained_predictor(&self) -> &TrainedPredictor {
+        &self.predictor
     }
 
     /// Selects the launch configuration for `(tensor, mode)` according to
@@ -192,7 +193,7 @@ impl ScalFrag {
     pub fn select_config(&self, tensor: &CooTensor, mode: usize, rank: u32) -> LaunchConfig {
         if self.config.adaptive_launch {
             let features = TensorFeatures::extract(tensor, mode).to_vec();
-            self.predictor(rank).predict_from_features(&features)
+            self.predictor.for_rank(rank).predict_from_features(&features)
         } else {
             self.config.fixed_config.unwrap_or_else(|| LaunchConfig::parti_default(tensor.nnz()))
         }
@@ -392,5 +393,18 @@ mod tests {
         let c2 = ctx.select_config(&t, 0, f.rank() as u32);
         assert_eq!(c1, c2, "cached predictor must be deterministic");
         assert!(c1.validate(ctx.device()).is_ok());
+        assert_eq!(ctx.trained_predictor().trainings(), 1);
+    }
+
+    #[test]
+    fn shared_predictor_handle_trains_once_across_facades() {
+        let (t, f) = small();
+        let rank = f.rank() as u32;
+        let handle =
+            TrainedPredictor::train_once(&DeviceSpec::rtx3090(), 0x5ca1, Some(vec![3_000, 12_000]));
+        let a = ScalFrag::builder().predictor(handle.clone()).build();
+        let b = ScalFrag::builder().predictor(handle.clone()).build();
+        assert_eq!(a.select_config(&t, 0, rank), b.select_config(&t, 0, rank));
+        assert_eq!(handle.trainings(), 1, "two facades, one training");
     }
 }

@@ -1,0 +1,148 @@
+//! The unit of work the serving layer schedules: one MTTKRP request.
+
+use scalfrag_kernels::FactorSet;
+use scalfrag_tensor::CooTensor;
+use std::sync::Arc;
+
+/// Monotonically increasing request identifier, assigned by the client.
+pub type JobId = u64;
+
+/// Scheduling class of a job. Lower classes always dispatch before higher
+/// ones; within a class the scheduler is deadline-ordered (EDF) and
+/// tenant-fair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive traffic (interactive queries).
+    High,
+    /// The default class.
+    Normal,
+    /// Bulk/batch traffic that tolerates queueing.
+    Low,
+}
+
+impl Priority {
+    /// Dispatch order: smaller dispatches first.
+    pub fn class(self) -> u8 {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// One submitted MTTKRP request.
+///
+/// The tensor and factors are shared handles: a request stream over a hot
+/// catalog of tensors (the serving scenario) clones `Arc`s, not data.
+#[derive(Clone)]
+pub struct MttkrpJob {
+    /// Client-assigned identifier (unique within a workload).
+    pub id: JobId,
+    /// The tenant this request bills to; fairness is round-robin across
+    /// tenants.
+    pub tenant: String,
+    /// The sparse tensor to contract.
+    pub tensor: Arc<CooTensor>,
+    /// The factor matrices (their rank is the CPD rank of the request).
+    pub factors: Arc<FactorSet>,
+    /// Target MTTKRP mode.
+    pub mode: usize,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Absolute completion deadline on the simulated clock (s), if any —
+    /// drives EDF ordering within a priority class.
+    pub deadline_s: Option<f64>,
+    /// Arrival time on the simulated clock (s).
+    pub arrival_s: f64,
+}
+
+impl MttkrpJob {
+    /// A `Normal`-priority job with no deadline, arriving at t = 0.
+    pub fn new(
+        id: JobId,
+        tenant: &str,
+        tensor: Arc<CooTensor>,
+        factors: Arc<FactorSet>,
+        mode: usize,
+    ) -> Self {
+        assert!(mode < tensor.order(), "mode out of range");
+        Self {
+            id,
+            tenant: tenant.to_string(),
+            tensor,
+            factors,
+            mode,
+            priority: Priority::Normal,
+            deadline_s: None,
+            arrival_s: 0.0,
+        }
+    }
+
+    /// Sets the arrival time.
+    pub fn at(mut self, arrival_s: f64) -> Self {
+        self.arrival_s = arrival_s;
+        self
+    }
+
+    /// Sets the scheduling class.
+    pub fn with_priority(mut self, p: Priority) -> Self {
+        self.priority = p;
+        self
+    }
+
+    /// Sets an absolute deadline (simulated seconds).
+    pub fn with_deadline(mut self, deadline_s: f64) -> Self {
+        self.deadline_s = Some(deadline_s);
+        self
+    }
+
+    /// CPD rank of the request.
+    pub fn rank(&self) -> u32 {
+        self.factors.rank() as u32
+    }
+
+    /// Bytes this job moves to the device (tensor + resident factors) —
+    /// the input of the admission-time cost estimate.
+    pub fn transfer_bytes(&self) -> usize {
+        self.tensor.byte_size() + self.factors.byte_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> MttkrpJob {
+        let t = Arc::new(CooTensor::random_uniform(&[20, 20, 20], 100, 1));
+        let f = Arc::new(FactorSet::random(&[20, 20, 20], 8, 2));
+        MttkrpJob::new(7, "acme", t, f, 1)
+    }
+
+    #[test]
+    fn builder_defaults_and_setters() {
+        let j = job();
+        assert_eq!(j.priority, Priority::Normal);
+        assert_eq!(j.arrival_s, 0.0);
+        assert!(j.deadline_s.is_none());
+        assert_eq!(j.rank(), 8);
+        assert!(j.transfer_bytes() > 0);
+        let j = j.at(2.5).with_priority(Priority::High).with_deadline(3.0);
+        assert_eq!((j.arrival_s, j.deadline_s), (2.5, Some(3.0)));
+        assert_eq!(j.priority, Priority::High);
+    }
+
+    #[test]
+    fn priority_classes_are_ordered() {
+        assert!(Priority::High.class() < Priority::Normal.class());
+        assert!(Priority::Normal.class() < Priority::Low.class());
+    }
+
+    #[test]
+    #[should_panic(expected = "mode out of range")]
+    fn invalid_mode_rejected() {
+        let t = Arc::new(CooTensor::random_uniform(&[10, 10], 20, 1));
+        let f = Arc::new(FactorSet::random(&[10, 10], 4, 2));
+        let _ = MttkrpJob::new(0, "t", t, f, 2);
+    }
+}

@@ -1,0 +1,320 @@
+//! # scalfrag-serve — multi-tenant MTTKRP serving
+//!
+//! The serving layer turns the single-shot ScalFrag facade into a
+//! request-serving system on the simulated GPU substrate:
+//!
+//! * **Jobs and queues** ([`job`], [`queue`]) — [`MttkrpJob`]s carry a
+//!   tensor handle, mode, factors, priority class, optional deadline and a
+//!   tenant; the queue dispatches by priority, then round-robin tenant
+//!   fairness, then earliest deadline first.
+//! * **Admission control** ([`admission`]) — a bounded queue plus an
+//!   estimated-makespan budget; overload produces typed [`Rejected`]
+//!   responses with retry hints, never panics or unbounded queues.
+//! * **Plan cache** ([`plan_cache`]) — quantized [`FeatureKey`]s memoize
+//!   the adaptive-launching verdict (§IV-B of the paper) per shape class,
+//!   with LRU eviction and hit/miss counters.
+//! * **Scheduler** ([`scheduler`]) — a deterministic discrete-event loop
+//!   over a [`DevicePool`] (explicit devices or a `scalfrag-cluster`
+//!   node); each dispatch runs the full pipelined executor (§IV-C).
+//! * **Report** ([`report`]) — per-job phase timings (queue wait, plan,
+//!   H2D/kernel/D2H), latency percentiles, throughput, cache hit rate and
+//!   rejection counts, with a bit-stable fingerprint for reproducibility.
+//!
+//! ```
+//! use scalfrag_serve::{ScalFragServer, WorkloadSpec};
+//!
+//! // Small training tiers keep the example fast; the default covers
+//! // the full ~3 K – 2 M nnz range.
+//! let server = ScalFragServer::builder().train_tiers(vec![3_000, 12_000]).build();
+//! let jobs = scalfrag_serve::workload::synthesize(&WorkloadSpec {
+//!     jobs: 20,
+//!     shape_classes: 4,
+//!     ..Default::default()
+//! });
+//! let report = server.run(jobs);
+//! assert_eq!(report.completed.len() + report.rejected.len(), 20);
+//! ```
+
+pub mod admission;
+pub mod job;
+pub mod plan_cache;
+pub mod queue;
+pub mod report;
+pub mod scheduler;
+pub mod workload;
+
+pub use admission::{estimate_service_s, AdmissionPolicy, RejectReason, Rejected};
+pub use job::{JobId, MttkrpJob, Priority};
+pub use plan_cache::{CacheStats, ExecutionPlan, PlanCache};
+pub use report::{JobRecord, ServeReport};
+pub use scheduler::{DevicePool, PLAN_HIT_S, PLAN_MISS_S};
+pub use workload::{synthesize, WorkloadSpec};
+
+use scalfrag_autotune::TrainedPredictor;
+use scalfrag_cluster::NodeSpec;
+use scalfrag_gpusim::DeviceSpec;
+use scalfrag_tensor::FeatureKey;
+
+/// Serving-layer configuration: admission thresholds, plan-cache sizing
+/// and the executor feature toggles (the ablation surface of the
+/// acceptance benchmarks).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Admission thresholds.
+    pub admission: AdmissionPolicy,
+    /// Plan-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Memoize plans (`false` = the cache-off ablation: every job pays the
+    /// full planning cost, misses still counted).
+    pub plan_caching: bool,
+    /// Plan launches with the trained predictor (§IV-B) instead of the
+    /// ParTI heuristic.
+    pub adaptive_launch: bool,
+    /// Launch the shared-memory tiled kernel (§IV-A).
+    pub tiled_kernel: bool,
+    /// Compute real MTTKRP outputs (`false` = timing-only dry runs, the
+    /// load-test default).
+    pub functional: bool,
+    /// `Some(t)` = hybrid CPU/GPU split at slice population `t`
+    /// (functional mode only).
+    pub hybrid_threshold: Option<u32>,
+    /// Predictor training seed.
+    pub train_seed: u64,
+    /// Predictor training tiers (`None` = autotune defaults, ~3 K – 2 M
+    /// nnz).
+    pub train_tiers: Option<Vec<usize>>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            admission: AdmissionPolicy::default(),
+            cache_capacity: 256,
+            plan_caching: true,
+            adaptive_launch: true,
+            tiled_kernel: true,
+            functional: false,
+            hybrid_threshold: None,
+            train_seed: 0x5ca1,
+            train_tiers: None,
+        }
+    }
+}
+
+/// The serving facade: a device pool, a configuration, and a shared
+/// trained predictor. Construct via [`ScalFragServer::builder`], then call
+/// [`ScalFragServer::run`] (defined in [`scheduler`]) on a job stream.
+pub struct ScalFragServer {
+    pub(crate) pool: DevicePool,
+    pub(crate) config: ServerConfig,
+    pub(crate) predictor: TrainedPredictor,
+}
+
+impl ScalFragServer {
+    /// Starts building a server (default: one RTX 3090, default config).
+    pub fn builder() -> ScalFragServerBuilder {
+        ScalFragServerBuilder::default()
+    }
+
+    /// The device pool jobs dispatch onto.
+    pub fn pool(&self) -> &DevicePool {
+        &self.pool
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// The shared predictor handle — pass it to another server (or a
+    /// [`scalfrag_core`] facade) to reuse its trained models.
+    pub fn trained_predictor(&self) -> &TrainedPredictor {
+        &self.predictor
+    }
+
+    /// The quantized cache key a job would be planned under — exposed so
+    /// tests and capacity planning can reason about shape classes.
+    pub fn cache_key(&self, job: &MttkrpJob) -> FeatureKey {
+        FeatureKey::of(&job.tensor, job.mode, job.rank())
+    }
+}
+
+/// Builder for [`ScalFragServer`].
+#[derive(Default)]
+pub struct ScalFragServerBuilder {
+    pool: Option<DevicePool>,
+    config: Option<ServerConfig>,
+    predictor: Option<TrainedPredictor>,
+}
+
+impl ScalFragServerBuilder {
+    /// Serve on an explicit device pool.
+    pub fn pool(mut self, pool: DevicePool) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Serve on a single device.
+    pub fn device(self, device: DeviceSpec) -> Self {
+        self.pool(DevicePool::single(device))
+    }
+
+    /// Serve on a multi-GPU cluster node (interconnect contention folded
+    /// into each device's effective bandwidth).
+    pub fn node(self, node: &NodeSpec) -> Self {
+        self.pool(DevicePool::from_node(node))
+    }
+
+    /// Replace the whole configuration.
+    pub fn config(mut self, config: ServerConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Override admission thresholds.
+    pub fn admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.config.get_or_insert_with(ServerConfig::default).admission = admission;
+        self
+    }
+
+    /// Override plan-cache capacity.
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.get_or_insert_with(ServerConfig::default).cache_capacity = capacity;
+        self
+    }
+
+    /// Toggle plan caching (the cache-off ablation).
+    pub fn plan_caching(mut self, on: bool) -> Self {
+        self.config.get_or_insert_with(ServerConfig::default).plan_caching = on;
+        self
+    }
+
+    /// Toggle functional execution (real outputs vs timing-only).
+    pub fn functional(mut self, on: bool) -> Self {
+        self.config.get_or_insert_with(ServerConfig::default).functional = on;
+        self
+    }
+
+    /// Train the predictor on these nnz tiers (keeps load tests cheap).
+    pub fn train_tiers(mut self, tiers: Vec<usize>) -> Self {
+        self.config.get_or_insert_with(ServerConfig::default).train_tiers = Some(tiers);
+        self
+    }
+
+    /// Share an existing trained predictor instead of training lazily —
+    /// e.g. the handle from a [`scalfrag_core`] facade, or one shared
+    /// across ablation runs so training cost never skews a comparison.
+    pub fn predictor(mut self, predictor: TrainedPredictor) -> Self {
+        self.predictor = Some(predictor);
+        self
+    }
+
+    /// Finishes the server. Predictor models train lazily on the first
+    /// job of each rank (shared handles skip even that).
+    pub fn build(self) -> ScalFragServer {
+        let pool = self.pool.unwrap_or_else(|| DevicePool::single(DeviceSpec::rtx3090()));
+        let config = self.config.unwrap_or_default();
+        let predictor = self.predictor.unwrap_or_else(|| {
+            TrainedPredictor::train_once(
+                pool.planning_device(),
+                config.train_seed,
+                config.train_tiers.clone(),
+            )
+        });
+        ScalFragServer { pool, config, predictor }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec() -> WorkloadSpec {
+        WorkloadSpec {
+            jobs: 30,
+            shape_classes: 4,
+            variants_per_class: 2,
+            base_nnz: 3_000,
+            ..Default::default()
+        }
+    }
+
+    fn fast_server() -> ScalFragServer {
+        ScalFragServer::builder().train_tiers(vec![3_000, 12_000]).build()
+    }
+
+    #[test]
+    fn serves_a_small_stream_end_to_end() {
+        let server = fast_server();
+        let jobs = synthesize(&small_spec());
+        let report = server.run(jobs);
+        assert_eq!(report.completed.len() + report.rejected.len(), 30);
+        assert!(!report.completed.is_empty(), "a small stream must not be all-rejected");
+        assert!(report.makespan_s > 0.0);
+        assert!(report.throughput_jobs_per_s() > 0.0);
+        assert!(report.cache.hits + report.cache.misses >= report.completed.len() as u64);
+        for r in &report.completed {
+            assert!(r.finish_s >= r.start_s && r.start_s >= r.arrival_s);
+            assert!(r.timing.check_consistency().is_ok(), "job {}: bad timing", r.id);
+            assert!(r.output.is_none(), "dry mode keeps no outputs");
+        }
+    }
+
+    #[test]
+    fn repeated_shapes_hit_the_cache() {
+        let server = fast_server();
+        let report = server.run(synthesize(&small_spec()));
+        assert!(
+            report.cache.hits > report.cache.misses,
+            "4 shape classes over 30 jobs must mostly hit: {:?}",
+            report.cache
+        );
+        // Lazy shared training: one rank in the stream → one training.
+        assert_eq!(report.predictor_trainings, 1);
+    }
+
+    #[test]
+    fn functional_mode_returns_outputs() {
+        let server =
+            ScalFragServer::builder().functional(true).train_tiers(vec![3_000, 12_000]).build();
+        let jobs = synthesize(&WorkloadSpec {
+            jobs: 4,
+            shape_classes: 2,
+            variants_per_class: 1,
+            ..Default::default()
+        });
+        let report = server.run(jobs);
+        for r in &report.completed {
+            let out = r.output.as_ref().expect("functional mode keeps outputs");
+            assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn shared_predictor_handle_reused_across_servers() {
+        let a = fast_server();
+        let _ = a.run(synthesize(&small_spec()));
+        let b = ScalFragServer::builder()
+            .predictor(a.trained_predictor().clone())
+            .train_tiers(vec![3_000, 12_000])
+            .build();
+        let report = b.run(synthesize(&small_spec()));
+        assert_eq!(
+            report.predictor_trainings, 1,
+            "second server must reuse the first server's models"
+        );
+    }
+
+    #[test]
+    fn cache_key_matches_workload_classes() {
+        let server = fast_server();
+        let jobs = synthesize(&small_spec());
+        let distinct: std::collections::HashSet<_> =
+            jobs.iter().map(|j| server.cache_key(j)).collect();
+        assert!(
+            distinct.len() <= 8,
+            "4 classes × ≤2 key-variants expected, got {}",
+            distinct.len()
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! The memoized execution plan and its LRU cache.
+//!
+//! ScalFrag's adaptive-launching decision (§IV-B of the paper) is a pure
+//! function of quantized tensor features — exactly the kind of per-tensor
+//! work worth memoizing across a request stream. A [`FeatureKey`] (coarse
+//! log-bucketed features, see `scalfrag-tensor`) maps to the full
+//! [`ExecutionPlan`]: predictor verdict, kernel choice, segment/stream
+//! counts and the hybrid split decision. A stream of similarly-shaped
+//! tensors then pays the predictor once per *shape class* instead of once
+//! per request.
+
+use scalfrag_gpusim::LaunchConfig;
+use scalfrag_pipeline::KernelChoice;
+use scalfrag_tensor::FeatureKey;
+use std::collections::HashMap;
+
+/// Everything the executor needs to run a job — the memoized verdict of
+/// the planning stage.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecutionPlan {
+    /// Kernel launch configuration (trained-predictor verdict, or the
+    /// ParTI heuristic when adaptive launching is off).
+    pub config: LaunchConfig,
+    /// Which kernel to launch.
+    pub kernel: KernelChoice,
+    /// Pipeline segment count.
+    pub segments: usize,
+    /// Stream count.
+    pub streams: usize,
+    /// `Some(threshold)` = route slices with fewer nnz to the host CPU.
+    pub hybrid_threshold: Option<u32>,
+}
+
+/// Hit/miss/eviction counters of one cache (or one cache-off ablation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to plan from scratch.
+    pub misses: u64,
+    /// Entries displaced by LRU eviction.
+    pub evictions: u64,
+    /// Configured capacity.
+    pub capacity: usize,
+    /// Live entries.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Hits over all lookups (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded LRU map from quantized tensor features to execution plans.
+pub struct PlanCache {
+    capacity: usize,
+    /// key → (plan, last-use tick).
+    map: HashMap<FeatureKey, (ExecutionPlan, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl PlanCache {
+    /// An empty cache holding at most `capacity` plans.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "plan cache needs capacity > 0");
+        Self { capacity, map: HashMap::new(), tick: 0, hits: 0, misses: 0, evictions: 0 }
+    }
+
+    /// Looks `key` up, counting a hit (and refreshing recency) or a miss.
+    pub fn get(&mut self, key: &FeatureKey) -> Option<ExecutionPlan> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((plan, last_use)) => {
+                *last_use = self.tick;
+                self.hits += 1;
+                Some(*plan)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a planning round that bypassed the cache entirely (the
+    /// cache-off ablation still reports its miss count).
+    pub fn count_bypass(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Inserts a freshly computed plan, evicting the least recently used
+    /// entry if at capacity.
+    pub fn insert(&mut self, key: FeatureKey, plan: ExecutionPlan) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            let lru = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, last_use))| *last_use)
+                .map(|(k, _)| *k)
+                .expect("cache at capacity is non-empty");
+            self.map.remove(&lru);
+            self.evictions += 1;
+        }
+        self.map.insert(key, (plan, self.tick));
+    }
+
+    /// Live entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            capacity: self.capacity,
+            entries: self.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(nnz_bucket: i32) -> FeatureKey {
+        FeatureKey {
+            order: 3,
+            mode: 0,
+            rank: 16,
+            nnz_bucket,
+            slices_bucket: 10,
+            fibers_bucket: 12,
+            mode_dim_bucket: 14,
+            slice_ratio_bucket: 8,
+            fiber_ratio_bucket: 1,
+            imbalance_bucket: 2,
+        }
+    }
+
+    fn plan(grid: u32) -> ExecutionPlan {
+        ExecutionPlan {
+            config: LaunchConfig::new(grid, 256),
+            kernel: KernelChoice::Tiled,
+            segments: 4,
+            streams: 4,
+            hybrid_threshold: None,
+        }
+    }
+
+    #[test]
+    fn hit_miss_counters_and_round_trip() {
+        let mut c = PlanCache::new(4);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), plan(64));
+        assert_eq!(c.get(&key(1)), Some(plan(64)));
+        assert_ne!(c.get(&key(2)), Some(plan(64)));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        c.insert(key(1), plan(1));
+        c.insert(key(2), plan(2));
+        let _ = c.get(&key(1)); // refresh 1 → 2 is now LRU
+        c.insert(key(3), plan(3));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        assert!(c.get(&key(2)).is_none(), "key 2 was evicted");
+        assert!(c.get(&key(1)).is_some(), "recently used key survives");
+    }
+
+    #[test]
+    fn reinsert_updates_in_place_without_eviction() {
+        let mut c = PlanCache::new(2);
+        c.insert(key(1), plan(1));
+        c.insert(key(2), plan(2));
+        c.insert(key(1), plan(9));
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&key(1)), Some(plan(9)));
+    }
+
+    #[test]
+    fn empty_cache_reports_cleanly() {
+        let c = PlanCache::new(8);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = PlanCache::new(0);
+    }
+}

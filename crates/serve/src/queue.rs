@@ -1,0 +1,207 @@
+//! Per-tenant job queues with priority + EDF ordering and round-robin
+//! fairness.
+//!
+//! The dispatch rule, in order:
+//!
+//! 1. **Priority** — the best (lowest) class present anywhere wins.
+//! 2. **Tenant fairness** — among tenants holding a job of that class, the
+//!    one least recently served dispatches next (round-robin over a rotor
+//!    of active tenants).
+//! 3. **EDF** — within the chosen tenant and class, the earliest deadline
+//!    dispatches first; deadline-less jobs rank last, FIFO among
+//!    themselves.
+//!
+//! Everything is deterministic: ties break on submission sequence.
+
+use crate::job::MttkrpJob;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A queued job plus its bookkeeping.
+#[derive(Clone)]
+pub struct Pending {
+    /// The job itself.
+    pub job: MttkrpJob,
+    /// Admission sequence number (global FIFO tie-breaker).
+    pub seq: u64,
+    /// Admission-time service estimate (s) — drives the backlog account.
+    pub est_s: f64,
+}
+
+/// The multi-tenant queue structure.
+#[derive(Default)]
+pub struct TenantQueues {
+    /// Per-tenant FIFO of pending jobs (BTreeMap for deterministic
+    /// iteration order).
+    queues: BTreeMap<String, VecDeque<Pending>>,
+    /// Round-robin rotor over tenants that currently have pending jobs;
+    /// front = next to serve.
+    rotor: VecDeque<String>,
+    len: usize,
+    peak_depth: usize,
+    backlog_s: f64,
+}
+
+impl TenantQueues {
+    /// An empty queue set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total queued jobs across all tenants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no job is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Highest queue depth ever observed.
+    pub fn peak_depth(&self) -> usize {
+        self.peak_depth
+    }
+
+    /// Sum of the service estimates of all queued jobs (s).
+    pub fn backlog_s(&self) -> f64 {
+        self.backlog_s
+    }
+
+    /// Enqueues an admitted job under its tenant.
+    pub fn push(&mut self, pending: Pending) {
+        let tenant = pending.job.tenant.clone();
+        self.backlog_s += pending.est_s;
+        self.len += 1;
+        self.peak_depth = self.peak_depth.max(self.len);
+        let q = self.queues.entry(tenant.clone()).or_default();
+        if q.is_empty() {
+            self.rotor.push_back(tenant);
+        }
+        q.push_back(pending);
+    }
+
+    /// Dequeues the next job per the priority → fairness → EDF rule.
+    pub fn pop(&mut self) -> Option<Pending> {
+        if self.len == 0 {
+            return None;
+        }
+        // 1. Best priority class present anywhere.
+        let best_class = self
+            .queues
+            .values()
+            .flat_map(|q| q.iter().map(|p| p.job.priority.class()))
+            .min()
+            .expect("non-empty queues");
+        // 2. First tenant in rotor order holding that class.
+        let rotor_pos = self
+            .rotor
+            .iter()
+            .position(|t| self.queues[t].iter().any(|p| p.job.priority.class() == best_class))
+            .expect("some tenant holds the best class");
+        let tenant = self.rotor.remove(rotor_pos).expect("position in range");
+        // 3. EDF within (tenant, class): earliest deadline, then FIFO.
+        let q = self.queues.get_mut(&tenant).expect("rotor tenant has a queue");
+        let best_idx = q
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.job.priority.class() == best_class)
+            .min_by(|(_, a), (_, b)| {
+                let da = a.job.deadline_s.unwrap_or(f64::INFINITY);
+                let db = b.job.deadline_s.unwrap_or(f64::INFINITY);
+                da.partial_cmp(&db).unwrap().then(a.seq.cmp(&b.seq))
+            })
+            .map(|(i, _)| i)
+            .expect("tenant holds the best class");
+        let pending = q.remove(best_idx).expect("index in range");
+        if q.is_empty() {
+            self.queues.remove(&tenant);
+        } else {
+            // Served tenants go to the back of the rotor.
+            self.rotor.push_back(tenant);
+        }
+        self.len -= 1;
+        self.backlog_s = (self.backlog_s - pending.est_s).max(0.0);
+        Some(pending)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Priority;
+    use scalfrag_kernels::FactorSet;
+    use scalfrag_tensor::CooTensor;
+    use std::sync::Arc;
+
+    fn job(id: u64, tenant: &str, priority: Priority, deadline: Option<f64>) -> Pending {
+        let t = Arc::new(CooTensor::random_uniform(&[10, 10, 10], 50, id));
+        let f = Arc::new(FactorSet::random(&[10, 10, 10], 4, id));
+        let mut j = MttkrpJob::new(id, tenant, t, f, 0).with_priority(priority);
+        if let Some(d) = deadline {
+            j = j.with_deadline(d);
+        }
+        Pending { job: j, seq: id, est_s: 1.0 }
+    }
+
+    #[test]
+    fn priority_beats_fifo() {
+        let mut q = TenantQueues::new();
+        q.push(job(0, "a", Priority::Low, None));
+        q.push(job(1, "a", Priority::High, None));
+        q.push(job(2, "a", Priority::Normal, None));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|p| p.job.id).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn edf_orders_within_class_and_deadline_less_jobs_rank_last() {
+        let mut q = TenantQueues::new();
+        q.push(job(0, "a", Priority::Normal, None));
+        q.push(job(1, "a", Priority::Normal, Some(9.0)));
+        q.push(job(2, "a", Priority::Normal, Some(3.0)));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|p| p.job.id).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn round_robin_across_tenants() {
+        let mut q = TenantQueues::new();
+        for id in 0..3 {
+            q.push(job(id, "a", Priority::Normal, None));
+        }
+        for id in 3..5 {
+            q.push(job(id, "b", Priority::Normal, None));
+        }
+        let order: Vec<String> =
+            std::iter::from_fn(|| q.pop()).map(|p| p.job.tenant.clone()).collect();
+        // a and b alternate while both have work; a finishes its backlog after.
+        assert_eq!(order, vec!["a", "b", "a", "b", "a"]);
+    }
+
+    #[test]
+    fn high_priority_jumps_the_rotor() {
+        let mut q = TenantQueues::new();
+        q.push(job(0, "a", Priority::Normal, None));
+        q.push(job(1, "b", Priority::Normal, None));
+        q.push(job(2, "c", Priority::High, None));
+        assert_eq!(q.pop().unwrap().job.id, 2, "High dispatches before earlier Normals");
+    }
+
+    #[test]
+    fn bookkeeping_tracks_depth_and_backlog() {
+        let mut q = TenantQueues::new();
+        assert!(q.is_empty());
+        q.push(job(0, "a", Priority::Normal, None));
+        q.push(job(1, "b", Priority::Normal, None));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.backlog_s(), 2.0);
+        let _ = q.pop();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.backlog_s(), 1.0);
+        let _ = q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.backlog_s(), 0.0);
+        assert_eq!(q.peak_depth(), 2);
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,313 @@
+//! The serving report: per-job records plus the aggregate metrics a
+//! production dashboard would chart — throughput, latency percentiles,
+//! cache hit rate, rejection counts.
+
+use crate::admission::{RejectReason, Rejected};
+use crate::job::{JobId, Priority};
+use crate::plan_cache::CacheStats;
+use scalfrag_core::PhaseTiming;
+use scalfrag_linalg::Mat;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// One completed job.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Client-assigned job id.
+    pub id: JobId,
+    /// Billing tenant.
+    pub tenant: String,
+    /// Scheduling class the job ran at.
+    pub priority: Priority,
+    /// Pool device index it executed on.
+    pub device: usize,
+    /// Arrival time (s, simulated clock).
+    pub arrival_s: f64,
+    /// Dispatch time (s).
+    pub start_s: f64,
+    /// Completion time (s).
+    pub finish_s: f64,
+    /// Simulated planning time (s) — near-zero on a cache hit.
+    pub plan_s: f64,
+    /// Whether the plan came from the cache.
+    pub cache_hit: bool,
+    /// Phase breakdown; `timing.queue_s` holds the queue wait.
+    pub timing: PhaseTiming,
+    /// The job's deadline, if it had one.
+    pub deadline_s: Option<f64>,
+    /// MTTKRP output (only kept in functional mode).
+    pub output: Option<Mat>,
+}
+
+impl JobRecord {
+    /// End-to-end latency: arrival → completion.
+    pub fn latency_s(&self) -> f64 {
+        self.finish_s - self.arrival_s
+    }
+
+    /// Time spent queued before dispatch.
+    pub fn queue_wait_s(&self) -> f64 {
+        self.timing.queue_s
+    }
+
+    /// `Some(true/false)` when the job had a deadline.
+    pub fn met_deadline(&self) -> Option<bool> {
+        self.deadline_s.map(|d| self.finish_s <= d)
+    }
+}
+
+/// The aggregate outcome of serving one job stream.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Completed jobs, in completion order.
+    pub completed: Vec<JobRecord>,
+    /// Typed rejections, in arrival order.
+    pub rejected: Vec<Rejected>,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+    /// Simulated makespan: last completion time (s).
+    pub makespan_s: f64,
+    /// Highest queue depth observed.
+    pub peak_queue_depth: usize,
+    /// Full predictor trainings performed while serving (a shared
+    /// [`scalfrag_autotune::TrainedPredictor`] keeps this at one per rank).
+    pub predictor_trainings: usize,
+}
+
+impl ServeReport {
+    /// Completed jobs per simulated second.
+    pub fn throughput_jobs_per_s(&self) -> f64 {
+        if self.makespan_s <= 0.0 {
+            0.0
+        } else {
+            self.completed.len() as f64 / self.makespan_s
+        }
+    }
+
+    /// Nearest-rank latency percentile over completed jobs, `p ∈ [0, 1]`.
+    pub fn latency_percentile_s(&self, p: f64) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        let mut lat: Vec<f64> = self.completed.iter().map(JobRecord::latency_s).collect();
+        lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((p * lat.len() as f64).ceil() as usize).clamp(1, lat.len()) - 1;
+        lat[idx]
+    }
+
+    /// Median latency (s).
+    pub fn p50_latency_s(&self) -> f64 {
+        self.latency_percentile_s(0.50)
+    }
+
+    /// 95th-percentile latency (s).
+    pub fn p95_latency_s(&self) -> f64 {
+        self.latency_percentile_s(0.95)
+    }
+
+    /// 99th-percentile latency (s).
+    pub fn p99_latency_s(&self) -> f64 {
+        self.latency_percentile_s(0.99)
+    }
+
+    /// Mean queue wait over completed jobs (s).
+    pub fn mean_queue_wait_s(&self) -> f64 {
+        if self.completed.is_empty() {
+            return 0.0;
+        }
+        self.completed.iter().map(JobRecord::queue_wait_s).sum::<f64>()
+            / self.completed.len() as f64
+    }
+
+    /// Total simulated planning time across completed jobs (s) — the
+    /// number the plan-cache ablation divides.
+    pub fn total_plan_s(&self) -> f64 {
+        self.completed.iter().map(|r| r.plan_s).sum()
+    }
+
+    /// Rejected jobs over all submissions.
+    pub fn rejection_rate(&self) -> f64 {
+        let total = self.completed.len() + self.rejected.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.rejected.len() as f64 / total as f64
+        }
+    }
+
+    /// Rejection counts split by reason: `(queue_full, backlog_exceeded)`.
+    pub fn rejections_by_reason(&self) -> (usize, usize) {
+        let full = self
+            .rejected
+            .iter()
+            .filter(|r| matches!(r.reason, RejectReason::QueueFull { .. }))
+            .count();
+        (full, self.rejected.len() - full)
+    }
+
+    /// Deadline hit rate among completed jobs that had one (`None` when no
+    /// job carried a deadline).
+    pub fn deadline_hit_rate(&self) -> Option<f64> {
+        let with: Vec<bool> = self.completed.iter().filter_map(JobRecord::met_deadline).collect();
+        if with.is_empty() {
+            None
+        } else {
+            Some(with.iter().filter(|&&m| m).count() as f64 / with.len() as f64)
+        }
+    }
+
+    /// A deterministic digest of everything simulated — job order, device
+    /// placement, all clock values (bit-exact), cache counters and typed
+    /// rejections. Two runs of the same seeded workload must produce equal
+    /// fingerprints; wall-clock noise never enters.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for r in &self.completed {
+            r.id.hash(&mut h);
+            r.tenant.hash(&mut h);
+            r.priority.hash(&mut h);
+            r.device.hash(&mut h);
+            r.arrival_s.to_bits().hash(&mut h);
+            r.start_s.to_bits().hash(&mut h);
+            r.finish_s.to_bits().hash(&mut h);
+            r.plan_s.to_bits().hash(&mut h);
+            r.cache_hit.hash(&mut h);
+            r.timing.queue_s.to_bits().hash(&mut h);
+            r.timing.total_s.to_bits().hash(&mut h);
+        }
+        for r in &self.rejected {
+            r.job_id.hash(&mut h);
+            r.tenant.hash(&mut h);
+            format!("{:?}", r.reason).hash(&mut h);
+            r.retry_after_s.to_bits().hash(&mut h);
+        }
+        (self.cache.hits, self.cache.misses, self.cache.evictions).hash(&mut h);
+        self.peak_queue_depth.hash(&mut h);
+        self.makespan_s.to_bits().hash(&mut h);
+        h.finish()
+    }
+
+    /// Multi-line human-readable summary (what `serve_load` prints).
+    pub fn render(&self) -> String {
+        let (full, backlog) = self.rejections_by_reason();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "completed {} | rejected {} (queue-full {}, backlog {}) | makespan {:.4}s\n",
+            self.completed.len(),
+            self.rejected.len(),
+            full,
+            backlog,
+            self.makespan_s,
+        ));
+        out.push_str(&format!(
+            "throughput {:.1} jobs/s | latency p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms | mean queue wait {:.3}ms\n",
+            self.throughput_jobs_per_s(),
+            self.p50_latency_s() * 1e3,
+            self.p95_latency_s() * 1e3,
+            self.p99_latency_s() * 1e3,
+            self.mean_queue_wait_s() * 1e3,
+        ));
+        out.push_str(&format!(
+            "plan cache: {} hits / {} misses ({:.1}% hit rate), {} evictions, {}/{} entries | total plan time {:.3}ms | trainings {}\n",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.evictions,
+            self.cache.entries,
+            self.cache.capacity,
+            self.total_plan_s() * 1e3,
+            self.predictor_trainings,
+        ));
+        if let Some(rate) = self.deadline_hit_rate() {
+            out.push_str(&format!("deadline hit rate {:.1}%\n", rate * 100.0));
+        }
+        out.push_str(&format!("peak queue depth {}\n", self.peak_queue_depth));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: JobId, arrival: f64, finish: f64) -> JobRecord {
+        JobRecord {
+            id,
+            tenant: format!("t{}", id % 2),
+            priority: Priority::Normal,
+            device: 0,
+            arrival_s: arrival,
+            start_s: arrival,
+            finish_s: finish,
+            plan_s: 1e-4,
+            cache_hit: id > 0,
+            timing: PhaseTiming::default().with_queue(0.0),
+            deadline_s: if id == 2 { Some(finish - 1.0) } else { None },
+            output: None,
+        }
+    }
+
+    fn report() -> ServeReport {
+        ServeReport {
+            completed: (0..10u64).map(|i| record(i, i as f64, i as f64 + 1.0)).collect(),
+            rejected: vec![Rejected {
+                job_id: 99,
+                tenant: "t1".into(),
+                reason: RejectReason::QueueFull { depth: 4, limit: 4 },
+                retry_after_s: 0.5,
+                arrival_s: 3.0,
+            }],
+            cache: CacheStats { hits: 9, misses: 1, evictions: 0, capacity: 64, entries: 1 },
+            makespan_s: 10.0,
+            peak_queue_depth: 4,
+            predictor_trainings: 1,
+        }
+    }
+
+    #[test]
+    fn aggregates_are_consistent() {
+        let r = report();
+        assert_eq!(r.throughput_jobs_per_s(), 1.0);
+        assert_eq!(r.p50_latency_s(), 1.0);
+        assert_eq!(r.p99_latency_s(), 1.0);
+        assert!((r.rejection_rate() - 1.0 / 11.0).abs() < 1e-12);
+        assert_eq!(r.rejections_by_reason(), (1, 0));
+        assert!((r.total_plan_s() - 10.0 * 1e-4).abs() < 1e-12);
+        assert_eq!(r.deadline_hit_rate(), Some(0.0), "job 2's deadline was before finish");
+        assert!((r.cache.hit_rate() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_on_empty_report_are_zero() {
+        let r = ServeReport {
+            completed: vec![],
+            rejected: vec![],
+            cache: CacheStats::default(),
+            makespan_s: 0.0,
+            peak_queue_depth: 0,
+            predictor_trainings: 0,
+        };
+        assert_eq!(r.p99_latency_s(), 0.0);
+        assert_eq!(r.throughput_jobs_per_s(), 0.0);
+        assert_eq!(r.mean_queue_wait_s(), 0.0);
+        assert!(r.deadline_hit_rate().is_none());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = report();
+        let b = report();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = report();
+        c.completed[3].finish_s += 1e-9;
+        assert_ne!(a.fingerprint(), c.fingerprint(), "any clock change must show");
+    }
+
+    #[test]
+    fn render_mentions_every_headline_metric() {
+        let s = report().render();
+        for needle in ["throughput", "p99", "hit rate", "queue-full", "peak queue depth"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+}

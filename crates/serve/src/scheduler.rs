@@ -1,0 +1,297 @@
+//! The dispatch engine: a discrete-event loop that admits arriving jobs,
+//! orders the queue (priority → tenant fairness → EDF), and executes each
+//! dispatched job on the next free device of the pool.
+//!
+//! Time is the simulated clock shared with the gpusim substrate: arrivals
+//! carry simulated timestamps, service times come out of the pipeline
+//! executor's timeline, and planning costs use the calibrated constants
+//! below — so a serving run is bit-reproducible from its workload.
+
+use crate::admission::{estimate_service_s, Rejected};
+use crate::job::MttkrpJob;
+use crate::plan_cache::{ExecutionPlan, PlanCache};
+use crate::queue::{Pending, TenantQueues};
+use crate::report::{JobRecord, ServeReport};
+use crate::ScalFragServer;
+use scalfrag_cluster::NodeSpec;
+use scalfrag_core::PhaseTiming;
+use scalfrag_gpusim::{DeviceSpec, Gpu, LaunchConfig};
+use scalfrag_pipeline::plan::MAX_SEGMENTS;
+use scalfrag_pipeline::{
+    execute_hybrid, execute_pipelined, execute_pipelined_dry, split_by_slice_population,
+    KernelChoice, PipelinePlan,
+};
+use scalfrag_tensor::{segment, FeatureKey, TensorFeatures};
+
+/// Simulated cost of planning from scratch (s): predictor inference over
+/// the launch space plus segment/stream planning. Calibrated to the
+/// paper's "inference < 1 % of an MTTKRP" bound at the small end of the
+/// workload range.
+pub const PLAN_MISS_S: f64 = 1.5e-4;
+
+/// Simulated cost of a plan-cache hit (s): one hash lookup.
+pub const PLAN_HIT_S: f64 = 1.0e-6;
+
+/// The set of simulated devices jobs dispatch onto. Each device runs one
+/// job at a time; the scheduler always hands the next job to the device
+/// that frees earliest.
+#[derive(Clone, Debug)]
+pub struct DevicePool {
+    devices: Vec<DeviceSpec>,
+}
+
+impl DevicePool {
+    /// A pool of explicitly listed (possibly heterogeneous) devices.
+    pub fn from_devices(devices: Vec<DeviceSpec>) -> Self {
+        assert!(!devices.is_empty(), "a pool needs at least one device");
+        Self { devices }
+    }
+
+    /// A single-device pool.
+    pub fn single(device: DeviceSpec) -> Self {
+        Self::from_devices(vec![device])
+    }
+
+    /// A pool of `n` identical devices.
+    pub fn homogeneous(device: DeviceSpec, n: usize) -> Self {
+        assert!(n > 0, "a pool needs at least one device");
+        Self::from_devices(vec![device; n])
+    }
+
+    /// Builds the pool from a `scalfrag-cluster` node: each device enters
+    /// with the node's interconnect contention already folded into its
+    /// effective PCIe bandwidth (a 4-GPU shared-host node serves with four
+    /// derated links, exactly like the cluster executor would see them).
+    pub fn from_node(node: &NodeSpec) -> Self {
+        Self::from_devices((0..node.num_devices()).map(|i| node.effective_device(i)).collect())
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The devices, in dispatch-preference order.
+    pub fn devices(&self) -> &[DeviceSpec] {
+        &self.devices
+    }
+
+    /// The device plans are made against (the first — the cache stores one
+    /// plan per shape class, validated per executing device at dispatch).
+    pub fn planning_device(&self) -> &DeviceSpec {
+        &self.devices[0]
+    }
+}
+
+impl ScalFragServer {
+    /// Serves a whole job stream to completion and reports.
+    ///
+    /// Jobs are processed in arrival order (the stream is sorted by
+    /// arrival time, ties broken by id, so callers may submit in any
+    /// order). The loop interleaves two event kinds in simulated-time
+    /// order: *arrivals* (admission control) and *dispatches* (queue pop →
+    /// plan → execute on the earliest-free device).
+    pub fn run(&self, mut jobs: Vec<MttkrpJob>) -> ServeReport {
+        jobs.sort_by(|a, b| {
+            a.arrival_s.partial_cmp(&b.arrival_s).expect("finite arrivals").then(a.id.cmp(&b.id))
+        });
+        let num_devices = self.pool.num_devices();
+        let mut free_at = vec![0.0f64; num_devices];
+        let mut queue = TenantQueues::new();
+        let mut cache = PlanCache::new(self.config.cache_capacity);
+        let mut completed: Vec<JobRecord> = Vec::with_capacity(jobs.len());
+        let mut rejected: Vec<Rejected> = Vec::new();
+        let mut next = 0usize;
+        let mut seq = 0u64;
+
+        while next < jobs.len() || !queue.is_empty() {
+            let (dev, dev_free) = earliest_free(&free_at);
+            // Admit every arrival that lands before the next dispatch can
+            // happen — admission state must be current when the queue pops.
+            let arrival_due =
+                next < jobs.len() && (queue.is_empty() || jobs[next].arrival_s <= dev_free);
+            if arrival_due {
+                let job = jobs[next].clone();
+                next += 1;
+                let est = estimate_service_s(
+                    job.transfer_bytes(),
+                    job.rank(),
+                    self.pool.planning_device(),
+                );
+                let residual: f64 = free_at.iter().map(|&f| (f - job.arrival_s).max(0.0)).sum();
+                let wait_est = (residual + queue.backlog_s()) / num_devices as f64;
+                let mean_queued =
+                    if queue.is_empty() { est } else { queue.backlog_s() / queue.len() as f64 };
+                match self.config.admission.admit(queue.len(), wait_est, mean_queued) {
+                    Ok(()) => {
+                        queue.push(Pending { job, seq, est_s: est });
+                        seq += 1;
+                    }
+                    Err((reason, retry_after_s)) => rejected.push(Rejected {
+                        job_id: job.id,
+                        tenant: job.tenant.clone(),
+                        reason,
+                        retry_after_s,
+                        arrival_s: job.arrival_s,
+                    }),
+                }
+            } else {
+                let pending = queue.pop().expect("dispatch branch implies non-empty queue");
+                let start = free_at[dev].max(pending.job.arrival_s);
+                let record = self.execute(&pending.job, dev, start, &mut cache);
+                free_at[dev] = record.finish_s;
+                completed.push(record);
+            }
+        }
+
+        let makespan_s = completed.iter().map(|r| r.finish_s).fold(0.0, f64::max);
+        ServeReport {
+            completed,
+            rejected,
+            cache: cache.stats(),
+            makespan_s,
+            peak_queue_depth: queue.peak_depth(),
+            predictor_trainings: self.predictor.trainings(),
+        }
+    }
+
+    /// Plans one job: cache lookup on the quantized feature key, falling
+    /// back to the full planning path (predictor → segments/streams →
+    /// hybrid decision) on a miss. Returns `(plan, cache_hit, plan_s)`.
+    fn plan(&self, job: &MttkrpJob, cache: &mut PlanCache) -> (ExecutionPlan, bool, f64) {
+        let features = TensorFeatures::extract(&job.tensor, job.mode);
+        let key = FeatureKey::quantize(&features, job.mode, job.rank());
+        if self.config.plan_caching {
+            if let Some(plan) = cache.get(&key) {
+                return (plan, true, PLAN_HIT_S);
+            }
+        } else {
+            cache.count_bypass();
+        }
+        let config = if self.config.adaptive_launch {
+            self.predictor.for_rank(job.rank()).predict_from_features(&features.to_vec())
+        } else {
+            LaunchConfig::parti_default(job.tensor.nnz())
+        };
+        let kernel =
+            if self.config.tiled_kernel { KernelChoice::Tiled } else { KernelChoice::CooAtomic };
+        let segments = segment::auto_segment_count(
+            job.tensor.byte_size(),
+            job.factors.byte_size(),
+            self.pool.planning_device().global_mem_bytes as usize,
+            MAX_SEGMENTS,
+        )
+        .clamp(4, MAX_SEGMENTS);
+        let plan = ExecutionPlan {
+            config,
+            kernel,
+            segments,
+            streams: segments.min(4),
+            hybrid_threshold: self.config.hybrid_threshold,
+        };
+        if self.config.plan_caching {
+            cache.insert(key, plan);
+        }
+        (plan, false, PLAN_MISS_S)
+    }
+
+    /// Executes one job on pool device `dev` starting at `start` (s).
+    fn execute(&self, job: &MttkrpJob, dev: usize, start: f64, cache: &mut PlanCache) -> JobRecord {
+        let (plan, cache_hit, plan_s) = self.plan(job, cache);
+        let device = &self.pool.devices()[dev];
+        // A cached plan may have been made against a bigger card; fall
+        // back to the heuristic rather than launching an invalid config.
+        let config = if plan.config.validate(device).is_ok() {
+            plan.config
+        } else {
+            LaunchConfig::parti_default(job.tensor.nnz())
+        };
+        let mut gpu = Gpu::new(device.clone());
+        let run = match plan.hybrid_threshold {
+            Some(threshold) if self.config.functional => {
+                let split = split_by_slice_population(&job.tensor, job.mode, threshold);
+                execute_hybrid(
+                    &mut gpu,
+                    &split,
+                    &job.factors,
+                    job.mode,
+                    config,
+                    plan.segments,
+                    plan.streams,
+                    plan.kernel,
+                )
+            }
+            _ => {
+                let mut sorted = (*job.tensor).clone();
+                sorted.sort_for_mode(job.mode);
+                let pplan =
+                    PipelinePlan::new(&sorted, job.mode, config, plan.segments, plan.streams);
+                if self.config.functional {
+                    execute_pipelined(&mut gpu, &sorted, &job.factors, &pplan, plan.kernel)
+                } else {
+                    execute_pipelined_dry(&mut gpu, &sorted, &job.factors, &pplan, plan.kernel)
+                }
+            }
+        };
+        let timing = PhaseTiming::from_timeline(&run.timeline).with_queue(start - job.arrival_s);
+        debug_assert!(timing.check_consistency().is_ok());
+        let finish_s = start + plan_s + timing.total_s;
+        JobRecord {
+            id: job.id,
+            tenant: job.tenant.clone(),
+            priority: job.priority,
+            device: dev,
+            arrival_s: job.arrival_s,
+            start_s: start,
+            finish_s,
+            plan_s,
+            cache_hit,
+            timing,
+            deadline_s: job.deadline_s,
+            output: if self.config.functional { Some(run.output) } else { None },
+        }
+    }
+}
+
+/// Index and free-time of the earliest-free device (lowest index wins
+/// ties, deterministically).
+fn earliest_free(free_at: &[f64]) -> (usize, f64) {
+    let mut best = 0usize;
+    for (i, &t) in free_at.iter().enumerate().skip(1) {
+        if t < free_at[best] {
+            best = i;
+        }
+    }
+    (best, free_at[best])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_constructors() {
+        let p = DevicePool::homogeneous(DeviceSpec::rtx3090(), 3);
+        assert_eq!(p.num_devices(), 3);
+        assert_eq!(p.planning_device().name, DeviceSpec::rtx3090().name);
+        let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 4);
+        let p = DevicePool::from_node(&node);
+        assert_eq!(p.num_devices(), 4);
+        assert!(
+            p.devices()[0].pcie_h2d_gbs < DeviceSpec::rtx3090().pcie_h2d_gbs,
+            "shared-host contention must be folded in"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn empty_pool_rejected() {
+        let _ = DevicePool::from_devices(Vec::new());
+    }
+
+    #[test]
+    fn earliest_free_prefers_lowest_index_on_tie() {
+        assert_eq!(earliest_free(&[1.0, 1.0, 0.5]), (2, 0.5));
+        assert_eq!(earliest_free(&[1.0, 1.0]), (0, 1.0));
+    }
+}

@@ -1,0 +1,215 @@
+//! Seeded synthetic workload generation for load-testing the server.
+//!
+//! A workload is an open-loop arrival stream: shape classes with skewed
+//! (Zipf-like) popularity, a small set of concrete tensors per class,
+//! exponential interarrivals with a bursty rate modulation, multiple
+//! tenants, a priority mix, and deadlines on the high-priority slice.
+//! Everything derives from one `u64` seed, so the same spec always yields
+//! the identical job stream — the determinism tests rely on this.
+
+use crate::admission::estimate_service_s;
+use crate::job::{MttkrpJob, Priority};
+use rand::{Rng, SeedableRng};
+use scalfrag_gpusim::DeviceSpec;
+use scalfrag_kernels::FactorSet;
+use scalfrag_tensor::{gen, CooTensor};
+use std::sync::Arc;
+
+/// Parameters of a synthetic serving workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Total jobs to generate.
+    pub jobs: usize,
+    /// Number of billing tenants (round-robin weighted by the RNG).
+    pub tenants: usize,
+    /// Distinct shape classes (the plan cache's working-set size).
+    pub shape_classes: usize,
+    /// Concrete tensor instances per class — same shape statistics,
+    /// different seeds, so they hit the same [`scalfrag_tensor::FeatureKey`].
+    pub variants_per_class: usize,
+    /// Zipf exponent over class popularity (`0` = uniform, `1` ≈ classic
+    /// web skew: a few hot shapes dominate).
+    pub skew: f64,
+    /// Mean interarrival gap (s) of the open-loop stream.
+    pub mean_interarrival_s: f64,
+    /// Burst factor ≥ 1: arrivals alternate between `burstiness`× the base
+    /// rate and `1/burstiness`× it every 20 jobs (1 = Poisson).
+    pub burstiness: f64,
+    /// CPD rank of every job.
+    pub rank: usize,
+    /// Nonzeros of the smallest class; class `i` holds `base_nnz × 1.6^i`.
+    pub base_nnz: usize,
+    /// RNG seed — the whole stream is a pure function of the spec.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        Self {
+            jobs: 200,
+            tenants: 4,
+            shape_classes: 12,
+            variants_per_class: 3,
+            skew: 1.0,
+            mean_interarrival_s: 2e-3,
+            burstiness: 3.0,
+            rank: 16,
+            base_nnz: 3_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// One shape class: the tensors jobs of this class draw from, plus the
+/// factor set shared by all of them (same dims, same rank).
+struct ShapeClass {
+    tensors: Vec<Arc<CooTensor>>,
+    factors: Arc<FactorSet>,
+    mode: usize,
+}
+
+fn build_classes(spec: &WorkloadSpec) -> Vec<ShapeClass> {
+    (0..spec.shape_classes)
+        .map(|c| {
+            // Geometric nnz growth separates classes by several
+            // quarter-octave buckets; dims grow alongside so density stays
+            // in a realistic sparse regime.
+            let scale = 1.6f64.powi(c as i32);
+            let nnz = (spec.base_nnz as f64 * scale) as usize;
+            let dims = [
+                (80.0 * scale.sqrt()) as u32 + 3 * c as u32,
+                (60.0 * scale.sqrt()) as u32 + 2 * c as u32,
+                (50.0 * scale.sqrt()) as u32 + c as u32,
+            ];
+            // Alternate slice-skewed and uniform sparsity patterns so the
+            // predictor sees both regimes.
+            let tensors = (0..spec.variants_per_class)
+                .map(|v| {
+                    let tensor_seed =
+                        spec.seed ^ (c as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ v as u64;
+                    Arc::new(if c % 2 == 0 {
+                        gen::zipf_slices(&dims, nnz, 1.1, tensor_seed)
+                    } else {
+                        gen::uniform(&dims, nnz, tensor_seed)
+                    })
+                })
+                .collect();
+            let factors =
+                Arc::new(FactorSet::random(&dims, spec.rank, spec.seed ^ 0xfac ^ c as u64));
+            ShapeClass { tensors, factors, mode: c % 3 }
+        })
+        .collect()
+}
+
+/// Generates the job stream. Arrival times are strictly increasing; job
+/// ids are the stream index.
+pub fn synthesize(spec: &WorkloadSpec) -> Vec<MttkrpJob> {
+    assert!(spec.jobs > 0 && spec.tenants > 0, "workload needs jobs and tenants");
+    assert!(spec.shape_classes > 0 && spec.variants_per_class > 0);
+    assert!(spec.burstiness >= 1.0, "burstiness is a factor >= 1");
+    let classes = build_classes(spec);
+    // Zipf-like popularity: weight of class i ∝ 1/(i+1)^skew.
+    let weights: Vec<f64> =
+        (0..spec.shape_classes).map(|i| 1.0 / (i as f64 + 1.0).powf(spec.skew)).collect();
+    let total_w: f64 = weights.iter().sum();
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(spec.seed);
+    let mut t = 0.0f64;
+    (0..spec.jobs)
+        .map(|i| {
+            // Bursty exponential interarrivals: rate alternates high/low
+            // every 20 jobs.
+            let rate_mul = if (i / 20) % 2 == 0 { spec.burstiness } else { 1.0 / spec.burstiness };
+            let u: f64 = rng.gen();
+            t += -(1.0 - u).max(1e-12).ln() * spec.mean_interarrival_s / rate_mul;
+
+            let mut pick = rng.gen::<f64>() * total_w;
+            let mut class_idx = 0usize;
+            for (ci, w) in weights.iter().enumerate() {
+                class_idx = ci;
+                if pick < *w {
+                    break;
+                }
+                pick -= w;
+            }
+            let class = &classes[class_idx];
+            let tensor = Arc::clone(&class.tensors[rng.gen_range(0..class.tensors.len())]);
+            let tenant = format!("tenant-{}", rng.gen_range(0..spec.tenants));
+            let mut job =
+                MttkrpJob::new(i as u64, &tenant, tensor, Arc::clone(&class.factors), class.mode)
+                    .at(t);
+            // Priority mix: 10 % High (with a deadline), 70 % Normal, 20 % Low.
+            let p: f64 = rng.gen();
+            job = if p < 0.1 {
+                job.with_priority(Priority::High).with_deadline(t + 8.0 * spec.mean_interarrival_s)
+            } else if p < 0.8 {
+                job.with_priority(Priority::Normal)
+            } else {
+                job.with_priority(Priority::Low)
+            };
+            job
+        })
+        .collect()
+}
+
+/// Mean admission-time service estimate over a job stream (s) — handy for
+/// calibrating `mean_interarrival_s` to a target utilisation: offered load
+/// ≈ `mean_service / (mean_interarrival × num_devices)`.
+pub fn mean_service_estimate_s(jobs: &[MttkrpJob], device: &DeviceSpec) -> f64 {
+    if jobs.is_empty() {
+        return 0.0;
+    }
+    jobs.iter().map(|j| estimate_service_s(j.transfer_bytes(), j.rank(), device)).sum::<f64>()
+        / jobs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn stream_is_deterministic_and_ordered() {
+        let spec = WorkloadSpec { jobs: 50, ..Default::default() };
+        let a = synthesize(&spec);
+        let b = synthesize(&spec);
+        assert_eq!(a.len(), 50);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.id, &x.tenant, x.mode), (y.id, &y.tenant, y.mode));
+            assert_eq!(x.arrival_s.to_bits(), y.arrival_s.to_bits());
+            assert_eq!(x.tensor.nnz(), y.tensor.nnz());
+        }
+        for w in a.windows(2) {
+            assert!(w[0].arrival_s <= w[1].arrival_s, "arrivals sorted");
+        }
+    }
+
+    #[test]
+    fn popularity_is_skewed_toward_small_classes() {
+        let spec = WorkloadSpec { jobs: 300, skew: 1.2, ..Default::default() };
+        let jobs = synthesize(&spec);
+        let small = jobs.iter().filter(|j| j.tensor.nnz() < 2 * spec.base_nnz).count();
+        assert!(small * 3 > jobs.len(), "hot (small) classes should dominate: {small}/300");
+    }
+
+    #[test]
+    fn mixes_tenants_priorities_and_deadlines() {
+        let jobs = synthesize(&WorkloadSpec::default());
+        let tenants: HashSet<_> = jobs.iter().map(|j| j.tenant.clone()).collect();
+        assert!(tenants.len() >= 3, "expected several tenants, got {tenants:?}");
+        assert!(jobs.iter().any(|j| j.priority == Priority::High && j.deadline_s.is_some()));
+        assert!(jobs.iter().any(|j| j.priority == Priority::Low));
+        let seed_changed = synthesize(&WorkloadSpec { seed: 1, ..Default::default() });
+        assert!(
+            jobs.iter().zip(&seed_changed).any(|(a, b)| a.arrival_s != b.arrival_s),
+            "different seed must give a different stream"
+        );
+    }
+
+    #[test]
+    fn service_estimate_helper_is_positive() {
+        let jobs = synthesize(&WorkloadSpec { jobs: 10, ..Default::default() });
+        assert!(mean_service_estimate_s(&jobs, &DeviceSpec::rtx3090()) > 0.0);
+        assert_eq!(mean_service_estimate_s(&[], &DeviceSpec::rtx3090()), 0.0);
+    }
+}

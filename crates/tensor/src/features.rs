@@ -156,6 +156,73 @@ impl TensorFeatures {
     }
 }
 
+/// A quantized, hashable summary of one `(tensor, mode, rank)` planning
+/// problem — the key of the serving layer's plan cache.
+///
+/// Two tensors that land on the same key are close enough in every feature
+/// the launch predictor and pipeline planner look at that their execution
+/// plans are interchangeable (same launch configuration regime, same
+/// segment-count regime). The buckets are deliberately coarse:
+///
+/// * counts (`nnz`, slices, fibers, mode size) are bucketed on a log₂
+///   grid — quarter octaves for `nnz` (≈ ±9 % within a bucket), half
+///   octaves for the rest;
+/// * ratios (`sliceRatio`, `fiberRatio`) in eighths;
+/// * the skew indicator (`max/avg` slice population) in whole octaves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FeatureKey {
+    /// Tensor order `N`.
+    pub order: usize,
+    /// Target MTTKRP mode.
+    pub mode: usize,
+    /// CPD rank (the launch space and shared-memory request depend on it).
+    pub rank: u32,
+    /// `round(4 · log2 nnz)` — quarter-octave non-zero count bucket.
+    pub nnz_bucket: i32,
+    /// `round(2 · log2 numSlices)` — half-octave bucket.
+    pub slices_bucket: i32,
+    /// `round(2 · log2 numFibers)` — half-octave bucket.
+    pub fibers_bucket: i32,
+    /// `round(2 · log2 mode_dim)` — half-octave bucket.
+    pub mode_dim_bucket: i32,
+    /// `round(8 · sliceRatio)` — eighth buckets in `[0, 1]`.
+    pub slice_ratio_bucket: i32,
+    /// `round(8 · fiberRatio)` — eighth buckets in `[0, 1]`.
+    pub fiber_ratio_bucket: i32,
+    /// `round(log2 slice_imbalance)` — whole-octave skew bucket.
+    pub imbalance_bucket: i32,
+}
+
+impl FeatureKey {
+    /// Quantizes extracted features (of `mode`) into a cache key.
+    pub fn quantize(f: &TensorFeatures, mode: usize, rank: u32) -> Self {
+        let lb = |x: f64, scale: f64| {
+            if x > 0.0 {
+                (scale * x.log2()).round() as i32
+            } else {
+                i32::MIN
+            }
+        };
+        Self {
+            order: f.order,
+            mode,
+            rank,
+            nnz_bucket: lb(f.nnz as f64, 4.0),
+            slices_bucket: lb(f.num_slices as f64, 2.0),
+            fibers_bucket: lb(f.num_fibers as f64, 2.0),
+            mode_dim_bucket: lb(f.mode_dim as f64, 2.0),
+            slice_ratio_bucket: (8.0 * f.slice_ratio).round() as i32,
+            fiber_ratio_bucket: (8.0 * f.fiber_ratio).round() as i32,
+            imbalance_bucket: lb(f.slice_imbalance.max(1.0), 1.0),
+        }
+    }
+
+    /// Convenience: extract + quantize in one call.
+    pub fn of(tensor: &CooTensor, mode: usize, rank: u32) -> Self {
+        Self::quantize(&TensorFeatures::extract(tensor, mode), mode, rank)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,6 +289,32 @@ mod tests {
         assert_eq!(f.max_nnz_per_slice, 0);
         assert_eq!(f.slice_imbalance, 0.0);
         assert!(f.to_vec().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn feature_key_stable_across_resampling() {
+        // Same generator, same shape, different seeds: the quantized key
+        // must collapse the sampling noise.
+        let a = crate::gen::zipf_slices(&[200, 120, 90], 20_000, 0.9, 11);
+        let b = crate::gen::zipf_slices(&[200, 120, 90], 20_000, 0.9, 12);
+        assert_eq!(FeatureKey::of(&a, 0, 16), FeatureKey::of(&b, 0, 16));
+    }
+
+    #[test]
+    fn feature_key_separates_sizes_modes_and_ranks() {
+        let small = crate::gen::uniform(&[100, 80, 60], 4_000, 5);
+        let large = crate::gen::uniform(&[1000, 800, 600], 400_000, 5);
+        assert_ne!(FeatureKey::of(&small, 0, 16), FeatureKey::of(&large, 0, 16));
+        assert_ne!(FeatureKey::of(&small, 0, 16), FeatureKey::of(&small, 1, 16));
+        assert_ne!(FeatureKey::of(&small, 0, 16), FeatureKey::of(&small, 0, 32));
+    }
+
+    #[test]
+    fn feature_key_of_empty_tensor_is_safe() {
+        let t = CooTensor::new(&[10, 10]);
+        let k = FeatureKey::of(&t, 0, 8);
+        assert_eq!(k.nnz_bucket, i32::MIN);
+        assert_eq!(k, FeatureKey::of(&t, 0, 8));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod semisparse;
 pub use coo::CooTensor;
 pub use csf::CsfTensor;
 pub use fcoo::FCooTensor;
-pub use features::TensorFeatures;
+pub use features::{FeatureKey, TensorFeatures};
 pub use frostt::DatasetPreset;
 pub use hicoo::HiCooTensor;
 pub use permute::ModePermutation;

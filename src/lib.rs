@@ -25,6 +25,10 @@
 //! * [`core`] — the end-to-end [`core::ScalFrag`] framework facade, the
 //!   [`core::Parti`] baseline it is evaluated against, and the
 //!   multi-GPU [`core::ClusterScalFrag`] facade.
+//! * [`serve`] — the multi-tenant serving layer: job queue with priority +
+//!   EDF scheduling and tenant fairness, admission control with typed
+//!   rejections, an LRU plan cache over quantized tensor features, and
+//!   per-job/aggregate serving reports.
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@ pub use scalfrag_gpusim as gpusim;
 pub use scalfrag_kernels as kernels;
 pub use scalfrag_linalg as linalg;
 pub use scalfrag_pipeline as pipeline;
+pub use scalfrag_serve as serve;
 pub use scalfrag_tensor as tensor;
 
 /// Convenient glob-importable re-exports of the most used types.
@@ -60,5 +65,8 @@ pub mod prelude {
     pub use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
     pub use scalfrag_kernels::{FactorSet, MttkrpBackend};
     pub use scalfrag_linalg::Mat;
-    pub use scalfrag_tensor::{CooTensor, CsfTensor, TensorFeatures};
+    pub use scalfrag_serve::{
+        AdmissionPolicy, DevicePool, MttkrpJob, ScalFragServer, ServeReport, WorkloadSpec,
+    };
+    pub use scalfrag_tensor::{CooTensor, CsfTensor, FeatureKey, TensorFeatures};
 }
