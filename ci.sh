@@ -22,4 +22,7 @@ cargo build --release --examples
 echo "==> serving-layer smoke test"
 cargo run --release -q -p scalfrag-bench --bin serve_load -- --smoke
 
+echo "==> fault-storm smoke test"
+cargo run --release -q -p scalfrag-bench --bin fault_storm -- --smoke
+
 echo "CI green."

@@ -277,7 +277,7 @@ fn execute_cluster_impl(
 
 /// Bytes of one shard's D2H result: its owned row block when slice-aligned,
 /// the full partial output otherwise.
-fn shard_output_bytes(shard: &Shard, rank: usize, full_out_bytes: u64) -> u64 {
+pub(crate) fn shard_output_bytes(shard: &Shard, rank: usize, full_out_bytes: u64) -> u64 {
     match shard.rows {
         Some((lo, hi)) => ((hi - lo + 1) as u64) * rank as u64 * 4,
         None => full_out_bytes,
@@ -288,7 +288,7 @@ fn shard_output_bytes(shard: &Shard, rank: usize, full_out_bytes: u64) -> u64 {
 /// Slice-aligned shards copy their disjoint row blocks (bit-preserving);
 /// nnz-balanced shards sum, giving a deterministic shard-ordered
 /// accumulation.
-fn fold_partials(
+pub(crate) fn fold_partials(
     shards: &[Shard],
     buffers: &[Arc<AtomicF32Buffer>],
     rows: usize,
@@ -310,7 +310,7 @@ fn fold_partials(
 }
 
 /// Analytic cost of the cross-shard reduction stage.
-fn reduction_seconds(
+pub(crate) fn reduction_seconds(
     node: &NodeSpec,
     shards: &[Shard],
     assignment: &[Vec<usize>],

@@ -28,10 +28,15 @@
 
 pub mod executor;
 pub mod node;
+pub mod resilient;
 pub mod schedule;
 pub mod shard;
 
 pub use executor::{execute_cluster, execute_cluster_dry, ClusterOptions, ClusterRun, DeviceRun};
 pub use node::{Interconnect, NodeSpec};
+pub use resilient::{
+    execute_cluster_resilient, execute_cluster_resilient_dry, FaultRecoveryPolicy, RecoveryMode,
+    ResilientClusterRun,
+};
 pub use schedule::{assign_shards, DeviceScheduler};
 pub use shard::{shard_tensor, Shard, ShardPolicy};

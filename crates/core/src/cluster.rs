@@ -4,9 +4,10 @@
 use crate::report::PhaseTiming;
 use scalfrag_autotune::TrainedPredictor;
 use scalfrag_cluster::{
-    execute_cluster, execute_cluster_dry, ClusterOptions, ClusterRun, DeviceScheduler, NodeSpec,
-    ShardPolicy,
+    execute_cluster, execute_cluster_dry, execute_cluster_resilient, ClusterOptions, ClusterRun,
+    DeviceScheduler, FaultRecoveryPolicy, NodeSpec, ResilientClusterRun, ShardPolicy,
 };
+use scalfrag_faults::FaultInjector;
 use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
 use scalfrag_kernels::FactorSet;
 use scalfrag_linalg::Mat;
@@ -234,6 +235,45 @@ impl ClusterScalFrag {
         self.run(tensor, factors, mode, false)
     }
 
+    /// Runs one multi-device MTTKRP under injected faults, recovering per
+    /// `policy` (segment retries, transient-outage waits and — in
+    /// re-shard mode — placement of a dead device's shards onto the
+    /// survivors). When the run completes fully, the output is bitwise
+    /// identical to [`ClusterScalFrag::mttkrp`] on the same inputs.
+    pub fn mttkrp_resilient(
+        &self,
+        tensor: &CooTensor,
+        factors: &FactorSet,
+        mode: usize,
+        injector: &mut FaultInjector,
+        policy: &FaultRecoveryPolicy,
+    ) -> ResilientClusterMttkrpReport {
+        let rank = factors.rank();
+        let cfg = self.select_config(tensor, mode, rank as u32);
+        let opts = self.options(cfg);
+        let stats = scalfrag_kernels::SegmentStats::compute(tensor, mode);
+        let run =
+            execute_cluster_resilient(&self.node, tensor, factors, mode, &opts, injector, policy);
+        let report = ClusterMttkrpReport {
+            mode,
+            rank,
+            config: opts.kernel.full_config(cfg, rank as u32),
+            num_shards: run.num_shards,
+            per_device: run
+                .devices
+                .iter()
+                .map(|d| PhaseTiming::from_timeline(&d.timeline))
+                .collect(),
+            device_names: run.devices.iter().map(|d| d.device_name).collect(),
+            assignments: run.devices.iter().map(|d| d.shard_indices.clone()).collect(),
+            reduction_s: run.reduction_s,
+            total_s: run.makespan(),
+            flops: stats.flops(rank as u32),
+            output: run.output.clone(),
+        };
+        ResilientClusterMttkrpReport::new(report, &run)
+    }
+
     fn run(
         &self,
         tensor: &CooTensor,
@@ -340,6 +380,42 @@ impl ClusterMttkrpReport {
     }
 }
 
+/// A [`ClusterMttkrpReport`] plus the fault-recovery bookkeeping of the
+/// run that produced it.
+#[derive(Clone, Debug)]
+pub struct ResilientClusterMttkrpReport {
+    /// The usual cluster report (output, per-device timings, makespan).
+    pub report: ClusterMttkrpReport,
+    /// Segments permanently lost (0 when recovery succeeded everywhere).
+    pub failed_segments: usize,
+    /// Segments that completed somewhere.
+    pub completed_segments: usize,
+    /// Segments rescued by re-sharding onto a surviving device.
+    pub replaced_segments: usize,
+    /// Total segment retry attempts beyond the first.
+    pub retries: usize,
+    /// Devices that died permanently during the run.
+    pub dead_devices: Vec<usize>,
+}
+
+impl ResilientClusterMttkrpReport {
+    fn new(report: ClusterMttkrpReport, run: &ResilientClusterRun) -> Self {
+        Self {
+            report,
+            failed_segments: run.failed_segments,
+            completed_segments: run.completed_segments,
+            replaced_segments: run.replaced_segments,
+            retries: run.retries,
+            dead_devices: run.dead_devices.clone(),
+        }
+    }
+
+    /// True when every segment completed despite the faults.
+    pub fn all_complete(&self) -> bool {
+        self.failed_segments == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,6 +466,31 @@ mod tests {
         let c2 = ctx.select_config(&t, 0, f.rank() as u32);
         assert_eq!(c1, c2, "cached predictor must be deterministic");
         assert!(c1.validate(&ctx.node().devices[0]).is_ok());
+    }
+
+    #[test]
+    fn resilient_facade_recovers_a_dead_device_bit_exactly() {
+        use scalfrag_faults::{FaultKind, FaultPlan, FaultTrigger};
+        let (t, f) = small();
+        let ctx =
+            ClusterScalFrag::builder().fixed_config(LaunchConfig::new(1024, 256)).shards(4).build();
+        let clean = ctx.mttkrp(&t, &f, 0);
+        let mut inj = FaultInjector::new(FaultPlan::new().fault(
+            1,
+            FaultTrigger::AtOp(2),
+            FaultKind::DeviceFail { down_s: None },
+        ));
+        let r = ctx.mttkrp_resilient(&t, &f, 0, &mut inj, &FaultRecoveryPolicy::retry_reshard());
+        assert!(r.all_complete(), "re-sharding must rescue the dead device's shards");
+        assert_eq!(r.dead_devices, vec![1]);
+        assert!(r.replaced_segments > 0);
+        let same = clean
+            .output
+            .as_slice()
+            .iter()
+            .zip(r.report.output.as_slice())
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(same, "recovered output must be bitwise identical to the fault-free run");
     }
 
     #[test]

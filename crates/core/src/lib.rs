@@ -23,7 +23,10 @@ pub mod parti;
 pub mod report;
 pub mod scalfrag;
 
-pub use cluster::{ClusterConfig, ClusterMttkrpReport, ClusterScalFrag, ClusterScalFragBuilder};
+pub use cluster::{
+    ClusterConfig, ClusterMttkrpReport, ClusterScalFrag, ClusterScalFragBuilder,
+    ResilientClusterMttkrpReport,
+};
 pub use parti::Parti;
 pub use report::{MttkrpReport, PhaseTiming};
 pub use scalfrag::{ScalFrag, ScalFragBuilder, ScalFragConfig};

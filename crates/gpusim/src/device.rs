@@ -150,6 +150,23 @@ impl DeviceSpec {
         self
     }
 
+    /// The same device slowed by a straggler derating `factor >= 1`:
+    /// memory-side throughputs (device memory, PCIe, atomics) divide by
+    /// the factor and fixed latencies multiply by it, modelling a
+    /// thermally throttled or bus-contended card. Compute clocks and
+    /// capacity limits are untouched, so launch-config validity is
+    /// unchanged. Used by the fault injector's straggler events.
+    pub fn derated(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0 && factor.is_finite(), "derate factor must be >= 1, got {factor}");
+        self.mem_bandwidth_gbs /= factor;
+        self.pcie_h2d_gbs /= factor;
+        self.pcie_d2h_gbs /= factor;
+        self.atomic_gops /= factor;
+        self.pcie_latency_us *= factor;
+        self.kernel_launch_us *= factor;
+        self
+    }
+
     /// Peak FP32 throughput in GFLOP/s (2 FLOPs per core per cycle, FMA).
     pub fn peak_gflops(&self) -> f64 {
         self.num_sms as f64 * self.cores_per_sm as f64 * self.clock_ghz * 2.0
@@ -241,6 +258,21 @@ mod tests {
         assert!(small.mem_bandwidth_gbs < big.mem_bandwidth_gbs);
         assert!(big.mem_bandwidth_gbs < dc.mem_bandwidth_gbs);
         assert!(small.max_resident_threads() < dc.max_resident_threads());
+    }
+
+    #[test]
+    fn derated_device_is_slower_but_still_valid() {
+        let base = DeviceSpec::rtx3090();
+        let slow = base.clone().derated(2.0);
+        assert!((slow.mem_bandwidth_gbs - base.mem_bandwidth_gbs / 2.0).abs() < 1e-9);
+        assert!((slow.pcie_h2d_gbs - base.pcie_h2d_gbs / 2.0).abs() < 1e-9);
+        assert!((slow.pcie_latency_us - base.pcie_latency_us * 2.0).abs() < 1e-9);
+        // Capacity limits unchanged: any config valid before stays valid.
+        assert_eq!(slow.max_threads_per_block, base.max_threads_per_block);
+        assert_eq!(slow.global_mem_bytes, base.global_mem_bytes);
+        assert_eq!(slow.peak_gflops(), base.peak_gflops());
+        // Identity derate is a no-op.
+        assert_eq!(base.clone().derated(1.0), base);
     }
 
     #[test]

@@ -44,6 +44,7 @@ enum OpPayload {
     Kernel { config: LaunchConfig, workload: KernelWorkload },
     HostTask { flops: u64, bytes: u64 },
     EventRecord { event: EventId },
+    Stall { seconds: f64 },
 }
 
 struct PendingOp {
@@ -207,6 +208,42 @@ impl Gpu {
         self.enqueue(stream, label, OpPayload::HostTask { flops, bytes }, Some(Box::new(f)))
     }
 
+    /// Enqueues a pure delay on `stream`: the stream's clock advances by
+    /// `seconds` without occupying any engine. Models waits that burn no
+    /// resource — retry backoff and fault downtime in the resilient
+    /// executors.
+    pub fn stall(&mut self, stream: StreamId, seconds: f64, label: impl Into<String>) -> OpId {
+        assert!(
+            seconds >= 0.0 && seconds.is_finite(),
+            "stall must be a finite non-negative delay, got {seconds}"
+        );
+        self.enqueue(stream, label, OpPayload::Stall { seconds }, None)
+    }
+
+    /// Advances every stream's ready time to at least `t` seconds (the
+    /// pending queue must be resolved first). Models a device idling
+    /// until an external point in simulated time — waiting out a
+    /// transient fault's downtime, or starting work re-placed from a
+    /// failed peer only once that failure has been observed.
+    pub fn advance_to(&mut self, t: f64) {
+        assert!(self.pending.is_empty(), "synchronize before advancing the clock");
+        assert!(t.is_finite(), "advance target must be finite, got {t}");
+        for s in 0..self.num_streams {
+            let e = self.stream_ready.entry(StreamId(s)).or_insert(0.0);
+            *e = e.max(t);
+        }
+    }
+
+    /// Current simulated clock: the latest ready time across streams and
+    /// engines. Unlike [`Gpu::elapsed`] (which reads recorded spans) this
+    /// includes pure stalls and [`Gpu::advance_to`] jumps, which occupy
+    /// no engine and leave no span.
+    pub fn clock(&self) -> f64 {
+        let s = self.stream_ready.values().fold(0.0f64, |a, &b| a.max(b));
+        let e = self.engine_ready.values().fold(0.0f64, |a, &b| a.max(b));
+        s.max(e)
+    }
+
     /// Records an event on `stream`: it completes when every op enqueued on
     /// `stream` so far has completed.
     pub fn record_event(&mut self, stream: StreamId) -> EventId {
@@ -239,6 +276,7 @@ impl Gpu {
             }
             OpPayload::HostTask { flops, bytes } => self.host.task_duration_s(*flops, *bytes),
             OpPayload::EventRecord { .. } => 0.0,
+            OpPayload::Stall { seconds } => *seconds,
         }
     }
 
@@ -268,7 +306,7 @@ impl Gpu {
                 OpPayload::Copy { h2d: false, .. } => (Some(Engine::D2H), SpanKind::CopyD2H),
                 OpPayload::Kernel { .. } => (Some(Engine::Compute), SpanKind::Kernel),
                 OpPayload::HostTask { .. } => (Some(Engine::Host), SpanKind::HostTask),
-                OpPayload::EventRecord { .. } => (None, SpanKind::Kernel),
+                OpPayload::EventRecord { .. } | OpPayload::Stall { .. } => (None, SpanKind::Kernel),
             };
 
             let engine_ready =
@@ -486,6 +524,49 @@ mod tests {
             g.synchronize()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn stalls_delay_the_stream_without_occupying_engines() {
+        let mut g = gpu();
+        let s0 = g.create_stream();
+        let s1 = g.create_stream();
+        g.h2d(s1, 1_000_000, "other-stream");
+        g.stall(s0, 0.5, "backoff");
+        g.h2d(s0, 1_000_000, "after-stall");
+        let t = g.synchronize();
+        let delayed = t.spans.iter().find(|sp| sp.label == "after-stall").unwrap();
+        let other = t.spans.iter().find(|sp| sp.label == "other-stream").unwrap();
+        assert!(delayed.start >= 0.5, "stall must push the stream's next op");
+        assert_eq!(other.start, 0.0, "a stall must not block the H2D engine");
+        assert_eq!(t.spans.len(), 2, "stalls leave no span");
+        assert!(g.clock() >= 0.5);
+    }
+
+    #[test]
+    fn advance_to_jumps_every_stream_forward() {
+        let mut g = gpu();
+        let s0 = g.create_stream();
+        let s1 = g.create_stream();
+        g.h2d(s0, 1_000_000, "a");
+        g.synchronize();
+        let before = g.clock();
+        g.advance_to(before + 1.0);
+        assert!((g.clock() - (before + 1.0)).abs() < 1e-12);
+        g.advance_to(0.5); // never rewinds
+        assert!((g.clock() - (before + 1.0)).abs() < 1e-12);
+        g.h2d(s1, 1_000_000, "b");
+        let t = g.synchronize();
+        assert!(t.spans[0].start >= before + 1.0, "post-jump ops start after the jump");
+    }
+
+    #[test]
+    #[should_panic(expected = "synchronize before advancing")]
+    fn advance_to_refuses_pending_work() {
+        let mut g = gpu();
+        let s = g.create_stream();
+        g.h2d(s, 1_000, "a");
+        g.advance_to(1.0);
     }
 
     #[test]

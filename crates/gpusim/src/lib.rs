@@ -44,5 +44,5 @@ pub use gpu::{EventId, Gpu, OpId, StreamId};
 pub use launch::LaunchConfig;
 pub use memory::{Allocation, MemoryPool, OutOfMemory};
 pub use occupancy::{occupancy, Limiter, Occupancy};
-pub use profiler::{analyze_kernel, profile, KernelAnalysis, Profile};
+pub use profiler::{analyze_kernel, profile, KernelAnalysis, LabelStats, Profile};
 pub use timeline::{Engine, Span, SpanKind, Timeline};

@@ -9,7 +9,7 @@ use crate::timeline::{SpanKind, Timeline};
 use std::collections::BTreeMap;
 
 /// Aggregated statistics for one span label.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct LabelStats {
     /// Number of spans with this label.
     pub count: usize,
@@ -21,7 +21,24 @@ pub struct LabelStats {
     pub max_s: f64,
 }
 
+impl Default for LabelStats {
+    /// The empty aggregate. `min_s` starts at `+∞` so the first recorded
+    /// sample always becomes the minimum — a 0.0 default would pin the
+    /// minimum below every real duration.
+    fn default() -> Self {
+        Self { count: 0, total_s: 0.0, min_s: f64::INFINITY, max_s: 0.0 }
+    }
+}
+
 impl LabelStats {
+    /// Folds one span duration into the aggregate.
+    pub fn record(&mut self, duration_s: f64) {
+        self.count += 1;
+        self.total_s += duration_s;
+        self.min_s = self.min_s.min(duration_s);
+        self.max_s = self.max_s.max(duration_s);
+    }
+
     /// Mean span duration.
     pub fn avg_s(&self) -> f64 {
         if self.count == 0 {
@@ -60,16 +77,7 @@ pub fn profile(timeline: &Timeline) -> Profile {
             SpanKind::CopyD2H => p.d2h_s += d,
             SpanKind::HostTask => p.host_s += d,
         }
-        let s = p.by_label.entry(span.label.clone()).or_default();
-        if s.count == 0 {
-            s.min_s = d;
-            s.max_s = d;
-        } else {
-            s.min_s = s.min_s.min(d);
-            s.max_s = s.max_s.max(d);
-        }
-        s.count += 1;
-        s.total_s += d;
+        p.by_label.entry(span.label.clone()).or_default().record(d);
     }
     p
 }
@@ -172,6 +180,22 @@ mod tests {
         assert!((p.makespan_s - t.makespan()).abs() < 1e-15);
         let rendered = p.render();
         assert!(rendered.contains("seg H2D") && rendered.contains("out D2H"));
+    }
+
+    #[test]
+    fn default_label_stats_take_min_from_first_sample() {
+        // Regression: `min_s` used to default to 0.0, so recording into a
+        // default-constructed aggregate could never raise the minimum
+        // above zero.
+        let mut s = LabelStats::default();
+        s.record(2.0);
+        assert_eq!(s.min_s, 2.0, "first sample must become the minimum");
+        assert_eq!(s.max_s, 2.0);
+        s.record(3.0);
+        assert_eq!(s.min_s, 2.0);
+        assert_eq!(s.max_s, 3.0);
+        assert_eq!(s.count, 2);
+        assert!((s.avg_s() - 2.5).abs() < 1e-15);
     }
 
     #[test]

@@ -1,0 +1,327 @@
+//! Iteration-level checkpoint/rollback for CPD-ALS.
+//!
+//! A device dying mid-sweep loses that sweep's partial factor updates.
+//! Rather than restarting the decomposition, [`cpd_als_checkpointed`]
+//! snapshots the factor set every `k` completed sweeps and, when an MTTKRP
+//! fails, rolls back to the last snapshot and re-runs from there. Because
+//! the checkpointed driver and [`crate::cpd_als`] share one sweep
+//! implementation ([`crate::cpd::als_sweep`]), a run that recovers from
+//! failures produces *bitwise* the same factors and fit trajectory as a
+//! fault-free run — rollback is invisible in the numerics, only visible in
+//! the rollback counters.
+
+use crate::backend::MttkrpBackend;
+use crate::cpd::{als_sweep, tensor_norm_sq, CpdOptions, CpdResult};
+use crate::factors::FactorSet;
+use scalfrag_linalg::Mat;
+use scalfrag_tensor::CooTensor;
+
+/// Why an MTTKRP call failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MttkrpFailure {
+    /// 0-based index of the failed MTTKRP call across the whole run.
+    pub call: u64,
+    /// Human-readable cause (e.g. "kernel abort", "device down").
+    pub cause: String,
+}
+
+impl std::fmt::Display for MttkrpFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MTTKRP call {} failed: {}", self.call, self.cause)
+    }
+}
+
+impl std::error::Error for MttkrpFailure {}
+
+/// An MTTKRP backend whose calls can fail — the hook the fault layer plugs
+/// into. Infallible backends participate via [`Reliable`].
+pub trait FallibleMttkrpBackend {
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes the mode-`mode` MTTKRP, or reports why it could not.
+    fn try_mttkrp(
+        &mut self,
+        tensor: &CooTensor,
+        factors: &FactorSet,
+        mode: usize,
+    ) -> Result<Mat, MttkrpFailure>;
+}
+
+/// Adapts an infallible [`MttkrpBackend`] to the fallible interface (every
+/// call succeeds).
+pub struct Reliable<'a>(pub &'a mut dyn MttkrpBackend);
+
+impl FallibleMttkrpBackend for Reliable<'_> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn try_mttkrp(
+        &mut self,
+        tensor: &CooTensor,
+        factors: &FactorSet,
+        mode: usize,
+    ) -> Result<Mat, MttkrpFailure> {
+        Ok(self.0.mttkrp(tensor, factors, mode))
+    }
+}
+
+/// A deterministic fault harness: wraps an inner backend and fails at the
+/// scripted 0-based call indices, delegating everything else. The standard
+/// way to exercise rollback in tests and benchmarks.
+pub struct ScriptedFailureBackend<B> {
+    inner: B,
+    fail_at: Vec<u64>,
+    calls: u64,
+}
+
+impl<B: MttkrpBackend> ScriptedFailureBackend<B> {
+    /// Fails exactly the calls whose global index appears in `fail_at`.
+    pub fn new(inner: B, fail_at: Vec<u64>) -> Self {
+        Self { inner, fail_at, calls: 0 }
+    }
+
+    /// Total MTTKRP calls observed so far (failed ones included).
+    pub fn calls(&self) -> u64 {
+        self.calls
+    }
+}
+
+impl<B: MttkrpBackend> FallibleMttkrpBackend for ScriptedFailureBackend<B> {
+    fn name(&self) -> &'static str {
+        "scripted-failure"
+    }
+
+    fn try_mttkrp(
+        &mut self,
+        tensor: &CooTensor,
+        factors: &FactorSet,
+        mode: usize,
+    ) -> Result<Mat, MttkrpFailure> {
+        let call = self.calls;
+        self.calls += 1;
+        if self.fail_at.contains(&call) {
+            return Err(MttkrpFailure { call, cause: "scripted kernel abort".into() });
+        }
+        Ok(self.inner.mttkrp(tensor, factors, mode))
+    }
+}
+
+/// Checkpointing policy for [`cpd_als_checkpointed`].
+#[derive(Clone, Copy, Debug)]
+pub struct CheckpointConfig {
+    /// Snapshot the factors after every `every_k` completed sweeps (the
+    /// initial factors always form checkpoint zero). Smaller = less work
+    /// re-done per rollback, more snapshot copies.
+    pub every_k: usize,
+    /// Give up (returning the failure) after this many rollbacks.
+    pub max_rollbacks: usize,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self { every_k: 1, max_rollbacks: 8 }
+    }
+}
+
+/// A [`CpdResult`] plus the recovery bookkeeping.
+#[derive(Clone, Debug)]
+pub struct CheckpointedCpdResult {
+    /// The decomposition — bitwise identical to a fault-free
+    /// [`crate::cpd_als`] run with the same options and backend numerics.
+    pub result: CpdResult,
+    /// Rollbacks performed (0 on a fault-free run).
+    pub rollbacks: usize,
+    /// Snapshots taken (the initial factors included).
+    pub checkpoints: usize,
+    /// Completed sweeps that were discarded and re-run due to rollbacks —
+    /// the recovery overhead in sweep units.
+    pub sweeps_redone: usize,
+}
+
+/// CPD-ALS with iteration-level checkpoint/rollback over a fallible
+/// backend.
+///
+/// A failed MTTKRP discards the current (partially updated) sweep, rolls
+/// the factors back to the last snapshot and resumes. Returns `Err` with
+/// the final failure once `ckpt.max_rollbacks` rollbacks are exhausted —
+/// a permanently dead backend cannot be ridden out.
+///
+/// # Panics
+/// Panics if `opts.rank == 0`, `opts.max_iters == 0` or
+/// `ckpt.every_k == 0`.
+pub fn cpd_als_checkpointed(
+    tensor: &CooTensor,
+    opts: &CpdOptions,
+    ckpt: &CheckpointConfig,
+    backend: &mut dyn FallibleMttkrpBackend,
+) -> Result<CheckpointedCpdResult, MttkrpFailure> {
+    assert!(opts.rank > 0 && opts.max_iters > 0, "rank and max_iters must be positive");
+    assert!(ckpt.every_k > 0, "checkpoint interval must be positive");
+    let mut factors = FactorSet::random(tensor.dims(), opts.rank, opts.seed);
+    let norm_x_sq = tensor_norm_sq(tensor);
+
+    // Checkpoint = (factors, fit history, completed sweeps) at snapshot
+    // time. The initial factors are checkpoint zero, so a failure in the
+    // very first sweep rolls back to the seeded start, not garbage.
+    let mut saved = (factors.clone(), Vec::new(), 0usize);
+    let mut checkpoints = 1usize;
+    let mut fits: Vec<f64> = Vec::new();
+    let mut iters = 0usize;
+    let mut rollbacks = 0usize;
+    let mut sweeps_redone = 0usize;
+
+    while iters < opts.max_iters {
+        match als_sweep(tensor, &mut factors, opts, norm_x_sq, backend) {
+            Ok(fit) => {
+                iters += 1;
+                let prev = fits.last().copied();
+                fits.push(fit);
+                if iters.is_multiple_of(ckpt.every_k) {
+                    saved = (factors.clone(), fits.clone(), iters);
+                    checkpoints += 1;
+                }
+                if let Some(p) = prev {
+                    if (fit - p).abs() < opts.tol {
+                        break;
+                    }
+                }
+            }
+            Err(failure) => {
+                rollbacks += 1;
+                if rollbacks > ckpt.max_rollbacks {
+                    return Err(failure);
+                }
+                sweeps_redone += iters - saved.2;
+                factors = saved.0.clone();
+                fits = saved.1.clone();
+                iters = saved.2;
+            }
+        }
+    }
+
+    Ok(CheckpointedCpdResult {
+        result: CpdResult { factors, fits, iters },
+        rollbacks,
+        checkpoints,
+        sweeps_redone,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::CpuSequentialBackend;
+    use crate::cpd::cpd_als;
+
+    fn tensor() -> CooTensor {
+        CooTensor::random_uniform(&[14, 11, 9], 500, 7)
+    }
+
+    fn opts() -> CpdOptions {
+        CpdOptions { rank: 5, max_iters: 8, tol: 0.0, seed: 3, nonnegative: false }
+    }
+
+    fn bits(f: &FactorSet) -> Vec<u32> {
+        (0..f.order()).flat_map(|n| f.get(n).as_slice().iter().map(|v| v.to_bits())).collect()
+    }
+
+    #[test]
+    fn fault_free_checkpointed_run_matches_plain_als_bitwise() {
+        let t = tensor();
+        let plain = cpd_als(&t, &opts(), &mut CpuSequentialBackend);
+        let mut backend = ScriptedFailureBackend::new(CpuSequentialBackend, vec![]);
+        let ck = cpd_als_checkpointed(&t, &opts(), &CheckpointConfig::default(), &mut backend)
+            .expect("no failures scripted");
+        assert_eq!(ck.rollbacks, 0);
+        assert_eq!(ck.sweeps_redone, 0);
+        assert_eq!(bits(&plain.factors), bits(&ck.result.factors));
+        assert_eq!(plain.fits, ck.result.fits);
+        assert_eq!(plain.iters, ck.result.iters);
+    }
+
+    #[test]
+    fn rollback_recovers_bitwise_identical_trajectory() {
+        let t = tensor();
+        let plain = cpd_als(&t, &opts(), &mut CpuSequentialBackend);
+        // 3 modes per sweep: call 4 dies mid-sweep 2, call 13 mid-sweep 5
+        // (indices shift as failed calls are re-run; both land mid-run).
+        let mut backend = ScriptedFailureBackend::new(CpuSequentialBackend, vec![4, 13]);
+        let ck = cpd_als_checkpointed(&t, &opts(), &CheckpointConfig::default(), &mut backend)
+            .expect("recoverable script");
+        assert_eq!(ck.rollbacks, 2);
+        assert!(ck.checkpoints > 1);
+        assert_eq!(
+            bits(&plain.factors),
+            bits(&ck.result.factors),
+            "recovered factors must be bitwise identical to the fault-free run"
+        );
+        assert_eq!(plain.fits, ck.result.fits, "fit trajectory must match exactly");
+    }
+
+    #[test]
+    fn sparse_checkpoints_redo_more_work() {
+        let t = tensor();
+        // Call 19 dies mid-sweep 7 (3 modes per sweep): with every-sweep
+        // checkpoints the last snapshot is sweep 6 (nothing completed is
+        // lost); with every-4 checkpoints it is sweep 4 (sweeps 5-6 redo).
+        let dense = {
+            let mut b = ScriptedFailureBackend::new(CpuSequentialBackend, vec![19]);
+            cpd_als_checkpointed(
+                &t,
+                &opts(),
+                &CheckpointConfig { every_k: 1, max_rollbacks: 8 },
+                &mut b,
+            )
+            .unwrap()
+        };
+        let sparse = {
+            let mut b = ScriptedFailureBackend::new(CpuSequentialBackend, vec![19]);
+            cpd_als_checkpointed(
+                &t,
+                &opts(),
+                &CheckpointConfig { every_k: 4, max_rollbacks: 8 },
+                &mut b,
+            )
+            .unwrap()
+        };
+        assert_eq!(bits(&dense.result.factors), bits(&sparse.result.factors));
+        assert!(
+            sparse.sweeps_redone > dense.sweeps_redone,
+            "a 4-sweep checkpoint interval must discard more work per rollback ({} vs {})",
+            sparse.sweeps_redone,
+            dense.sweeps_redone
+        );
+    }
+
+    #[test]
+    fn exhausted_rollback_budget_surfaces_the_failure() {
+        let t = tensor();
+        // Every call from 0 on fails: the budget runs out.
+        let fail_all: Vec<u64> = (0..1000).collect();
+        let mut backend = ScriptedFailureBackend::new(CpuSequentialBackend, fail_all);
+        let err = cpd_als_checkpointed(
+            &t,
+            &opts(),
+            &CheckpointConfig { every_k: 1, max_rollbacks: 3 },
+            &mut backend,
+        )
+        .expect_err("a permanently failing backend must surface the error");
+        assert_eq!(err.call, 3, "one failed call per rollback, then give up");
+        assert_eq!(err.cause, "scripted kernel abort");
+    }
+
+    #[test]
+    fn scripted_backend_counts_calls_and_formats_failures() {
+        let mut b = ScriptedFailureBackend::new(CpuSequentialBackend, vec![1]);
+        let t = tensor();
+        let f = FactorSet::random(t.dims(), 4, 1);
+        assert!(b.try_mttkrp(&t, &f, 0).is_ok());
+        let err = b.try_mttkrp(&t, &f, 0).unwrap_err();
+        assert_eq!(b.calls(), 2);
+        let msg = format!("{err}");
+        assert!(msg.contains("call 1") && msg.contains("abort"), "{msg}");
+        assert_eq!(b.name(), "scripted-failure");
+    }
+}

@@ -8,6 +8,7 @@
 //! convergence, computed without ever materialising `X̂`.
 
 use crate::backend::MttkrpBackend;
+use crate::checkpoint::{FallibleMttkrpBackend, MttkrpFailure, Reliable};
 use crate::factors::FactorSet;
 use scalfrag_linalg::{gram, hadamard_assign, matmul, pinv_spd, Mat};
 use scalfrag_tensor::CooTensor;
@@ -63,56 +64,16 @@ pub fn cpd_als(
     backend: &mut dyn MttkrpBackend,
 ) -> CpdResult {
     assert!(opts.rank > 0 && opts.max_iters > 0, "rank and max_iters must be positive");
-    let order = tensor.order();
     let mut factors = FactorSet::random(tensor.dims(), opts.rank, opts.seed);
-    let norm_x_sq: f64 = tensor.values().iter().map(|&v| (v as f64) * (v as f64)).sum();
+    let norm_x_sq = tensor_norm_sq(tensor);
+    let mut reliable = Reliable(backend);
 
     let mut fits = Vec::new();
     let mut iters = 0;
     for _sweep in 0..opts.max_iters {
-        let mut last_m: Option<Mat> = None;
-        for n in 0..order {
-            // V = Hadamard product of the other modes' Gram matrices
-            // (the accumulator starts at all-ones, the Hadamard identity).
-            let mut v = Mat::from_fn(opts.rank, opts.rank, |_, _| 1.0);
-            for m in 0..order {
-                if m != n {
-                    hadamard_assign(&mut v, &gram(factors.get(m)));
-                }
-            }
-            let m_out = backend.mttkrp(tensor, &factors, n);
-            let mut updated = matmul(&m_out, &pinv_spd(&v));
-            assert!(updated.is_finite(), "ALS produced non-finite factors at mode {n}");
-            if opts.nonnegative {
-                for x in updated.as_mut_slice() {
-                    if *x < 0.0 {
-                        *x = 0.0;
-                    }
-                }
-            }
-            factors.set(n, updated);
-            last_m = Some(m_out);
-        }
+        let fit = als_sweep(tensor, &mut factors, opts, norm_x_sq, &mut reliable)
+            .expect("a Reliable backend never fails");
         iters += 1;
-
-        // Fit using the last mode's MTTKRP (standard SPLATT trick):
-        // <X, X̂> = Σ_{i,f} M(i,f) · A⁽ᴺ⁾(i,f) with the *updated* A⁽ᴺ⁾,
-        // ‖X̂‖² = grand sum of *_n Gram(A⁽ⁿ⁾).
-        let m_out = last_m.expect("order >= 1");
-        let a_last = factors.get(order - 1);
-        let inner: f64 = m_out
-            .as_slice()
-            .iter()
-            .zip(a_last.as_slice())
-            .map(|(&m, &a)| m as f64 * a as f64)
-            .sum();
-        let mut g = Mat::from_fn(opts.rank, opts.rank, |_, _| 1.0);
-        for m in 0..order {
-            hadamard_assign(&mut g, &gram(factors.get(m)));
-        }
-        let norm_model_sq: f64 = g.as_slice().iter().map(|&x| x as f64).sum();
-        let resid_sq = (norm_x_sq + norm_model_sq - 2.0 * inner).max(0.0);
-        let fit = 1.0 - (resid_sq.sqrt() / norm_x_sq.sqrt().max(1e-30));
         let prev = fits.last().copied();
         fits.push(fit);
         if let Some(p) = prev {
@@ -123,6 +84,67 @@ pub fn cpd_als(
     }
 
     CpdResult { factors, fits, iters }
+}
+
+/// `‖X‖²` of the COO tensor in f64.
+pub(crate) fn tensor_norm_sq(tensor: &CooTensor) -> f64 {
+    tensor.values().iter().map(|&v| (v as f64) * (v as f64)).sum()
+}
+
+/// One full ALS sweep: updates every factor in place and returns the fit
+/// after the sweep. This is the *shared* sweep body — [`cpd_als`] and
+/// [`crate::checkpoint::cpd_als_checkpointed`] both call it, so their
+/// trajectories are bitwise identical given identical backend numerics.
+///
+/// On `Err` the factors may be partially updated (the failed sweep got
+/// through some modes); callers that keep going must roll back to a
+/// checkpointed copy.
+pub(crate) fn als_sweep(
+    tensor: &CooTensor,
+    factors: &mut FactorSet,
+    opts: &CpdOptions,
+    norm_x_sq: f64,
+    backend: &mut dyn FallibleMttkrpBackend,
+) -> Result<f64, MttkrpFailure> {
+    let order = tensor.order();
+    let mut last_m: Option<Mat> = None;
+    for n in 0..order {
+        // V = Hadamard product of the other modes' Gram matrices
+        // (the accumulator starts at all-ones, the Hadamard identity).
+        let mut v = Mat::from_fn(opts.rank, opts.rank, |_, _| 1.0);
+        for m in 0..order {
+            if m != n {
+                hadamard_assign(&mut v, &gram(factors.get(m)));
+            }
+        }
+        let m_out = backend.try_mttkrp(tensor, factors, n)?;
+        let mut updated = matmul(&m_out, &pinv_spd(&v));
+        assert!(updated.is_finite(), "ALS produced non-finite factors at mode {n}");
+        if opts.nonnegative {
+            for x in updated.as_mut_slice() {
+                if *x < 0.0 {
+                    *x = 0.0;
+                }
+            }
+        }
+        factors.set(n, updated);
+        last_m = Some(m_out);
+    }
+
+    // Fit using the last mode's MTTKRP (standard SPLATT trick):
+    // <X, X̂> = Σ_{i,f} M(i,f) · A⁽ᴺ⁾(i,f) with the *updated* A⁽ᴺ⁾,
+    // ‖X̂‖² = grand sum of *_n Gram(A⁽ⁿ⁾).
+    let m_out = last_m.expect("order >= 1");
+    let a_last = factors.get(order - 1);
+    let inner: f64 =
+        m_out.as_slice().iter().zip(a_last.as_slice()).map(|(&m, &a)| m as f64 * a as f64).sum();
+    let mut g = Mat::from_fn(opts.rank, opts.rank, |_, _| 1.0);
+    for m in 0..order {
+        hadamard_assign(&mut g, &gram(factors.get(m)));
+    }
+    let norm_model_sq: f64 = g.as_slice().iter().map(|&x| x as f64).sum();
+    let resid_sq = (norm_x_sq + norm_model_sq - 2.0 * inner).max(0.0);
+    Ok(1.0 - (resid_sq.sqrt() / norm_x_sq.sqrt().max(1e-30)))
 }
 
 #[cfg(test)]

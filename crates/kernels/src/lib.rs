@@ -19,10 +19,14 @@
 //!   owner per output row (no atomics at all).
 //! * [`cpd`] — the CPD-ALS loop of Algorithm 1 parameterised over any
 //!   [`MttkrpBackend`], with fit tracking.
+//! * [`checkpoint`] — iteration-level checkpoint/rollback for CPD-ALS over
+//!   fallible backends: a failed MTTKRP rolls the factors back to the last
+//!   snapshot and re-runs, bitwise identical to a fault-free run.
 
 pub mod atomic_buf;
 pub mod backend;
 pub mod bcsf_kernel;
+pub mod checkpoint;
 pub mod coo_kernel;
 pub mod cpd;
 pub mod csf_kernel;
@@ -38,6 +42,10 @@ pub mod workload;
 pub use atomic_buf::AtomicF32Buffer;
 pub use backend::{CpuParallelBackend, CpuSequentialBackend, MttkrpBackend};
 pub use bcsf_kernel::BcsfKernel;
+pub use checkpoint::{
+    cpd_als_checkpointed, CheckpointConfig, CheckpointedCpdResult, FallibleMttkrpBackend,
+    MttkrpFailure, Reliable, ScriptedFailureBackend,
+};
 pub use coo_kernel::CooAtomicKernel;
 pub use cpd::{cpd_als, CpdOptions, CpdResult};
 pub use csf_kernel::CsfFiberKernel;

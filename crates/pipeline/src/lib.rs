@@ -22,6 +22,7 @@
 pub mod executor;
 pub mod hybrid;
 pub mod plan;
+pub mod resilient;
 
 pub use executor::{
     execute_pipelined, execute_pipelined_dry, execute_sync, execute_sync_dry, KernelChoice,
@@ -29,3 +30,7 @@ pub use executor::{
 };
 pub use hybrid::{execute_hybrid, split_by_slice_population, HybridSplit};
 pub use plan::PipelinePlan;
+pub use resilient::{
+    execute_pipelined_resilient, execute_pipelined_resilient_dry, ResilientRun, RetryPolicy,
+    SegmentOutcome,
+};

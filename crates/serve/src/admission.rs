@@ -51,6 +51,20 @@ impl AdmissionPolicy {
         }
         Ok(())
     }
+
+    /// The policy this gate degrades to when only `healthy` of `total`
+    /// devices accept work: the makespan budget shrinks proportionally, so
+    /// a half-dead pool admits roughly half the backlog it would healthy.
+    /// With every device up (or a trivial pool) the policy is unchanged.
+    pub fn degraded(&self, healthy: usize, total: usize) -> Self {
+        if healthy >= total || total == 0 {
+            return *self;
+        }
+        Self {
+            max_queue_depth: self.max_queue_depth,
+            makespan_budget_s: self.makespan_budget_s * healthy as f64 / total as f64,
+        }
+    }
 }
 
 /// Why a job was turned away.
@@ -69,6 +83,12 @@ pub enum RejectReason {
         wait_est_s: f64,
         /// The configured budget (s).
         budget_s: f64,
+    },
+    /// The job's device failed mid-service (or the whole pool is down) and
+    /// its retry budget is exhausted.
+    DeviceFailure {
+        /// Pool index of the failed device.
+        device: usize,
     },
 }
 
@@ -96,6 +116,9 @@ impl std::fmt::Display for RejectReason {
             }
             RejectReason::BacklogExceeded { wait_est_s, budget_s } => {
                 write!(f, "backlog exceeded (est wait {wait_est_s:.4}s > budget {budget_s:.4}s)")
+            }
+            RejectReason::DeviceFailure { device } => {
+                write!(f, "device {device} failed and retries are exhausted")
             }
         }
     }
@@ -155,6 +178,17 @@ mod tests {
             other => panic!("wrong reason: {other:?}"),
         }
         assert!((retry - 1.5).abs() < 1e-12, "retry hint is the excess backlog");
+    }
+
+    #[test]
+    fn degraded_policy_scales_the_budget_with_surviving_devices() {
+        let p = AdmissionPolicy { max_queue_depth: 8, makespan_budget_s: 1.0 };
+        assert_eq!(p.degraded(4, 4), p, "full health leaves the policy alone");
+        let half = p.degraded(2, 4);
+        assert_eq!(half.max_queue_depth, 8);
+        assert!((half.makespan_budget_s - 0.5).abs() < 1e-12);
+        let dead = p.degraded(0, 4);
+        assert_eq!(dead.makespan_budget_s, 0.0, "an all-down pool admits no backlog");
     }
 
     #[test]

@@ -78,6 +78,11 @@ pub struct ServerConfig {
     /// `Some(t)` = hybrid CPU/GPU split at slice population `t`
     /// (functional mode only).
     pub hybrid_threshold: Option<u32>,
+    /// Resubmission budget per job: a job rejected at admission (or killed
+    /// by a device failure) re-enters the arrival stream after its
+    /// `retry_after_s` hint, at most this many times. `0` (the default)
+    /// keeps rejections final, matching the fault-free serving semantics.
+    pub max_retries: u32,
     /// Predictor training seed.
     pub train_seed: u64,
     /// Predictor training tiers (`None` = autotune defaults, ~3 K – 2 M
@@ -95,6 +100,7 @@ impl Default for ServerConfig {
             tiled_kernel: true,
             functional: false,
             hybrid_threshold: None,
+            max_retries: 0,
             train_seed: 0x5ca1,
             train_tiers: None,
         }
@@ -192,6 +198,13 @@ impl ScalFragServerBuilder {
     /// Toggle functional execution (real outputs vs timing-only).
     pub fn functional(mut self, on: bool) -> Self {
         self.config.get_or_insert_with(ServerConfig::default).functional = on;
+        self
+    }
+
+    /// Allow each job up to `n` resubmissions after a rejection or device
+    /// failure (honouring the rejection's `retry_after_s` hint).
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.config.get_or_insert_with(ServerConfig::default).max_retries = n;
         self
     }
 

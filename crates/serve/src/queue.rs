@@ -25,6 +25,9 @@ pub struct Pending {
     pub seq: u64,
     /// Admission-time service estimate (s) — drives the backlog account.
     pub est_s: f64,
+    /// 1-based submission attempt: 1 on first arrival, bumped each time a
+    /// rejection or device failure sends the job back through admission.
+    pub attempt: u32,
 }
 
 /// The multi-tenant queue structure.
@@ -140,7 +143,7 @@ mod tests {
         if let Some(d) = deadline {
             j = j.with_deadline(d);
         }
-        Pending { job: j, seq: id, est_s: 1.0 }
+        Pending { job: j, seq: id, est_s: 1.0, attempt: 1 }
     }
 
     #[test]

@@ -35,6 +35,10 @@ pub struct JobRecord {
     pub timing: PhaseTiming,
     /// The job's deadline, if it had one.
     pub deadline_s: Option<f64>,
+    /// 1-based submission attempt this record completed on (`> 1` means
+    /// the job was resubmitted after a rejection or device failure;
+    /// `arrival_s` then dates from the last resubmission).
+    pub attempt: u32,
     /// MTTKRP output (only kept in functional mode).
     pub output: Option<Mat>,
 }
@@ -72,6 +76,15 @@ pub struct ServeReport {
     /// Full predictor trainings performed while serving (a shared
     /// [`scalfrag_autotune::TrainedPredictor`] keeps this at one per rank).
     pub predictor_trainings: usize,
+    /// Jobs sent back through admission (rejection retries honouring
+    /// `retry_after_s`, plus requeues after device failures).
+    pub resubmissions: usize,
+    /// Completed jobs whose phase timing failed
+    /// `PhaseTiming::check_consistency` — always zero on a healthy
+    /// simulation; nonzero values are a correctness signal, not noise.
+    pub timing_inconsistencies: usize,
+    /// The first job whose timing failed the consistency check, if any.
+    pub first_inconsistent_job: Option<JobId>,
 }
 
 impl ServeReport {
@@ -136,13 +149,25 @@ impl ServeReport {
     }
 
     /// Rejection counts split by reason: `(queue_full, backlog_exceeded)`.
+    /// Device-failure rejections are counted separately by
+    /// [`ServeReport::device_failure_rejections`].
     pub fn rejections_by_reason(&self) -> (usize, usize) {
-        let full = self
-            .rejected
+        let count = |pred: fn(&RejectReason) -> bool| {
+            self.rejected.iter().filter(|r| pred(&r.reason)).count()
+        };
+        (
+            count(|r| matches!(r, RejectReason::QueueFull { .. })),
+            count(|r| matches!(r, RejectReason::BacklogExceeded { .. })),
+        )
+    }
+
+    /// Jobs finally rejected because their device failed and the retry
+    /// budget ran out.
+    pub fn device_failure_rejections(&self) -> usize {
+        self.rejected
             .iter()
-            .filter(|r| matches!(r.reason, RejectReason::QueueFull { .. }))
-            .count();
-        (full, self.rejected.len() - full)
+            .filter(|r| matches!(r.reason, RejectReason::DeviceFailure { .. }))
+            .count()
     }
 
     /// Deadline hit rate among completed jobs that had one (`None` when no
@@ -174,6 +199,7 @@ impl ServeReport {
             r.cache_hit.hash(&mut h);
             r.timing.queue_s.to_bits().hash(&mut h);
             r.timing.total_s.to_bits().hash(&mut h);
+            r.attempt.hash(&mut h);
         }
         for r in &self.rejected {
             r.job_id.hash(&mut h);
@@ -184,6 +210,9 @@ impl ServeReport {
         (self.cache.hits, self.cache.misses, self.cache.evictions).hash(&mut h);
         self.peak_queue_depth.hash(&mut h);
         self.makespan_s.to_bits().hash(&mut h);
+        self.resubmissions.hash(&mut h);
+        self.timing_inconsistencies.hash(&mut h);
+        self.first_inconsistent_job.hash(&mut h);
         h.finish()
     }
 
@@ -192,13 +221,23 @@ impl ServeReport {
         let (full, backlog) = self.rejections_by_reason();
         let mut out = String::new();
         out.push_str(&format!(
-            "completed {} | rejected {} (queue-full {}, backlog {}) | makespan {:.4}s\n",
+            "completed {} | rejected {} (queue-full {}, backlog {}, device-failure {}) | makespan {:.4}s\n",
             self.completed.len(),
             self.rejected.len(),
             full,
             backlog,
+            self.device_failure_rejections(),
             self.makespan_s,
         ));
+        if self.resubmissions > 0 {
+            out.push_str(&format!("resubmissions {}\n", self.resubmissions));
+        }
+        if self.timing_inconsistencies > 0 {
+            out.push_str(&format!(
+                "TIMING INCONSISTENCIES {} (first job {:?})\n",
+                self.timing_inconsistencies, self.first_inconsistent_job,
+            ));
+        }
         out.push_str(&format!(
             "throughput {:.1} jobs/s | latency p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms | mean queue wait {:.3}ms\n",
             self.throughput_jobs_per_s(),
@@ -243,6 +282,7 @@ mod tests {
             cache_hit: id > 0,
             timing: PhaseTiming::default().with_queue(0.0),
             deadline_s: if id == 2 { Some(finish - 1.0) } else { None },
+            attempt: 1,
             output: None,
         }
     }
@@ -261,6 +301,9 @@ mod tests {
             makespan_s: 10.0,
             peak_queue_depth: 4,
             predictor_trainings: 1,
+            resubmissions: 0,
+            timing_inconsistencies: 0,
+            first_inconsistent_job: None,
         }
     }
 
@@ -286,6 +329,9 @@ mod tests {
             makespan_s: 0.0,
             peak_queue_depth: 0,
             predictor_trainings: 0,
+            resubmissions: 0,
+            timing_inconsistencies: 0,
+            first_inconsistent_job: None,
         };
         assert_eq!(r.p99_latency_s(), 0.0);
         assert_eq!(r.throughput_jobs_per_s(), 0.0);
@@ -301,6 +347,21 @@ mod tests {
         let mut c = report();
         c.completed[3].finish_s += 1e-9;
         assert_ne!(a.fingerprint(), c.fingerprint(), "any clock change must show");
+    }
+
+    #[test]
+    fn resilience_counters_show_in_fingerprint_and_render() {
+        let base = report().fingerprint();
+        let mut r = report();
+        r.resubmissions = 2;
+        r.timing_inconsistencies = 1;
+        r.first_inconsistent_job = Some(3);
+        assert_ne!(r.fingerprint(), base, "resilience counters must be fingerprinted");
+        let s = r.render();
+        assert!(s.contains("resubmissions 2"), "missing resubmissions in:\n{s}");
+        assert!(s.contains("TIMING INCONSISTENCIES 1"), "missing inconsistency flag in:\n{s}");
+        assert!(s.contains("device-failure 0"), "missing device-failure count in:\n{s}");
+        assert_eq!(report().device_failure_rejections(), 0);
     }
 
     #[test]

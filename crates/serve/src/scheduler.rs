@@ -7,7 +7,7 @@
 //! executor's timeline, and planning costs use the calibrated constants
 //! below — so a serving run is bit-reproducible from its workload.
 
-use crate::admission::{estimate_service_s, Rejected};
+use crate::admission::{estimate_service_s, RejectReason, Rejected};
 use crate::job::MttkrpJob;
 use crate::plan_cache::{ExecutionPlan, PlanCache};
 use crate::queue::{Pending, TenantQueues};
@@ -15,6 +15,7 @@ use crate::report::{JobRecord, ServeReport};
 use crate::ScalFragServer;
 use scalfrag_cluster::NodeSpec;
 use scalfrag_core::PhaseTiming;
+use scalfrag_faults::{DeviceHealth, FaultInjector, OpClass, OpVerdict, RecoveryAction};
 use scalfrag_gpusim::{DeviceSpec, Gpu, LaunchConfig};
 use scalfrag_pipeline::plan::MAX_SEGMENTS;
 use scalfrag_pipeline::{
@@ -91,41 +92,123 @@ impl ScalFragServer {
     /// order). The loop interleaves two event kinds in simulated-time
     /// order: *arrivals* (admission control) and *dispatches* (queue pop →
     /// plan → execute on the earliest-free device).
-    pub fn run(&self, mut jobs: Vec<MttkrpJob>) -> ServeReport {
+    pub fn run(&self, jobs: Vec<MttkrpJob>) -> ServeReport {
+        self.serve(jobs, None)
+    }
+
+    /// Serves a job stream under injected faults: the same event loop as
+    /// [`ScalFragServer::run`], with the injector polled at every
+    /// scheduling decision.
+    ///
+    /// * **Dispatch** polls [`FaultInjector::on_op`]: a down device parks
+    ///   until it heals (forever, if the failure is permanent) and the job
+    ///   reroutes; an aborted kernel charges its full service time and the
+    ///   job fails over.
+    /// * **Mid-service failures** ([`FaultInjector::fail_between`]) kill
+    ///   the in-flight job at the fault time and requeue it (counted in
+    ///   [`ServeReport::resubmissions`]) while it has retry budget
+    ///   ([`crate::ServerConfig::max_retries`]); past the budget it is
+    ///   rejected with [`RejectReason::DeviceFailure`].
+    /// * **Stragglers** execute against a derated
+    ///   [`DeviceSpec`](scalfrag_gpusim::DeviceSpec::derated).
+    /// * **Admission degrades** with pool health: down devices shrink the
+    ///   makespan budget via [`crate::AdmissionPolicy::degraded`].
+    ///
+    /// Given the same workload and fault plan the run is bit-reproducible,
+    /// injector log included.
+    pub fn run_with_faults(
+        &self,
+        jobs: Vec<MttkrpJob>,
+        injector: &mut FaultInjector,
+    ) -> ServeReport {
+        self.serve(jobs, Some(injector))
+    }
+
+    fn serve(
+        &self,
+        mut jobs: Vec<MttkrpJob>,
+        mut injector: Option<&mut FaultInjector>,
+    ) -> ServeReport {
         jobs.sort_by(|a, b| {
             a.arrival_s.partial_cmp(&b.arrival_s).expect("finite arrivals").then(a.id.cmp(&b.id))
         });
         let num_devices = self.pool.num_devices();
+        let max_retries = self.config.max_retries;
         let mut free_at = vec![0.0f64; num_devices];
         let mut queue = TenantQueues::new();
         let mut cache = PlanCache::new(self.config.cache_capacity);
         let mut completed: Vec<JobRecord> = Vec::with_capacity(jobs.len());
         let mut rejected: Vec<Rejected> = Vec::new();
+        // Resubmitted jobs, sorted descending by (arrival, id, attempt) so
+        // `pop()` yields the earliest; `job.arrival_s` is the resubmission
+        // time, so these merge into the arrival stream like fresh jobs.
+        let mut resubmit: Vec<(MttkrpJob, u32)> = Vec::new();
         let mut next = 0usize;
         let mut seq = 0u64;
+        let mut resubmissions = 0usize;
+        let mut timing_inconsistencies = 0usize;
+        let mut first_inconsistent_job = None;
 
-        while next < jobs.len() || !queue.is_empty() {
+        while next < jobs.len() || !resubmit.is_empty() || !queue.is_empty() {
             let (dev, dev_free) = earliest_free(&free_at);
-            // Admit every arrival that lands before the next dispatch can
-            // happen — admission state must be current when the queue pops.
-            let arrival_due =
-                next < jobs.len() && (queue.is_empty() || jobs[next].arrival_s <= dev_free);
+            // The next submission event across fresh arrivals and pending
+            // resubmissions (earlier time wins, then lower id).
+            let fresh = jobs.get(next).map(|j| (j.arrival_s, j.id));
+            let resub = resubmit.last().map(|(j, _)| (j.arrival_s, j.id));
+            let take_fresh = match (fresh, resub) {
+                (Some(f), Some(r)) => f <= r,
+                (Some(_), None) => true,
+                _ => false,
+            };
+            let arrival_s = if take_fresh { fresh.map(|f| f.0) } else { resub.map(|r| r.0) };
+            // Admit every submission that lands before the next dispatch
+            // can happen — admission state must be current when the queue
+            // pops.
+            let arrival_due = arrival_s.is_some_and(|t| queue.is_empty() || t <= dev_free);
             if arrival_due {
-                let job = jobs[next].clone();
-                next += 1;
+                let (job, attempt) = if take_fresh {
+                    let job = jobs[next].clone();
+                    next += 1;
+                    (job, 1)
+                } else {
+                    resubmit.pop().expect("resub event implies non-empty resubmit list")
+                };
                 let est = estimate_service_s(
                     job.transfer_bytes(),
                     job.rank(),
                     self.pool.planning_device(),
                 );
-                let residual: f64 = free_at.iter().map(|&f| (f - job.arrival_s).max(0.0)).sum();
+                let residual: f64 = free_at
+                    .iter()
+                    .map(|&f| if f.is_finite() { (f - job.arrival_s).max(0.0) } else { 0.0 })
+                    .sum();
                 let wait_est = (residual + queue.backlog_s()) / num_devices as f64;
                 let mean_queued =
                     if queue.is_empty() { est } else { queue.backlog_s() / queue.len() as f64 };
-                match self.config.admission.admit(queue.len(), wait_est, mean_queued) {
+                let policy = match injector.as_deref_mut() {
+                    Some(inj) => {
+                        let healthy = (0..num_devices)
+                            .filter(|&d| {
+                                !matches!(
+                                    inj.health_at(d, job.arrival_s),
+                                    DeviceHealth::Down { .. }
+                                )
+                            })
+                            .count();
+                        self.config.admission.degraded(healthy, num_devices)
+                    }
+                    None => self.config.admission,
+                };
+                match policy.admit(queue.len(), wait_est, mean_queued) {
                     Ok(()) => {
-                        queue.push(Pending { job, seq, est_s: est });
+                        queue.push(Pending { job, seq, est_s: est, attempt });
                         seq += 1;
+                    }
+                    Err((_reason, retry_after_s)) if attempt <= max_retries => {
+                        let mut job = job;
+                        job.arrival_s += retry_after_s;
+                        resubmissions += 1;
+                        push_resubmission(&mut resubmit, job, attempt + 1);
                     }
                     Err((reason, retry_after_s)) => rejected.push(Rejected {
                         job_id: job.id,
@@ -138,7 +221,84 @@ impl ScalFragServer {
             } else {
                 let pending = queue.pop().expect("dispatch branch implies non-empty queue");
                 let start = free_at[dev].max(pending.job.arrival_s);
-                let record = self.execute(&pending.job, dev, start, &mut cache);
+                if !start.is_finite() {
+                    // Every device is permanently down: drain the queue
+                    // into final rejections rather than spinning.
+                    rejected.push(Rejected {
+                        job_id: pending.job.id,
+                        tenant: pending.job.tenant.clone(),
+                        reason: RejectReason::DeviceFailure { device: dev },
+                        retry_after_s: f64::INFINITY,
+                        arrival_s: pending.job.arrival_s,
+                    });
+                    continue;
+                }
+                let mut aborted = false;
+                let mut spec = self.pool.devices()[dev].clone();
+                if let Some(inj) = injector.as_deref_mut() {
+                    match inj.on_op(dev, OpClass::Kernel, start) {
+                        OpVerdict::DeviceDown { until_s } => {
+                            // The job never started: park the device until
+                            // it heals and reroute the job untouched.
+                            free_at[dev] = until_s.unwrap_or(f64::INFINITY);
+                            inj.record_recovery(
+                                dev,
+                                start,
+                                RecoveryAction::Requeue { job: pending.job.id },
+                            );
+                            queue.push(pending);
+                            continue;
+                        }
+                        OpVerdict::Aborted => aborted = true,
+                        OpVerdict::Ok | OpVerdict::Corrupted => {}
+                    }
+                    if let DeviceHealth::Straggling { derate } = inj.health_at(dev, start) {
+                        spec = spec.derated(derate);
+                    }
+                }
+                let record =
+                    self.execute(&pending.job, dev, &spec, start, pending.attempt, &mut cache);
+                let failure = match injector.as_deref_mut() {
+                    Some(inj) if !aborted => inj.fail_between(dev, record.start_s, record.finish_s),
+                    _ => None,
+                };
+                if aborted || failure.is_some() {
+                    // An abort charges the full (wasted) service time but
+                    // leaves the device up; a mid-service device failure
+                    // kills the job at the fault time and takes the device
+                    // with it until it heals.
+                    let (fail_s, free_again_s) = match failure {
+                        Some((t, until_s)) => (t, until_s.unwrap_or(f64::INFINITY)),
+                        None => (record.finish_s, record.finish_s),
+                    };
+                    free_at[dev] = free_again_s.max(fail_s);
+                    if pending.attempt <= max_retries {
+                        if let Some(inj) = injector.as_deref_mut() {
+                            inj.record_recovery(
+                                dev,
+                                fail_s,
+                                RecoveryAction::Requeue { job: pending.job.id },
+                            );
+                        }
+                        let mut job = pending.job;
+                        job.arrival_s = fail_s;
+                        resubmissions += 1;
+                        push_resubmission(&mut resubmit, job, pending.attempt + 1);
+                    } else {
+                        rejected.push(Rejected {
+                            job_id: pending.job.id,
+                            tenant: pending.job.tenant.clone(),
+                            reason: RejectReason::DeviceFailure { device: dev },
+                            retry_after_s: (free_again_s - fail_s).max(1e-6),
+                            arrival_s: fail_s,
+                        });
+                    }
+                    continue;
+                }
+                if record.timing.check_consistency().is_err() {
+                    timing_inconsistencies += 1;
+                    first_inconsistent_job.get_or_insert(record.id);
+                }
                 free_at[dev] = record.finish_s;
                 completed.push(record);
             }
@@ -152,6 +312,9 @@ impl ScalFragServer {
             makespan_s,
             peak_queue_depth: queue.peak_depth(),
             predictor_trainings: self.predictor.trainings(),
+            resubmissions,
+            timing_inconsistencies,
+            first_inconsistent_job,
         }
     }
 
@@ -196,9 +359,18 @@ impl ScalFragServer {
     }
 
     /// Executes one job on pool device `dev` starting at `start` (s).
-    fn execute(&self, job: &MttkrpJob, dev: usize, start: f64, cache: &mut PlanCache) -> JobRecord {
+    /// `device` is the spec to simulate against — normally the pool's, but
+    /// a straggling device passes a derated copy.
+    fn execute(
+        &self,
+        job: &MttkrpJob,
+        dev: usize,
+        device: &DeviceSpec,
+        start: f64,
+        attempt: u32,
+        cache: &mut PlanCache,
+    ) -> JobRecord {
         let (plan, cache_hit, plan_s) = self.plan(job, cache);
-        let device = &self.pool.devices()[dev];
         // A cached plan may have been made against a bigger card; fall
         // back to the heuristic rather than launching an invalid config.
         let config = if plan.config.validate(device).is_ok() {
@@ -234,7 +406,8 @@ impl ScalFragServer {
             }
         };
         let timing = PhaseTiming::from_timeline(&run.timeline).with_queue(start - job.arrival_s);
-        debug_assert!(timing.check_consistency().is_ok());
+        // Consistency is checked (and surfaced) by the serve loop via
+        // `ServeReport::timing_inconsistencies` — not asserted away here.
         let finish_s = start + plan_s + timing.total_s;
         JobRecord {
             id: job.id,
@@ -248,9 +421,24 @@ impl ScalFragServer {
             cache_hit,
             timing,
             deadline_s: job.deadline_s,
+            attempt,
             output: if self.config.functional { Some(run.output) } else { None },
         }
     }
+}
+
+/// Inserts a resubmission keeping the list sorted descending by
+/// (arrival, id, attempt), so `pop()` always yields the earliest event
+/// deterministically.
+fn push_resubmission(resubmit: &mut Vec<(MttkrpJob, u32)>, job: MttkrpJob, attempt: u32) {
+    resubmit.push((job, attempt));
+    resubmit.sort_by(|(a, aa), (b, ba)| {
+        b.arrival_s
+            .partial_cmp(&a.arrival_s)
+            .expect("finite resubmission times")
+            .then(b.id.cmp(&a.id))
+            .then(ba.cmp(aa))
+    });
 }
 
 /// Index and free-time of the earliest-free device (lowest index wins
@@ -293,5 +481,166 @@ mod tests {
     fn earliest_free_prefers_lowest_index_on_tie() {
         assert_eq!(earliest_free(&[1.0, 1.0, 0.5]), (2, 0.5));
         assert_eq!(earliest_free(&[1.0, 1.0]), (0, 1.0));
+    }
+
+    mod faulted {
+        use crate::admission::AdmissionPolicy;
+        use crate::scheduler::DevicePool;
+        use crate::workload::{synthesize, WorkloadSpec};
+        use crate::{MttkrpJob, ScalFragServer};
+        use scalfrag_faults::{FaultInjector, FaultKind, FaultPlan, FaultTrigger};
+        use scalfrag_gpusim::DeviceSpec;
+
+        fn jobs(n: usize) -> Vec<MttkrpJob> {
+            synthesize(&WorkloadSpec {
+                jobs: n,
+                shape_classes: 2,
+                variants_per_class: 1,
+                base_nnz: 3_000,
+                ..Default::default()
+            })
+        }
+
+        fn server(devices: usize, max_retries: u32) -> ScalFragServer {
+            ScalFragServer::builder()
+                .pool(DevicePool::homogeneous(DeviceSpec::rtx3090(), devices))
+                .admission(AdmissionPolicy { max_queue_depth: 64, makespan_budget_s: 10.0 })
+                .train_tiers(vec![3_000])
+                .max_retries(max_retries)
+                .build()
+        }
+
+        #[test]
+        fn permanent_device_failure_reroutes_onto_the_survivor() {
+            let plan = FaultPlan::new().fault(
+                0,
+                FaultTrigger::AtTime(1e-3),
+                FaultKind::DeviceFail { down_s: None },
+            );
+            let mut inj = FaultInjector::new(plan);
+            let report = server(2, 2).run_with_faults(jobs(8), &mut inj);
+            assert_eq!(report.completed.len(), 8, "retries must rescue every job");
+            assert!(report.rejected.is_empty());
+            for r in &report.completed {
+                assert!(
+                    r.device != 0 || r.finish_s < 1e-3,
+                    "job {} finished on the dead device after the failure",
+                    r.id
+                );
+            }
+            assert_eq!(inj.log().injected(), 1);
+        }
+
+        #[test]
+        fn rejection_retries_honour_the_backoff_hint() {
+            let tight = AdmissionPolicy { max_queue_depth: 64, makespan_budget_s: 2e-4 };
+            // A near-simultaneous burst: the backlog budget must reject
+            // part of it, and retries pick the rejects up once it drains.
+            let burst = || {
+                synthesize(&WorkloadSpec {
+                    jobs: 12,
+                    shape_classes: 2,
+                    variants_per_class: 1,
+                    base_nnz: 3_000,
+                    mean_interarrival_s: 2e-5,
+                    ..Default::default()
+                })
+            };
+            let base = ScalFragServer::builder().admission(tight).train_tiers(vec![3_000]).build();
+            let no_retry = base.run(burst());
+            let retry_server = ScalFragServer::builder()
+                .admission(tight)
+                .train_tiers(vec![3_000])
+                .max_retries(3)
+                .predictor(base.trained_predictor().clone())
+                .build();
+            let with_retry = retry_server.run(burst());
+            assert!(!no_retry.rejected.is_empty(), "the tight budget must actually bite");
+            assert_eq!(no_retry.resubmissions, 0, "max_retries=0 keeps rejections final");
+            assert!(with_retry.resubmissions > 0, "retries must resubmit rejected jobs");
+            assert_eq!(
+                with_retry.completed.len() + with_retry.rejected.len(),
+                12,
+                "every job terminates exactly once"
+            );
+            assert!(
+                with_retry.completed.len() > no_retry.completed.len(),
+                "resubmitting after the backoff hint must rescue jobs ({} vs {})",
+                with_retry.completed.len(),
+                no_retry.completed.len()
+            );
+            assert!(with_retry.completed.iter().any(|r| r.attempt > 1));
+        }
+
+        #[test]
+        fn straggler_stretches_the_makespan_but_serves_everything() {
+            let healthy = server(1, 0).run(jobs(6));
+            let mut inj = FaultInjector::new(FaultPlan::new().fault(
+                0,
+                FaultTrigger::AtTime(0.0),
+                FaultKind::Straggler { derate: 3.0 },
+            ));
+            let slow = server(1, 0).run_with_faults(jobs(6), &mut inj);
+            assert_eq!(slow.completed.len(), healthy.completed.len());
+            assert!(
+                slow.makespan_s > healthy.makespan_s,
+                "a 3x straggler must stretch the makespan ({} vs {})",
+                slow.makespan_s,
+                healthy.makespan_s
+            );
+        }
+
+        #[test]
+        fn all_devices_dead_drains_into_device_failure_rejections() {
+            let mut inj = FaultInjector::new(FaultPlan::new().fault(
+                0,
+                FaultTrigger::AtTime(0.0),
+                FaultKind::DeviceFail { down_s: None },
+            ));
+            let report = server(1, 1).run_with_faults(jobs(5), &mut inj);
+            assert!(report.completed.is_empty(), "a dead pool completes nothing");
+            assert!(report.device_failure_rejections() >= 1);
+            assert_eq!(report.completed.len() + report.rejected.len(), 5);
+        }
+
+        #[test]
+        fn faulted_serving_is_bit_reproducible() {
+            let plan = || {
+                FaultPlan::new()
+                    .fault(
+                        0,
+                        FaultTrigger::AtTime(8e-4),
+                        FaultKind::DeviceFail { down_s: Some(2e-3) },
+                    )
+                    .fault(1, FaultTrigger::AtTime(0.0), FaultKind::Straggler { derate: 1.5 })
+            };
+            let mut a = FaultInjector::new(plan());
+            let mut b = FaultInjector::new(plan());
+            let ra = server(2, 2).run_with_faults(jobs(8), &mut a);
+            let rb = server(2, 2).run_with_faults(jobs(8), &mut b);
+            assert_eq!(ra.fingerprint(), rb.fingerprint(), "serve fingerprints must match");
+            assert_eq!(
+                a.log().fingerprint(),
+                b.log().fingerprint(),
+                "fault logs must be identical run to run"
+            );
+        }
+
+        #[test]
+        fn transient_outage_parks_the_device_until_it_heals() {
+            let mut inj = FaultInjector::new(FaultPlan::new().fault(
+                0,
+                FaultTrigger::AtTime(5e-4),
+                FaultKind::DeviceFail { down_s: Some(3e-3) },
+            ));
+            let report = server(1, 3).run_with_faults(jobs(6), &mut inj);
+            assert_eq!(report.completed.len(), 6, "a transient outage must not lose jobs");
+            assert!(
+                report.makespan_s >= 5e-4 + 3e-3,
+                "the makespan must cover the outage window, got {}",
+                report.makespan_s
+            );
+            assert!(inj.log().recoveries() >= 1, "the requeue must be logged");
+        }
     }
 }

@@ -29,6 +29,10 @@
 //!   EDF scheduling and tenant fairness, admission control with typed
 //!   rejections, an LRU plan cache over quantized tensor features, and
 //!   per-job/aggregate serving reports.
+//! * [`faults`] — deterministic fault injection (device failures, transfer
+//!   corruption, kernel aborts, stragglers) and the recovery machinery:
+//!   segment retries in [`pipeline`], shard re-placement in [`cluster`],
+//!   job requeue in [`serve`] and checkpoint/rollback in [`kernels`].
 //!
 //! ## Quickstart
 //!
@@ -51,6 +55,7 @@
 pub use scalfrag_autotune as autotune;
 pub use scalfrag_cluster as cluster;
 pub use scalfrag_core as core;
+pub use scalfrag_faults as faults;
 pub use scalfrag_gpusim as gpusim;
 pub use scalfrag_kernels as kernels;
 pub use scalfrag_linalg as linalg;
@@ -60,11 +65,21 @@ pub use scalfrag_tensor as tensor;
 
 /// Convenient glob-importable re-exports of the most used types.
 pub mod prelude {
-    pub use scalfrag_cluster::{DeviceScheduler, Interconnect, NodeSpec, ShardPolicy};
-    pub use scalfrag_core::{ClusterMttkrpReport, ClusterScalFrag, MttkrpReport, Parti, ScalFrag};
+    pub use scalfrag_cluster::{
+        execute_cluster_resilient, DeviceScheduler, FaultRecoveryPolicy, Interconnect, NodeSpec,
+        RecoveryMode, ResilientClusterRun, ShardPolicy,
+    };
+    pub use scalfrag_core::{
+        ClusterMttkrpReport, ClusterScalFrag, MttkrpReport, Parti, ResilientClusterMttkrpReport,
+        ScalFrag,
+    };
+    pub use scalfrag_faults::{
+        DeviceHealth, FaultInjector, FaultKind, FaultLog, FaultPlan, FaultTrigger,
+    };
     pub use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
     pub use scalfrag_kernels::{FactorSet, MttkrpBackend};
     pub use scalfrag_linalg::Mat;
+    pub use scalfrag_pipeline::RetryPolicy;
     pub use scalfrag_serve::{
         AdmissionPolicy, DevicePool, MttkrpJob, ScalFragServer, ServeReport, WorkloadSpec,
     };

@@ -81,6 +81,9 @@ fn overload_stays_bounded_and_rejections_are_typed() {
             scalfrag::serve::RejectReason::BacklogExceeded { wait_est_s, budget_s } => {
                 assert!(wait_est_s > budget_s, "BacklogExceeded must report the excess")
             }
+            scalfrag::serve::RejectReason::DeviceFailure { .. } => {
+                panic!("no faults injected, so no device-failure rejections: {r}")
+            }
         }
         assert!(r.retry_after_s.is_finite() && r.retry_after_s > 0.0, "usable retry hint: {r}");
     }
