@@ -25,4 +25,7 @@ cargo run --release -q -p scalfrag-bench --bin serve_load -- --smoke
 echo "==> fault-storm smoke test"
 cargo run --release -q -p scalfrag-bench --bin fault_storm -- --smoke
 
+echo "==> conformance smoke test (differential oracle + race checker self-test)"
+cargo run --release -q -p scalfrag-bench --bin conformance -- --smoke
+
 echo "CI green."

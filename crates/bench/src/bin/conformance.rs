@@ -1,0 +1,71 @@
+//! Conformance runner: differential kernel/path oracle + race-checker
+//! self-test, with a one-line-per-backend PASS/FAIL table.
+//!
+//! Two depths:
+//!
+//! * `conformance --smoke` (CI) — the 6-case smoke corpus through every
+//!   kernel format, a 2-case subset through every execution path, and the
+//!   race-checker self-test (the plain-store COO mutant must be caught,
+//!   every shipped kernel must trace clean).
+//! * `conformance` (full) — the ≥20-case corpus through every kernel
+//!   format and a 6-case subset through every execution path.
+//!
+//! The process exits nonzero on any FAIL, so either invocation is a CI
+//! gate as-is.
+
+use scalfrag_conformance::{
+    corpus, kernel_backends, path_backends, race_self_test, run_differential, smoke_corpus,
+    ConformanceReport, TensorCase,
+};
+
+const SEED: u64 = 0x5ca1_f4a6;
+
+fn report_section(title: &str, report: &ConformanceReport) -> bool {
+    println!("== {title} ({} cases) ==", report.cases);
+    print!("{}", report.table());
+    println!();
+    report.all_pass()
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut ok = true;
+
+    // Race checker first: a broken checker would make clean kernel traces
+    // below meaningless.
+    match race_self_test() {
+        Ok(()) => println!("race checker self-test: PASS (mutant caught, shipped kernels clean)\n"),
+        Err(e) => {
+            ok = false;
+            println!("race checker self-test: FAIL — {e}\n");
+        }
+    }
+
+    let cases = if smoke { smoke_corpus(SEED) } else { corpus(SEED) };
+    let kernels = run_differential(&kernel_backends(), &cases, SEED);
+    ok &= report_section("kernel formats vs oracle", &kernels);
+
+    // Execution paths build whole facades per case — run them over a
+    // structurally diverse subset.
+    let path_cases: Vec<TensorCase> = if smoke {
+        smoke_corpus(SEED).into_iter().take(2).collect()
+    } else {
+        corpus(SEED)
+            .into_iter()
+            .filter(|c| {
+                matches!(c.name.as_str(), "zipf-s1.2" | "uniform-64x64x64-r8" | "dup-light")
+                    || c.name.starts_with("fiber")
+                    || c.name == "one-slice"
+            })
+            .collect()
+    };
+    let paths = run_differential(&path_backends(), &path_cases, SEED ^ 1);
+    ok &= report_section("execution paths vs oracle", &paths);
+
+    if ok {
+        println!("conformance OK: every backend within ULP budget, race checker sound");
+    } else {
+        println!("conformance FAILED — see tables above");
+        std::process::exit(1);
+    }
+}

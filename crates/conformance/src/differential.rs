@@ -1,0 +1,249 @@
+//! The differential runner: every backend × every corpus case × every
+//! mode, compared against the `f64` oracle under a per-case ULP tolerance.
+//!
+//! ## Tolerance model
+//!
+//! All generated values and factors are strictly positive, so the MTTKRP
+//! sum has no cancellation and the standard summation bound applies: an
+//! `f32` kernel that accumulates `n` terms into an output element in any
+//! order differs from the exact sum by at most ~`n` ULP, plus a couple of
+//! ULP per term for the factor-product multiplies. The per-case budget is
+//! therefore
+//!
+//! ```text
+//! tol(case, mode) = 16 + 4 · max_row_terms(case, mode)
+//! ```
+//!
+//! where `max_row_terms` is the largest number of non-zeros any output row
+//! accumulates. The slack factor 4 covers product rounding and reduction
+//! trees; genuine bugs are orders of magnitude past it (a double
+//! accumulation lands ~2²³ ULP out, a dropped entry similarly).
+
+use crate::backends::Backend;
+use crate::gen::TensorCase;
+use crate::oracle::oracle_mttkrp;
+use crate::ulp::max_ulp;
+use scalfrag_kernels::FactorSet;
+use scalfrag_tensor::CooTensor;
+
+/// ULP budget for one (tensor, mode) pair. Public so tests can assert the
+/// policy, not just its effects.
+pub fn tolerance_for(tensor: &CooTensor, mode: usize) -> u64 {
+    let mut per_row = vec![0u64; tensor.dims()[mode] as usize];
+    for &i in tensor.mode_indices(mode) {
+        per_row[i as usize] += 1;
+    }
+    16 + 4 * per_row.iter().copied().max().unwrap_or(0)
+}
+
+/// Where a backend first left tolerance.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// Corpus case name.
+    pub case: String,
+    /// MTTKRP mode.
+    pub mode: usize,
+    /// Output coordinates of the offending element.
+    pub row: usize,
+    pub col: usize,
+    /// Oracle value.
+    pub expected: f32,
+    /// Backend value.
+    pub actual: f32,
+    /// ULP distance between them.
+    pub ulp: u64,
+    /// The budget it exceeded.
+    pub tolerance: u64,
+}
+
+/// One backend's verdict over the whole corpus.
+#[derive(Clone, Debug)]
+pub struct BackendVerdict {
+    /// Backend name as registered.
+    pub backend: String,
+    /// (case × mode) pairs executed.
+    pub comparisons: usize,
+    /// Largest ULP distance observed anywhere (within or beyond budget).
+    pub max_ulp: u64,
+    /// Case/mode where `max_ulp` occurred.
+    pub worst_case: Option<String>,
+    /// First out-of-tolerance element, if any.
+    pub first_divergence: Option<Divergence>,
+}
+
+impl BackendVerdict {
+    /// True when every comparison stayed inside its ULP budget.
+    pub fn pass(&self) -> bool {
+        self.first_divergence.is_none()
+    }
+}
+
+/// The structured result of a differential run.
+#[derive(Clone, Debug, Default)]
+pub struct ConformanceReport {
+    /// One verdict per backend, in registration order.
+    pub verdicts: Vec<BackendVerdict>,
+    /// Corpus cases covered.
+    pub cases: usize,
+}
+
+impl ConformanceReport {
+    /// True when every backend passed.
+    pub fn all_pass(&self) -> bool {
+        self.verdicts.iter().all(BackendVerdict::pass)
+    }
+
+    /// The one-line-per-backend PASS/FAIL table CI prints.
+    pub fn table(&self) -> String {
+        let width = self.verdicts.iter().map(|v| v.backend.len()).max().unwrap_or(8).max(8);
+        let mut out = format!(
+            "{:<width$}  {:>6}  {:>8}  {}\n",
+            "backend",
+            "result",
+            "max-ulp",
+            "detail",
+            width = width
+        );
+        for v in &self.verdicts {
+            let (result, detail) = match &v.first_divergence {
+                None => ("PASS".to_string(), format!("{} comparisons", v.comparisons)),
+                Some(d) => (
+                    "FAIL".to_string(),
+                    format!(
+                        "{} mode {} @ ({},{}): {} vs {} ({} ulp > {})",
+                        d.case, d.mode, d.row, d.col, d.expected, d.actual, d.ulp, d.tolerance
+                    ),
+                ),
+            };
+            out.push_str(&format!(
+                "{:<width$}  {:>6}  {:>8}  {}\n",
+                v.backend,
+                result,
+                v.max_ulp,
+                detail,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+/// Runs `backends` over `cases` (every mode of every case) against the
+/// oracle. Factor seeds derive from `seed` so the whole run is replayable.
+pub fn run_differential(
+    backends: &[Backend],
+    cases: &[TensorCase],
+    seed: u64,
+) -> ConformanceReport {
+    let mut verdicts: Vec<BackendVerdict> = backends
+        .iter()
+        .map(|b| BackendVerdict {
+            backend: b.name.to_string(),
+            comparisons: 0,
+            max_ulp: 0,
+            worst_case: None,
+            first_divergence: None,
+        })
+        .collect();
+
+    for (ci, case) in cases.iter().enumerate() {
+        for mode in 0..case.tensor.order() {
+            let factors =
+                FactorSet::random(case.tensor.dims(), case.rank, seed ^ ((ci as u64) << 8));
+            let expected = oracle_mttkrp(&case.tensor, &factors, mode);
+            let tol = tolerance_for(&case.tensor, mode);
+            for (b, v) in backends.iter().zip(&mut verdicts) {
+                let actual = (b.run)(&case.tensor, &factors, mode);
+                v.comparisons += 1;
+                assert_eq!(
+                    (actual.rows(), actual.cols()),
+                    (expected.rows(), expected.cols()),
+                    "{}: output shape mismatch on {} mode {mode}",
+                    b.name,
+                    case.name
+                );
+                let worst = max_ulp(expected.as_slice(), actual.as_slice());
+                if worst.max_ulp > v.max_ulp {
+                    v.max_ulp = worst.max_ulp;
+                    v.worst_case = Some(format!("{} mode {mode}", case.name));
+                }
+                if worst.max_ulp > tol && v.first_divergence.is_none() {
+                    let at = worst.at.unwrap_or(0);
+                    let (row, col) = (at / expected.cols(), at % expected.cols());
+                    v.first_divergence = Some(Divergence {
+                        case: case.name.clone(),
+                        mode,
+                        row,
+                        col,
+                        expected: expected.as_slice()[at],
+                        actual: actual.as_slice()[at],
+                        ulp: worst.max_ulp,
+                        tolerance: tol,
+                    });
+                }
+            }
+        }
+    }
+
+    ConformanceReport { verdicts, cases: cases.len() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::Backend;
+    use crate::gen::smoke_corpus;
+    use scalfrag_linalg::Mat;
+
+    #[test]
+    fn tolerance_tracks_row_population() {
+        let t = CooTensor::from_entries(
+            &[4, 2, 2],
+            &[
+                (vec![0, 0, 0], 0.5),
+                (vec![0, 1, 1], 0.5),
+                (vec![0, 0, 1], 0.5),
+                (vec![3, 0, 0], 0.5),
+            ],
+        );
+        assert_eq!(tolerance_for(&t, 0), 16 + 4 * 3);
+        let empty = CooTensor::new(&[4, 4, 4]);
+        assert_eq!(tolerance_for(&empty, 0), 16);
+    }
+
+    #[test]
+    fn broken_backend_is_flagged_with_coordinates() {
+        // A backend that doubles the oracle: the classic double
+        // accumulation. Must FAIL with a populated divergence.
+        let double = Backend {
+            name: "mutant-double",
+            run: Box::new(|t, f, mode| {
+                let mut y = oracle_mttkrp(t, f, mode);
+                y.scale(2.0);
+                y
+            }),
+        };
+        let zero = Backend { name: "honest-oracle", run: Box::new(oracle_mttkrp) };
+        let cases: Vec<_> =
+            smoke_corpus(5).into_iter().filter(|c| c.tensor.nnz() > 0).take(2).collect();
+        let report = run_differential(&[zero, double], &cases, 5);
+        assert!(report.verdicts[0].pass(), "oracle vs itself: {}", report.table());
+        let v = &report.verdicts[1];
+        assert!(!v.pass());
+        let d = v.first_divergence.as_ref().unwrap();
+        assert!(d.ulp > 1_000_000, "doubling is a huge ULP error, got {}", d.ulp);
+        assert!(report.table().contains("FAIL"));
+        assert!(!report.all_pass());
+    }
+
+    #[test]
+    fn shape_checked_before_values() {
+        let bad = Backend { name: "wrong-shape", run: Box::new(|_, f, _| Mat::zeros(1, f.rank())) };
+        let cases: Vec<_> =
+            smoke_corpus(9).into_iter().filter(|c| c.tensor.nnz() > 0).take(1).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_differential(&[bad], &cases, 9)
+        }));
+        assert!(result.is_err(), "shape mismatch must panic loudly");
+    }
+}

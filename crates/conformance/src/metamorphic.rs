@@ -1,0 +1,272 @@
+//! Metamorphic invariants of MTTKRP — properties the *mathematics*
+//! guarantees, checked without any oracle.
+//!
+//! Each invariant is a reusable property over an arbitrary runner
+//! `Fn(&CooTensor, &FactorSet, usize) -> Mat`, so one catalogue covers raw
+//! kernels and full execution paths alike. Two exactness classes:
+//!
+//! * **bitwise** — transformations that commute with every `f32` rounding
+//!   step: power-of-two scaling (exponent shift only), rank-column
+//!   permutation (columns are computed independently), mode permutation
+//!   (the entry set and per-entry products are unchanged), device-count
+//!   changes under a pinned shard count (the reduction folds shards in
+//!   global shard order regardless of placement).
+//! * **ULP-bounded** — transformations that reorder the accumulation
+//!   (nnz shuffle, segment-count changes): same multiset of terms, so the
+//!   positive-sum bound from the differential tolerance model applies.
+//!
+//! Every property returns `Result<(), String>` with a self-contained
+//! failure message, making it usable from tests and from the CLI alike.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scalfrag_kernels::FactorSet;
+use scalfrag_linalg::Mat;
+use scalfrag_tensor::{CooTensor, ModePermutation};
+
+use crate::differential::tolerance_for;
+use crate::ulp::max_ulp;
+
+/// The runner type all properties are generic over.
+pub trait Runner: Fn(&CooTensor, &FactorSet, usize) -> Mat {}
+impl<T: Fn(&CooTensor, &FactorSet, usize) -> Mat> Runner for T {}
+
+fn expect_bitwise(label: &str, a: &Mat, b: &Mat) -> Result<(), String> {
+    if a.as_slice().len() != b.as_slice().len() {
+        return Err(format!(
+            "{label}: shape mismatch {}x{} vs {}x{}",
+            a.rows(),
+            a.cols(),
+            b.rows(),
+            b.cols()
+        ));
+    }
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        if x.to_bits() != y.to_bits() {
+            return Err(format!("{label}: first bit difference at flat index {i}: {x} vs {y}"));
+        }
+    }
+    Ok(())
+}
+
+fn expect_ulp(label: &str, a: &Mat, b: &Mat, tol: u64) -> Result<(), String> {
+    let worst = max_ulp(a.as_slice(), b.as_slice());
+    if worst.max_ulp > tol {
+        return Err(format!(
+            "{label}: {} ulp at flat index {:?} exceeds budget {tol}",
+            worst.max_ulp, worst.at
+        ));
+    }
+    Ok(())
+}
+
+/// How strictly two outputs must agree.
+#[derive(Clone, Copy, Debug)]
+pub enum Exactness {
+    /// Bit-for-bit — for transformations that commute with every rounding
+    /// step (and runners that do not reorder the accumulation).
+    Bitwise,
+    /// Within the ULP budget — for transformations that only permute the
+    /// accumulation order (e.g. a runner re-sorts entries whose tie-break
+    /// order the transformation changed).
+    Ulp(u64),
+}
+
+fn expect(label: &str, a: &Mat, b: &Mat, how: Exactness) -> Result<(), String> {
+    match how {
+        Exactness::Bitwise => expect_bitwise(label, a, b),
+        Exactness::Ulp(tol) => expect_ulp(label, a, b, tol),
+    }
+}
+
+/// **Mode permutation**: permuting the tensor's modes and the factor list
+/// identically, then asking for the permuted image of `mode`, yields the
+/// same output. Bitwise for runners that keep the entry order (the entry
+/// multiset and per-entry products are untouched); ULP-bounded for runners
+/// that re-sort, because sorting tie-breaks on the *relabelled* modes.
+pub fn mode_permutation(
+    run: impl Runner,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    perm: &ModePermutation,
+    how: Exactness,
+) -> Result<(), String> {
+    let base = run(tensor, factors, mode);
+    let permuted_tensor = perm.apply(tensor);
+    let permuted_factors = FactorSet::from_mats(
+        (0..factors.order()).map(|m| factors.get(perm.old_of_new(m)).clone()).collect(),
+    );
+    let image = run(&permuted_tensor, &permuted_factors, perm.new_of_old(mode));
+    expect("mode-permutation", &base, &image, how)
+}
+
+/// **Slice/nnz shuffle** (ULP-bounded): reordering the entry storage
+/// changes only the accumulation order.
+pub fn nnz_shuffle(
+    run: impl Runner,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let base = run(tensor, factors, mode);
+    let shuffled = shuffle_entries(tensor, seed);
+    let again = run(&shuffled, factors, mode);
+    expect_ulp("nnz-shuffle", &base, &again, tolerance_for(tensor, mode))
+}
+
+/// **Factor scaling linearity** (bitwise for powers of two): scaling one
+/// non-target factor by `2^k` scales the output by exactly `2^k`.
+pub fn factor_scaling(
+    run: impl Runner,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    k: i32,
+) -> Result<(), String> {
+    let other = (mode + 1) % factors.order();
+    let s = (2f32).powi(k);
+    let mut base = run(tensor, factors, mode);
+    let mut scaled_factors = factors.clone();
+    scaled_factors.get_mut(other).scale(s);
+    let scaled = run(tensor, &scaled_factors, mode);
+    base.scale(s);
+    expect_bitwise("factor-scaling", &base, &scaled)
+}
+
+/// **Rank-column permutation** (bitwise): permuting the columns of every
+/// factor permutes the output columns the same way — each rank column is
+/// an independent computation.
+pub fn rank_column_permutation(
+    run: impl Runner,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let rank = factors.rank();
+    let mut cols: Vec<usize> = (0..rank).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..cols.len()).rev() {
+        cols.swap(i, rng.gen_range(0..=i));
+    }
+    let permute_cols =
+        |m: &Mat| Mat::from_fn(m.rows(), m.cols(), |r, c| m.as_slice()[r * rank + cols[c]]);
+    let base = run(tensor, factors, mode);
+    let permuted_factors =
+        FactorSet::from_mats((0..factors.order()).map(|m| permute_cols(factors.get(m))).collect());
+    let image = run(tensor, &permuted_factors, mode);
+    expect_bitwise("rank-column-permutation", &permute_cols(&base), &image)
+}
+
+/// **Segment-count invariance** (ULP-bounded): a runner parameterised by a
+/// segment/partition count must agree with itself across counts.
+pub fn segment_count_invariance(
+    run_with_segments: impl Fn(&CooTensor, &FactorSet, usize, usize) -> Mat,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    counts: &[usize],
+) -> Result<(), String> {
+    let base = run_with_segments(tensor, factors, mode, counts[0]);
+    for &n in &counts[1..] {
+        let other = run_with_segments(tensor, factors, mode, n);
+        expect_ulp(
+            &format!("segment-count ({} vs {n})", counts[0]),
+            &base,
+            &other,
+            tolerance_for(tensor, mode),
+        )?;
+    }
+    Ok(())
+}
+
+/// **Device-count invariance** (bitwise): a runner parameterised by a
+/// device count must produce identical bits across counts, provided the
+/// shard count is pinned (the reduction folds in shard order).
+pub fn device_count_invariance(
+    run_with_devices: impl Fn(&CooTensor, &FactorSet, usize, usize) -> Mat,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    counts: &[usize],
+) -> Result<(), String> {
+    let base = run_with_devices(tensor, factors, mode, counts[0]);
+    for &n in &counts[1..] {
+        let other = run_with_devices(tensor, factors, mode, n);
+        expect_bitwise(&format!("device-count ({} vs {n})", counts[0]), &base, &other)?;
+    }
+    Ok(())
+}
+
+/// Deterministic Fisher–Yates over the entry storage order.
+pub fn shuffle_entries(tensor: &CooTensor, seed: u64) -> CooTensor {
+    let n = tensor.nnz();
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut out = CooTensor::new(tensor.dims());
+    let m = tensor.order();
+    for &e in &order {
+        let coord: Vec<u32> = (0..m).map(|d| tensor.mode_indices(d)[e]).collect();
+        out.push(&coord, tensor.values()[e]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::oracle_mttkrp;
+    use scalfrag_tensor::gen;
+
+    fn setup() -> (CooTensor, FactorSet) {
+        let t = gen::zipf_slices(&[32, 24, 20], 2_000, 1.0, 21);
+        let f = FactorSet::random(t.dims(), 8, 22);
+        (t, f)
+    }
+
+    #[test]
+    fn oracle_satisfies_every_invariant() {
+        let (t, f) = setup();
+        let run = |t: &CooTensor, f: &FactorSet, m: usize| oracle_mttkrp(t, f, m);
+        let perm = ModePermutation::new(vec![2, 0, 1]);
+        mode_permutation(run, &t, &f, 0, &perm, Exactness::Bitwise).unwrap();
+        nnz_shuffle(run, &t, &f, 0, 77).unwrap();
+        factor_scaling(run, &t, &f, 0, 3).unwrap();
+        factor_scaling(run, &t, &f, 1, -2).unwrap();
+        rank_column_permutation(run, &t, &f, 0, 78).unwrap();
+    }
+
+    #[test]
+    fn a_biased_runner_fails_scaling() {
+        let (t, f) = setup();
+        // Adding a constant breaks linearity — the catalogue must notice.
+        let biased = |t: &CooTensor, f: &FactorSet, m: usize| {
+            let mut y = oracle_mttkrp(t, f, m);
+            for v in y.as_mut_slice() {
+                *v += 1.0;
+            }
+            y
+        };
+        assert!(factor_scaling(biased, &t, &f, 0, 1).is_err());
+    }
+
+    #[test]
+    fn shuffle_preserves_the_multiset() {
+        let (t, _) = setup();
+        let s = shuffle_entries(&t, 5);
+        assert_eq!(t.nnz(), s.nnz());
+        let sum: f64 = t.values().iter().map(|&v| v as f64).sum();
+        let sum_s: f64 = s.values().iter().map(|&v| v as f64).sum();
+        assert!((sum - sum_s).abs() < 1e-6);
+        assert_ne!(
+            t.mode_indices(0),
+            s.mode_indices(0),
+            "2000 entries should not survive a shuffle in place"
+        );
+    }
+}

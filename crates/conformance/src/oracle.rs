@@ -1,0 +1,85 @@
+//! The slow, obviously-correct MTTKRP reference.
+//!
+//! `Y[i, f] = Σ_{e : idx_mode(e) = i}  v_e · Π_{m ≠ mode} U_m[idx_m(e), f]`
+//!
+//! Everything here is written for auditability, not speed: one flat `f64`
+//! accumulator per output element, entries visited in storage order, the
+//! factor product computed freshly per (entry, rank column). `f64`
+//! accumulation makes the oracle at least as accurate as any `f32` kernel,
+//! so kernel-vs-oracle ULP distance is an upper bound on the kernel's own
+//! rounding error — the quantity the tolerance model bounds.
+//!
+//! Duplicate coordinates are deliberately *not* merged: the MTTKRP sum
+//! ranges over entries, so a tensor holding the same coordinate twice
+//! contributes twice — the same semantics every kernel implements via
+//! atomic accumulation.
+
+use scalfrag_kernels::FactorSet;
+use scalfrag_linalg::Mat;
+use scalfrag_tensor::CooTensor;
+
+/// Computes the reference MTTKRP for `mode` with `f64` accumulation,
+/// rounded to `f32` once at the end.
+pub fn oracle_mttkrp(tensor: &CooTensor, factors: &FactorSet, mode: usize) -> Mat {
+    let rank = factors.rank();
+    let rows = tensor.dims()[mode] as usize;
+    let order = tensor.order();
+    let mut acc = vec![0f64; rows * rank];
+    for e in 0..tensor.nnz() {
+        let row = tensor.mode_indices(mode)[e] as usize;
+        let v = tensor.values()[e] as f64;
+        for f in 0..rank {
+            let mut term = v;
+            for m in 0..order {
+                if m == mode {
+                    continue;
+                }
+                let r = tensor.mode_indices(m)[e] as usize;
+                term *= factors.get(m).as_slice()[r * rank + f] as f64;
+            }
+            acc[row * rank + f] += term;
+        }
+    }
+    Mat::from_vec(rows, rank, acc.into_iter().map(|x| x as f32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scalfrag_tensor::gen;
+
+    #[test]
+    fn matches_hand_computed_single_entry() {
+        let t = CooTensor::from_entries(&[2, 2, 2], &[(vec![1, 0, 1], 0.5)]);
+        let f = FactorSet::random(&[2, 2, 2], 2, 3);
+        let y = oracle_mttkrp(&t, &f, 0);
+        for c in 0..2 {
+            let expect = 0.5 * f.get(1).as_slice()[c] * f.get(2).as_slice()[2 + c];
+            assert!((y.as_slice()[2 + c] - expect).abs() < 1e-6);
+            assert_eq!(y.as_slice()[c], 0.0);
+        }
+    }
+
+    #[test]
+    fn duplicate_coordinates_accumulate() {
+        let coord = vec![0u32, 1, 1];
+        let once = CooTensor::from_entries(&[2, 2, 2], &[(coord.clone(), 0.25)]);
+        let twice = CooTensor::from_entries(&[2, 2, 2], &[(coord.clone(), 0.25), (coord, 0.25)]);
+        let f = FactorSet::random(&[2, 2, 2], 3, 9);
+        let y1 = oracle_mttkrp(&once, &f, 1);
+        let y2 = oracle_mttkrp(&twice, &f, 1);
+        for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
+            assert!((2.0 * a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn agrees_with_kernel_reference_on_random_input() {
+        let t = gen::uniform(&[20, 16, 12], 500, 11);
+        let f = FactorSet::random(t.dims(), 4, 12);
+        let y = oracle_mttkrp(&t, &f, 0);
+        let r = scalfrag_kernels::reference::mttkrp_seq(&t, &f, 0);
+        let worst = crate::ulp::max_ulp(y.as_slice(), r.as_slice());
+        assert!(worst.max_ulp < 1_000, "oracle vs f32 reference: {worst:?}");
+    }
+}

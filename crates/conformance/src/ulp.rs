@@ -1,0 +1,99 @@
+//! ULP (units-in-the-last-place) distance between `f32` values.
+//!
+//! The differential oracle accumulates in `f64` while the kernels
+//! accumulate in `f32`, so exact equality is the wrong bar; an absolute
+//! epsilon is equally wrong because output magnitudes span orders of
+//! magnitude across slices. ULP distance is scale-free: it counts how many
+//! representable floats sit between two values, which is exactly the
+//! quantity rounding-error analysis bounds.
+
+/// Maps an `f32` onto a signed integer such that the integer order matches
+/// the numeric order and adjacent representable floats map to adjacent
+/// integers. Both zeros map to 0.
+fn order_key(x: f32) -> i64 {
+    let i = x.to_bits() as i32;
+    if i >= 0 {
+        i as i64
+    } else {
+        // Negative floats: larger bit pattern = more negative. Reflect so
+        // -0.0 lands on 0 and the scale stays monotone.
+        i64::from(i32::MIN) - i as i64
+    }
+}
+
+/// ULP distance between two finite `f32` values. NaN or infinity on either
+/// side yields `u64::MAX` (always a divergence).
+pub fn ulp_diff(a: f32, b: f32) -> u64 {
+    if !a.is_finite() || !b.is_finite() {
+        return if a == b || (a.is_nan() && b.is_nan()) { 0 } else { u64::MAX };
+    }
+    (order_key(a) - order_key(b)).unsigned_abs()
+}
+
+/// The worst element of a pairwise comparison.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct UlpExtremum {
+    /// Largest ULP distance seen.
+    pub max_ulp: u64,
+    /// Flat index of the first element attaining `max_ulp` (None when the
+    /// slices are empty or identical).
+    pub at: Option<usize>,
+}
+
+/// Scans two equal-length slices and reports the largest ULP distance and
+/// where it first occurs. Panics on length mismatch — shape disagreement is
+/// a conformance failure in itself and callers check it explicitly first.
+pub fn max_ulp(expected: &[f32], actual: &[f32]) -> UlpExtremum {
+    assert_eq!(expected.len(), actual.len(), "shape mismatch");
+    let mut worst = UlpExtremum::default();
+    for (i, (&e, &a)) in expected.iter().zip(actual).enumerate() {
+        let d = ulp_diff(e, a);
+        if d > worst.max_ulp {
+            worst = UlpExtremum { max_ulp: d, at: Some(i) };
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_and_zero_signs() {
+        assert_eq!(ulp_diff(1.5, 1.5), 0);
+        assert_eq!(ulp_diff(0.0, -0.0), 0);
+    }
+
+    #[test]
+    fn adjacent_floats_are_one_ulp() {
+        let a = 1.0f32;
+        let b = f32::from_bits(a.to_bits() + 1);
+        assert_eq!(ulp_diff(a, b), 1);
+        let n = -1.0f32;
+        let m = f32::from_bits(n.to_bits() + 1); // one step more negative
+        assert_eq!(ulp_diff(n, m), 1);
+    }
+
+    #[test]
+    fn crossing_zero_counts_both_sides() {
+        let tiny = f32::from_bits(1); // smallest positive subnormal
+        assert_eq!(ulp_diff(tiny, -tiny), 2);
+    }
+
+    #[test]
+    fn non_finite_is_max() {
+        assert_eq!(ulp_diff(f32::NAN, 1.0), u64::MAX);
+        assert_eq!(ulp_diff(f32::INFINITY, 1.0), u64::MAX);
+        assert_eq!(ulp_diff(f32::NAN, f32::NAN), 0);
+    }
+
+    #[test]
+    fn max_ulp_finds_first_worst() {
+        let e = [1.0f32, 2.0, 3.0];
+        let a = [1.0f32, f32::from_bits(2.0f32.to_bits() + 3), 3.0];
+        let w = max_ulp(&e, &a);
+        assert_eq!(w.max_ulp, 3);
+        assert_eq!(w.at, Some(1));
+    }
+}

@@ -35,6 +35,7 @@ pub mod launch;
 pub mod memory;
 pub mod occupancy;
 pub mod profiler;
+pub mod racecheck;
 pub mod timeline;
 pub mod trace;
 
@@ -45,4 +46,8 @@ pub use launch::LaunchConfig;
 pub use memory::{Allocation, MemoryPool, OutOfMemory};
 pub use occupancy::{occupancy, Limiter, Occupancy};
 pub use profiler::{analyze_kernel, profile, KernelAnalysis, LabelStats, Profile};
+pub use racecheck::{
+    block_of_item, grid_stride_thread, AccessKind, AccessLog, AddrSpace, RaceConflict, RaceReport,
+    SimThread,
+};
 pub use timeline::{Engine, Span, SpanKind, Timeline};

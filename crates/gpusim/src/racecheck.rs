@@ -1,0 +1,315 @@
+//! A simulated-race checker for functionally-executed kernels.
+//!
+//! The [`Gpu`](crate::Gpu) executes kernel bodies on the host, so a kernel
+//! whose *real* CUDA incarnation would lose updates (two threads plain-
+//! writing the same output word without synchronisation) still computes
+//! the right answer in simulation. This module closes that fidelity gap:
+//! kernels replay their memory-access pattern over the simulated
+//! `(grid × block)` index space into an [`AccessLog`], and
+//! [`AccessLog::check`] flags every address that two different simulated
+//! threads write with at least one *plain* (non-atomic) store.
+//!
+//! The race rule mirrors the CUDA memory model at kernel scope:
+//!
+//! * `atomicAdd` vs `atomicAdd` on the same word — never a race;
+//! * plain write vs *any* write from a different thread — a race
+//!   (hardware gives no ordering between unsynchronised stores, and a
+//!   plain read-modify-write can lose a concurrent atomic's update);
+//! * any number of accesses from one thread — program order, never a race
+//!   (block-wide barriers between phases are the kernel author's claim,
+//!   encoded by attributing each address to its owning lane).
+//!
+//! Shared-memory addresses are scoped per thread block (two blocks using
+//! local offset 0 of their own tile never conflict); global addresses are
+//! device-wide.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A simulated thread identity inside one kernel launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SimThread {
+    /// Thread-block index in the grid.
+    pub block: u32,
+    /// Thread index within the block.
+    pub thread: u32,
+}
+
+impl fmt::Display for SimThread {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t({},{})", self.block, self.thread)
+    }
+}
+
+/// Which buffer an access targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AddrSpace {
+    /// Device-global memory (the MTTKRP output buffer).
+    Global,
+    /// Per-block shared memory; addresses are scoped by the block id.
+    Shared,
+}
+
+/// The kind of store a simulated thread issues.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// An unsynchronised store (or read-modify-write) — races with any
+    /// other thread's write to the same word.
+    PlainWrite,
+    /// A hardware atomic (`atomicAdd` and friends) — races only with
+    /// plain writes.
+    Atomic,
+}
+
+/// Key identifying one addressable word. Shared-memory words carry the
+/// owning block id so distinct blocks' tiles never alias.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct AddrKey {
+    space: AddrSpace,
+    /// Block scope for `Shared`; 0 for `Global`.
+    scope: u32,
+    addr: usize,
+}
+
+/// One recorded conflict: two distinct simulated threads, same word, at
+/// least one plain write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaceConflict {
+    /// Address space of the contested word.
+    pub space: AddrSpace,
+    /// Block scope (meaningful for shared memory).
+    pub scope: u32,
+    /// Word offset within the buffer.
+    pub addr: usize,
+    /// First thread and its access kind.
+    pub a: (SimThread, AccessKind),
+    /// Second thread and its access kind.
+    pub b: (SimThread, AccessKind),
+}
+
+impl fmt::Display for RaceConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} word {} (scope {}): {} {:?} vs {} {:?}",
+            self.space, self.addr, self.scope, self.a.0, self.a.1, self.b.0, self.b.1
+        )
+    }
+}
+
+/// The verdict of one race check.
+#[derive(Clone, Debug, Default)]
+pub struct RaceReport {
+    /// Distinct contested words, deterministically ordered; one conflict
+    /// witness (the lowest-numbered thread pair) is kept per word.
+    pub conflicts: Vec<RaceConflict>,
+    /// Total writes inspected.
+    pub writes_checked: usize,
+    /// Distinct words written.
+    pub words_written: usize,
+}
+
+impl RaceReport {
+    /// True when no conflicting pair of writes was found.
+    pub fn is_race_free(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+
+    /// A short human-readable summary.
+    pub fn summary(&self) -> String {
+        if self.is_race_free() {
+            format!("race-free ({} writes over {} words)", self.writes_checked, self.words_written)
+        } else {
+            let first = &self.conflicts[0];
+            format!(
+                "{} contested word(s) out of {}; first: {}",
+                self.conflicts.len(),
+                self.words_written,
+                first
+            )
+        }
+    }
+}
+
+/// Records the write pattern of one simulated kernel launch.
+///
+/// Only writes are recorded: concurrent reads never race with each other,
+/// and a read racing a write manifests as wrong *values*, which the
+/// differential oracle covers — the checker's job is lost-update bugs.
+#[derive(Default)]
+pub struct AccessLog {
+    // Per word: every distinct (thread, kind) that wrote it. Kept small —
+    // real kernels write each word from very few threads.
+    writes: HashMap<AddrKey, Vec<(SimThread, AccessKind)>>,
+    total: usize,
+}
+
+impl AccessLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a global-memory write of `kind` to word `addr` by `thread`.
+    pub fn global_write(&mut self, addr: usize, thread: SimThread, kind: AccessKind) {
+        self.record(AddrKey { space: AddrSpace::Global, scope: 0, addr }, thread, kind);
+    }
+
+    /// Records a shared-memory write of `kind` to word `addr` of block
+    /// `block`'s tile by `thread` (which must belong to that block).
+    pub fn shared_write(&mut self, block: u32, addr: usize, thread: SimThread, kind: AccessKind) {
+        debug_assert_eq!(thread.block, block, "shared tile written from a foreign block");
+        self.record(AddrKey { space: AddrSpace::Shared, scope: block, addr }, thread, kind);
+    }
+
+    fn record(&mut self, key: AddrKey, thread: SimThread, kind: AccessKind) {
+        self.total += 1;
+        let entry = self.writes.entry(key).or_default();
+        if !entry.contains(&(thread, kind)) {
+            entry.push((thread, kind));
+        }
+    }
+
+    /// Number of writes recorded so far.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Scans the log for conflicting writes and returns a deterministic
+    /// report (one witness pair per contested word, sorted by address).
+    pub fn check(&self) -> RaceReport {
+        let mut conflicts = Vec::new();
+        for (key, writers) in &self.writes {
+            if writers.len() < 2 {
+                continue;
+            }
+            let mut writers = writers.clone();
+            writers.sort_unstable();
+            // A word is contested iff some plain write comes from a thread
+            // that is not the only writer.
+            'outer: for i in 0..writers.len() {
+                if writers[i].1 != AccessKind::PlainWrite {
+                    continue;
+                }
+                for other in &writers {
+                    if other.0 != writers[i].0 {
+                        conflicts.push(RaceConflict {
+                            space: key.space,
+                            scope: key.scope,
+                            addr: key.addr,
+                            a: writers[i],
+                            b: *other,
+                        });
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        conflicts.sort_by_key(|c| (c.space, c.scope, c.addr));
+        RaceReport { conflicts, writes_checked: self.total, words_written: self.writes.len() }
+    }
+}
+
+/// Maps a flat work item (e.g. a non-zero index) onto the simulated thread
+/// that processes it under a grid-stride loop — the standard CUDA idiom
+/// all the COO-family kernels use.
+pub fn grid_stride_thread(item: u64, grid: u32, block: u32) -> SimThread {
+    let total = grid as u64 * block as u64;
+    let tid = (item % total.max(1)) as u32;
+    SimThread { block: tid / block.max(1), thread: tid % block.max(1) }
+}
+
+/// Maps a flat block-level work item (a tensor block, an F-COO partition,
+/// a tile window) onto its simulated thread block.
+pub fn block_of_item(item: u64, grid: u32) -> u32 {
+    (item % grid.max(1) as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: SimThread = SimThread { block: 0, thread: 0 };
+    const T1: SimThread = SimThread { block: 0, thread: 1 };
+
+    #[test]
+    fn atomic_only_contention_is_race_free() {
+        let mut log = AccessLog::new();
+        for t in [T0, T1] {
+            log.global_write(7, t, AccessKind::Atomic);
+        }
+        let r = log.check();
+        assert!(r.is_race_free(), "{}", r.summary());
+        assert_eq!(r.words_written, 1);
+        assert_eq!(r.writes_checked, 2);
+    }
+
+    #[test]
+    fn two_plain_writes_from_different_threads_conflict() {
+        let mut log = AccessLog::new();
+        log.global_write(3, T0, AccessKind::PlainWrite);
+        log.global_write(3, T1, AccessKind::PlainWrite);
+        let r = log.check();
+        assert_eq!(r.conflicts.len(), 1);
+        assert_eq!(r.conflicts[0].addr, 3);
+        assert!(r.summary().contains("contested"));
+    }
+
+    #[test]
+    fn plain_vs_atomic_from_different_threads_conflicts() {
+        let mut log = AccessLog::new();
+        log.global_write(5, T0, AccessKind::PlainWrite);
+        log.global_write(5, T1, AccessKind::Atomic);
+        assert_eq!(log.check().conflicts.len(), 1);
+    }
+
+    #[test]
+    fn same_thread_rewrites_are_program_order() {
+        let mut log = AccessLog::new();
+        log.global_write(1, T0, AccessKind::PlainWrite);
+        log.global_write(1, T0, AccessKind::PlainWrite);
+        log.global_write(1, T0, AccessKind::Atomic);
+        assert!(log.check().is_race_free());
+    }
+
+    #[test]
+    fn shared_tiles_are_scoped_per_block() {
+        let mut log = AccessLog::new();
+        let other = SimThread { block: 1, thread: 0 };
+        log.shared_write(0, 0, T0, AccessKind::PlainWrite);
+        log.shared_write(1, 0, other, AccessKind::PlainWrite);
+        assert!(log.check().is_race_free(), "same offset, different tiles");
+        log.shared_write(0, 0, T1, AccessKind::PlainWrite);
+        assert_eq!(log.check().conflicts.len(), 1, "same tile word, two lanes");
+    }
+
+    #[test]
+    fn conflicts_are_deterministically_ordered() {
+        let build = || {
+            let mut log = AccessLog::new();
+            for addr in [9usize, 2, 5] {
+                log.global_write(addr, T0, AccessKind::PlainWrite);
+                log.global_write(addr, T1, AccessKind::PlainWrite);
+            }
+            log.check()
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.conflicts, b.conflicts);
+        let addrs: Vec<usize> = a.conflicts.iter().map(|c| c.addr).collect();
+        assert_eq!(addrs, vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn grid_stride_mapping_wraps() {
+        assert_eq!(grid_stride_thread(0, 2, 32), SimThread { block: 0, thread: 0 });
+        assert_eq!(grid_stride_thread(33, 2, 32), SimThread { block: 1, thread: 1 });
+        assert_eq!(grid_stride_thread(64, 2, 32), SimThread { block: 0, thread: 0 });
+        assert_eq!(block_of_item(5, 4), 1);
+    }
+}

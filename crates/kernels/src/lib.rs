@@ -33,6 +33,7 @@ pub mod csf_kernel;
 pub mod factors;
 pub mod fcoo_kernel;
 pub mod hicoo_kernel;
+pub mod race;
 pub mod reference;
 pub mod spttm;
 pub mod tiled_kernel;
@@ -52,6 +53,9 @@ pub use csf_kernel::CsfFiberKernel;
 pub use factors::FactorSet;
 pub use fcoo_kernel::FCooKernel;
 pub use hicoo_kernel::HiCooKernel;
+pub use race::{
+    trace_bcsf, trace_coo, trace_csf, trace_fcoo, trace_hicoo, trace_racy_coo, trace_tiled,
+};
 pub use tiled_kernel::TiledKernel;
 pub use tucker::{tucker_hosvd, TuckerResult};
 pub use workload::SegmentStats;

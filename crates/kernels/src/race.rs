@@ -1,0 +1,310 @@
+//! Simulated-thread write traces of every MTTKRP kernel, for the gpusim
+//! race checker.
+//!
+//! Each `trace_*` function replays the memory-*write* pattern of the
+//! matching `execute` body over the simulated `(grid × block)` thread
+//! space of a launch configuration, recording into an
+//! [`AccessLog`]. The traces encode each kernel's concurrency claim:
+//!
+//! * **COO atomic** — one thread per non-zero (grid-stride), `rank`
+//!   atomics into the output row. All-atomic, race-free by construction.
+//! * **ScalFrag tiled** — one window per thread block; the `mvals` shared
+//!   tile is pre-reduced so that rank column `f` is owned by lane
+//!   `f % block` (the warp-reduction owner), and that owner lane issues
+//!   the single global atomic per (row, column) flush.
+//! * **CSF fiber** — one worker per root slice; slices own disjoint
+//!   output rows, so stores are *plain* — the checker proves the
+//!   "no atomics at all" claim instead of assuming it.
+//! * **BCSF heavy/light** — heavy slices: one worker per 256-entry chunk,
+//!   atomic flush into the (shared) heavy row; light runs: one worker per
+//!   run, plain stores into rows no other worker touches.
+//! * **HiCOO block** — one thread block per tensor block; the local tile
+//!   word `w` is owned by lane `w % block`, and flushes to global memory
+//!   are atomic (different tensor blocks can map to the same output row).
+//! * **F-COO segmented reduction** — one block per partition; rows
+//!   strictly interior to a partition are plain-stored (exclusively
+//!   owned), rows on a partition boundary are combined atomically.
+//!
+//! [`trace_racy_coo`] is the deliberately-broken mutant: the plain-store
+//! version of the COO kernel (the classic forgot-the-atomic bug). The
+//! checker must flag it whenever two entries of one output row land on
+//! different simulated threads — the self-test in the conformance harness
+//! asserts exactly that.
+
+use crate::bcsf_kernel::HeavyLightSplit;
+use scalfrag_gpusim::racecheck::{block_of_item, grid_stride_thread, AccessKind, AccessLog};
+use scalfrag_gpusim::{LaunchConfig, SimThread};
+use scalfrag_tensor::{CooTensor, CsfTensor, FCooTensor, HiCooTensor};
+
+/// Traces the ParTI-style atomic COO kernel: thread-per-entry, `rank`
+/// atomics into `out[row·rank ‥ row·rank+rank]`.
+pub fn trace_coo(
+    seg: &CooTensor,
+    mode: usize,
+    rank: usize,
+    cfg: LaunchConfig,
+    log: &mut AccessLog,
+) {
+    for e in 0..seg.nnz() {
+        let t = grid_stride_thread(e as u64, cfg.grid, cfg.block);
+        let base = seg.mode_indices(mode)[e] as usize * rank;
+        for f in 0..rank {
+            log.global_write(base + f, t, AccessKind::Atomic);
+        }
+    }
+}
+
+/// The racy mutant: identical thread mapping to [`trace_coo`], but plain
+/// stores instead of atomics. Any row populated by entries that map to
+/// two different threads is a lost-update race.
+pub fn trace_racy_coo(
+    seg: &CooTensor,
+    mode: usize,
+    rank: usize,
+    cfg: LaunchConfig,
+    log: &mut AccessLog,
+) {
+    for e in 0..seg.nnz() {
+        let t = grid_stride_thread(e as u64, cfg.grid, cfg.block);
+        let base = seg.mode_indices(mode)[e] as usize * rank;
+        for f in 0..rank {
+            log.global_write(base + f, t, AccessKind::PlainWrite);
+        }
+    }
+}
+
+/// Traces the ScalFrag tiled kernel: one block-sized window per thread
+/// block, shared-tile pre-reduction owned per rank column, one atomic
+/// flush per (row, column) by the owning lane.
+pub fn trace_tiled(
+    seg: &CooTensor,
+    mode: usize,
+    rank: usize,
+    cfg: LaunchConfig,
+    log: &mut AccessLog,
+) {
+    let window = (cfg.block as usize).max(32);
+    let nnz = seg.nnz();
+    let mut w = 0u64;
+    let mut start = 0usize;
+    while start < nnz {
+        let end = (start + window).min(nnz);
+        let block = block_of_item(w, cfg.grid);
+        for f in 0..rank {
+            // Column f of the mvals tile is reduced into by its owner lane
+            // (post-__syncthreads(), in the real kernel).
+            let owner = SimThread { block, thread: f as u32 % cfg.block };
+            log.shared_write(block, f, owner, AccessKind::PlainWrite);
+        }
+        // One flush per distinct row in the window, per rank column, by
+        // the column's owner lane — atomics, because the row may continue
+        // in the next window / another block.
+        let idx = seg.mode_indices(mode);
+        let mut open = u32::MAX;
+        for &row in &idx[start..end] {
+            if row != open {
+                open = row;
+                let base = open as usize * rank;
+                for f in 0..rank {
+                    let owner = SimThread { block, thread: f as u32 % cfg.block };
+                    log.global_write(base + f, owner, AccessKind::Atomic);
+                }
+            }
+        }
+        start = end;
+        w += 1;
+    }
+}
+
+/// Traces the CSF fiber-parallel kernel: worker-per-slice, *plain* stores
+/// into the slice's own output row — the checker proves rows are disjoint.
+pub fn trace_csf(csf: &CsfTensor, rank: usize, cfg: LaunchConfig, log: &mut AccessLog) {
+    for s in 0..csf.num_slices() {
+        let t = grid_stride_thread(s as u64, cfg.grid, cfg.block);
+        let base = csf.fids(0)[s] as usize * rank;
+        for f in 0..rank {
+            log.global_write(base + f, t, AccessKind::PlainWrite);
+        }
+    }
+}
+
+/// Traces the BCSF heavy/light kernel over a mode-sorted tensor.
+pub fn trace_bcsf(
+    seg: &CooTensor,
+    mode: usize,
+    split: &HeavyLightSplit,
+    rank: usize,
+    cfg: LaunchConfig,
+    log: &mut AccessLog,
+) {
+    let idx = seg.mode_indices(mode);
+    let mut item = 0u64;
+    // Heavy slices: each 256-entry chunk is one worker; all of them flush
+    // the same row, so the flush must be atomic.
+    for r in &split.heavy {
+        let base = idx[r.start] as usize * rank;
+        let mut chunk_start = r.start;
+        while chunk_start < r.end {
+            let t = grid_stride_thread(item, cfg.grid, cfg.block);
+            item += 1;
+            for f in 0..rank {
+                log.global_write(base + f, t, AccessKind::Atomic);
+            }
+            chunk_start += 256;
+        }
+    }
+    // Light runs: one worker per run; the run's slices belong to no other
+    // worker, so plain stores suffice.
+    for r in &split.light_runs {
+        let t = grid_stride_thread(item, cfg.grid, cfg.block);
+        item += 1;
+        let mut open = u32::MAX;
+        for e in r.clone() {
+            if idx[e] != open {
+                open = idx[e];
+                let base = open as usize * rank;
+                for f in 0..rank {
+                    log.global_write(base + f, t, AccessKind::PlainWrite);
+                }
+            }
+        }
+    }
+}
+
+/// Traces the HiCOO block kernel: thread-block-per-tensor-block, local
+/// tile words owned per lane, atomic global flushes (blocks sharing a
+/// slice of output rows is the norm).
+pub fn trace_hicoo(
+    hicoo: &HiCooTensor,
+    mode: usize,
+    rank: usize,
+    cfg: LaunchConfig,
+    log: &mut AccessLog,
+) {
+    let edge = hicoo.block_edge() as usize;
+    for (k, b) in hicoo.blocks().iter().enumerate() {
+        let block = block_of_item(k as u64, cfg.grid);
+        let row_base = (b.bidx[mode] as usize) << hicoo.block_edge().trailing_zeros();
+        let mut touched = vec![false; edge];
+        for e in b.start..b.end {
+            let coord = hicoo.coord_in(b, e);
+            let local = coord[mode] as usize - row_base;
+            touched[local] = true;
+            for f in 0..rank {
+                let word = local * rank + f;
+                let owner = SimThread { block, thread: (word % cfg.block as usize) as u32 };
+                log.shared_write(block, word, owner, AccessKind::PlainWrite);
+            }
+        }
+        for (local, &hit) in touched.iter().enumerate() {
+            if hit {
+                let base = (row_base + local) * rank;
+                for f in 0..rank {
+                    let word = local * rank + f;
+                    let owner = SimThread { block, thread: (word % cfg.block as usize) as u32 };
+                    log.global_write(base + f, owner, AccessKind::Atomic);
+                }
+            }
+        }
+    }
+}
+
+/// Traces the F-COO segmented-reduction kernel: block-per-partition,
+/// plain stores for rows wholly inside the partition, atomic combination
+/// for the partition's first and last rows (which may straddle a
+/// neighbouring partition).
+pub fn trace_fcoo(fcoo: &FCooTensor, rank: usize, cfg: LaunchConfig, log: &mut AccessLog) {
+    for p in 0..fcoo.num_partitions() {
+        let range = fcoo.partition_range(p);
+        if range.is_empty() {
+            continue;
+        }
+        let block = block_of_item(p as u64, cfg.grid);
+        let t = SimThread { block, thread: 0 };
+        let first = fcoo.row(range.start) as usize;
+        let last = fcoo.row(range.end - 1) as usize;
+        let mut open = usize::MAX;
+        for e in range {
+            let row = fcoo.row(e) as usize;
+            if row != open {
+                open = row;
+                let kind = if row == first || row == last {
+                    AccessKind::Atomic
+                } else {
+                    AccessKind::PlainWrite
+                };
+                let base = row * rank;
+                for f in 0..rank {
+                    log.global_write(base + f, t, kind);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BcsfKernel;
+    use scalfrag_tensor::gen;
+
+    fn sorted(mode: usize) -> CooTensor {
+        let mut t = gen::zipf_slices(&[40, 30, 20], 2_000, 1.0, 7);
+        t.sort_for_mode(mode);
+        t
+    }
+
+    #[test]
+    fn coo_trace_is_race_free_and_mutant_is_not() {
+        let t = sorted(0);
+        let cfg = LaunchConfig::new(4, 64);
+        let mut clean = AccessLog::new();
+        trace_coo(&t, 0, 8, cfg, &mut clean);
+        assert!(clean.check().is_race_free());
+
+        let mut racy = AccessLog::new();
+        trace_racy_coo(&t, 0, 8, cfg, &mut racy);
+        let report = racy.check();
+        assert!(!report.is_race_free(), "the plain-store mutant must be caught");
+    }
+
+    #[test]
+    fn all_real_kernel_traces_are_race_free() {
+        let mode = 0;
+        let t = sorted(mode);
+        let rank = 8;
+        let cfg = LaunchConfig::new(8, 64);
+
+        let mut log = AccessLog::new();
+        trace_tiled(&t, mode, rank, cfg, &mut log);
+        assert!(log.check().is_race_free(), "tiled: {}", log.check().summary());
+
+        let mut log = AccessLog::new();
+        trace_csf(&CsfTensor::from_coo(&t, mode), rank, cfg, &mut log);
+        assert!(log.check().is_race_free(), "csf: {}", log.check().summary());
+
+        let mut log = AccessLog::new();
+        let split = BcsfKernel::split(&t, mode, 64);
+        trace_bcsf(&t, mode, &split, rank, cfg, &mut log);
+        assert!(log.check().is_race_free(), "bcsf: {}", log.check().summary());
+
+        let mut log = AccessLog::new();
+        trace_hicoo(&HiCooTensor::from_coo(&t, 3), mode, rank, cfg, &mut log);
+        assert!(log.check().is_race_free(), "hicoo: {}", log.check().summary());
+
+        let mut log = AccessLog::new();
+        trace_fcoo(&FCooTensor::from_coo(&t, mode, 64), rank, cfg, &mut log);
+        assert!(log.check().is_race_free(), "fcoo: {}", log.check().summary());
+    }
+
+    #[test]
+    fn empty_tensor_traces_cleanly() {
+        let t = CooTensor::new(&[5, 5, 5]);
+        let cfg = LaunchConfig::new(2, 32);
+        let mut log = AccessLog::new();
+        trace_coo(&t, 0, 4, cfg, &mut log);
+        trace_tiled(&t, 0, 4, cfg, &mut log);
+        assert!(log.is_empty());
+        assert!(log.check().is_race_free());
+    }
+}

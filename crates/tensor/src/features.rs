@@ -317,6 +317,90 @@ mod tests {
         assert_eq!(k, FeatureKey::of(&t, 0, 8));
     }
 
+    /// Metamorphic: every log-bucketed key component is monotone in the
+    /// underlying feature — growing a feature can only keep or raise its
+    /// bucket, never lower it. Guards the plan cache against a requantize
+    /// that would alias large tensors into small-tensor plans.
+    #[test]
+    fn feature_key_quantization_is_monotone() {
+        let base = crate::gen::uniform(&[64, 48, 32], 1_000, 17);
+        let mut f = TensorFeatures::extract(&base, 0);
+        let mut prev = FeatureKey::quantize(&f, 0, 8);
+        for step in 1..=12 {
+            f.nnz *= 2;
+            f.num_slices = (f.num_slices + step).min(f.mode_dim as usize);
+            f.num_fibers += 37 * step;
+            f.slice_imbalance *= 1.5;
+            let next = FeatureKey::quantize(&f, 0, 8);
+            assert!(next.nnz_bucket > prev.nnz_bucket, "nnz bucket must strictly grow on doubling");
+            assert!(next.slices_bucket >= prev.slices_bucket);
+            assert!(next.fibers_bucket >= prev.fibers_bucket);
+            assert!(next.imbalance_bucket >= prev.imbalance_bucket);
+            prev = next;
+        }
+    }
+
+    /// Metamorphic: the key is a function of the slice/fiber *histograms*,
+    /// so reordering the entry storage must not move any bucket.
+    #[test]
+    fn feature_key_stable_under_nnz_shuffle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let t = crate::gen::zipf_slices(&[96, 64, 48], 6_000, 1.1, 23);
+        let n = t.nnz();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(24);
+        for i in (1..n).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let mut shuffled = CooTensor::new(t.dims());
+        for &e in &order {
+            let coord: Vec<Idx> = (0..t.order()).map(|m| t.mode_indices(m)[e]).collect();
+            shuffled.push(&coord, t.values()[e]);
+        }
+        for mode in 0..t.order() {
+            assert_eq!(
+                FeatureKey::of(&t, mode, 8),
+                FeatureKey::of(&shuffled, mode, 8),
+                "mode {mode}: key moved under entry reorder"
+            );
+        }
+    }
+
+    /// Metamorphic: two tensors in the same shape class — identical slice
+    /// populations up to slice *relabeling*, arbitrary values — quantize
+    /// to identical keys. A cache hit between them is exactly what the
+    /// plan cache wants.
+    #[test]
+    fn feature_key_identical_for_same_shape_class() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let a = crate::gen::zipf_slices(&[80, 50, 40], 5_000, 1.0, 31);
+        // Relabel mode-0 slices by a fixed permutation and rewrite every
+        // value: structure preserved, content entirely different.
+        let dim0 = a.dims()[0];
+        let relabel: Vec<Idx> = {
+            let mut p: Vec<Idx> = (0..dim0).collect();
+            let mut rng = StdRng::seed_from_u64(32);
+            for i in (1..p.len()).rev() {
+                p.swap(i, rng.gen_range(0..=i));
+            }
+            p
+        };
+        let mut rng = StdRng::seed_from_u64(33);
+        let mut b = CooTensor::new(a.dims());
+        for e in 0..a.nnz() {
+            let mut coord: Vec<Idx> = (0..a.order()).map(|m| a.mode_indices(m)[e]).collect();
+            coord[0] = relabel[coord[0] as usize];
+            b.push(&coord, rng.gen::<f32>());
+        }
+        assert_eq!(
+            FeatureKey::of(&a, 0, 16),
+            FeatureKey::of(&b, 0, 16),
+            "slice relabeling + value rewrite must not change the key"
+        );
+    }
+
     #[test]
     fn per_mode_features_differ() {
         let t = crate::gen::zipf_slices(&[200, 10, 10], 1_000, 1.0, 3);

@@ -29,6 +29,9 @@
 //!   EDF scheduling and tenant fairness, admission control with typed
 //!   rejections, an LRU plan cache over quantized tensor features, and
 //!   per-job/aggregate serving reports.
+//! * [`conformance`] — the conformance harness: a slow `f64` differential
+//!   MTTKRP oracle with a seeded property-based corpus, a metamorphic
+//!   invariant catalogue, and the simulated-race checker driver.
 //! * [`faults`] — deterministic fault injection (device failures, transfer
 //!   corruption, kernel aborts, stragglers) and the recovery machinery:
 //!   segment retries in [`pipeline`], shard re-placement in [`cluster`],
@@ -54,6 +57,7 @@
 
 pub use scalfrag_autotune as autotune;
 pub use scalfrag_cluster as cluster;
+pub use scalfrag_conformance as conformance;
 pub use scalfrag_core as core;
 pub use scalfrag_faults as faults;
 pub use scalfrag_gpusim as gpusim;
@@ -69,6 +73,7 @@ pub mod prelude {
         execute_cluster_resilient, DeviceScheduler, FaultRecoveryPolicy, Interconnect, NodeSpec,
         RecoveryMode, ResilientClusterRun, ShardPolicy,
     };
+    pub use scalfrag_conformance::{oracle_mttkrp, run_differential, ConformanceReport};
     pub use scalfrag_core::{
         ClusterMttkrpReport, ClusterScalFrag, MttkrpReport, Parti, ResilientClusterMttkrpReport,
         ScalFrag,

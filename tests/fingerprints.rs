@@ -1,0 +1,117 @@
+//! Golden bit-stability fingerprints (DESIGN.md §10).
+//!
+//! Each test pins a digest of a fully-seeded run. Accidental
+//! nondeterminism — a HashMap iteration leaking into scheduling order, a
+//! wall-clock read, a reduction reassociating — changes the digest and
+//! fails with a diff-style message.
+//!
+//! Two digest families:
+//!
+//! * `mat_checksum` (FNV-1a over value bits) — stable across toolchains;
+//!   a changed constant always means changed numerics.
+//! * `ServeReport::fingerprint` / `FaultLog::fingerprint` (SipHash via
+//!   `DefaultHasher`) — stable per toolchain. If a *rustc upgrade* (and
+//!   nothing else) shifts them, re-pin by running with
+//!   `PRINT_FINGERPRINTS=1` and updating the constants; any other cause
+//!   is a real regression.
+
+use std::sync::Arc;
+
+use scalfrag::cluster::{execute_cluster_resilient, ClusterOptions};
+use scalfrag::faults::mat_checksum;
+use scalfrag::prelude::*;
+use scalfrag::tensor::gen;
+
+const GOLDEN_SERVE_FINGERPRINT: u64 = 0x373c_1ac3_9717_638c;
+const GOLDEN_FAULT_LOG_FINGERPRINT: u64 = 0xbd60_acb6_58c7_9e45;
+const GOLDEN_CLUSTER_OUTPUT_CHECKSUM: u64 = 0xd336_3d55_543a_4baf;
+
+fn print_or_assert(label: &str, got: u64, golden: u64) {
+    if std::env::var("PRINT_FINGERPRINTS").is_ok() {
+        println!("{label}: 0x{got:016x}");
+        return;
+    }
+    assert_eq!(
+        got, golden,
+        "{label} drifted: got 0x{got:016x}, pinned 0x{golden:016x} — a seeded run is no longer \
+         deterministic (or a rustc upgrade moved DefaultHasher; see module docs)"
+    );
+}
+
+fn serve_workload() -> Vec<MttkrpJob> {
+    let dims = [64u32, 48, 32];
+    let tensors: Vec<Arc<CooTensor>> = (0..3)
+        .map(|i| Arc::new(gen::zipf_slices(&dims, 4_000 + 500 * i as usize, 0.9, 40 + i)))
+        .collect();
+    let factors = Arc::new(FactorSet::random(&dims, 8, 77));
+    (0..6)
+        .map(|j| {
+            MttkrpJob::new(
+                j as u64 + 1,
+                if j % 2 == 0 { "tenant-a" } else { "tenant-b" },
+                tensors[j % 3].clone(),
+                factors.clone(),
+                j % 3,
+            )
+            .at(j as f64 * 1e-3)
+        })
+        .collect()
+}
+
+#[test]
+fn serve_report_fingerprint_is_pinned() {
+    let run = || {
+        ScalFragServer::builder()
+            .device(DeviceSpec::rtx3090())
+            .train_tiers(vec![8])
+            .build()
+            .run(serve_workload())
+            .fingerprint()
+    };
+    let a = run();
+    assert_eq!(a, run(), "same seeded workload, two fingerprints in one process");
+    print_or_assert("serve-report", a, GOLDEN_SERVE_FINGERPRINT);
+}
+
+#[test]
+fn fault_log_fingerprint_is_pinned() {
+    let dims = [96u32, 64, 48];
+    let tensor = gen::zipf_slices(&dims, 8_000, 1.0, 51);
+    let factors = FactorSet::random(&dims, 8, 52);
+    let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 3);
+    let opts = ClusterOptions::new(LaunchConfig::new(512, 256), 6);
+    let run = || {
+        let plan = FaultPlan::seeded_storm(53, 3, 4, 24, true);
+        let policy = FaultRecoveryPolicy::retry_reshard()
+            .with_retry(RetryPolicy::with_attempts(plan.len() as u32 + 4));
+        let mut inj = FaultInjector::new(plan);
+        let run = execute_cluster_resilient(&node, &tensor, &factors, 0, &opts, &mut inj, &policy);
+        assert_eq!(run.failed_segments, 0, "recoverable storm must recover");
+        inj.log().fingerprint()
+    };
+    let a = run();
+    assert_eq!(a, run(), "same storm, two fault-log fingerprints in one process");
+    print_or_assert("fault-log", a, GOLDEN_FAULT_LOG_FINGERPRINT);
+}
+
+#[test]
+fn cluster_shard_order_reduction_checksum_is_pinned() {
+    let dims = [80u32, 56, 40];
+    let tensor = gen::zipf_slices(&dims, 6_000, 1.1, 61);
+    let factors = FactorSet::random(&dims, 8, 62);
+    // Pinned shard count ⇒ identical fold order ⇒ one checksum across
+    // device counts. FNV-1a over value bits: toolchain-independent.
+    let mut sums = Vec::new();
+    for devices in [1usize, 2, 3] {
+        let report = ClusterScalFrag::builder()
+            .node(NodeSpec::homogeneous(DeviceSpec::rtx3090(), devices))
+            .fixed_config(LaunchConfig::new(512, 256))
+            .shards(6)
+            .build()
+            .mttkrp(&tensor, &factors, 0);
+        sums.push(mat_checksum(&report.output));
+    }
+    assert_eq!(sums[0], sums[1], "1-device vs 2-device outputs differ");
+    assert_eq!(sums[0], sums[2], "1-device vs 3-device outputs differ");
+    print_or_assert("cluster-output", sums[0], GOLDEN_CLUSTER_OUTPUT_CHECKSUM);
+}
