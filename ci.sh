@@ -28,4 +28,7 @@ cargo run --release -q -p scalfrag-bench --bin fault_storm -- --smoke
 echo "==> conformance smoke test (differential oracle + race checker self-test)"
 cargo run --release -q -p scalfrag-bench --bin conformance -- --smoke
 
+echo "==> plan-dump smoke test (every plan builder lowers to a stable non-empty trace)"
+cargo run --release -q -p scalfrag-bench --bin plan_dump -- --smoke
+
 echo "CI green."

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use scalfrag_gpusim::{DeviceSpec, Gpu, LaunchConfig};
 use scalfrag_kernels::FactorSet;
-use scalfrag_pipeline::{execute_pipelined_dry, KernelChoice, PipelinePlan};
+use scalfrag_pipeline::{execute_pipelined, ExecMode, KernelChoice, PipelinePlan};
 use scalfrag_tensor::CooTensor;
 
 fn setup() -> (CooTensor, FactorSet) {
@@ -27,7 +27,7 @@ fn bench_pipeline(c: &mut Criterion) {
             let plan = PipelinePlan::new(&t, 0, cfg, segs, 4.min(segs));
             b.iter(|| {
                 let mut gpu = Gpu::new(DeviceSpec::rtx3090());
-                execute_pipelined_dry(&mut gpu, &t, &f, &plan, KernelChoice::Tiled)
+                execute_pipelined(&mut gpu, &t, &f, &plan, KernelChoice::Tiled, ExecMode::Dry)
             })
         });
     }

@@ -24,7 +24,7 @@
 
 use scalfrag_cluster::execute_cluster_resilient;
 use scalfrag_cluster::{
-    execute_cluster, ClusterOptions, FaultRecoveryPolicy, NodeSpec, ResilientClusterRun,
+    execute_cluster, ClusterOptions, ExecMode, FaultRecoveryPolicy, NodeSpec, ResilientClusterRun,
 };
 use scalfrag_faults::{mat_checksum, FaultInjector, FaultKind, FaultPlan, FaultTrigger};
 use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
@@ -76,8 +76,16 @@ fn run_policies(tensor: &CooTensor, factors: &FactorSet, plan: &FaultPlan) -> Ve
         .into_iter()
         .map(|(name, policy)| {
             let mut inj = FaultInjector::new(plan.clone());
-            let run =
-                execute_cluster_resilient(&node(), tensor, factors, 0, &opts(), &mut inj, &policy);
+            let run = execute_cluster_resilient(
+                &node(),
+                tensor,
+                factors,
+                0,
+                &opts(),
+                &mut inj,
+                &policy,
+                ExecMode::Functional,
+            );
             PolicyRow { name, run, log_fingerprint: inj.log().fingerprint() }
         })
         .collect()
@@ -181,7 +189,7 @@ fn serve_demo() {
 fn main() {
     let smoke_mode = std::env::args().any(|a| a == "--smoke");
     let (tensor, factors) = workload();
-    let clean = execute_cluster(&node(), &tensor, &factors, 0, &opts());
+    let clean = execute_cluster(&node(), &tensor, &factors, 0, &opts(), ExecMode::Functional);
     let clean_sum = mat_checksum(&clean.output);
     println!(
         "ScalFrag fault storm: {} nnz, rank {RANK}, {DEVICES}x {} | fault-free makespan {:.3}ms, checksum {clean_sum:#018x}\n",

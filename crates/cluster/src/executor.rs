@@ -1,8 +1,12 @@
 //! Multi-device MTTKRP execution: shard → per-device pipeline → reduce.
 //!
-//! Every device runs its assigned shards through the same per-segment
-//! H2D/kernel pipeline the single-GPU executor uses (one simulated [`Gpu`]
-//! per device, PCIe bandwidth derated by the node's interconnect model).
+//! Since the ScheduleIR refactor this module is a thin wrapper: the
+//! cluster schedule lowers to a multi-device [`scalfrag_exec::Plan`]
+//! ([`crate::builders`]) and the single interpreter
+//! ([`scalfrag_exec::run_plan`]) instantiates one simulated [`Gpu`] per
+//! device and executes it. Timing-only sweeps pass [`ExecMode::Dry`] —
+//! identical schedule and simulated clock, zero output.
+//!
 //! Partial outputs are kept **per shard**, not per device, and folded on
 //! the host in shard-index order — so the numeric result is bitwise
 //! invariant to the device count and the scheduler, which only move work
@@ -16,16 +20,18 @@
 //!   output returns D2H and the host pays one add per extra shard — or,
 //!   with peer links, partials gather device-to-device and only the merged
 //!   result crosses PCIe.
+//!
+//! [`Gpu`]: scalfrag_gpusim::Gpu
 
+use crate::builders::build_cluster_plan;
 use crate::node::{Interconnect, NodeSpec};
-use crate::schedule::{assign_shards, DeviceScheduler};
-use crate::shard::{shard_tensor, Shard, ShardPolicy};
-use scalfrag_gpusim::{Gpu, LaunchConfig, StreamId, Timeline};
-use scalfrag_kernels::{AtomicF32Buffer, FactorSet};
+use crate::schedule::DeviceScheduler;
+use crate::shard::{Shard, ShardPolicy};
+use scalfrag_exec::{run_plan, ExecMode, KernelChoice, PlanTrace};
+use scalfrag_gpusim::{LaunchConfig, Timeline};
+use scalfrag_kernels::FactorSet;
 use scalfrag_linalg::Mat;
-use scalfrag_pipeline::KernelChoice;
-use scalfrag_tensor::{segment::segment_by_nnz, CooTensor};
-use std::sync::Arc;
+use scalfrag_tensor::CooTensor;
 
 /// Execution knobs of one cluster MTTKRP.
 #[derive(Clone, Copy, Debug)]
@@ -95,6 +101,8 @@ pub struct ClusterRun {
     pub reduction_s: f64,
     /// Number of shards actually cut (≤ the requested count).
     pub num_shards: usize,
+    /// Structured trace of every executed op across all devices.
+    pub trace: PlanTrace,
 }
 
 impl ClusterRun {
@@ -122,157 +130,35 @@ impl ClusterRun {
     }
 }
 
-/// Executes one MTTKRP across the node's devices (functional: the output
-/// is numerically real).
+/// Executes one MTTKRP across the node's devices by lowering the cluster
+/// schedule to a ScheduleIR plan and interpreting it.
 pub fn execute_cluster(
     node: &NodeSpec,
     tensor: &CooTensor,
     factors: &FactorSet,
     mode: usize,
     opts: &ClusterOptions,
+    exec: ExecMode,
 ) -> ClusterRun {
-    execute_cluster_impl(node, tensor, factors, mode, opts, true)
-}
-
-/// Timing-only variant of [`execute_cluster`] for benchmark sweeps: the
-/// schedule and simulated clock are identical, the output stays zero.
-pub fn execute_cluster_dry(
-    node: &NodeSpec,
-    tensor: &CooTensor,
-    factors: &FactorSet,
-    mode: usize,
-    opts: &ClusterOptions,
-) -> ClusterRun {
-    execute_cluster_impl(node, tensor, factors, mode, opts, false)
-}
-
-fn execute_cluster_impl(
-    node: &NodeSpec,
-    tensor: &CooTensor,
-    factors: &FactorSet,
-    mode: usize,
-    opts: &ClusterOptions,
-    functional: bool,
-) -> ClusterRun {
-    assert!(opts.segments_per_shard > 0, "need at least one segment per shard");
-    assert!(opts.streams_per_device > 0, "need at least one stream per device");
-    let rank = factors.rank();
-    let rows = tensor.dims()[mode] as usize;
-    let out_bytes = (rows * rank * 4) as u64;
-
-    let mut sorted = tensor.clone();
-    sorted.sort_for_mode(mode);
-    let shards = shard_tensor(&sorted, mode, opts.policy, opts.num_shards);
-    let assignment = assign_shards(&shards, node, opts.scheduler, rank);
-
-    // Per-SHARD partial outputs (not per device): the fold below walks
-    // them in shard order, making numerics independent of placement.
-    let buffers: Vec<Arc<AtomicF32Buffer>> = shards
+    let plan = build_cluster_plan(node, tensor, factors, mode, opts);
+    let outcome = run_plan(&plan, exec);
+    let devices = plan
+        .devices
         .iter()
-        .map(|_| Arc::new(AtomicF32Buffer::new(if functional { rows * rank } else { 0 })))
+        .zip(outcome.device_timelines)
+        .map(|(dev, timeline)| DeviceRun {
+            device_name: dev.name,
+            shard_indices: dev.shard_list.clone(),
+            timeline,
+        })
         .collect();
-    let factors_arc = Arc::new(factors.clone());
-
-    // Peer-linked nodes gather row-overlapping partials device-to-device,
-    // so the per-shard D2H hop disappears from the device timelines.
-    let peer_reduce =
-        opts.policy == ShardPolicy::NnzBalanced && node.peer_bandwidth_gbs().is_some();
-
-    let mut devices = Vec::with_capacity(node.num_devices());
-    for (d, shard_indices) in assignment.iter().enumerate() {
-        let spec = node.effective_device(d);
-        let device_name = spec.name;
-        if shard_indices.is_empty() {
-            devices.push(DeviceRun {
-                device_name,
-                shard_indices: Vec::new(),
-                timeline: Timeline::default(),
-            });
-            continue;
-        }
-
-        let mut gpu = Gpu::with_host(spec, node.host.clone());
-        let streams: Vec<StreamId> =
-            (0..opts.streams_per_device).map(|_| gpu.create_stream()).collect();
-        // Returning partials on a dedicated stream keeps the per-shard
-        // D2H waits off the worker streams — otherwise a later shard's
-        // H2D queued behind the wait would stall until the earlier
-        // shard's kernels finish, serialising the pipeline at every
-        // shard boundary.
-        let d2h_stream = gpu.create_stream();
-        let mut allocs = Vec::new();
-        allocs.push(
-            gpu.memory()
-                .alloc(factors.byte_size() as u64)
-                .expect("factor matrices must fit on each device"),
-        );
-
-        // Factors travel once per device; all streams wait for them.
-        gpu.h2d(streams[0], factors.byte_size() as u64, "factors H2D");
-        let factors_ready = gpu.record_event(streams[0]);
-        for &s in &streams[1..] {
-            gpu.wait_event(s, factors_ready);
-        }
-
-        let mut next_stream = 0usize;
-        for &si in shard_indices {
-            let shard = &shards[si];
-            allocs.push(
-                gpu.memory()
-                    .alloc(shard_output_bytes(shard, rank, out_bytes))
-                    .expect("shard output must fit"),
-            );
-            let segments = segment_by_nnz(shard.nnz(), opts.segments_per_shard);
-            let mut kernel_done = Vec::with_capacity(segments.len());
-            for (j, seg) in segments.iter().enumerate() {
-                let stream = streams[next_stream % streams.len()];
-                next_stream += 1;
-                let piece = Arc::new(shard.tensor.slice_range(seg.start, seg.end));
-                let bytes = seg.byte_size(sorted.order());
-                allocs.push(gpu.memory().alloc(bytes as u64).expect("segment must fit"));
-                gpu.h2d(stream, bytes as u64, format!("shard{si} seg{j} H2D"));
-                opts.kernel.enqueue(
-                    &mut gpu,
-                    stream,
-                    opts.config,
-                    piece,
-                    Arc::clone(&factors_arc),
-                    mode,
-                    functional.then(|| Arc::clone(&buffers[si])),
-                    format!("shard{si} seg{j} kernel"),
-                );
-                kernel_done.push(gpu.record_event(stream));
-            }
-            if !peer_reduce {
-                // The shard's partial result returns on the host link:
-                // only its owned rows when slice-aligned, the full
-                // partial matrix when rows may straddle shards.
-                for ev in kernel_done {
-                    gpu.wait_event(d2h_stream, ev);
-                }
-                gpu.d2h(
-                    d2h_stream,
-                    shard_output_bytes(&shards[si], rank, out_bytes),
-                    format!("shard{si} D2H"),
-                );
-            }
-        }
-
-        let timeline = gpu.synchronize();
-        for a in allocs {
-            gpu.memory().free(a);
-        }
-        devices.push(DeviceRun { device_name, shard_indices: shard_indices.clone(), timeline });
+    ClusterRun {
+        output: outcome.output,
+        devices,
+        reduction_s: outcome.reduction_s,
+        num_shards: plan.shards.len(),
+        trace: outcome.trace,
     }
-
-    let reduction_s = reduction_seconds(node, &shards, &assignment, rows, rank);
-    let output = if functional {
-        fold_partials(&shards, &buffers, rows, rank)
-    } else {
-        Mat::zeros(rows, rank)
-    };
-
-    ClusterRun { output, devices, reduction_s, num_shards: shards.len() }
 }
 
 /// Bytes of one shard's D2H result: its owned row block when slice-aligned,
@@ -282,31 +168,6 @@ pub(crate) fn shard_output_bytes(shard: &Shard, rank: usize, full_out_bytes: u64
         Some((lo, hi)) => ((hi - lo + 1) as u64) * rank as u64 * 4,
         None => full_out_bytes,
     }
-}
-
-/// Host-side fold of the per-shard partial outputs, in shard-index order.
-/// Slice-aligned shards copy their disjoint row blocks (bit-preserving);
-/// nnz-balanced shards sum, giving a deterministic shard-ordered
-/// accumulation.
-pub(crate) fn fold_partials(
-    shards: &[Shard],
-    buffers: &[Arc<AtomicF32Buffer>],
-    rows: usize,
-    rank: usize,
-) -> Mat {
-    let mut out = Mat::zeros(rows, rank);
-    for shard in shards {
-        let partial = buffers[shard.index].to_vec();
-        match shard.rows {
-            Some((lo, hi)) => {
-                for r in lo as usize..=hi as usize {
-                    out.row_mut(r).copy_from_slice(&partial[r * rank..(r + 1) * rank]);
-                }
-            }
-            None => out.axpy(1.0, &Mat::from_vec(rows, rank, partial)),
-        }
-    }
-    out
 }
 
 /// Analytic cost of the cross-shard reduction stage.
@@ -381,6 +242,7 @@ mod tests {
             &f,
             0,
             &opts(ShardPolicy::SliceAligned, KernelChoice::Tiled),
+            ExecMode::Functional,
         );
         let mut sorted = t.clone();
         sorted.sort_for_mode(0);
@@ -396,8 +258,14 @@ mod tests {
     fn nnz_balanced_pays_for_reduction() {
         let (t, f) = setup();
         let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 2);
-        let run =
-            execute_cluster(&node, &t, &f, 0, &opts(ShardPolicy::NnzBalanced, KernelChoice::Tiled));
+        let run = execute_cluster(
+            &node,
+            &t,
+            &f,
+            0,
+            &opts(ShardPolicy::NnzBalanced, KernelChoice::Tiled),
+            ExecMode::Functional,
+        );
         let mut sorted = t.clone();
         sorted.sort_for_mode(0);
         let expect = mttkrp_seq(&sorted, &f, 0);
@@ -413,7 +281,7 @@ mod tests {
             .iter()
             .map(|&n| {
                 let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), n);
-                execute_cluster(&node, &t, &f, 0, &o).output.into_vec()
+                execute_cluster(&node, &t, &f, 0, &o, ExecMode::Functional).output.into_vec()
             })
             .collect();
         assert_eq!(outputs[0], outputs[1]);
@@ -425,8 +293,8 @@ mod tests {
         let (t, f) = setup();
         let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 2);
         let o = opts(ShardPolicy::SliceAligned, KernelChoice::Tiled);
-        let wet = execute_cluster(&node, &t, &f, 0, &o);
-        let dry = execute_cluster_dry(&node, &t, &f, 0, &o);
+        let wet = execute_cluster(&node, &t, &f, 0, &o, ExecMode::Functional);
+        let dry = execute_cluster(&node, &t, &f, 0, &o, ExecMode::Dry);
         assert_eq!(wet.makespan(), dry.makespan());
         assert_eq!(dry.output.frob_norm(), 0.0);
     }
@@ -443,8 +311,8 @@ mod tests {
         let peered = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 2)
             .with_interconnect(Interconnect::PeerLinks { peer_gbs: 300.0 });
         let o = opts(ShardPolicy::NnzBalanced, KernelChoice::Tiled);
-        let host_path = execute_cluster_dry(&base, &t, &f, 0, &o);
-        let peer_path = execute_cluster_dry(&peered, &t, &f, 0, &o);
+        let host_path = execute_cluster(&base, &t, &f, 0, &o, ExecMode::Dry);
+        let peer_path = execute_cluster(&peered, &t, &f, 0, &o, ExecMode::Dry);
         assert!(
             peer_path.reduction_s < host_path.reduction_s,
             "peer gather {} should beat host adds {}",
@@ -462,11 +330,29 @@ mod tests {
         let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 6);
         let mut o = opts(ShardPolicy::SliceAligned, KernelChoice::Tiled);
         o.num_shards = 2;
-        let run = execute_cluster_dry(&node, &t, &f, 0, &o);
+        let run = execute_cluster(&node, &t, &f, 0, &o, ExecMode::Dry);
         let idle = run.devices.iter().filter(|d| d.shard_indices.is_empty()).count();
         assert!(idle >= 4, "only 2 shards: at least 4 of 6 devices idle");
         for d in run.devices.iter().filter(|d| d.shard_indices.is_empty()) {
             assert_eq!(d.makespan(), 0.0);
         }
+    }
+
+    #[test]
+    fn cluster_plan_renders_a_typed_ir_dump() {
+        let (t, f) = setup();
+        let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 2);
+        let p = build_cluster_plan(
+            &node,
+            &t,
+            &f,
+            0,
+            &opts(ShardPolicy::SliceAligned, KernelChoice::Tiled),
+        );
+        let dump = p.render();
+        assert!(dump.contains("device 0"), "dump:\n{dump}");
+        assert!(dump.contains("device 1"), "dump:\n{dump}");
+        assert!(dump.contains("shard0 seg0 H2D"), "dump:\n{dump}");
+        assert!(dump.contains("D2H"), "dump:\n{dump}");
     }
 }

@@ -15,28 +15,31 @@
 //! 3. **Scheduling** ([`schedule`]) — shards are placed round-robin or by
 //!    speed-weighted LPT (which is what makes a 3090 + 3060 node finish
 //!    together instead of waiting on the slow card).
-//! 4. **Execution** ([`executor`]) — each device pipelines its shards
-//!    H2D → kernel per segment on its own streams, exactly like the
-//!    single-GPU executor; partial outputs are kept per shard.
-//! 5. **Reduction** ([`executor`]) — slice-aligned shards merge for free
-//!    (disjoint rows); nnz-balanced shards pay a modeled D2H + host-add,
-//!    or a peer-to-peer gather when the node has peer links.
+//! 4. **Plan building** ([`builders`]) — the schedule lowers to a
+//!    multi-device [`scalfrag_exec::Plan`], carrying the node-aware
+//!    placement callbacks as a [`scalfrag_exec::ClusterPolicy`].
+//! 5. **Execution** ([`executor`], [`resilient`]) — thin wrappers hand
+//!    the plan to the single interpreter in `scalfrag-exec`; dry runs are
+//!    its [`scalfrag_exec::ExecMode::Dry`], fault injection its resilient
+//!    mode.
 //!
 //! Numerics are decoupled from placement: partial outputs live per
 //! *shard* and fold in shard-index order, so for a fixed shard count the
 //! result is bitwise identical across device counts and schedulers.
 
+pub mod builders;
 pub mod executor;
 pub mod node;
 pub mod resilient;
 pub mod schedule;
 pub mod shard;
 
-pub use executor::{execute_cluster, execute_cluster_dry, ClusterOptions, ClusterRun, DeviceRun};
+pub use builders::{build_cluster_plan, plan_builders, NodePlacement};
+pub use executor::{execute_cluster, ClusterOptions, ClusterRun, DeviceRun};
 pub use node::{Interconnect, NodeSpec};
 pub use resilient::{
-    execute_cluster_resilient, execute_cluster_resilient_dry, FaultRecoveryPolicy, RecoveryMode,
-    ResilientClusterRun,
+    execute_cluster_resilient, FaultRecoveryPolicy, RecoveryMode, ResilientClusterRun,
 };
+pub use scalfrag_exec::ExecMode;
 pub use schedule::{assign_shards, DeviceScheduler};
 pub use shard::{shard_tensor, Shard, ShardPolicy};

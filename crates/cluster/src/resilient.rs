@@ -7,82 +7,31 @@
 //!   (even transient) abandons the device. The baseline that shows what
 //!   resilience buys.
 //! * **Retry** — segments retry in place with exponential backoff
-//!   ([`RetryPolicy`]); transient outages are waited out. Work on a
-//!   permanently dead device is lost.
+//!   ([`scalfrag_exec::RetryPolicy`]); transient outages are waited out.
+//!   Work on a permanently dead device is lost.
 //! * **Retry + re-shard** — additionally, when a device dies its
 //!   unfinished work is re-placed onto the surviving devices by re-running
 //!   the placement policy over the reduced device set, no earlier than the
 //!   simulated time the failure was observed.
 //!
-//! Numerics follow the same decoupling as the resilient pipeline: the
-//! schedule (retries, backoff stalls, downtime waits, re-placements) is
-//! timing-only, and the segments that ultimately completed are replayed
-//! functionally in shard-then-segment order into the per-shard partial
-//! buffers, which fold in shard-index order exactly like
-//! [`crate::execute_cluster`]. Because that fold order is placement-
-//! invariant, a fully recovered run — even one whose shards finished on
-//! different devices than planned — is bit-identical to the fault-free
-//! cluster run.
+//! Since the ScheduleIR refactor this module holds no execution loop: it
+//! lowers the cluster plan (attaching the retry policy as plan metadata)
+//! and hands it to the single resilient interpreter,
+//! [`scalfrag_exec::run_plan_resilient`]. The recovery semantics —
+//! retry waves, downtime waits, re-placement through the plan's
+//! [`scalfrag_exec::ClusterPolicy`], and the functional replay in
+//! shard-then-segment order that keeps a fully recovered run bit-identical
+//! to the fault-free cluster run — all live there.
 
-use crate::executor::{fold_partials, reduction_seconds, shard_output_bytes};
+use crate::builders::build_cluster_plan;
 use crate::executor::{ClusterOptions, DeviceRun};
 use crate::node::NodeSpec;
-use crate::schedule::{assign_shards, DeviceScheduler};
-use crate::shard::{shard_tensor, Shard, ShardPolicy};
-use scalfrag_faults::{DeviceHealth, FaultInjector, OpClass, OpVerdict, RecoveryAction};
-use scalfrag_gpusim::{Allocation, Gpu, StreamId, Timeline};
-use scalfrag_kernels::{AtomicF32Buffer, FactorSet};
+use scalfrag_exec::{run_plan_resilient, ExecMode};
+pub use scalfrag_exec::{FaultRecoveryPolicy, RecoveryMode};
+use scalfrag_faults::FaultInjector;
+use scalfrag_kernels::FactorSet;
 use scalfrag_linalg::Mat;
-use scalfrag_pipeline::RetryPolicy;
-use scalfrag_tensor::segment::{segment_by_nnz, Segment};
 use scalfrag_tensor::CooTensor;
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
-use std::sync::Arc;
-
-/// How far the cluster goes to keep a fault-injected run alive.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum RecoveryMode {
-    /// Lose faulted work; abandon a device on any failure.
-    NoRetry,
-    /// Retry segments in place; wait out transient outages.
-    Retry,
-    /// [`RecoveryMode::Retry`] plus re-placement of a dead device's
-    /// unfinished work onto survivors.
-    RetryReShard,
-}
-
-/// The cluster-level recovery policy: a mode plus the segment retry knobs.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct FaultRecoveryPolicy {
-    /// Recovery mode.
-    pub mode: RecoveryMode,
-    /// Per-segment retry schedule (ignored under
-    /// [`RecoveryMode::NoRetry`]).
-    pub retry: RetryPolicy,
-}
-
-impl FaultRecoveryPolicy {
-    /// The ablation baseline: one attempt, no re-placement.
-    pub fn no_retry() -> Self {
-        Self { mode: RecoveryMode::NoRetry, retry: RetryPolicy::no_retry() }
-    }
-
-    /// In-place retries with the default backoff schedule.
-    pub fn retry() -> Self {
-        Self { mode: RecoveryMode::Retry, retry: RetryPolicy::default() }
-    }
-
-    /// Retries plus shard re-placement — the full recovery stack.
-    pub fn retry_reshard() -> Self {
-        Self { mode: RecoveryMode::RetryReShard, retry: RetryPolicy::default() }
-    }
-
-    /// Same mode with a custom retry schedule.
-    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
-        self.retry = retry;
-        self
-    }
-}
 
 /// The result of one fault-injected cluster MTTKRP.
 #[derive(Clone, Debug)]
@@ -126,8 +75,10 @@ impl ResilientClusterRun {
     }
 }
 
-/// Executes one fault-injected MTTKRP across the node (functional
-/// numerics; see the module docs for the bit-identity guarantee).
+/// Executes one fault-injected MTTKRP across the node by lowering the
+/// cluster schedule to a ScheduleIR plan and handing it to the resilient
+/// interpreter (see the module docs for the bit-identity guarantee).
+#[allow(clippy::too_many_arguments)]
 pub fn execute_cluster_resilient(
     node: &NodeSpec,
     tensor: &CooTensor,
@@ -136,602 +87,43 @@ pub fn execute_cluster_resilient(
     opts: &ClusterOptions,
     injector: &mut FaultInjector,
     policy: &FaultRecoveryPolicy,
+    exec: ExecMode,
 ) -> ResilientClusterRun {
-    execute_cluster_resilient_impl(node, tensor, factors, mode, opts, injector, policy, true)
-}
-
-/// Timing-only variant of [`execute_cluster_resilient`]: identical
-/// schedule, retries and fault consumption, zero output.
-pub fn execute_cluster_resilient_dry(
-    node: &NodeSpec,
-    tensor: &CooTensor,
-    factors: &FactorSet,
-    mode: usize,
-    opts: &ClusterOptions,
-    injector: &mut FaultInjector,
-    policy: &FaultRecoveryPolicy,
-) -> ResilientClusterRun {
-    execute_cluster_resilient_impl(node, tensor, factors, mode, opts, injector, policy, false)
-}
-
-/// One device's live execution state, kept across re-placement rounds so
-/// a survivor can absorb rescued work on its existing clock.
-struct Ctx {
-    gpu: Gpu,
-    streams: Vec<StreamId>,
-    d2h_stream: StreamId,
-    next_stream: usize,
-    allocs: Vec<Allocation>,
-    allocated: HashSet<(usize, usize)>,
-    done: Vec<(usize, usize)>,
-    dead: bool,
-}
-
-/// Brings up device `d`: simulated GPU (derated if the device is
-/// straggling), streams, factor upload. Synchronised so the clock can be
-/// advanced before rescued work lands.
-fn make_ctx(node: &NodeSpec, d: usize, derate: f64, factors_bytes: u64, streams: usize) -> Ctx {
-    let mut spec = node.effective_device(d);
-    if derate > 1.0 {
-        spec = spec.derated(derate);
-    }
-    let mut gpu = Gpu::with_host(spec, node.host.clone());
-    let streams: Vec<StreamId> = (0..streams).map(|_| gpu.create_stream()).collect();
-    let d2h_stream = gpu.create_stream();
-    let allocs = vec![gpu.memory().alloc(factors_bytes).expect("factor matrices must fit")];
-    gpu.h2d(streams[0], factors_bytes, "factors H2D");
-    let factors_ready = gpu.record_event(streams[0]);
-    for &s in &streams[1..] {
-        gpu.wait_event(s, factors_ready);
-    }
-    gpu.synchronize();
-    Ctx {
-        gpu,
-        streams,
-        d2h_stream,
-        next_stream: 0,
-        allocs,
-        allocated: HashSet::new(),
-        done: Vec::new(),
-        dead: false,
-    }
-}
-
-fn ensure_ctx<'a>(
-    ctxs: &'a mut [Option<Ctx>],
-    node: &NodeSpec,
-    d: usize,
-    now_s: f64,
-    injector: &mut FaultInjector,
-    factors_bytes: u64,
-    streams: usize,
-) -> &'a mut Ctx {
-    if ctxs[d].is_none() {
-        let derate = match injector.health_at(d, now_s) {
-            DeviceHealth::Straggling { derate } => derate,
-            _ => 1.0,
-        };
-        ctxs[d] = Some(make_ctx(node, d, derate, factors_bytes, streams));
-    }
-    ctxs[d].as_mut().expect("just created")
-}
-
-/// The `(lost, orphans, retries)` outcome of [`drive`]; items are
-/// `(shard, segment)` pairs.
-type DriveOutcome = (Vec<(usize, usize)>, Vec<(usize, usize)>, usize);
-
-/// Drives `pending` work items (`(shard, segment)` pairs) on device `d`
-/// in retry waves, mirroring the resilient pipeline: poll the injector
-/// before every H2D and kernel, charge corrupted transfers and aborted
-/// kernels, wait out transient outages, back off exponentially between
-/// attempts. Returns `(lost, orphans, retries)`: `lost` items hit the
-/// attempt cap, `orphans` were unfinished when the device died (the
-/// re-shard path may rescue them elsewhere). Completed items accumulate
-/// in `ctx.done`; an unrecovered death sets `ctx.dead`.
-#[allow(clippy::too_many_arguments)]
-fn drive(
-    ctx: &mut Ctx,
-    d: usize,
-    mut pending: Vec<(usize, usize)>,
-    shards: &[Shard],
-    seg_lists: &[Vec<Segment>],
-    order: usize,
-    mode: usize,
-    factors_arc: &Arc<FactorSet>,
-    opts: &ClusterOptions,
-    injector: &mut FaultInjector,
-    policy: &FaultRecoveryPolicy,
-) -> DriveOutcome {
-    let retry_allowed = policy.mode != RecoveryMode::NoRetry;
-    let mut att: HashMap<(usize, usize), u32> = HashMap::new();
-    let mut lost = Vec::new();
-    let mut retries = 0usize;
-    while !pending.is_empty() {
-        let now = ctx.gpu.clock();
-        let mut failed: Vec<(usize, usize)> = Vec::new();
-        // `Some(until)` once the device goes down this wave; every later
-        // poll in the wave sees the same down state from the injector.
-        let mut down: Option<Option<f64>> = None;
-        for &(si, j) in &pending {
-            let a = att.entry((si, j)).or_insert(0);
-            *a += 1;
-            let attempt = *a;
-            let seg = &seg_lists[si][j];
-            let stream = ctx.streams[ctx.next_stream % ctx.streams.len()];
-            ctx.next_stream += 1;
-            if attempt > 1 {
-                retries += 1;
-                let backoff = policy.retry.backoff_s(attempt);
-                if backoff > 0.0 {
-                    ctx.gpu.stall(stream, backoff, format!("shard{si} seg{j} backoff"));
-                }
-                injector.record_recovery(
-                    d,
-                    now,
-                    RecoveryAction::RetrySegment { shard: si, segment: j, attempt },
-                );
-            }
-            let bytes = seg.byte_size(order) as u64;
-            if ctx.allocated.insert((si, j)) {
-                ctx.allocs.push(ctx.gpu.memory().alloc(bytes).expect("segment must fit"));
-            }
-            match injector.on_op(d, OpClass::H2D, now) {
-                OpVerdict::DeviceDown { until_s } => {
-                    down = Some(until_s);
-                    failed.push((si, j));
-                    continue;
-                }
-                verdict => {
-                    ctx.gpu.h2d(stream, bytes, format!("shard{si} seg{j} H2D try{attempt}"));
-                    // ECC-style detection: every transfer pays a host-side
-                    // checksum scan over the segment.
-                    ctx.gpu.host_task(
-                        stream,
-                        seg.nnz() as u64,
-                        bytes,
-                        format!("shard{si} seg{j} checksum"),
-                        || {},
-                    );
-                    if verdict == OpVerdict::Corrupted {
-                        failed.push((si, j));
-                        continue;
-                    }
-                }
-            }
-            match injector.on_op(d, OpClass::Kernel, now) {
-                OpVerdict::DeviceDown { until_s } => {
-                    down = Some(until_s);
-                    failed.push((si, j));
-                    continue;
-                }
-                verdict => {
-                    // Timing-only launch even in functional mode: numerics
-                    // come from the deterministic replay afterwards, so
-                    // retries and re-placement can never reorder the
-                    // accumulation.
-                    let piece = Arc::new(shards[si].tensor.slice_range(seg.start, seg.end));
-                    opts.kernel.enqueue(
-                        &mut ctx.gpu,
-                        stream,
-                        opts.config,
-                        piece,
-                        Arc::clone(factors_arc),
-                        mode,
-                        None,
-                        format!("shard{si} seg{j} kernel try{attempt}"),
-                    );
-                    // An aborted kernel is charged its full cost too.
-                    if verdict == OpVerdict::Aborted {
-                        failed.push((si, j));
-                        continue;
-                    }
-                }
-            }
-            ctx.done.push((si, j));
-        }
-        ctx.gpu.synchronize();
-        let (keep, dropped): (Vec<_>, Vec<_>) =
-            failed.into_iter().partition(|it| retry_allowed && att[it] < policy.retry.max_attempts);
-        match down {
-            Some(Some(until)) if retry_allowed => {
-                // Transient outage: wait it out, then retry the wave.
-                ctx.gpu.advance_to(until);
-                lost.extend(dropped);
-                pending = keep;
-            }
-            Some(_) => {
-                // Permanent failure (or any outage under no-retry): the
-                // device is gone; everything unfinished is orphaned and
-                // may be rescued by re-placement.
-                ctx.dead = true;
-                let mut orphans = keep;
-                orphans.extend(dropped);
-                return (lost, orphans, retries);
-            }
-            None => {
-                lost.extend(dropped);
-                pending = keep;
-            }
-        }
-    }
-    (lost, Vec::new(), retries)
-}
-
-/// Replays the completed items functionally, in shard-then-segment order,
-/// on a scratch device — the same per-buffer accumulation order as the
-/// fault-free cluster executor, so recovery is invisible to the numerics.
-#[allow(clippy::too_many_arguments)]
-fn replay_completed_items(
-    node: &NodeSpec,
-    shards: &[Shard],
-    seg_lists: &[Vec<Segment>],
-    done: &HashSet<(usize, usize)>,
-    buffers: &[Arc<AtomicF32Buffer>],
-    factors_arc: &Arc<FactorSet>,
-    mode: usize,
-    opts: &ClusterOptions,
-) {
-    let mut scratch = Gpu::new(node.effective_device(0));
-    let s = scratch.create_stream();
-    for (si, segs) in seg_lists.iter().enumerate() {
-        for (j, seg) in segs.iter().enumerate() {
-            if !done.contains(&(si, j)) {
-                continue;
-            }
-            opts.kernel.enqueue(
-                &mut scratch,
-                s,
-                opts.config,
-                Arc::new(shards[si].tensor.slice_range(seg.start, seg.end)),
-                Arc::clone(factors_arc),
-                mode,
-                Some(Arc::clone(&buffers[si])),
-                format!("replay shard{si} seg{j}"),
-            );
-        }
-    }
-    scratch.synchronize();
-}
-
-#[allow(clippy::too_many_arguments)]
-fn execute_cluster_resilient_impl(
-    node: &NodeSpec,
-    tensor: &CooTensor,
-    factors: &FactorSet,
-    mode: usize,
-    opts: &ClusterOptions,
-    injector: &mut FaultInjector,
-    policy: &FaultRecoveryPolicy,
-    functional: bool,
-) -> ResilientClusterRun {
-    assert!(opts.segments_per_shard > 0, "need at least one segment per shard");
-    assert!(opts.streams_per_device > 0, "need at least one stream per device");
-    assert!(policy.retry.max_attempts >= 1, "at least one attempt is required");
-    let n = node.num_devices();
-    let rank = factors.rank();
-    let rows = tensor.dims()[mode] as usize;
-    let out_bytes = (rows * rank * 4) as u64;
-    let factors_bytes = factors.byte_size() as u64;
-
-    let mut sorted = tensor.clone();
-    sorted.sort_for_mode(mode);
-    let order = sorted.order();
-    let shards = shard_tensor(&sorted, mode, opts.policy, opts.num_shards);
-    let seg_lists: Vec<Vec<Segment>> =
-        shards.iter().map(|s| segment_by_nnz(s.nnz(), opts.segments_per_shard)).collect();
-    let total_items: usize = seg_lists.iter().map(Vec::len).sum();
-
-    let buffers: Vec<Arc<AtomicF32Buffer>> = shards
+    let mut plan = build_cluster_plan(node, tensor, factors, mode, opts);
+    plan.meta.retry = Some(policy.retry);
+    let outcome = run_plan_resilient(&plan, injector, policy, exec);
+    let devices = plan
+        .devices
         .iter()
-        .map(|_| Arc::new(AtomicF32Buffer::new(if functional { rows * rank } else { 0 })))
+        .zip(outcome.device_timelines)
+        .zip(outcome.device_shards)
+        .map(|((dev, timeline), shard_indices)| DeviceRun {
+            device_name: dev.name,
+            shard_indices,
+            timeline,
+        })
         .collect();
-    let factors_arc = Arc::new(factors.clone());
-    let peer_reduce =
-        opts.policy == ShardPolicy::NnzBalanced && node.peer_bandwidth_gbs().is_some();
-
-    // Bring-up health check: devices already down at t = 0 receive no
-    // work (failure detection at admission is cheap); stragglers run but
-    // derated. Mid-run faults are what the recovery modes differ on.
-    let mut dead = vec![false; n];
-    let mut derate0 = vec![1.0f64; n];
-    for d in 0..n {
-        match injector.health_at(d, 0.0) {
-            DeviceHealth::Down { .. } => dead[d] = true,
-            DeviceHealth::Straggling { derate } => derate0[d] = derate,
-            DeviceHealth::Healthy => {}
-        }
-    }
-    let alive: Vec<usize> = (0..n).filter(|&d| !dead[d]).collect();
-
-    // Initial placement over the healthy devices only. `assign_shards`
-    // always sees the FULL shard list (its round-robin branch keys on
-    // global shard indices), on a sub-node preserving device order.
-    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); n];
-    if !alive.is_empty() {
-        let sub = NodeSpec {
-            devices: alive.iter().map(|&d| node.devices[d].clone()).collect(),
-            host: node.host.clone(),
-            interconnect: node.interconnect,
-        };
-        for (k, list) in assign_shards(&shards, &sub, opts.scheduler, rank).into_iter().enumerate()
-        {
-            assignment[alive[k]] = list;
-        }
-    }
-    // Reduction-stage ownership: updated when shards re-place.
-    let mut owner: Vec<Option<usize>> = vec![None; shards.len()];
-    for (d, list) in assignment.iter().enumerate() {
-        for &si in list {
-            owner[si] = Some(d);
-        }
-    }
-
-    let mut ctxs: Vec<Option<Ctx>> = (0..n).map(|_| None).collect();
-    let mut lost: Vec<(usize, usize)> = Vec::new();
-    let mut orphans: Vec<(usize, usize)> = Vec::new();
-    let mut rescued: HashSet<(usize, usize)> = HashSet::new();
-    let mut retries = 0usize;
-    // Rescued work cannot start before the failure was observed.
-    let mut fail_clock = 0.0f64;
-
-    for d in 0..n {
-        let items: Vec<(usize, usize)> = assignment[d]
-            .iter()
-            .flat_map(|&si| (0..seg_lists[si].len()).map(move |j| (si, j)))
-            .collect();
-        if items.is_empty() {
-            continue;
-        }
-        let ctx =
-            ensure_ctx(&mut ctxs, node, d, 0.0, injector, factors_bytes, opts.streams_per_device);
-        let (l, o, r) = drive(
-            ctx,
-            d,
-            items,
-            &shards,
-            &seg_lists,
-            order,
-            mode,
-            &factors_arc,
-            opts,
-            injector,
-            policy,
-        );
-        retries += r;
-        lost.extend(l);
-        if !o.is_empty() {
-            dead[d] = true;
-            fail_clock = fail_clock.max(ctx.gpu.clock());
-            orphans.extend(o);
-        }
-    }
-
-    // Re-placement rounds: re-run the placement policy over the surviving
-    // devices for the orphaned work, until everything is placed or no
-    // device remains.
-    while !orphans.is_empty() {
-        if policy.mode != RecoveryMode::RetryReShard {
-            lost.append(&mut orphans);
-            break;
-        }
-        let survivors: Vec<usize> = (0..n).filter(|&d| !dead[d]).collect();
-        if survivors.is_empty() {
-            lost.append(&mut orphans);
-            break;
-        }
-        orphans.sort_unstable();
-        let mut by_shard: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
-        for it in orphans.drain(..) {
-            by_shard.entry(it.0).or_default().push(it);
-        }
-        let mut extra: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
-        match opts.scheduler {
-            DeviceScheduler::RoundRobin => {
-                for (k, (si, items)) in by_shard.into_iter().enumerate() {
-                    let target = survivors[k % survivors.len()];
-                    reshard(injector, &mut owner, si, target, fail_clock);
-                    rescued.extend(items.iter().copied());
-                    extra[target].extend(items);
-                }
-            }
-            DeviceScheduler::Lpt => {
-                // LPT over the survivors: projected finish = current
-                // device clock + orphan bytes / end-to-end speed proxy.
-                let speeds: Vec<f64> =
-                    survivors.iter().map(|&d| node.device_speed_proxy(d, rank)).collect();
-                let mut load: Vec<f64> = survivors
-                    .iter()
-                    .map(|&d| ctxs[d].as_ref().map_or(0.0, |c| c.gpu.clock()).max(fail_clock))
-                    .collect();
-                let group_bytes = |si: usize, items: &[(usize, usize)]| -> u64 {
-                    items.iter().map(|&(_, j)| seg_lists[si][j].byte_size(order) as u64).sum()
-                };
-                let mut groups: Vec<(usize, Vec<(usize, usize)>)> = by_shard.into_iter().collect();
-                groups.sort_by(|a, b| {
-                    group_bytes(b.0, &b.1).cmp(&group_bytes(a.0, &a.1)).then(a.0.cmp(&b.0))
-                });
-                for (si, items) in groups {
-                    let bytes = group_bytes(si, &items) as f64;
-                    let best = (0..survivors.len())
-                        .min_by(|&a, &b| {
-                            let ca = load[a] + bytes / (speeds[a] * 1e9);
-                            let cb = load[b] + bytes / (speeds[b] * 1e9);
-                            ca.partial_cmp(&cb).expect("finite loads").then(a.cmp(&b))
-                        })
-                        .expect("survivors is non-empty");
-                    load[best] += bytes / (speeds[best] * 1e9);
-                    reshard(injector, &mut owner, si, survivors[best], fail_clock);
-                    rescued.extend(items.iter().copied());
-                    extra[survivors[best]].extend(items);
-                }
-            }
-        }
-        for d in survivors {
-            if extra[d].is_empty() {
-                continue;
-            }
-            let ctx = ensure_ctx(
-                &mut ctxs,
-                node,
-                d,
-                fail_clock,
-                injector,
-                factors_bytes,
-                opts.streams_per_device,
-            );
-            ctx.gpu.advance_to(fail_clock);
-            let (l, o, r) = drive(
-                ctx,
-                d,
-                std::mem::take(&mut extra[d]),
-                &shards,
-                &seg_lists,
-                order,
-                mode,
-                &factors_arc,
-                opts,
-                injector,
-                policy,
-            );
-            retries += r;
-            lost.extend(l);
-            if !o.is_empty() {
-                dead[d] = true;
-                fail_clock = fail_clock.max(ctx.gpu.clock());
-                orphans.extend(o);
-            }
-        }
-    }
-
-    // Return partial outputs on each surviving device's D2H stream,
-    // scaled by the fraction of the shard it actually completed.
-    for slot in ctxs.iter_mut().take(n) {
-        let Some(ctx) = slot.as_mut() else { continue };
-        if ctx.dead || peer_reduce {
-            continue;
-        }
-        let mut per_shard: BTreeMap<usize, usize> = BTreeMap::new();
-        for &(si, _) in &ctx.done {
-            *per_shard.entry(si).or_insert(0) += 1;
-        }
-        if per_shard.is_empty() {
-            continue;
-        }
-        let worker_streams = ctx.streams.clone();
-        let evs: Vec<_> = worker_streams.iter().map(|&s| ctx.gpu.record_event(s)).collect();
-        for ev in evs {
-            ctx.gpu.wait_event(ctx.d2h_stream, ev);
-        }
-        for (si, cnt) in per_shard {
-            let full = shard_output_bytes(&shards[si], rank, out_bytes) as f64;
-            let frac = cnt as f64 / seg_lists[si].len() as f64;
-            let bytes = ((full * frac).ceil() as u64).max(1);
-            ctx.gpu.d2h(ctx.d2h_stream, bytes, format!("shard{si} D2H"));
-        }
-        ctx.gpu.synchronize();
-    }
-
-    let done: HashSet<(usize, usize)> =
-        ctxs.iter().flatten().flat_map(|c| c.done.iter().copied()).collect();
-    let completed_segments = done.len();
-    let replaced_segments = rescued.intersection(&done).count();
-
-    let mut devices = Vec::with_capacity(n);
-    for (d, slot) in ctxs.iter_mut().enumerate() {
-        let device_name = node.effective_device(d).name;
-        match slot {
-            Some(ctx) => {
-                for a in ctx.allocs.drain(..) {
-                    ctx.gpu.memory().free(a);
-                }
-                let shard_indices: Vec<usize> = ctx
-                    .done
-                    .iter()
-                    .map(|&(si, _)| si)
-                    .collect::<BTreeSet<_>>()
-                    .into_iter()
-                    .collect();
-                devices.push(DeviceRun {
-                    device_name,
-                    shard_indices,
-                    timeline: ctx.gpu.full_timeline().clone(),
-                });
-            }
-            None => devices.push(DeviceRun {
-                device_name,
-                shard_indices: Vec::new(),
-                timeline: Timeline::default(),
-            }),
-        }
-    }
-
-    let mut final_assignment: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (si, o) in owner.iter().enumerate() {
-        if let Some(d) = o {
-            final_assignment[*d].push(si);
-        }
-    }
-    let reduction_s = reduction_seconds(node, &shards, &final_assignment, rows, rank);
-
-    if functional {
-        replay_completed_items(
-            node,
-            &shards,
-            &seg_lists,
-            &done,
-            &buffers,
-            &factors_arc,
-            mode,
-            opts,
-        );
-    }
-    let output = if functional {
-        fold_partials(&shards, &buffers, rows, rank)
-    } else {
-        Mat::zeros(rows, rank)
-    };
-
     ResilientClusterRun {
-        output,
+        output: outcome.output,
         devices,
-        reduction_s,
-        num_shards: shards.len(),
-        failed_segments: total_items - completed_segments,
-        completed_segments,
-        replaced_segments,
-        retries,
-        dead_devices: (0..n).filter(|&d| dead[d]).collect(),
+        reduction_s: outcome.reduction_s,
+        num_shards: plan.shards.len(),
+        failed_segments: outcome.total_items - outcome.completed_segments,
+        completed_segments: outcome.completed_segments,
+        replaced_segments: outcome.replaced_segments,
+        retries: outcome.retries,
+        dead_devices: outcome.dead_devices,
     }
-}
-
-/// Records one shard re-placement in the fault log and the reduction
-/// ownership table.
-fn reshard(
-    injector: &mut FaultInjector,
-    owner: &mut [Option<usize>],
-    si: usize,
-    target: usize,
-    now_s: f64,
-) {
-    injector.record_recovery(
-        target,
-        now_s,
-        RecoveryAction::ReShard {
-            shard: si,
-            from_device: owner[si].unwrap_or(target),
-            to_device: target,
-        },
-    );
-    owner[si] = Some(target);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::executor::execute_cluster;
+    use crate::shard::ShardPolicy;
+    use scalfrag_exec::KernelChoice;
     use scalfrag_faults::{FaultKind, FaultPlan, FaultTrigger};
     use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
-    use scalfrag_pipeline::KernelChoice;
 
     fn setup() -> (CooTensor, FactorSet) {
         let dims = [120u32, 90, 70];
@@ -755,7 +147,7 @@ mod tests {
         let (t, f) = setup();
         let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 3);
         let o = opts();
-        let base = execute_cluster(&node, &t, &f, 0, &o);
+        let base = execute_cluster(&node, &t, &f, 0, &o, ExecMode::Functional);
         let mut inj = FaultInjector::inert();
         let run = execute_cluster_resilient(
             &node,
@@ -765,6 +157,7 @@ mod tests {
             &o,
             &mut inj,
             &FaultRecoveryPolicy::retry_reshard(),
+            ExecMode::Functional,
         );
         assert!(run.all_complete());
         assert_eq!(run.retries, 0);
@@ -779,7 +172,7 @@ mod tests {
         let (t, f) = setup();
         let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 3);
         let o = opts();
-        let base = execute_cluster(&node, &t, &f, 0, &o);
+        let base = execute_cluster(&node, &t, &f, 0, &o, ExecMode::Functional);
         let plan = FaultPlan::new().fault(
             1,
             FaultTrigger::AtOp(2),
@@ -794,6 +187,7 @@ mod tests {
             &o,
             &mut inj,
             &FaultRecoveryPolicy::retry_reshard(),
+            ExecMode::Functional,
         );
         assert!(run.all_complete(), "re-sharding must rescue the dead device's work");
         assert_eq!(run.dead_devices, vec![1]);
@@ -818,7 +212,16 @@ mod tests {
         );
         for policy in [FaultRecoveryPolicy::retry(), FaultRecoveryPolicy::no_retry()] {
             let mut inj = FaultInjector::new(plan.clone());
-            let run = execute_cluster_resilient(&node, &t, &f, 0, &o, &mut inj, &policy);
+            let run = execute_cluster_resilient(
+                &node,
+                &t,
+                &f,
+                0,
+                &o,
+                &mut inj,
+                &policy,
+                ExecMode::Functional,
+            );
             assert!(run.failed_segments > 0, "{policy:?} must demonstrably lose work");
             assert_eq!(run.replaced_segments, 0);
         }
@@ -829,7 +232,7 @@ mod tests {
         let (t, f) = setup();
         let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 3);
         let o = opts();
-        let base = execute_cluster(&node, &t, &f, 0, &o);
+        let base = execute_cluster(&node, &t, &f, 0, &o, ExecMode::Functional);
         let plan = FaultPlan::new().fault(
             1,
             FaultTrigger::AtOp(2),
@@ -844,6 +247,7 @@ mod tests {
             &o,
             &mut inj,
             &FaultRecoveryPolicy::retry(),
+            ExecMode::Functional,
         );
         assert!(run.all_complete(), "transient downtime must be recoverable in place");
         assert!(run.dead_devices.is_empty());
@@ -857,7 +261,7 @@ mod tests {
         let (t, f) = setup();
         let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 3);
         let o = opts();
-        let base = execute_cluster(&node, &t, &f, 0, &o);
+        let base = execute_cluster(&node, &t, &f, 0, &o, ExecMode::Functional);
         let plan = FaultPlan::new().fault(
             0,
             FaultTrigger::AtTime(0.0),
@@ -872,6 +276,7 @@ mod tests {
             &o,
             &mut inj,
             &FaultRecoveryPolicy::retry(),
+            ExecMode::Functional,
         );
         assert!(run.all_complete(), "survivors must absorb the full tensor");
         assert_eq!(run.dead_devices, vec![0]);
@@ -897,6 +302,7 @@ mod tests {
             &o,
             &mut clean_inj,
             &FaultRecoveryPolicy::retry(),
+            ExecMode::Functional,
         );
         let plan = FaultPlan::new().fault(
             0,
@@ -912,6 +318,7 @@ mod tests {
             &o,
             &mut inj,
             &FaultRecoveryPolicy::retry(),
+            ExecMode::Functional,
         );
         assert!(run.all_complete());
         assert_eq!(bits(&clean.output), bits(&run.output), "slowdown must not touch numerics");
@@ -919,5 +326,34 @@ mod tests {
             run.devices[0].makespan() > clean.devices[0].makespan(),
             "a 4x straggler must be visibly slower"
         );
+    }
+
+    #[test]
+    fn nnz_balanced_recovery_is_bit_identical_too() {
+        // Row-straddling shards exercise the FoldShards axpy path under
+        // recovery: the replay order must keep the fold deterministic.
+        let (t, f) = setup();
+        let node = NodeSpec::homogeneous(DeviceSpec::rtx3090(), 3);
+        let mut o = opts();
+        o.policy = ShardPolicy::NnzBalanced;
+        let base = execute_cluster(&node, &t, &f, 0, &o, ExecMode::Functional);
+        let plan = FaultPlan::new().fault(
+            1,
+            FaultTrigger::AtOp(2),
+            FaultKind::DeviceFail { down_s: None },
+        );
+        let mut inj = FaultInjector::new(plan);
+        let run = execute_cluster_resilient(
+            &node,
+            &t,
+            &f,
+            0,
+            &o,
+            &mut inj,
+            &FaultRecoveryPolicy::retry_reshard(),
+            ExecMode::Functional,
+        );
+        assert!(run.all_complete());
+        assert_eq!(bits(&base.output), bits(&run.output));
     }
 }

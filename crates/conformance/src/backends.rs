@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use scalfrag_cluster::{DeviceScheduler, FaultRecoveryPolicy, NodeSpec, ShardPolicy};
 use scalfrag_core::{ClusterScalFrag, Parti, ScalFrag};
+use scalfrag_exec::PlanBuilder;
 use scalfrag_faults::{FaultInjector, FaultKind, FaultPlan, FaultTrigger};
 use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
 use scalfrag_kernels::{
@@ -174,6 +175,20 @@ pub fn path_backends() -> Vec<Backend> {
     ]
 }
 
+/// Every ScheduleIR plan builder registered anywhere in the workspace
+/// (core, pipeline, cluster, serve), concatenated in crate order.
+///
+/// The coverage contract: each builder named `X` must have a
+/// [`path_backends`] entry named `path:X`, so no execution path can be
+/// added without joining the differential table.
+pub fn all_plan_builders() -> Vec<PlanBuilder> {
+    let mut v = scalfrag_core::plan_builders();
+    v.extend(scalfrag_pipeline::plan_builders());
+    v.extend(scalfrag_cluster::plan_builders());
+    v.extend(scalfrag_serve::plan_builders());
+    v
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -189,5 +204,25 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), names.len(), "backend names must be unique");
+    }
+
+    #[test]
+    fn every_registered_plan_builder_has_a_path_backend() {
+        let builders = all_plan_builders();
+        assert!(builders.len() >= 6, "the workspace registers at least six plan builders");
+        let paths: Vec<_> = path_backends().iter().map(|b| b.name.to_string()).collect();
+        let mut builder_names: Vec<_> = builders.iter().map(|b| b.name).collect();
+        let deduped = builder_names.len();
+        builder_names.sort_unstable();
+        builder_names.dedup();
+        assert_eq!(builder_names.len(), deduped, "plan-builder names must be unique");
+        for b in &builders {
+            let want = format!("path:{}", b.name);
+            assert!(
+                paths.contains(&want),
+                "plan builder `{}` has no `{want}` conformance backend — register one",
+                b.name
+            );
+        }
     }
 }

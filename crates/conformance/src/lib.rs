@@ -32,7 +32,7 @@ pub mod oracle;
 pub mod race;
 pub mod ulp;
 
-pub use backends::{kernel_backends, path_backends, Backend};
+pub use backends::{all_plan_builders, kernel_backends, path_backends, Backend};
 pub use differential::{
     run_differential, tolerance_for, BackendVerdict, ConformanceReport, Divergence,
 };

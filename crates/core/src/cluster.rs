@@ -4,8 +4,8 @@
 use crate::report::PhaseTiming;
 use scalfrag_autotune::TrainedPredictor;
 use scalfrag_cluster::{
-    execute_cluster, execute_cluster_dry, execute_cluster_resilient, ClusterOptions, ClusterRun,
-    DeviceScheduler, FaultRecoveryPolicy, NodeSpec, ResilientClusterRun, ShardPolicy,
+    execute_cluster, execute_cluster_resilient, ClusterOptions, ClusterRun, DeviceScheduler,
+    ExecMode, FaultRecoveryPolicy, NodeSpec, ResilientClusterRun, ShardPolicy,
 };
 use scalfrag_faults::FaultInjector;
 use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
@@ -252,8 +252,16 @@ impl ClusterScalFrag {
         let cfg = self.select_config(tensor, mode, rank as u32);
         let opts = self.options(cfg);
         let stats = scalfrag_kernels::SegmentStats::compute(tensor, mode);
-        let run =
-            execute_cluster_resilient(&self.node, tensor, factors, mode, &opts, injector, policy);
+        let run = execute_cluster_resilient(
+            &self.node,
+            tensor,
+            factors,
+            mode,
+            &opts,
+            injector,
+            policy,
+            ExecMode::Functional,
+        );
         let report = ClusterMttkrpReport {
             mode,
             rank,
@@ -285,11 +293,8 @@ impl ClusterScalFrag {
         let cfg = self.select_config(tensor, mode, rank as u32);
         let opts = self.options(cfg);
         let stats = scalfrag_kernels::SegmentStats::compute(tensor, mode);
-        let run = if functional {
-            execute_cluster(&self.node, tensor, factors, mode, &opts)
-        } else {
-            execute_cluster_dry(&self.node, tensor, factors, mode, &opts)
-        };
+        let exec = if functional { ExecMode::Functional } else { ExecMode::Dry };
+        let run = execute_cluster(&self.node, tensor, factors, mode, &opts, exec);
         ClusterMttkrpReport::new(
             &run,
             mode,

@@ -27,6 +27,6 @@ pub use cluster::{
     ClusterConfig, ClusterMttkrpReport, ClusterScalFrag, ClusterScalFragBuilder,
     ResilientClusterMttkrpReport,
 };
-pub use parti::Parti;
+pub use parti::{plan_builders, Parti};
 pub use report::{MttkrpReport, PhaseTiming};
 pub use scalfrag::{ScalFrag, ScalFragBuilder, ScalFragConfig};

@@ -8,10 +8,11 @@
 //! comparisons strategy-vs-strategy on identical hardware.
 
 use crate::report::{MttkrpReport, PhaseTiming};
+use scalfrag_exec::PlanBuilder;
 use scalfrag_gpusim::{DeviceSpec, Gpu, LaunchConfig};
 use scalfrag_kernels::{FactorSet, MttkrpBackend, SegmentStats};
 use scalfrag_linalg::Mat;
-use scalfrag_pipeline::{execute_sync, execute_sync_dry, KernelChoice};
+use scalfrag_pipeline::{build_sync_plan, execute_sync, ExecMode, KernelChoice};
 use scalfrag_tensor::CooTensor;
 
 /// The ParTI baseline framework.
@@ -60,11 +61,8 @@ impl Parti {
         let cfg = Self::launch_config(tensor);
         let mut gpu = Gpu::new(self.device.clone());
         let stats = SegmentStats::compute(tensor, mode);
-        let run = if functional {
-            execute_sync(&mut gpu, tensor, factors, mode, cfg, KernelChoice::CooAtomic)
-        } else {
-            execute_sync_dry(&mut gpu, tensor, factors, mode, cfg, KernelChoice::CooAtomic)
-        };
+        let exec = if functional { ExecMode::Functional } else { ExecMode::Dry };
+        let run = execute_sync(&mut gpu, tensor, factors, mode, cfg, KernelChoice::CooAtomic, exec);
         MttkrpReport {
             backend: "parti",
             mode,
@@ -83,6 +81,19 @@ impl Parti {
     pub fn backend(&self) -> PartiBackend<'_> {
         PartiBackend { ctx: self, simulated_seconds: 0.0 }
     }
+}
+
+/// The core crate's registered plan builders: the ParTI baseline as a
+/// ScheduleIR plan (synchronous atomic-COO on the paper's RTX 3090,
+/// heuristic launch config).
+pub fn plan_builders() -> Vec<PlanBuilder> {
+    vec![PlanBuilder::new("parti", |tensor, factors, mode| {
+        let device = DeviceSpec::rtx3090();
+        let cfg = LaunchConfig::parti_default(tensor.nnz());
+        let mut p = build_sync_plan(&device, tensor, factors, mode, cfg, KernelChoice::CooAtomic);
+        p.name = "parti";
+        p
+    })]
 }
 
 /// CPD-ALS backend adapter for [`Parti`].

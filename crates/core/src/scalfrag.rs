@@ -6,8 +6,8 @@ use scalfrag_gpusim::{DeviceSpec, Gpu, LaunchConfig};
 use scalfrag_kernels::{FactorSet, MttkrpBackend};
 use scalfrag_linalg::Mat;
 use scalfrag_pipeline::{
-    execute_hybrid, execute_pipelined, execute_pipelined_dry, execute_sync, execute_sync_dry,
-    split_by_slice_population, KernelChoice, PipelinePlan,
+    execute_hybrid, execute_pipelined, execute_sync, split_by_slice_population, ExecMode,
+    KernelChoice, PipelinePlan,
 };
 use scalfrag_tensor::{CooTensor, TensorFeatures};
 
@@ -230,12 +230,14 @@ impl ScalFrag {
         let kernel = self.kernel_choice();
         let mut gpu = Gpu::new(self.device.clone());
         let stats = scalfrag_kernels::SegmentStats::compute(tensor, mode);
+        let exec = if functional { ExecMode::Functional } else { ExecMode::Dry };
 
         let (run, segments, streams) = if self.config.hybrid && functional {
             let split = split_by_slice_population(tensor, mode, self.config.hybrid_threshold);
             let segs = self.config.segments.unwrap_or(4);
             let strs = self.config.streams.unwrap_or(4.min(segs.max(1)));
-            let run = execute_hybrid(&mut gpu, &split, factors, mode, cfg, segs, strs, kernel);
+            let run =
+                execute_hybrid(&mut gpu, &split, factors, mode, cfg, segs, strs, kernel, exec);
             (run, segs, strs)
         } else if self.config.pipelined {
             let mut sorted = tensor.clone();
@@ -248,18 +250,10 @@ impl ScalFrag {
                     PipelinePlan::auto(&sorted, mode, cfg, &self.device, factors.byte_size())
                 }
             };
-            let run = if functional {
-                execute_pipelined(&mut gpu, &sorted, factors, &plan, kernel)
-            } else {
-                execute_pipelined_dry(&mut gpu, &sorted, factors, &plan, kernel)
-            };
+            let run = execute_pipelined(&mut gpu, &sorted, factors, &plan, kernel, exec);
             (run, plan.num_segments(), plan.num_streams)
         } else {
-            let run = if functional {
-                execute_sync(&mut gpu, tensor, factors, mode, cfg, kernel)
-            } else {
-                execute_sync_dry(&mut gpu, tensor, factors, mode, cfg, kernel)
-            };
+            let run = execute_sync(&mut gpu, tensor, factors, mode, cfg, kernel, exec);
             (run, 1, 1)
         };
 

@@ -1,0 +1,464 @@
+//! The ScheduleIR: an executable description of one MTTKRP schedule.
+//!
+//! A [`Plan`] is built once by a *plan builder* (the `pipeline`, `cluster`
+//! and `serve` crates) and executed by the single interpreter in
+//! [`crate::interp`]. Per device the plan lowers to a linear program of
+//! typed ops ([`PlanOp`]) — `Alloc`, `H2D`, `Launch`, `HostResidue`,
+//! `Barrier`, `D2H` — each tagged with a stream placement; streams within
+//! a device execute their queues in order, so the op list plus the barrier
+//! edges form the schedule DAG. Cross-device reduction is a single
+//! analytic [`PlanOp::Reduce`] op.
+//!
+//! The same lowering feeds both execution and [`Plan::render`], so the IR
+//! dump is exactly what the interpreter runs.
+
+use crate::kernel::KernelChoice;
+use crate::retry::RetryPolicy;
+use scalfrag_gpusim::{DeviceSpec, HostSpec, LaunchConfig};
+use scalfrag_kernels::FactorSet;
+use scalfrag_tensor::segment::Segment;
+use scalfrag_tensor::{CooTensor, Idx};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Whether the interpreter computes numerics or only simulates time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Kernels run their numeric bodies; the outcome carries the real
+    /// MTTKRP output.
+    Functional,
+    /// Timing-only: identical schedule and simulated clock, zero output.
+    Dry,
+}
+
+/// A stream slot within one device's plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamRef {
+    /// One of the device's worker streams.
+    Worker(usize),
+    /// The dedicated D2H return stream (cluster plans).
+    D2h,
+    /// The host-task stream (hybrid residue).
+    Host,
+}
+
+/// One typed op of the lowered per-device program.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)] // field meanings documented per variant
+pub enum PlanOp {
+    /// Charge a device-memory allocation of `bytes` (fails the plan with
+    /// the `what` message if it cannot fit).
+    Alloc { bytes: u64, what: &'static str },
+    /// Host-to-device copy of `bytes` on `stream`.
+    H2D { stream: StreamRef, bytes: u64, label: String },
+    /// One segment's kernel launch on `stream` with the lowered
+    /// `(grid, block)`; `unit` indexes [`DeviceOps::units`].
+    Launch { stream: StreamRef, unit: usize, grid: u32, block: u32, label: String },
+    /// The CPU residue of a hybrid schedule, folded concurrently on the
+    /// host stream.
+    HostResidue { stream: StreamRef, label: &'static str },
+    /// Event edge: record on every `record` stream, wait on every `wait`
+    /// stream. Events are pure ordering; they occupy no engine time.
+    Barrier { record: Vec<StreamRef>, wait: Vec<StreamRef> },
+    /// Device-to-host copy of `bytes` on `stream`.
+    D2H { stream: StreamRef, bytes: u64, label: String },
+    /// The analytic cross-shard reduction of `seconds` (plan-level,
+    /// render only).
+    Reduce { seconds: f64 },
+}
+
+/// One shard of the input tensor (a single-device plan has exactly one).
+#[derive(Clone, Debug)]
+pub struct ShardDesc {
+    /// Global shard index — also the partial-buffer slot it accumulates
+    /// into and its position in the reduction fold order.
+    pub index: usize,
+    /// The shard's entries (mode-sorted for segmented plans).
+    pub tensor: Arc<CooTensor>,
+    /// Owned output row range when slice-aligned (`None` = rows may
+    /// straddle shards and the full partial output returns).
+    pub rows: Option<(Idx, Idx)>,
+}
+
+/// One work unit: a segment's H2D + kernel launch.
+#[derive(Clone, Debug)]
+pub struct WorkUnit {
+    /// Index into [`Plan::shards`].
+    pub shard: usize,
+    /// Segment ordinal within the shard.
+    pub segment: usize,
+    /// The nnz range this unit covers.
+    pub seg: Segment,
+    /// Static worker-stream placement; `None` = the device's round-robin
+    /// stream counter assigns one at lowering time.
+    pub stream: Option<usize>,
+    /// Per-unit segment-buffer allocation (skip when the prologue already
+    /// charged it, as the sync plan does for the whole tensor).
+    pub alloc: Option<(u64, &'static str)>,
+    /// H2D payload bytes.
+    pub h2d_bytes: u64,
+    /// H2D span label.
+    pub h2d_label: String,
+    /// Kernel span label.
+    pub kernel_label: String,
+}
+
+/// One shard's slice of a device program: output allocation, units, and
+/// the per-shard partial-result return.
+#[derive(Clone, Debug)]
+pub struct ShardWork {
+    /// Index into [`Plan::shards`].
+    pub shard: usize,
+    /// Partial-output allocation charged before the shard's units.
+    pub output_alloc: Option<(u64, &'static str)>,
+    /// Indices into [`DeviceOps::units`].
+    pub units: Vec<usize>,
+    /// Per-shard D2H `(bytes, label)` on the dedicated return stream,
+    /// ordered after the shard's kernels (absent under peer reduction).
+    pub d2h: Option<(u64, String)>,
+}
+
+/// The hybrid schedule's CPU residue.
+#[derive(Clone, Debug)]
+pub struct ResidueWork {
+    /// The sparse-slice tail folded on the host.
+    pub tensor: Arc<CooTensor>,
+    /// Roofline flops of the host task.
+    pub flops: u64,
+    /// Roofline bytes of the host task.
+    pub bytes: u64,
+    /// Host-task span label.
+    pub label: &'static str,
+}
+
+/// One device's share of the plan.
+#[derive(Clone, Debug)]
+pub struct DeviceOps {
+    /// Device index within the plan (names it to the fault injector).
+    pub device: usize,
+    /// Marketing name of the simulated device.
+    pub name: &'static str,
+    /// Device model the interpreter instantiates (ignored when the caller
+    /// supplies its own [`scalfrag_gpusim::Gpu`]).
+    pub spec: DeviceSpec,
+    /// Host model for host tasks (`None` = default host).
+    pub host: Option<HostSpec>,
+    /// Worker-stream count.
+    pub worker_streams: usize,
+    /// Whether partial results return on a dedicated D2H stream.
+    pub dedicated_d2h: bool,
+    /// Hybrid CPU residue, submitted before any device work.
+    pub residue: Option<ResidueWork>,
+    /// Allocations charged before the factor upload.
+    pub prologue_allocs: Vec<(u64, &'static str)>,
+    /// Every work unit of this device.
+    pub units: Vec<WorkUnit>,
+    /// Units grouped per shard, in execution order.
+    pub shard_work: Vec<ShardWork>,
+    /// Final whole-output D2H `(bytes, label)` on worker stream 0, ordered
+    /// after all kernels (single-device plans).
+    pub final_d2h: Option<(u64, &'static str)>,
+    /// Global indices of the shards this device executes.
+    pub shard_list: Vec<usize>,
+    /// Skip the device entirely (empty timeline) when it has no units —
+    /// cluster semantics; single-device plans always run their prologue.
+    pub skip_if_idle: bool,
+}
+
+/// How per-shard partial buffers combine into the output matrix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Reduce {
+    /// One shard, one buffer: the output is read back directly.
+    Single,
+    /// Fold partials in shard-index order (copy owned row blocks, sum
+    /// row-overlapping partials) — bitwise invariant to placement.
+    FoldShards,
+}
+
+/// Re-placement strategy a cluster plan's policy uses for orphaned work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlaceStrategy {
+    /// Orphaned shards round-robin over the survivors.
+    RoundRobin,
+    /// Orphaned shards go to the survivor with the earliest projected
+    /// finish (current clock + bytes / speed proxy).
+    Lpt,
+}
+
+/// Placement callbacks a multi-device plan carries: initial assignment
+/// over the healthy devices, re-placement strategy inputs, and the
+/// analytic reduction cost. Implemented by the cluster crate (it owns the
+/// node/interconnect model); the interpreter stays node-agnostic.
+pub trait ClusterPolicy: Send + Sync {
+    /// Assigns every shard to one of the `alive` devices; returns
+    /// per-device shard lists indexed by *global* device index.
+    fn assign(&self, alive: &[usize]) -> Vec<Vec<usize>>;
+    /// Strategy for re-placing orphaned work.
+    fn strategy(&self) -> PlaceStrategy;
+    /// End-to-end speed proxy of device `d` (bytes/s), for LPT.
+    fn speed_proxy(&self, d: usize) -> f64;
+    /// Analytic seconds of the cross-shard reduction for a final
+    /// shard-to-device assignment.
+    fn reduction_s(&self, assignment: &[Vec<usize>]) -> f64;
+}
+
+/// Plan-level metadata: where the schedule came from.
+#[derive(Clone, Debug, Default)]
+pub struct PlanMeta {
+    /// Human-readable segment map (counts, streams, split).
+    pub segment_map: String,
+    /// Predictor verdict (or "fixed config" when none ran).
+    pub predictor: String,
+    /// Retry policy attached by a resilient wrapper (informational).
+    pub retry: Option<RetryPolicy>,
+}
+
+/// An executable MTTKRP schedule: shards, per-device programs, reduction,
+/// and the resilient-mode knobs. Built by the plan builders; executed by
+/// [`crate::interp::run_plan`] and friends.
+#[derive(Clone)]
+pub struct Plan {
+    /// Stable builder name (printed by `plan_dump`).
+    pub name: &'static str,
+    /// MTTKRP mode.
+    pub mode: usize,
+    /// Factor rank.
+    pub rank: usize,
+    /// Output rows (`dims[mode]`).
+    pub rows: usize,
+    /// Tensor order.
+    pub order: usize,
+    /// Base launch configuration.
+    pub config: LaunchConfig,
+    /// Kernel launched per segment.
+    pub kernel: KernelChoice,
+    /// The factor matrices.
+    pub factors: Arc<FactorSet>,
+    /// Factor upload bytes.
+    pub factors_bytes: u64,
+    /// The input shards (one for single-device plans).
+    pub shards: Vec<ShardDesc>,
+    /// Segment list per shard (resilient mode re-derives work items from
+    /// these).
+    pub seg_lists: Vec<Vec<Segment>>,
+    /// Per-device programs.
+    pub devices: Vec<DeviceOps>,
+    /// How partial buffers combine.
+    pub reduce: Reduce,
+    /// Analytic reduction seconds for the static placement.
+    pub reduction_s: f64,
+    /// Row-overlapping partials gather device-to-device (peer links), so
+    /// per-shard D2H hops are absent.
+    pub peer_reduce: bool,
+    /// Device model for the functional replay in resilient mode.
+    pub replay_spec: DeviceSpec,
+    /// Placement callbacks (multi-device plans only).
+    pub cluster: Option<Arc<dyn ClusterPolicy>>,
+    /// Resilient mode: synchronize after the factor upload so the first
+    /// wave's clock sits at the prologue end (cluster semantics) instead
+    /// of zero (pipeline semantics).
+    pub sync_after_prologue: bool,
+    /// Resilient mode: allocations charged at bring-up.
+    pub resilient_prologue: Vec<(u64, &'static str)>,
+    /// Resilient mode: OOM message for lazy segment allocations.
+    pub seg_alloc_what: &'static str,
+    /// Resilient mode: static worker-stream per `(shard, segment)`
+    /// (`None` = the device's round-robin counter).
+    pub static_streams: Option<Vec<Vec<usize>>>,
+    /// Resilient-mode labels carry the shard index (`shard0 seg1 …`)
+    /// instead of the bare segment (`seg1 …`).
+    pub tag_shards: bool,
+    /// Plan metadata.
+    pub meta: PlanMeta,
+}
+
+impl std::fmt::Debug for Plan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Plan")
+            .field("name", &self.name)
+            .field("mode", &self.mode)
+            .field("rank", &self.rank)
+            .field("shards", &self.shards.len())
+            .field("devices", &self.devices.len())
+            .field("reduce", &self.reduce)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Plan {
+    /// Resilient-mode label tag for one `(shard, segment)` item.
+    pub(crate) fn tag(&self, si: usize, j: usize) -> String {
+        if self.tag_shards {
+            format!("shard{si} seg{j}")
+        } else {
+            format!("seg{j}")
+        }
+    }
+
+    /// Total `(shard, segment)` work items across all devices.
+    pub fn total_items(&self) -> usize {
+        self.seg_lists.iter().map(Vec::len).sum()
+    }
+
+    /// Lowers one device's share into its linear op program. Execution
+    /// and [`Plan::render`] both consume this, so the dump *is* the
+    /// schedule.
+    pub fn lower_device(&self, dev: &DeviceOps) -> Vec<PlanOp> {
+        let mut ops = Vec::new();
+        if let Some(res) = &dev.residue {
+            ops.push(PlanOp::HostResidue { stream: StreamRef::Host, label: res.label });
+        }
+        for &(bytes, what) in &dev.prologue_allocs {
+            ops.push(PlanOp::Alloc { bytes, what });
+        }
+        ops.push(PlanOp::H2D {
+            stream: StreamRef::Worker(0),
+            bytes: self.factors_bytes,
+            label: "factors H2D".to_string(),
+        });
+        // Factors travel once on stream 0; every other stream waits.
+        if dev.worker_streams > 1 {
+            ops.push(PlanOp::Barrier {
+                record: vec![StreamRef::Worker(0)],
+                wait: (1..dev.worker_streams).map(StreamRef::Worker).collect(),
+            });
+        }
+        let cfg = self.kernel.full_config(self.config, self.rank as u32);
+        let mut next_stream = 0usize;
+        for sw in &dev.shard_work {
+            if let Some((bytes, what)) = sw.output_alloc {
+                ops.push(PlanOp::Alloc { bytes, what });
+            }
+            let mut used: Vec<usize> = Vec::new();
+            for &ui in &sw.units {
+                let u = &dev.units[ui];
+                let s = match u.stream {
+                    Some(s) => s,
+                    None => {
+                        let s = next_stream % dev.worker_streams;
+                        next_stream += 1;
+                        s
+                    }
+                };
+                if !used.contains(&s) {
+                    used.push(s);
+                }
+                if let Some((bytes, what)) = u.alloc {
+                    ops.push(PlanOp::Alloc { bytes, what });
+                }
+                ops.push(PlanOp::H2D {
+                    stream: StreamRef::Worker(s),
+                    bytes: u.h2d_bytes,
+                    label: u.h2d_label.clone(),
+                });
+                ops.push(PlanOp::Launch {
+                    stream: StreamRef::Worker(s),
+                    unit: ui,
+                    grid: cfg.grid,
+                    block: cfg.block,
+                    label: u.kernel_label.clone(),
+                });
+            }
+            if let Some((bytes, label)) = &sw.d2h {
+                // A stream's queue runs in order, so an event recorded at
+                // its tail marks the completion of every kernel queued on
+                // it — one event per used stream orders the shard's D2H
+                // after all its kernels.
+                if !used.is_empty() {
+                    ops.push(PlanOp::Barrier {
+                        record: used.iter().map(|&s| StreamRef::Worker(s)).collect(),
+                        wait: vec![StreamRef::D2h],
+                    });
+                }
+                ops.push(PlanOp::D2H {
+                    stream: StreamRef::D2h,
+                    bytes: *bytes,
+                    label: label.clone(),
+                });
+            }
+        }
+        if let Some((bytes, label)) = dev.final_d2h {
+            if dev.worker_streams > 1 {
+                ops.push(PlanOp::Barrier {
+                    record: (0..dev.worker_streams).map(StreamRef::Worker).collect(),
+                    wait: vec![StreamRef::Worker(0)],
+                });
+            }
+            ops.push(PlanOp::D2H { stream: StreamRef::Worker(0), bytes, label: label.to_string() });
+        }
+        ops
+    }
+
+    /// Renders the plan as a typed-op IR dump (what `plan_dump` prints).
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "plan {:?}: mode {}, rank {}, {} shard(s), {} device(s), reduce {:?}",
+            self.name,
+            self.mode,
+            self.rank,
+            self.shards.len(),
+            self.devices.len(),
+            self.reduce,
+        );
+        if !self.meta.segment_map.is_empty() {
+            let _ = writeln!(s, "  segment map: {}", self.meta.segment_map);
+        }
+        if !self.meta.predictor.is_empty() {
+            let _ = writeln!(s, "  predictor: {}", self.meta.predictor);
+        }
+        if let Some(r) = &self.meta.retry {
+            let _ = writeln!(s, "  retry: {r:?}");
+        }
+        for dev in &self.devices {
+            let _ = writeln!(
+                s,
+                "  device {} ({}): {} worker stream(s){}",
+                dev.device,
+                dev.name,
+                dev.worker_streams,
+                if dev.dedicated_d2h { " + d2h stream" } else { "" },
+            );
+            for op in self.lower_device(dev) {
+                let _ = writeln!(s, "    {}", render_op(&op));
+            }
+        }
+        if self.reduction_s > 0.0 {
+            let _ = writeln!(s, "  {}", render_op(&PlanOp::Reduce { seconds: self.reduction_s }));
+        }
+        s
+    }
+}
+
+fn render_stream(r: &StreamRef) -> String {
+    match r {
+        StreamRef::Worker(i) => format!("w{i}"),
+        StreamRef::D2h => "d2h".to_string(),
+        StreamRef::Host => "host".to_string(),
+    }
+}
+
+fn render_op(op: &PlanOp) -> String {
+    match op {
+        PlanOp::Alloc { bytes, what } => format!("Alloc    {bytes} B ({what})"),
+        PlanOp::H2D { stream, bytes, label } => {
+            format!("H2D      [{}] {bytes} B \"{label}\"", render_stream(stream))
+        }
+        PlanOp::Launch { stream, grid, block, label, .. } => {
+            format!("Launch   [{}] grid {grid} block {block} \"{label}\"", render_stream(stream))
+        }
+        PlanOp::HostResidue { stream, label } => {
+            format!("HostRes  [{}] \"{label}\"", render_stream(stream))
+        }
+        PlanOp::Barrier { record, wait } => format!(
+            "Barrier  record[{}] -> wait[{}]",
+            record.iter().map(render_stream).collect::<Vec<_>>().join(","),
+            wait.iter().map(render_stream).collect::<Vec<_>>().join(","),
+        ),
+        PlanOp::D2H { stream, bytes, label } => {
+            format!("D2H      [{}] {bytes} B \"{label}\"", render_stream(stream))
+        }
+        PlanOp::Reduce { seconds } => format!("Reduce   {seconds:.3e} s (analytic)"),
+    }
+}

@@ -1,0 +1,74 @@
+//! Kernel dispatch shared by every plan builder and the interpreter.
+
+use scalfrag_gpusim::{Gpu, LaunchConfig, StreamId};
+use scalfrag_kernels::{AtomicF32Buffer, CooAtomicKernel, FactorSet, SegmentStats, TiledKernel};
+use scalfrag_tensor::CooTensor;
+use std::sync::Arc;
+
+/// Which kernel the interpreter launches per segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KernelChoice {
+    /// ParTI-style atomic COO kernel.
+    CooAtomic,
+    /// ScalFrag shared-memory tiled kernel.
+    Tiled,
+}
+
+impl KernelChoice {
+    /// The full launch configuration (with this kernel's shared-memory
+    /// request) for a base `(grid, block)`.
+    pub fn full_config(&self, base: LaunchConfig, rank: u32) -> LaunchConfig {
+        match self {
+            KernelChoice::CooAtomic => base,
+            KernelChoice::Tiled => TiledKernel::config_with_smem(base, rank),
+        }
+    }
+
+    /// The cost-model workload of this kernel over a segment.
+    pub fn workload(
+        &self,
+        stats: &SegmentStats,
+        rank: u32,
+        block: u32,
+    ) -> scalfrag_gpusim::KernelWorkload {
+        match self {
+            KernelChoice::CooAtomic => scalfrag_kernels::workload::coo_atomic_workload(stats, rank),
+            KernelChoice::Tiled => scalfrag_kernels::workload::tiled_workload(stats, rank, block),
+        }
+    }
+
+    /// Enqueues one segment's kernel launch on `stream`: resolves the
+    /// launch configuration, cost-model workload and (when `out` is given)
+    /// the functional kernel body.
+    #[allow(clippy::too_many_arguments)]
+    pub fn enqueue(
+        &self,
+        gpu: &mut Gpu,
+        stream: StreamId,
+        config: LaunchConfig,
+        seg: Arc<CooTensor>,
+        factors: Arc<FactorSet>,
+        mode: usize,
+        out: Option<Arc<AtomicF32Buffer>>,
+        label: String,
+    ) {
+        match out {
+            Some(out) => match self {
+                KernelChoice::CooAtomic => {
+                    CooAtomicKernel::enqueue(gpu, stream, config, seg, factors, mode, out, label);
+                }
+                KernelChoice::Tiled => {
+                    TiledKernel::enqueue(gpu, stream, config, seg, factors, mode, out, label);
+                }
+            },
+            None => {
+                // Timing-only launch: same cost-model workload, no numerics.
+                let rank = factors.rank() as u32;
+                let cfg = self.full_config(config, rank);
+                let stats = SegmentStats::compute(&seg, mode);
+                let workload = self.workload(&stats, rank, cfg.block);
+                gpu.launch(stream, cfg, workload, label);
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! `scalfrag-exec` — the ScheduleIR execution engine.
+//!
+//! A [`Plan`] is a declarative schedule: per-device typed ops (`H2D`,
+//! `Launch`, `Reduce`, `D2H`, `HostResidue`, `Barrier`) with stream
+//! placement, plus plan-level metadata (segment map, predictor verdict,
+//! retry policy). The `pipeline`, `cluster`, `serve` and `core` crates
+//! are pure plan *builders*; this crate owns the single interpreter that
+//! executes any plan over the simulated GPU — fault-free or under fault
+//! injection, functional or dry — and emits a fingerprintable
+//! [`PlanTrace`].
+
+#![warn(missing_docs)]
+
+mod interp;
+mod ir;
+mod kernel;
+mod registry;
+mod retry;
+mod trace;
+
+pub use interp::{
+    run_plan, run_plan_on, run_plan_resilient, run_plan_resilient_on, ExecOutcome, UnitOutcome,
+};
+pub use ir::{
+    ClusterPolicy, DeviceOps, ExecMode, PlaceStrategy, Plan, PlanMeta, PlanOp, Reduce, ResidueWork,
+    ShardDesc, ShardWork, StreamRef, WorkUnit,
+};
+pub use kernel::KernelChoice;
+pub use registry::{BuildFn, PlanBuilder};
+pub use retry::{FaultRecoveryPolicy, RecoveryMode, RetryPolicy};
+pub use trace::{PlanTrace, TraceEvent};

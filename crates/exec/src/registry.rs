@@ -1,0 +1,36 @@
+//! The plan-builder registry: every execution path publishes a named
+//! builder producing a [`Plan`](crate::ir::Plan) for a `(tensor,
+//! factors, mode)` triple. The conformance suite and the `plan_dump`
+//! tool enumerate these to guarantee every path stays covered and
+//! fingerprintable.
+
+use crate::ir::Plan;
+use scalfrag_kernels::FactorSet;
+use scalfrag_tensor::CooTensor;
+
+/// Type of a registered builder closure.
+pub type BuildFn = dyn Fn(&CooTensor, &FactorSet, usize) -> Plan + Send + Sync;
+
+/// A named plan builder.
+pub struct PlanBuilder {
+    /// Registry name (conformance backends are named `path:<name>`).
+    pub name: &'static str,
+    /// Builds the plan for a tensor, factor set and mode.
+    pub build: Box<BuildFn>,
+}
+
+impl PlanBuilder {
+    /// Registers a builder under `name`.
+    pub fn new(
+        name: &'static str,
+        build: impl Fn(&CooTensor, &FactorSet, usize) -> Plan + Send + Sync + 'static,
+    ) -> Self {
+        Self { name, build: Box::new(build) }
+    }
+}
+
+impl std::fmt::Debug for PlanBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanBuilder").field("name", &self.name).finish_non_exhaustive()
+    }
+}

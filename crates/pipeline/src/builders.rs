@@ -1,0 +1,248 @@
+//! Plan builders: lower the pipeline crate's schedules (sync baseline,
+//! segmented pipeline, CPU–GPU hybrid) into ScheduleIR [`Plan`]s for the
+//! `scalfrag-exec` interpreter. Pure construction — no simulated time
+//! passes here.
+
+use crate::hybrid::HybridSplit;
+use crate::plan::PipelinePlan;
+use scalfrag_exec::{
+    DeviceOps, KernelChoice, Plan, PlanBuilder, PlanMeta, Reduce, ResidueWork, ShardDesc,
+    ShardWork, WorkUnit,
+};
+use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
+use scalfrag_kernels::{FactorSet, SegmentStats};
+use scalfrag_tensor::{segment::Segment, CooTensor};
+use std::sync::Arc;
+
+/// Lowers the ParTI-style synchronous schedule: one stream, whole-tensor
+/// H2D, one kernel over all non-zeros, D2H (the §III-B baseline).
+pub fn build_sync_plan(
+    spec: &DeviceSpec,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    config: LaunchConfig,
+    kernel: KernelChoice,
+) -> Plan {
+    let rank = factors.rank();
+    let rows = tensor.dims()[mode] as usize;
+    let order = tensor.order();
+    let factors_bytes = factors.byte_size() as u64;
+    let out_bytes = (rows * rank * 4) as u64;
+    let tensor_bytes = tensor.byte_size() as u64;
+    let seg = Segment { start: 0, end: tensor.nnz() };
+    let units = vec![WorkUnit {
+        shard: 0,
+        segment: 0,
+        seg: seg.clone(),
+        stream: Some(0),
+        alloc: None, // the prologue charged the whole tensor
+        h2d_bytes: tensor_bytes,
+        h2d_label: "tensor H2D".to_string(),
+        kernel_label: "kernel".to_string(),
+    }];
+    Plan {
+        name: "scalfrag-sync",
+        mode,
+        rank,
+        rows,
+        order,
+        config,
+        kernel,
+        factors: Arc::new(factors.clone()),
+        factors_bytes,
+        shards: vec![ShardDesc { index: 0, tensor: Arc::new(tensor.clone()), rows: None }],
+        seg_lists: vec![vec![seg]],
+        devices: vec![DeviceOps {
+            device: 0,
+            name: spec.name,
+            spec: spec.clone(),
+            host: None,
+            worker_streams: 1,
+            dedicated_d2h: false,
+            residue: None,
+            prologue_allocs: vec![
+                (factors_bytes, "factors fit"),
+                (out_bytes, "output fits"),
+                (tensor_bytes, "tensor fits"),
+            ],
+            shard_work: vec![ShardWork { shard: 0, output_alloc: None, units: vec![0], d2h: None }],
+            units,
+            final_d2h: Some((out_bytes, "output D2H")),
+            shard_list: vec![0],
+            skip_if_idle: false,
+        }],
+        reduce: Reduce::Single,
+        reduction_s: 0.0,
+        peer_reduce: false,
+        replay_spec: spec.clone(),
+        cluster: None,
+        sync_after_prologue: false,
+        resilient_prologue: vec![
+            (factors_bytes, "factors fit"),
+            (out_bytes, "output fits"),
+            (tensor_bytes, "tensor fits"),
+        ],
+        seg_alloc_what: "segment buffer must fit",
+        static_streams: Some(vec![vec![0]]),
+        tag_shards: false,
+        meta: PlanMeta {
+            segment_map: "monolithic (1 segment, 1 stream)".to_string(),
+            predictor: "fixed config".to_string(),
+            retry: None,
+        },
+    }
+}
+
+/// Lowers the segmented pipeline of §IV-C over a *mode-sorted* tensor:
+/// per-segment H2D + kernel spread over `plan.num_streams` streams, one
+/// event-ordered D2H at the end.
+pub fn build_pipelined_plan(
+    spec: &DeviceSpec,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    plan: &PipelinePlan,
+    kernel: KernelChoice,
+) -> Plan {
+    let mode = plan.mode;
+    let rank = factors.rank();
+    let rows = tensor.dims()[mode] as usize;
+    let order = tensor.order();
+    let factors_bytes = factors.byte_size() as u64;
+    let out_bytes = (rows * rank * 4) as u64;
+    let units: Vec<WorkUnit> = plan
+        .segments
+        .iter()
+        .enumerate()
+        .map(|(i, seg)| WorkUnit {
+            shard: 0,
+            segment: i,
+            seg: seg.clone(),
+            stream: Some(plan.stream_of(i)),
+            alloc: Some((seg.byte_size(order) as u64, "segment buffer must fit")),
+            h2d_bytes: seg.byte_size(order) as u64,
+            h2d_label: format!("seg{i} H2D ({} nnz)", seg.nnz()),
+            kernel_label: format!("seg{i} kernel"),
+        })
+        .collect();
+    let unit_ids: Vec<usize> = (0..units.len()).collect();
+    let static_streams = vec![(0..plan.segments.len()).map(|i| plan.stream_of(i)).collect()];
+    Plan {
+        name: "scalfrag-pipelined",
+        mode,
+        rank,
+        rows,
+        order,
+        config: plan.config,
+        kernel,
+        factors: Arc::new(factors.clone()),
+        factors_bytes,
+        shards: vec![ShardDesc { index: 0, tensor: Arc::new(tensor.clone()), rows: None }],
+        seg_lists: vec![plan.segments.clone()],
+        devices: vec![DeviceOps {
+            device: 0,
+            name: spec.name,
+            spec: spec.clone(),
+            host: None,
+            worker_streams: plan.num_streams,
+            dedicated_d2h: false,
+            residue: None,
+            prologue_allocs: vec![
+                (factors_bytes, "factor matrices must fit on the device"),
+                (out_bytes, "output matrix must fit on the device"),
+            ],
+            shard_work: vec![ShardWork {
+                shard: 0,
+                output_alloc: None,
+                units: unit_ids,
+                d2h: None,
+            }],
+            units,
+            final_d2h: Some((out_bytes, "output D2H")),
+            shard_list: vec![0],
+            skip_if_idle: false,
+        }],
+        reduce: Reduce::Single,
+        reduction_s: 0.0,
+        peer_reduce: false,
+        replay_spec: spec.clone(),
+        cluster: None,
+        sync_after_prologue: false,
+        resilient_prologue: vec![(factors_bytes, "factors fit"), (out_bytes, "output fits")],
+        seg_alloc_what: "segment buffer must fit",
+        static_streams: Some(static_streams),
+        tag_shards: false,
+        meta: PlanMeta {
+            segment_map: format!(
+                "{} slice-aligned segment(s) over {} stream(s)",
+                plan.segments.len(),
+                plan.num_streams
+            ),
+            predictor: "fixed config".to_string(),
+            retry: None,
+        },
+    }
+}
+
+/// Lowers the hybrid schedule of §I: the dense-slice bulk goes through
+/// the segmented pipeline, the sparse-slice tail becomes a `HostResidue`
+/// op folded concurrently on the host stream.
+#[allow(clippy::too_many_arguments)]
+pub fn build_hybrid_plan(
+    spec: &DeviceSpec,
+    split: &HybridSplit,
+    factors: &FactorSet,
+    mode: usize,
+    config: LaunchConfig,
+    plan_segments: usize,
+    plan_streams: usize,
+    kernel: KernelChoice,
+) -> Plan {
+    let mut gpu_tensor = split.gpu_part.clone();
+    gpu_tensor.sort_for_mode(mode);
+    let pipeline = PipelinePlan::new(&gpu_tensor, mode, config, plan_segments, plan_streams);
+    let mut plan = build_pipelined_plan(spec, &gpu_tensor, factors, &pipeline, kernel);
+    plan.name = "scalfrag-hybrid";
+    if split.cpu_part.nnz() > 0 {
+        let rank = factors.rank() as u32;
+        let stats = SegmentStats::compute(&split.cpu_part, mode);
+        plan.devices[0].residue = Some(ResidueWork {
+            tensor: Arc::new(split.cpu_part.clone()),
+            flops: stats.flops(rank),
+            bytes: stats.bytes_read(rank),
+            label: "host tail MTTKRP",
+        });
+    }
+    plan.meta.segment_map = format!(
+        "{} (host tail: {} nnz below threshold {})",
+        plan.meta.segment_map,
+        split.cpu_part.nnz(),
+        split.threshold
+    );
+    plan
+}
+
+/// The pipeline crate's registered plan builders.
+pub fn plan_builders() -> Vec<PlanBuilder> {
+    let cfg = LaunchConfig::new(512, 256);
+    vec![
+        PlanBuilder::new("scalfrag-sync", move |tensor, factors, mode| {
+            let mut t = tensor.clone();
+            t.sort_for_mode(mode);
+            build_sync_plan(&DeviceSpec::rtx3090(), &t, factors, mode, cfg, KernelChoice::Tiled)
+        }),
+        PlanBuilder::new("scalfrag-pipelined", move |tensor, factors, mode| {
+            let split = crate::hybrid::split_by_slice_population(tensor, mode, 4);
+            build_hybrid_plan(
+                &DeviceSpec::rtx3090(),
+                &split,
+                factors,
+                mode,
+                cfg,
+                4,
+                4,
+                KernelChoice::Tiled,
+            )
+        }),
+    ]
+}

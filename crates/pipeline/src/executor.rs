@@ -4,83 +4,20 @@
 //! copies and kernel launches spread over streams, one event-ordered D2H
 //! at the end. [`execute_sync`] is the ParTI-style monolithic schedule the
 //! paper compares against (whole-tensor H2D → kernel → D2H on one stream).
+//!
+//! Both are thin wrappers: they lower the schedule to a ScheduleIR
+//! [`scalfrag_exec::Plan`] and hand it to the single interpreter.
+//! Timing-only runs pass [`ExecMode::Dry`] — identical schedule and
+//! simulated clock, zero output.
 
+use crate::builders::{build_pipelined_plan, build_sync_plan};
 use crate::plan::PipelinePlan;
-use scalfrag_gpusim::{Gpu, LaunchConfig, StreamId, Timeline};
-use scalfrag_kernels::{AtomicF32Buffer, CooAtomicKernel, FactorSet, SegmentStats, TiledKernel};
+use scalfrag_exec::{run_plan_on, PlanTrace};
+pub use scalfrag_exec::{ExecMode, KernelChoice};
+use scalfrag_gpusim::{Gpu, LaunchConfig, Timeline};
+use scalfrag_kernels::FactorSet;
 use scalfrag_linalg::Mat;
 use scalfrag_tensor::CooTensor;
-use std::sync::Arc;
-
-/// Which kernel the executor launches per segment.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum KernelChoice {
-    /// ParTI-style atomic COO kernel.
-    CooAtomic,
-    /// ScalFrag shared-memory tiled kernel.
-    Tiled,
-}
-
-impl KernelChoice {
-    /// The full launch configuration (with this kernel's shared-memory
-    /// request) for a base `(grid, block)`.
-    pub fn full_config(&self, base: LaunchConfig, rank: u32) -> LaunchConfig {
-        match self {
-            KernelChoice::CooAtomic => base,
-            KernelChoice::Tiled => TiledKernel::config_with_smem(base, rank),
-        }
-    }
-
-    /// The cost-model workload of this kernel over a segment.
-    pub fn workload(
-        &self,
-        stats: &SegmentStats,
-        rank: u32,
-        block: u32,
-    ) -> scalfrag_gpusim::KernelWorkload {
-        match self {
-            KernelChoice::CooAtomic => scalfrag_kernels::workload::coo_atomic_workload(stats, rank),
-            KernelChoice::Tiled => scalfrag_kernels::workload::tiled_workload(stats, rank, block),
-        }
-    }
-
-    /// Enqueues one segment's kernel launch on `stream`: resolves the
-    /// launch configuration, cost-model workload and (when `out` is given)
-    /// the functional kernel body. Public so multi-device executors (the
-    /// cluster crate) can drive per-segment launches with the same kernel
-    /// dispatch the single-GPU pipeline uses.
-    #[allow(clippy::too_many_arguments)]
-    pub fn enqueue(
-        &self,
-        gpu: &mut Gpu,
-        stream: StreamId,
-        config: LaunchConfig,
-        seg: Arc<CooTensor>,
-        factors: Arc<FactorSet>,
-        mode: usize,
-        out: Option<Arc<AtomicF32Buffer>>,
-        label: String,
-    ) {
-        match out {
-            Some(out) => match self {
-                KernelChoice::CooAtomic => {
-                    CooAtomicKernel::enqueue(gpu, stream, config, seg, factors, mode, out, label);
-                }
-                KernelChoice::Tiled => {
-                    TiledKernel::enqueue(gpu, stream, config, seg, factors, mode, out, label);
-                }
-            },
-            None => {
-                // Timing-only launch: same cost-model workload, no numerics.
-                let rank = factors.rank() as u32;
-                let cfg = self.full_config(config, rank);
-                let stats = SegmentStats::compute(&seg, mode);
-                let workload = self.workload(&stats, rank, cfg.block);
-                gpu.launch(stream, cfg, workload, label);
-            }
-        }
-    }
-}
 
 /// The result of one executed MTTKRP schedule.
 #[derive(Clone, Debug)]
@@ -89,6 +26,8 @@ pub struct PipelineRun {
     pub output: Mat,
     /// Timeline of this run only.
     pub timeline: Timeline,
+    /// Structured trace of every executed op.
+    pub trace: PlanTrace,
 }
 
 impl PipelineRun {
@@ -115,93 +54,12 @@ pub fn execute_pipelined(
     factors: &FactorSet,
     plan: &PipelinePlan,
     kernel: KernelChoice,
+    exec: ExecMode,
 ) -> PipelineRun {
-    execute_pipelined_impl(gpu, tensor, factors, plan, kernel, true)
-}
-
-/// Timing-only variant of [`execute_pipelined`]: identical schedule and
-/// simulated clock, but kernels skip their numeric bodies and the returned
-/// output is zero. Used by the benchmark sweeps (Fig. 10/11), which probe
-/// makespans across many settings.
-pub fn execute_pipelined_dry(
-    gpu: &mut Gpu,
-    tensor: &CooTensor,
-    factors: &FactorSet,
-    plan: &PipelinePlan,
-    kernel: KernelChoice,
-) -> PipelineRun {
-    execute_pipelined_impl(gpu, tensor, factors, plan, kernel, false)
-}
-
-fn execute_pipelined_impl(
-    gpu: &mut Gpu,
-    tensor: &CooTensor,
-    factors: &FactorSet,
-    plan: &PipelinePlan,
-    kernel: KernelChoice,
-    functional: bool,
-) -> PipelineRun {
-    let mode = plan.mode;
-    let rank = factors.rank();
-    let rows = tensor.dims()[mode] as usize;
-    let out = Arc::new(AtomicF32Buffer::new(rows * rank));
-    let factors = Arc::new(factors.clone());
-
-    // Device allocations: factors + output + all segment buffers. The plan
-    // is expected to fit (auto mode sizes segments accordingly).
-    let mut allocs = Vec::new();
-    let mem = |b: usize| b as u64;
-    allocs.push(
-        gpu.memory()
-            .alloc(mem(factors.byte_size()))
-            .expect("factor matrices must fit on the device"),
-    );
-    allocs.push(
-        gpu.memory().alloc(mem(rows * rank * 4)).expect("output matrix must fit on the device"),
-    );
-
-    let streams: Vec<StreamId> = (0..plan.num_streams).map(|_| gpu.create_stream()).collect();
-
-    // Factors travel once, on stream 0; every other stream waits for them.
-    gpu.h2d(streams[0], factors.byte_size() as u64, "factors H2D");
-    let factors_ready = gpu.record_event(streams[0]);
-    for &s in &streams[1..] {
-        gpu.wait_event(s, factors_ready);
-    }
-
-    let mut kernel_done = Vec::with_capacity(plan.segments.len());
-    for (i, seg) in plan.segments.iter().enumerate() {
-        let stream = streams[plan.stream_of(i)];
-        let piece = Arc::new(tensor.slice_range(seg.start, seg.end));
-        let bytes = seg.byte_size(tensor.order());
-        allocs.push(gpu.memory().alloc(mem(bytes)).expect("segment buffer must fit"));
-        gpu.h2d(stream, bytes as u64, format!("seg{i} H2D ({} nnz)", seg.nnz()));
-        kernel.enqueue(
-            gpu,
-            stream,
-            plan.config,
-            piece,
-            Arc::clone(&factors),
-            mode,
-            functional.then(|| Arc::clone(&out)),
-            format!("seg{i} kernel"),
-        );
-        kernel_done.push(gpu.record_event(stream));
-    }
-
-    // One D2H of the output, ordered after every kernel.
-    let d2h_stream = streams[0];
-    for ev in kernel_done {
-        gpu.wait_event(d2h_stream, ev);
-    }
-    gpu.d2h(d2h_stream, (rows * rank * 4) as u64, "output D2H");
-
-    let timeline = gpu.synchronize();
-    for a in allocs {
-        gpu.memory().free(a);
-    }
-    let output = Mat::from_vec(rows, rank, out.to_vec());
-    PipelineRun { output, timeline }
+    let spec = gpu.spec().clone();
+    let p = build_pipelined_plan(&spec, tensor, factors, plan, kernel);
+    let outcome = run_plan_on(gpu, &p, exec);
+    PipelineRun { output: outcome.output, timeline: outcome.timeline, trace: outcome.trace }
 }
 
 /// Executes the ParTI-style synchronous schedule: one stream, whole-tensor
@@ -214,63 +72,12 @@ pub fn execute_sync(
     mode: usize,
     config: LaunchConfig,
     kernel: KernelChoice,
+    exec: ExecMode,
 ) -> PipelineRun {
-    execute_sync_impl(gpu, tensor, factors, mode, config, kernel, true)
-}
-
-/// Timing-only variant of [`execute_sync`] (see [`execute_pipelined_dry`]).
-pub fn execute_sync_dry(
-    gpu: &mut Gpu,
-    tensor: &CooTensor,
-    factors: &FactorSet,
-    mode: usize,
-    config: LaunchConfig,
-    kernel: KernelChoice,
-) -> PipelineRun {
-    execute_sync_impl(gpu, tensor, factors, mode, config, kernel, false)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn execute_sync_impl(
-    gpu: &mut Gpu,
-    tensor: &CooTensor,
-    factors: &FactorSet,
-    mode: usize,
-    config: LaunchConfig,
-    kernel: KernelChoice,
-    functional: bool,
-) -> PipelineRun {
-    let rank = factors.rank();
-    let rows = tensor.dims()[mode] as usize;
-    let out = Arc::new(AtomicF32Buffer::new(rows * rank));
-    let factors_arc = Arc::new(factors.clone());
-    let whole = Arc::new(tensor.clone());
-
-    let a1 = gpu.memory().alloc(factors.byte_size() as u64).expect("factors fit");
-    let a2 = gpu.memory().alloc((rows * rank * 4) as u64).expect("output fits");
-    let a3 = gpu.memory().alloc(tensor.byte_size() as u64).expect("tensor fits");
-
-    let s = gpu.create_stream();
-    gpu.h2d(s, factors.byte_size() as u64, "factors H2D");
-    gpu.h2d(s, tensor.byte_size() as u64, "tensor H2D");
-    kernel.enqueue(
-        gpu,
-        s,
-        config,
-        whole,
-        factors_arc,
-        mode,
-        functional.then(|| Arc::clone(&out)),
-        "kernel".to_string(),
-    );
-    gpu.d2h(s, (rows * rank * 4) as u64, "output D2H");
-
-    let timeline = gpu.synchronize();
-    gpu.memory().free(a1);
-    gpu.memory().free(a2);
-    gpu.memory().free(a3);
-    let output = Mat::from_vec(rows, rank, out.to_vec());
-    PipelineRun { output, timeline }
+    let spec = gpu.spec().clone();
+    let p = build_sync_plan(&spec, tensor, factors, mode, config, kernel);
+    let outcome = run_plan_on(gpu, &p, exec);
+    PipelineRun { output: outcome.output, timeline: outcome.timeline, trace: outcome.trace }
 }
 
 #[cfg(test)]
@@ -292,7 +99,8 @@ mod tests {
         let (t, f) = setup(20_000);
         let mut gpu = Gpu::new(DeviceSpec::rtx3090());
         let plan = PipelinePlan::new(&t, 0, LaunchConfig::new(1024, 256), 4, 4);
-        let run = execute_pipelined(&mut gpu, &t, &f, &plan, KernelChoice::Tiled);
+        let run =
+            execute_pipelined(&mut gpu, &t, &f, &plan, KernelChoice::Tiled, ExecMode::Functional);
         let expect = mttkrp_seq(&t, &f, 0);
         assert!(
             run.output.max_abs_diff(&expect) < 1e-2,
@@ -315,6 +123,7 @@ mod tests {
             0,
             LaunchConfig::parti_default(t.nnz()),
             KernelChoice::CooAtomic,
+            ExecMode::Functional,
         );
         let expect = mttkrp_seq(&t, &f, 0);
         assert!(run.output.max_abs_diff(&expect) < 1e-2);
@@ -331,11 +140,11 @@ mod tests {
         let cfg = LaunchConfig::new(2048, 256);
 
         let mut g1 = Gpu::new(DeviceSpec::rtx3090());
-        let sync = execute_sync_dry(&mut g1, &t, &f, 0, cfg, KernelChoice::Tiled);
+        let sync = execute_sync(&mut g1, &t, &f, 0, cfg, KernelChoice::Tiled, ExecMode::Dry);
 
         let mut g2 = Gpu::new(DeviceSpec::rtx3090());
         let plan = PipelinePlan::new(&t, 0, cfg, 4, 4);
-        let piped = execute_pipelined_dry(&mut g2, &t, &f, &plan, KernelChoice::Tiled);
+        let piped = execute_pipelined(&mut g2, &t, &f, &plan, KernelChoice::Tiled, ExecMode::Dry);
 
         assert!(
             piped.makespan() < sync.makespan(),
@@ -347,15 +156,25 @@ mod tests {
     }
 
     #[test]
-    fn dry_and_functional_schedules_have_identical_makespans() {
+    fn dry_and_functional_runs_report_identical_times_and_traces() {
+        // The dry-mode regression contract: for a fault-free plan, a dry
+        // run must report exactly the simulated times (and therefore the
+        // trace fingerprint) of the functional run.
         let (t, f) = setup(10_000);
         let cfg = LaunchConfig::new(1024, 256);
         let plan = PipelinePlan::new(&t, 0, cfg, 4, 2);
         let mut g1 = Gpu::new(DeviceSpec::rtx3090());
-        let wet = execute_pipelined(&mut g1, &t, &f, &plan, KernelChoice::Tiled);
+        let wet =
+            execute_pipelined(&mut g1, &t, &f, &plan, KernelChoice::Tiled, ExecMode::Functional);
         let mut g2 = Gpu::new(DeviceSpec::rtx3090());
-        let dry = execute_pipelined_dry(&mut g2, &t, &f, &plan, KernelChoice::Tiled);
+        let dry = execute_pipelined(&mut g2, &t, &f, &plan, KernelChoice::Tiled, ExecMode::Dry);
         assert_eq!(wet.makespan(), dry.makespan());
+        assert!(!wet.trace.is_empty() && !dry.trace.is_empty());
+        assert_eq!(
+            wet.trace.fingerprint(),
+            dry.trace.fingerprint(),
+            "dry and functional runs must execute the identical schedule"
+        );
         assert_eq!(dry.output.frob_norm(), 0.0, "dry runs compute nothing");
     }
 
@@ -365,7 +184,8 @@ mod tests {
         let cfg = LaunchConfig::new(512, 256);
         let mut gpu = Gpu::new(DeviceSpec::rtx3090());
         let plan = PipelinePlan::new(&t, 0, cfg, 1, 1);
-        let run = execute_pipelined(&mut gpu, &t, &f, &plan, KernelChoice::Tiled);
+        let run =
+            execute_pipelined(&mut gpu, &t, &f, &plan, KernelChoice::Tiled, ExecMode::Functional);
         // One segment: H2D factors, H2D seg, kernel, D2H = 4 spans.
         assert_eq!(run.timeline.spans.len(), 4);
         assert!(run.overlap_ratio() < 0.05);
@@ -380,7 +200,14 @@ mod tests {
             t.sort_for_mode(mode);
             let mut gpu = Gpu::new(DeviceSpec::rtx3090());
             let plan = PipelinePlan::new(&t, mode, LaunchConfig::new(256, 128), 3, 2);
-            let run = execute_pipelined(&mut gpu, &t, &f, &plan, KernelChoice::Tiled);
+            let run = execute_pipelined(
+                &mut gpu,
+                &t,
+                &f,
+                &plan,
+                KernelChoice::Tiled,
+                ExecMode::Functional,
+            );
             let expect = mttkrp_seq(&t, &f, mode);
             assert!(run.output.max_abs_diff(&expect) < 1e-2, "mode {mode}");
         }
@@ -400,12 +227,31 @@ mod tests {
         for streams in [1usize, 2, 4, 8] {
             let mut gpu = Gpu::new(DeviceSpec::rtx3090());
             let plan = PipelinePlan::new(&t, 0, cfg, 8, streams);
-            let run = execute_pipelined_dry(&mut gpu, &t, &f, &plan, KernelChoice::Tiled);
+            let run =
+                execute_pipelined(&mut gpu, &t, &f, &plan, KernelChoice::Tiled, ExecMode::Dry);
             times.push(run.makespan());
         }
         assert!(times[1] < times[0], "2 streams should beat 1: {times:?}");
         let gain_12 = times[0] / times[1];
         let gain_48 = times[2] / times[3];
         assert!(gain_48 < gain_12, "stream gains should flatten: {times:?}");
+    }
+
+    #[test]
+    fn plan_renders_a_typed_ir_dump() {
+        let (t, f) = setup(5_000);
+        let plan = PipelinePlan::new(&t, 0, LaunchConfig::new(512, 256), 4, 2);
+        let p = crate::builders::build_pipelined_plan(
+            &DeviceSpec::rtx3090(),
+            &t,
+            &f,
+            &plan,
+            KernelChoice::Tiled,
+        );
+        let dump = p.render();
+        assert!(dump.contains("H2D"), "dump:\n{dump}");
+        assert!(dump.contains("Launch"), "dump:\n{dump}");
+        assert!(dump.contains("Barrier"), "dump:\n{dump}");
+        assert!(dump.contains("output D2H"), "dump:\n{dump}");
     }
 }

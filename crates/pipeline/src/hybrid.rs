@@ -7,11 +7,16 @@
 //! scattered entries whose GPU processing is latency-bound, while the host
 //! can fold them in for free while the PCIe transfer of the bulk is in
 //! flight.
+//!
+//! The host fold is a first-class `HostResidue` op of the lowered plan:
+//! it appears in the plan trace and participates in the resilient
+//! engine's retry discipline like any device op.
 
-use crate::executor::{execute_pipelined, KernelChoice, PipelineRun};
-use crate::plan::PipelinePlan;
+use crate::builders::build_hybrid_plan;
+use crate::executor::{ExecMode, KernelChoice, PipelineRun};
+use scalfrag_exec::run_plan_on;
 use scalfrag_gpusim::{Gpu, LaunchConfig};
-use scalfrag_kernels::{reference, FactorSet};
+use scalfrag_kernels::FactorSet;
 use scalfrag_tensor::CooTensor;
 
 /// A tensor split into a GPU part (dense slices) and a host part (the
@@ -62,7 +67,7 @@ pub fn split_by_slice_population(tensor: &CooTensor, mode: usize, threshold: u32
 
 /// Executes an MTTKRP with the hybrid schedule: the dense-slice bulk runs
 /// through the segmented GPU pipeline while the sparse-slice tail runs as
-/// a host task in parallel; the two partial outputs are summed.
+/// a `HostResidue` op in parallel; the two partial outputs are summed.
 ///
 /// `split.gpu_part` is sorted internally; `plan_segments`/`plan_streams`
 /// configure the GPU-side pipeline.
@@ -76,42 +81,17 @@ pub fn execute_hybrid(
     plan_segments: usize,
     plan_streams: usize,
     kernel: KernelChoice,
+    exec: ExecMode,
 ) -> PipelineRun {
-    let mut gpu_tensor = split.gpu_part.clone();
-    gpu_tensor.sort_for_mode(mode);
-
-    // Host task: the CPU folds the sparse tail concurrently with the GPU
-    // pipeline. The simulated duration uses the host roofline; the actual
-    // numbers are computed in the closure. An empty tail needs no task.
-    let host_result = std::sync::Arc::new(parking_lot::Mutex::new(None));
-    if split.cpu_part.nnz() > 0 {
-        let cpu_part = split.cpu_part.clone();
-        let host_factors = factors.clone();
-        let host_result_w = std::sync::Arc::clone(&host_result);
-        let stats = scalfrag_kernels::SegmentStats::compute(&cpu_part, mode);
-        let host_stream = gpu.create_stream();
-        gpu.host_task(
-            host_stream,
-            stats.flops(factors.rank() as u32),
-            stats.bytes_read(factors.rank() as u32),
-            "host tail MTTKRP",
-            move || {
-                let m = reference::mttkrp_par(&cpu_part, &host_factors, mode);
-                *host_result_w.lock() = Some(m);
-            },
-        );
+    let spec = gpu.spec().clone();
+    let p =
+        build_hybrid_plan(&spec, split, factors, mode, config, plan_segments, plan_streams, kernel);
+    let outcome = run_plan_on(gpu, &p, exec);
+    PipelineRun {
+        output: outcome.output,
+        timeline: gpu.full_timeline().clone(),
+        trace: outcome.trace,
     }
-
-    let plan = PipelinePlan::new(&gpu_tensor, mode, config, plan_segments, plan_streams);
-    let mut run = execute_pipelined(gpu, &gpu_tensor, factors, &plan, kernel);
-
-    // The pipelined synchronize above also resolved the host task (same
-    // GPU context), so the partial result is ready now.
-    if let Some(host_m) = host_result.lock().take() {
-        run.output.axpy(1.0, &host_m);
-    }
-    run.timeline = gpu.full_timeline().clone();
-    run
 }
 
 #[cfg(test)]
@@ -164,6 +144,7 @@ mod tests {
             4,
             4,
             KernelChoice::Tiled,
+            ExecMode::Functional,
         );
         let expect = mttkrp_seq(&t, &f, 0);
         assert!(
@@ -187,6 +168,7 @@ mod tests {
             4,
             4,
             KernelChoice::Tiled,
+            ExecMode::Functional,
         );
         let host_span = run
             .timeline
@@ -196,5 +178,27 @@ mod tests {
             .expect("host span present");
         // The host task starts immediately, i.e. before the device finishes.
         assert!(host_span.start < run.timeline.makespan() * 0.5);
+    }
+
+    #[test]
+    fn host_residue_appears_in_the_plan_trace() {
+        let (t, f) = skewed();
+        let split = split_by_slice_population(&t, 0, 8);
+        let mut gpu = Gpu::new(DeviceSpec::rtx3090());
+        let run = execute_hybrid(
+            &mut gpu,
+            &split,
+            &f,
+            0,
+            LaunchConfig::new(1024, 256),
+            4,
+            4,
+            KernelChoice::Tiled,
+            ExecMode::Functional,
+        );
+        assert!(
+            run.trace.events.iter().any(|e| e.label == "host tail MTTKRP"),
+            "the residue must be a first-class traced op"
+        );
     }
 }

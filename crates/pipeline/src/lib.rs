@@ -18,19 +18,21 @@
 //!    kernel through events, returns the output matrix.
 //! 5. **Hybrid execution** — optionally, the low-parallelism slices run on
 //!    the host CPU while the device processes the bulk ([`hybrid`]).
+//!
+//! Since the ScheduleIR refactor this crate is a *plan builder*: every
+//! schedule lowers to a [`scalfrag_exec::Plan`] ([`builders`]) and the
+//! single interpreter in `scalfrag-exec` executes it. Dry runs are the
+//! interpreter's [`ExecMode::Dry`]; fault injection is its resilient
+//! mode.
 
+pub mod builders;
 pub mod executor;
 pub mod hybrid;
 pub mod plan;
 pub mod resilient;
 
-pub use executor::{
-    execute_pipelined, execute_pipelined_dry, execute_sync, execute_sync_dry, KernelChoice,
-    PipelineRun,
-};
+pub use builders::{build_hybrid_plan, build_pipelined_plan, build_sync_plan, plan_builders};
+pub use executor::{execute_pipelined, execute_sync, ExecMode, KernelChoice, PipelineRun};
 pub use hybrid::{execute_hybrid, split_by_slice_population, HybridSplit};
 pub use plan::PipelinePlan;
-pub use resilient::{
-    execute_pipelined_resilient, execute_pipelined_resilient_dry, ResilientRun, RetryPolicy,
-    SegmentOutcome,
-};
+pub use resilient::{execute_pipelined_resilient, ResilientRun, RetryPolicy, SegmentOutcome};

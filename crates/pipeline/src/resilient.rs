@@ -1,8 +1,11 @@
 //! Fault-resilient pipelined execution: segment-level retry with
 //! exponential backoff over a [`FaultInjector`].
 //!
-//! The executor decouples *timing* from *numerics* so recovery cannot
-//! perturb results:
+//! Since the ScheduleIR refactor this module holds no execution loop: it
+//! lowers the pipeline plan (attaching the retry policy as plan metadata)
+//! and hands it to the single resilient interpreter,
+//! [`scalfrag_exec::run_plan_resilient_on`]. The recovery semantics live
+//! there:
 //!
 //! * **Timing** — segments are launched in waves (timing-only kernels),
 //!   polling the injector before every H2D and kernel. A corrupted
@@ -15,59 +18,17 @@
 //!   a scratch device. That is exactly the accumulation order of
 //!   [`crate::execute_pipelined`], so a fully recovered run is
 //!   bit-identical to the fault-free run.
-//!
-//! Detection is modelled honestly: every transferred segment pays a
-//! host-side checksum verification task (the ECC-style scan of
-//! `scalfrag_faults::checksum`), fault or no fault — resilience has a
-//! small cost even on clean runs.
 
-use crate::executor::KernelChoice;
+use crate::builders::build_pipelined_plan;
+use crate::executor::{ExecMode, KernelChoice};
 use crate::plan::PipelinePlan;
-use scalfrag_faults::{FaultInjector, OpClass, OpVerdict, RecoveryAction};
-use scalfrag_gpusim::{DeviceSpec, Gpu, StreamId, Timeline};
-use scalfrag_kernels::{AtomicF32Buffer, FactorSet};
+pub use scalfrag_exec::RetryPolicy;
+use scalfrag_exec::{run_plan_resilient_on, FaultRecoveryPolicy, RecoveryMode};
+use scalfrag_faults::FaultInjector;
+use scalfrag_gpusim::{Gpu, Timeline};
+use scalfrag_kernels::FactorSet;
 use scalfrag_linalg::Mat;
 use scalfrag_tensor::CooTensor;
-use std::sync::Arc;
-
-/// Segment-retry policy: capped attempts with exponential backoff.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub struct RetryPolicy {
-    /// Total attempts per segment (1 = no retries).
-    pub max_attempts: u32,
-    /// Backoff before the first retry (s).
-    pub backoff_base_s: f64,
-    /// Multiplier applied per further retry.
-    pub backoff_mult: f64,
-}
-
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        Self { max_attempts: 4, backoff_base_s: 5e-5, backoff_mult: 2.0 }
-    }
-}
-
-impl RetryPolicy {
-    /// The ablation baseline: one attempt, no recovery.
-    pub fn no_retry() -> Self {
-        Self { max_attempts: 1, ..Self::default() }
-    }
-
-    /// Default backoff schedule with a custom attempt cap.
-    pub fn with_attempts(max_attempts: u32) -> Self {
-        assert!(max_attempts >= 1, "at least one attempt is required");
-        Self { max_attempts, ..Self::default() }
-    }
-
-    /// Backoff stall before `attempt` (1-based; attempt 1 pays none).
-    pub fn backoff_s(&self, attempt: u32) -> f64 {
-        if attempt <= 1 {
-            0.0
-        } else {
-            self.backoff_base_s * self.backoff_mult.powi(attempt as i32 - 2)
-        }
-    }
-}
 
 /// Per-segment outcome of a resilient run.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -120,11 +81,11 @@ impl ResilientRun {
     }
 }
 
-/// Executes an MTTKRP under fault injection with functional numerics.
+/// Executes an MTTKRP under fault injection.
 ///
 /// `device_id` names this device to the injector (0 for a single-GPU
-/// run). When every segment recovers, the output is bit-identical to
-/// [`crate::execute_pipelined`] on the same plan.
+/// run). When every segment recovers, the functional output is
+/// bit-identical to [`crate::execute_pipelined`] on the same plan.
 #[allow(clippy::too_many_arguments)]
 pub fn execute_pipelined_resilient(
     gpu: &mut Gpu,
@@ -135,229 +96,26 @@ pub fn execute_pipelined_resilient(
     device_id: usize,
     injector: &mut FaultInjector,
     policy: &RetryPolicy,
+    exec: ExecMode,
 ) -> ResilientRun {
-    execute_pipelined_resilient_impl(
-        gpu, tensor, factors, plan, kernel, device_id, injector, policy, true,
-    )
-}
-
-/// Timing-only variant of [`execute_pipelined_resilient`]: identical
-/// schedule, retries and fault consumption, zero output.
-#[allow(clippy::too_many_arguments)]
-pub fn execute_pipelined_resilient_dry(
-    gpu: &mut Gpu,
-    tensor: &CooTensor,
-    factors: &FactorSet,
-    plan: &PipelinePlan,
-    kernel: KernelChoice,
-    device_id: usize,
-    injector: &mut FaultInjector,
-    policy: &RetryPolicy,
-) -> ResilientRun {
-    execute_pipelined_resilient_impl(
-        gpu, tensor, factors, plan, kernel, device_id, injector, policy, false,
-    )
-}
-
-#[allow(clippy::too_many_arguments)]
-fn execute_pipelined_resilient_impl(
-    gpu: &mut Gpu,
-    tensor: &CooTensor,
-    factors: &FactorSet,
-    plan: &PipelinePlan,
-    kernel: KernelChoice,
-    device_id: usize,
-    injector: &mut FaultInjector,
-    policy: &RetryPolicy,
-    functional: bool,
-) -> ResilientRun {
-    assert!(policy.max_attempts >= 1, "at least one attempt is required");
-    let mode = plan.mode;
-    let rank = factors.rank();
-    let rows = tensor.dims()[mode] as usize;
-    let factors_arc = Arc::new(factors.clone());
-    let n = plan.segments.len();
-
-    let streams: Vec<StreamId> = (0..plan.num_streams).map(|_| gpu.create_stream()).collect();
-    let mut allocs = vec![
-        gpu.memory().alloc(factors.byte_size() as u64).expect("factors fit"),
-        gpu.memory().alloc((rows * rank * 4) as u64).expect("output fits"),
-    ];
-    for seg in &plan.segments {
-        allocs.push(
-            gpu.memory()
-                .alloc(seg.byte_size(tensor.order()) as u64)
-                .expect("segment buffer must fit"),
-        );
+    let spec = gpu.spec().clone();
+    let mut p = build_pipelined_plan(&spec, tensor, factors, plan, kernel);
+    p.meta.retry = Some(*policy);
+    let recovery = FaultRecoveryPolicy { mode: RecoveryMode::Retry, retry: *policy };
+    let outcome = run_plan_resilient_on(gpu, &p, device_id, injector, &recovery, exec);
+    ResilientRun {
+        output: outcome.output,
+        timeline: outcome.timeline,
+        outcomes: outcome
+            .outcomes
+            .iter()
+            .map(|u| SegmentOutcome {
+                segment: u.segment,
+                attempts: u.attempts,
+                completed: u.completed,
+            })
+            .collect(),
     }
-
-    gpu.h2d(streams[0], factors.byte_size() as u64, "factors H2D");
-    let factors_ready = gpu.record_event(streams[0]);
-    for &s in &streams[1..] {
-        gpu.wait_event(s, factors_ready);
-    }
-
-    let mut attempts = vec![0u32; n];
-    let mut completed = vec![false; n];
-    let mut pending: Vec<usize> = (0..n).collect();
-
-    while !pending.is_empty() {
-        let now = gpu.clock();
-        let mut failed: Vec<usize> = Vec::new();
-        // `Some(until)` once the device goes down this wave; every later
-        // poll in the wave sees the same down state from the injector.
-        let mut down: Option<Option<f64>> = None;
-        for &i in &pending {
-            let seg = &plan.segments[i];
-            let stream = streams[plan.stream_of(i)];
-            attempts[i] += 1;
-            let attempt = attempts[i];
-            if attempt > 1 {
-                let backoff = policy.backoff_s(attempt);
-                if backoff > 0.0 {
-                    gpu.stall(stream, backoff, format!("seg{i} backoff"));
-                }
-                injector.record_recovery(
-                    device_id,
-                    now,
-                    RecoveryAction::RetrySegment { shard: 0, segment: i, attempt },
-                );
-            }
-            let bytes = seg.byte_size(tensor.order()) as u64;
-            match injector.on_op(device_id, OpClass::H2D, now) {
-                OpVerdict::DeviceDown { until_s } => {
-                    down = Some(until_s);
-                    failed.push(i);
-                    continue;
-                }
-                verdict => {
-                    gpu.h2d(stream, bytes, format!("seg{i} H2D try{attempt}"));
-                    // ECC-style detection: every transfer pays a host-side
-                    // checksum scan over the segment.
-                    gpu.host_task(
-                        stream,
-                        seg.nnz() as u64,
-                        bytes,
-                        format!("seg{i} checksum"),
-                        || {},
-                    );
-                    if verdict == OpVerdict::Corrupted {
-                        failed.push(i);
-                        continue;
-                    }
-                }
-            }
-            match injector.on_op(device_id, OpClass::Kernel, now) {
-                OpVerdict::DeviceDown { until_s } => {
-                    down = Some(until_s);
-                    failed.push(i);
-                    continue;
-                }
-                verdict => {
-                    // Timing-only launch even in functional mode: numerics
-                    // come from the deterministic replay below, so retries
-                    // can never reorder the accumulation.
-                    let piece = Arc::new(tensor.slice_range(seg.start, seg.end));
-                    kernel.enqueue(
-                        gpu,
-                        stream,
-                        plan.config,
-                        piece,
-                        Arc::clone(&factors_arc),
-                        mode,
-                        None,
-                        format!("seg{i} kernel try{attempt}"),
-                    );
-                    // An aborted kernel is charged its full cost too.
-                    if verdict == OpVerdict::Aborted {
-                        failed.push(i);
-                        continue;
-                    }
-                }
-            }
-            completed[i] = true;
-        }
-        gpu.synchronize();
-        pending = failed.into_iter().filter(|&i| attempts[i] < policy.max_attempts).collect();
-        if let Some(until) = down {
-            match until {
-                // Transient outage: wait it out (if anything is left to
-                // retry), then resume.
-                Some(u) if !pending.is_empty() => gpu.advance_to(u),
-                Some(_) => {}
-                // Permanent failure: everything still pending is lost.
-                None => pending.clear(),
-            }
-        }
-    }
-
-    // One D2H of whatever the device accumulated, ordered after all work.
-    let done_events: Vec<_> = streams.iter().map(|&s| gpu.record_event(s)).collect();
-    for ev in done_events {
-        gpu.wait_event(streams[0], ev);
-    }
-    gpu.d2h(streams[0], (rows * rank * 4) as u64, "output D2H");
-    gpu.synchronize();
-    for a in allocs {
-        gpu.memory().free(a);
-    }
-
-    let output = if functional {
-        replay_completed_segments(
-            gpu.spec(),
-            tensor,
-            plan,
-            kernel,
-            &factors_arc,
-            mode,
-            &completed,
-            rows,
-            rank,
-        )
-    } else {
-        Mat::zeros(rows, rank)
-    };
-    let outcomes = (0..n)
-        .map(|i| SegmentOutcome { segment: i, attempts: attempts[i], completed: completed[i] })
-        .collect();
-    ResilientRun { output, timeline: gpu.full_timeline().clone(), outcomes }
-}
-
-/// Replays the completed segments functionally, in segment order, on a
-/// scratch device — the same accumulation order as the fault-free
-/// pipeline, so recovery is invisible to the numerics.
-#[allow(clippy::too_many_arguments)]
-fn replay_completed_segments(
-    spec: &DeviceSpec,
-    tensor: &CooTensor,
-    plan: &PipelinePlan,
-    kernel: KernelChoice,
-    factors: &Arc<FactorSet>,
-    mode: usize,
-    completed: &[bool],
-    rows: usize,
-    rank: usize,
-) -> Mat {
-    let out = Arc::new(AtomicF32Buffer::new(rows * rank));
-    let mut scratch = Gpu::new(spec.clone());
-    let s = scratch.create_stream();
-    for (i, seg) in plan.segments.iter().enumerate() {
-        if !completed[i] {
-            continue;
-        }
-        kernel.enqueue(
-            &mut scratch,
-            s,
-            plan.config,
-            Arc::new(tensor.slice_range(seg.start, seg.end)),
-            Arc::clone(factors),
-            mode,
-            Some(Arc::clone(&out)),
-            format!("replay seg{i}"),
-        );
-    }
-    scratch.synchronize();
-    Mat::from_vec(rows, rank, out.to_vec())
 }
 
 #[cfg(test)]
@@ -365,7 +123,7 @@ mod tests {
     use super::*;
     use crate::executor::execute_pipelined;
     use scalfrag_faults::{FaultKind, FaultPlan, FaultTrigger};
-    use scalfrag_gpusim::LaunchConfig;
+    use scalfrag_gpusim::{DeviceSpec, LaunchConfig};
 
     fn setup(nnz: usize) -> (CooTensor, FactorSet) {
         let dims = [300u32, 200, 150];
@@ -384,7 +142,8 @@ mod tests {
         let (t, f) = setup(20_000);
         let plan = pplan(&t);
         let mut g1 = Gpu::new(DeviceSpec::rtx3090());
-        let base = execute_pipelined(&mut g1, &t, &f, &plan, KernelChoice::Tiled);
+        let base =
+            execute_pipelined(&mut g1, &t, &f, &plan, KernelChoice::Tiled, ExecMode::Functional);
         let mut g2 = Gpu::new(DeviceSpec::rtx3090());
         let mut inj = FaultInjector::inert();
         let run = execute_pipelined_resilient(
@@ -396,6 +155,7 @@ mod tests {
             0,
             &mut inj,
             &RetryPolicy::default(),
+            ExecMode::Functional,
         );
         assert!(run.all_complete());
         assert_eq!(run.total_attempts(), 4, "clean run: one attempt per segment");
@@ -411,7 +171,8 @@ mod tests {
         let (t, f) = setup(20_000);
         let plan = pplan(&t);
         let mut g1 = Gpu::new(DeviceSpec::rtx3090());
-        let base = execute_pipelined(&mut g1, &t, &f, &plan, KernelChoice::Tiled);
+        let base =
+            execute_pipelined(&mut g1, &t, &f, &plan, KernelChoice::Tiled, ExecMode::Functional);
 
         let faults = FaultPlan::new()
             .fault(0, FaultTrigger::AtOp(2), FaultKind::TransferCorruption)
@@ -427,6 +188,7 @@ mod tests {
             0,
             &mut inj,
             &RetryPolicy::default(),
+            ExecMode::Functional,
         );
         assert!(run.all_complete(), "two recoverable faults must not lose work");
         assert!(run.total_attempts() > 4, "recovery must show in the attempt count");
@@ -456,10 +218,12 @@ mod tests {
             0,
             &mut inj,
             &RetryPolicy::no_retry(),
+            ExecMode::Functional,
         );
         assert_eq!(run.failed_segments(), 1, "no-retry must lose exactly the faulted segment");
         let mut g1 = Gpu::new(DeviceSpec::rtx3090());
-        let base = execute_pipelined(&mut g1, &t, &f, &plan, KernelChoice::Tiled);
+        let base =
+            execute_pipelined(&mut g1, &t, &f, &plan, KernelChoice::Tiled, ExecMode::Functional);
         assert!(
             run.output.max_abs_diff(&base.output) > 0.0,
             "losing a segment must change the output"
@@ -486,6 +250,7 @@ mod tests {
             0,
             &mut inj,
             &RetryPolicy::default(),
+            ExecMode::Functional,
         );
         assert!(run.all_complete(), "transient downtime must be recoverable");
         // The downtime pushed later work past the recovery point.
@@ -512,17 +277,9 @@ mod tests {
             0,
             &mut inj,
             &RetryPolicy::default(),
+            ExecMode::Functional,
         );
         assert_eq!(run.completed_segments(), 0, "a dead device completes nothing");
         assert_eq!(run.output.frob_norm(), 0.0);
-    }
-
-    #[test]
-    fn backoff_schedule_is_exponential() {
-        let p = RetryPolicy { max_attempts: 5, backoff_base_s: 1e-4, backoff_mult: 2.0 };
-        assert_eq!(p.backoff_s(1), 0.0);
-        assert!((p.backoff_s(2) - 1e-4).abs() < 1e-18);
-        assert!((p.backoff_s(3) - 2e-4).abs() < 1e-18);
-        assert!((p.backoff_s(4) - 4e-4).abs() < 1e-18);
     }
 }

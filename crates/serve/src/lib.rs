@@ -47,7 +47,7 @@ pub use admission::{estimate_service_s, AdmissionPolicy, RejectReason, Rejected}
 pub use job::{JobId, MttkrpJob, Priority};
 pub use plan_cache::{CacheStats, ExecutionPlan, PlanCache};
 pub use report::{JobRecord, ServeReport};
-pub use scheduler::{DevicePool, PLAN_HIT_S, PLAN_MISS_S};
+pub use scheduler::{plan_builders, DevicePool, PLAN_HIT_S, PLAN_MISS_S};
 pub use workload::{synthesize, WorkloadSpec};
 
 use scalfrag_autotune::TrainedPredictor;

@@ -15,11 +15,12 @@ use crate::report::{JobRecord, ServeReport};
 use crate::ScalFragServer;
 use scalfrag_cluster::NodeSpec;
 use scalfrag_core::PhaseTiming;
+use scalfrag_exec::PlanBuilder;
 use scalfrag_faults::{DeviceHealth, FaultInjector, OpClass, OpVerdict, RecoveryAction};
 use scalfrag_gpusim::{DeviceSpec, Gpu, LaunchConfig};
 use scalfrag_pipeline::plan::MAX_SEGMENTS;
 use scalfrag_pipeline::{
-    execute_hybrid, execute_pipelined, execute_pipelined_dry, split_by_slice_population,
+    build_pipelined_plan, execute_hybrid, execute_pipelined, split_by_slice_population, ExecMode,
     KernelChoice, PipelinePlan,
 };
 use scalfrag_tensor::{segment, FeatureKey, TensorFeatures};
@@ -391,6 +392,7 @@ impl ScalFragServer {
                     plan.segments,
                     plan.streams,
                     plan.kernel,
+                    ExecMode::Functional,
                 )
             }
             _ => {
@@ -398,11 +400,9 @@ impl ScalFragServer {
                 sorted.sort_for_mode(job.mode);
                 let pplan =
                     PipelinePlan::new(&sorted, job.mode, config, plan.segments, plan.streams);
-                if self.config.functional {
-                    execute_pipelined(&mut gpu, &sorted, &job.factors, &pplan, plan.kernel)
-                } else {
-                    execute_pipelined_dry(&mut gpu, &sorted, &job.factors, &pplan, plan.kernel)
-                }
+                let exec =
+                    if self.config.functional { ExecMode::Functional } else { ExecMode::Dry };
+                execute_pipelined(&mut gpu, &sorted, &job.factors, &pplan, plan.kernel, exec)
             }
         };
         let timing = PhaseTiming::from_timeline(&run.timeline).with_queue(start - job.arrival_s);
@@ -425,6 +425,31 @@ impl ScalFragServer {
             output: if self.config.functional { Some(run.output) } else { None },
         }
     }
+}
+
+/// The serving layer's registered plan builders: the plan a default
+/// functional server dispatches a job onto, with the predictor swapped
+/// for the ParTI heuristic so building stays training-free and
+/// deterministic. Mirrors the `path:serve-functional` conformance
+/// backend.
+pub fn plan_builders() -> Vec<PlanBuilder> {
+    vec![PlanBuilder::new("serve-functional", |tensor, factors, mode| {
+        let device = DeviceSpec::rtx3090();
+        let config = LaunchConfig::parti_default(tensor.nnz());
+        let segments = segment::auto_segment_count(
+            tensor.byte_size(),
+            factors.byte_size(),
+            device.global_mem_bytes as usize,
+            MAX_SEGMENTS,
+        )
+        .clamp(4, MAX_SEGMENTS);
+        let mut sorted = tensor.clone();
+        sorted.sort_for_mode(mode);
+        let pplan = PipelinePlan::new(&sorted, mode, config, segments, segments.min(4));
+        let mut p = build_pipelined_plan(&device, &sorted, factors, &pplan, KernelChoice::Tiled);
+        p.name = "serve-functional";
+        p
+    })]
 }
 
 /// Inserts a resubmission keeping the list sorted descending by

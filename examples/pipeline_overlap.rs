@@ -4,9 +4,10 @@
 //!
 //! Run with `cargo run --release --example pipeline_overlap`.
 
+use scalfrag::exec::ExecMode;
 use scalfrag::gpusim::{DeviceSpec, Gpu};
 use scalfrag::kernels::FactorSet;
-use scalfrag::pipeline::{execute_pipelined_dry, execute_sync_dry, KernelChoice, PipelinePlan};
+use scalfrag::pipeline::{execute_pipelined, execute_sync, KernelChoice, PipelinePlan};
 use scalfrag::prelude::*;
 
 fn main() {
@@ -20,14 +21,16 @@ fn main() {
 
     // --- The ParTI-style synchronous schedule (§III-B). ---
     let mut gpu = Gpu::new(DeviceSpec::rtx3090());
-    let sync = execute_sync_dry(&mut gpu, &tensor, &factors, 0, cfg, KernelChoice::Tiled);
+    let sync =
+        execute_sync(&mut gpu, &tensor, &factors, 0, cfg, KernelChoice::Tiled, ExecMode::Dry);
     println!("synchronous schedule ({}):", scalfrag_fmt(sync.makespan()));
     println!("{}", sync.timeline.ascii_gantt(90));
 
     // --- The ScalFrag pipeline: 4 segments on 4 streams. ---
     let plan = PipelinePlan::new(&tensor, 0, cfg, 4, 4);
     let mut gpu = Gpu::new(DeviceSpec::rtx3090());
-    let piped = execute_pipelined_dry(&mut gpu, &tensor, &factors, &plan, KernelChoice::Tiled);
+    let piped =
+        execute_pipelined(&mut gpu, &tensor, &factors, &plan, KernelChoice::Tiled, ExecMode::Dry);
     println!(
         "pipelined schedule, {} segments / {} streams ({}; overlap {:.0}%):",
         plan.num_segments(),
@@ -50,8 +53,14 @@ fn main() {
         for streams in [1usize, 2, 4, 8] {
             let plan = PipelinePlan::new(&tensor, 0, cfg, segments, streams);
             let mut gpu = Gpu::new(DeviceSpec::rtx3090());
-            let run =
-                execute_pipelined_dry(&mut gpu, &tensor, &factors, &plan, KernelChoice::Tiled);
+            let run = execute_pipelined(
+                &mut gpu,
+                &tensor,
+                &factors,
+                &plan,
+                KernelChoice::Tiled,
+                ExecMode::Dry,
+            );
             print!("{:>11}", scalfrag_fmt(run.makespan()));
         }
         println!();

@@ -246,12 +246,13 @@ fn cmd_trace(tensor: &CooTensor, args: &Args) {
         4,
     );
     let mut gpu = scalfrag::gpusim::Gpu::new(DeviceSpec::rtx3090());
-    let run = scalfrag::pipeline::execute_pipelined_dry(
+    let run = scalfrag::pipeline::execute_pipelined(
         &mut gpu,
         &sorted,
         &factors,
         &plan,
         scalfrag::pipeline::KernelChoice::Tiled,
+        scalfrag::exec::ExecMode::Dry,
     );
     let path = args.out.clone().unwrap_or_else(|| "scalfrag_trace.json".into());
     let file = std::fs::File::create(&path).expect("create trace file");

@@ -19,6 +19,10 @@
 //!   launch configurations.
 //! * [`pipeline`] — tensor segmentation, CUDA-stream-style scheduling and
 //!   the pipelined transfer/compute overlap of §IV-C.
+//! * [`exec`] — the ScheduleIR execution engine: every path above lowers
+//!   to one typed [`exec::Plan`] DAG, and one fault-aware interpreter
+//!   executes it (dry-run, retry/backoff and shard re-placement are
+//!   interpreter modes, not separate code paths).
 //! * [`cluster`] — multi-GPU sharded MTTKRP: node/interconnect model,
 //!   shard policies, device-level scheduling and the cross-device
 //!   reduction stage.
@@ -59,6 +63,7 @@ pub use scalfrag_autotune as autotune;
 pub use scalfrag_cluster as cluster;
 pub use scalfrag_conformance as conformance;
 pub use scalfrag_core as core;
+pub use scalfrag_exec as exec;
 pub use scalfrag_faults as faults;
 pub use scalfrag_gpusim as gpusim;
 pub use scalfrag_kernels as kernels;
@@ -78,6 +83,7 @@ pub mod prelude {
         ClusterMttkrpReport, ClusterScalFrag, MttkrpReport, Parti, ResilientClusterMttkrpReport,
         ScalFrag,
     };
+    pub use scalfrag_exec::{run_plan, ExecMode, Plan, PlanBuilder, PlanTrace};
     pub use scalfrag_faults::{
         DeviceHealth, FaultInjector, FaultKind, FaultLog, FaultPlan, FaultTrigger,
     };

@@ -8,9 +8,10 @@
 //! block-edge accumulation, BCSF threshold extremes, resilient retries).
 
 use scalfrag::conformance::{
-    self, corpus, kernel_backends, max_ulp, oracle_mttkrp, path_backends, race_self_test,
-    run_differential, smoke_corpus, tolerance_for, Exactness,
+    self, all_plan_builders, corpus, kernel_backends, max_ulp, oracle_mttkrp, path_backends,
+    race_self_test, run_differential, smoke_corpus, tolerance_for, Exactness,
 };
+use scalfrag::exec::run_plan;
 use scalfrag::kernels::{AtomicF32Buffer, BcsfKernel, HiCooKernel};
 use scalfrag::prelude::*;
 use scalfrag::tensor::{gen, HiCooTensor, ModePermutation};
@@ -167,6 +168,39 @@ fn segment_and_device_count_invariance() {
 #[test]
 fn race_checker_catches_mutant_and_passes_kernels() {
     race_self_test().unwrap();
+}
+
+/// The ScheduleIR gate: every registered plan builder, interpreted
+/// functionally, lands ULP-clean against the `f64` oracle — and the same
+/// plan interpreted dry (pre-numerics) schedules the identical trace as
+/// the functional run (post-numerics), fingerprint-equal.
+#[test]
+fn plan_builders_conform_ulp_clean_pre_and_post_execution() {
+    let t = gen::zipf_slices(&[48, 32, 24], 3_000, 1.0, SEED ^ 17);
+    let f = FactorSet::random(t.dims(), 8, SEED ^ 18);
+    let expected = oracle_mttkrp(&t, &f, 0);
+    let tol = tolerance_for(&t, 0);
+    let builders = all_plan_builders();
+    assert!(builders.len() >= 6, "the workspace registers at least six plan builders");
+    for b in &builders {
+        let plan = (b.build)(&t, &f, 0);
+        let wet = run_plan(&plan, ExecMode::Functional);
+        let dry = run_plan(&plan, ExecMode::Dry);
+        assert!(!wet.trace.is_empty(), "{}: functional run must emit a plan trace", b.name);
+        let w = max_ulp(expected.as_slice(), wet.output.as_slice());
+        assert!(w.max_ulp <= tol, "{}: {} ulp > {tol} against the oracle", b.name, w.max_ulp);
+        assert_eq!(
+            wet.trace.fingerprint(),
+            dry.trace.fingerprint(),
+            "{}: dry and functional runs must schedule the identical trace",
+            b.name
+        );
+        assert!(
+            dry.output.as_slice().iter().all(|&v| v == 0.0),
+            "{}: dry runs keep no numerics",
+            b.name
+        );
+    }
 }
 
 /// Pinned regression: HiCOO block-edge accumulation on dims that are not

@@ -42,7 +42,7 @@ proptest! {
         mtbf in 3u64..10,
     ) {
         let (tensor, factors) = workload(data_seed);
-        let clean = execute_cluster(&node(), &tensor, &factors, 0, &opts());
+        let clean = execute_cluster(&node(), &tensor, &factors, 0, &opts(), ExecMode::Functional);
 
         let plan = FaultPlan::seeded_storm(seed, DEVICES, mtbf, 24, /* recoverable_only */ true);
         // Every scheduled fault costs at most one attempt, so this budget
@@ -51,7 +51,9 @@ proptest! {
             .with_retry(RetryPolicy::with_attempts(plan.len() as u32 + 4));
 
         let mut inj = FaultInjector::new(plan.clone());
-        let run = execute_cluster_resilient(&node(), &tensor, &factors, 0, &opts(), &mut inj, &policy);
+        let run = execute_cluster_resilient(
+            &node(), &tensor, &factors, 0, &opts(), &mut inj, &policy, ExecMode::Functional,
+        );
         prop_assert!(
             run.all_complete(),
             "seed {seed} mtbf {mtbf}: {} segments lost under full recovery",
@@ -67,8 +69,9 @@ proptest! {
 
         // Replay: same plan, fresh injector -> identical log and bits.
         let mut replay = FaultInjector::new(plan);
-        let rerun =
-            execute_cluster_resilient(&node(), &tensor, &factors, 0, &opts(), &mut replay, &policy);
+        let rerun = execute_cluster_resilient(
+            &node(), &tensor, &factors, 0, &opts(), &mut replay, &policy, ExecMode::Functional,
+        );
         prop_assert_eq!(inj.log().fingerprint(), replay.log().fingerprint());
         prop_assert_eq!(mat_checksum(&run.output), mat_checksum(&rerun.output));
     }
@@ -99,6 +102,7 @@ fn no_retry_baseline_loses_work_under_a_storm() {
         &opts(),
         &mut inj,
         &FaultRecoveryPolicy::no_retry(),
+        ExecMode::Functional,
     );
     assert!(run.failed_segments > 0, "no-retry must lose the dead device's segments");
     assert_eq!(run.dead_devices, vec![1]);

@@ -25,6 +25,7 @@ use scalfrag::tensor::gen;
 const GOLDEN_SERVE_FINGERPRINT: u64 = 0x373c_1ac3_9717_638c;
 const GOLDEN_FAULT_LOG_FINGERPRINT: u64 = 0xbd60_acb6_58c7_9e45;
 const GOLDEN_CLUSTER_OUTPUT_CHECKSUM: u64 = 0xd336_3d55_543a_4baf;
+const GOLDEN_PLAN_TRACE_FINGERPRINT: u64 = 0xed33_cf2f_445d_e4d6;
 
 fn print_or_assert(label: &str, got: u64, golden: u64) {
     if std::env::var("PRINT_FINGERPRINTS").is_ok() {
@@ -85,13 +86,59 @@ fn fault_log_fingerprint_is_pinned() {
         let policy = FaultRecoveryPolicy::retry_reshard()
             .with_retry(RetryPolicy::with_attempts(plan.len() as u32 + 4));
         let mut inj = FaultInjector::new(plan);
-        let run = execute_cluster_resilient(&node, &tensor, &factors, 0, &opts, &mut inj, &policy);
+        let run = execute_cluster_resilient(
+            &node,
+            &tensor,
+            &factors,
+            0,
+            &opts,
+            &mut inj,
+            &policy,
+            ExecMode::Functional,
+        );
         assert_eq!(run.failed_segments, 0, "recoverable storm must recover");
         inj.log().fingerprint()
     };
     let a = run();
     assert_eq!(a, run(), "same storm, two fault-log fingerprints in one process");
     print_or_assert("fault-log", a, GOLDEN_FAULT_LOG_FINGERPRINT);
+}
+
+/// Every registered plan builder, lowered over the pinned tensor and
+/// interpreted in dry mode, must schedule the identical ops at the
+/// identical simulated times. The digest folds each builder's name and
+/// its [`PlanTrace::fingerprint`] (FNV-1a over placement, labels and
+/// span bits — toolchain-independent).
+#[test]
+fn plan_trace_fingerprint_is_pinned() {
+    let dims = [80u32, 56, 40];
+    let tensor = gen::zipf_slices(&dims, 6_000, 1.1, 61);
+    let factors = FactorSet::random(&dims, 8, 62);
+    let combined = || {
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let byte = |h: &mut u64, b: u8| *h = (*h ^ b as u64).wrapping_mul(FNV_PRIME);
+        for b in scalfrag::conformance::all_plan_builders() {
+            let plan = (b.build)(&tensor, &factors, 0);
+            let outcome = scalfrag::exec::run_plan(&plan, ExecMode::Dry);
+            assert!(
+                !outcome.trace.is_empty(),
+                "{}: every execution path must emit a plan trace",
+                b.name
+            );
+            for &c in b.name.as_bytes() {
+                byte(&mut h, c);
+            }
+            byte(&mut h, 0xff);
+            for c in outcome.trace.fingerprint().to_le_bytes() {
+                byte(&mut h, c);
+            }
+        }
+        h
+    };
+    let a = combined();
+    assert_eq!(a, combined(), "same plans, two trace digests in one process");
+    print_or_assert("plan-trace", a, GOLDEN_PLAN_TRACE_FINGERPRINT);
 }
 
 #[test]

@@ -85,12 +85,13 @@ fn profiler_and_trace_cover_a_real_pipeline_run() {
     let f = FactorSet::random(t.dims(), 8, 81);
     let plan = scalfrag::pipeline::PipelinePlan::new(&t, 0, LaunchConfig::new(1024, 256), 4, 4);
     let mut gpu = Gpu::new(DeviceSpec::rtx3090());
-    let run = scalfrag::pipeline::execute_pipelined_dry(
+    let run = scalfrag::pipeline::execute_pipelined(
         &mut gpu,
         &t,
         &f,
         &plan,
         scalfrag::pipeline::KernelChoice::Tiled,
+        scalfrag::exec::ExecMode::Dry,
     );
 
     let p = profiler::profile(&run.timeline);

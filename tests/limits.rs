@@ -51,6 +51,7 @@ fn sync_execution_panics_when_the_tensor_cannot_fit() {
         0,
         LaunchConfig::new(256, 128),
         scalfrag::pipeline::KernelChoice::Tiled,
+        ExecMode::Functional,
     );
 }
 
@@ -117,6 +118,7 @@ fn hybrid_with_everything_on_cpu_matches() {
         2,
         2,
         scalfrag::pipeline::KernelChoice::Tiled,
+        ExecMode::Functional,
     );
     let expect = scalfrag::kernels::reference::mttkrp_seq(&t, &f, 0);
     assert!(run.output.max_abs_diff(&expect) < 1e-3);
