@@ -26,7 +26,10 @@ fn main() {
     println!("seed tensor: {:?}, {} nnz, rank {}\n", tensor.dims(), tensor.nnz(), factors.rank());
 
     let mut ok = true;
-    println!("{:<22} {:>6} {:>18}  stable", "builder", "ops", "trace fingerprint");
+    println!(
+        "{:<22} {:>6} {:>12} {:>7} {:>18}  stable",
+        "builder", "ops", "peak mem B", "evict", "trace fingerprint"
+    );
     for b in all_plan_builders() {
         let plan = (b.build)(&tensor, &factors, 0);
         let a = run_plan(&plan, ExecMode::Dry);
@@ -34,10 +37,14 @@ fn main() {
         let stable = a.trace.fingerprint() == again.trace.fingerprint();
         let nonempty = !a.trace.is_empty();
         ok &= stable && nonempty;
+        let peak = a.mem.iter().map(|m| m.peak_bytes).max().unwrap_or(0);
+        let evictions: u64 = a.mem.iter().map(|m| m.evictions).sum();
         println!(
-            "{:<22} {:>6} 0x{:016x}  {}",
+            "{:<22} {:>6} {:>12} {:>7} 0x{:016x}  {}",
             b.name,
             a.trace.events.len(),
+            peak,
+            evictions,
             a.trace.fingerprint(),
             if !nonempty {
                 "EMPTY"

@@ -128,6 +128,7 @@ pub fn build_cluster_plan(
                     h2d_bytes: bytes,
                     h2d_label: format!("shard{si} seg{j} H2D"),
                     kernel_label: format!("shard{si} seg{j} kernel"),
+                    workload: None,
                 });
             }
             shard_work.push(ShardWork {
@@ -151,6 +152,7 @@ pub fn build_cluster_plan(
             final_d2h: None,
             shard_list: shard_indices.clone(),
             skip_if_idle: true,
+            program: None,
         });
     }
 

@@ -159,6 +159,14 @@ pub fn path_backends() -> Vec<Backend> {
                 .and_then(|r| r.output.clone())
                 .expect("functional serve run must yield the job output")
         }),
+        Backend::new("path:oom-stream", |t, f, mode| {
+            // The streaming path under the registry budget: the tensor is
+            // cut so it must actually stream (evictions included), and
+            // the interpreter runs the functional kernels through the
+            // same Prefetch/Evict op program dry runs fingerprint.
+            let plan = scalfrag_oom::registry_plan(t, f, mode);
+            scalfrag_exec::run_plan(&plan, scalfrag_exec::ExecMode::Functional).output
+        }),
         Backend::new("path:cluster-resilient", |t, f, mode| {
             let ctx = ClusterScalFrag::builder().node(node(3)).fixed_config(CFG).shards(6).build();
             // Two recoverable faults, recovered in-run; the output must
@@ -176,7 +184,7 @@ pub fn path_backends() -> Vec<Backend> {
 }
 
 /// Every ScheduleIR plan builder registered anywhere in the workspace
-/// (core, pipeline, cluster, serve), concatenated in crate order.
+/// (core, pipeline, cluster, serve, oom), concatenated in crate order.
 ///
 /// The coverage contract: each builder named `X` must have a
 /// [`path_backends`] entry named `path:X`, so no execution path can be
@@ -186,6 +194,7 @@ pub fn all_plan_builders() -> Vec<PlanBuilder> {
     v.extend(scalfrag_pipeline::plan_builders());
     v.extend(scalfrag_cluster::plan_builders());
     v.extend(scalfrag_serve::plan_builders());
+    v.extend(scalfrag_oom::plan_builders());
     v
 }
 

@@ -44,6 +44,21 @@ pub struct UnitOutcome {
     pub completed: bool,
 }
 
+/// Per-device memory accounting of one interpreted plan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeviceMemStats {
+    /// Pool high-watermark of live bytes during the device's program.
+    pub peak_bytes: u64,
+    /// `Evict` ops executed (resident segments dropped for space).
+    pub evictions: u64,
+    /// `Prefetch` ops executed (segments (re-)staged into a slot).
+    pub prefetches: u64,
+    /// `Free` ops executed (transient buffers released mid-plan).
+    pub frees: u64,
+    /// Total H2D payload bytes staged (factors + segments + prefetches).
+    pub staged_bytes: u64,
+}
+
 /// The result of interpreting one plan.
 #[derive(Clone, Debug)]
 pub struct ExecOutcome {
@@ -72,6 +87,8 @@ pub struct ExecOutcome {
     pub total_items: usize,
     /// Devices that were down at start or died during the run.
     pub dead_devices: Vec<usize>,
+    /// Per-device memory accounting, index-aligned with the device list.
+    pub mem: Vec<DeviceMemStats>,
 }
 
 impl ExecOutcome {
@@ -152,7 +169,7 @@ fn submit_residue(
 }
 
 /// Executes one device's lowered op program. Returns the batch timeline
-/// of this program only.
+/// of this program only, plus its memory accounting.
 fn run_device(
     gpu: &mut Gpu,
     plan: &Plan,
@@ -160,7 +177,7 @@ fn run_device(
     buffers: &[Arc<AtomicF32Buffer>],
     host_acc: &HostAcc,
     mode: ExecMode,
-) -> Timeline {
+) -> (Timeline, DeviceMemStats) {
     // Stream creation order fixes the raw stream ids that appear in the
     // trace: host (hybrid residue) first, then workers, then the
     // dedicated D2H return stream.
@@ -173,17 +190,73 @@ fn run_device(
         StreamRef::Host => host_stream.expect("plan uses the host stream but declared none"),
     };
 
-    let mut allocs: Vec<Allocation> = Vec::new();
+    // The program-local slot table: slot id → live pool allocation.
+    // `transient` slots must be freed by the program itself; the dry-run
+    // leak check below enforces it.
+    let mut slots: Vec<Option<Allocation>> = Vec::new();
+    let mut transient_slots: Vec<bool> = Vec::new();
+    let mut stats = DeviceMemStats::default();
+    let fill_slot = |slots: &mut Vec<Option<Allocation>>,
+                     flags: &mut Vec<bool>,
+                     slot: usize,
+                     a: Allocation,
+                     transient: bool| {
+        if slot >= slots.len() {
+            slots.resize_with(slot + 1, || None);
+            flags.resize(slot + 1, false);
+        }
+        assert!(slots[slot].is_none(), "plan {:?}: Alloc into live slot {slot}", plan.name);
+        slots[slot] = Some(a);
+        flags[slot] = transient;
+    };
     for op in plan.lower_device(dev) {
         match op {
-            PlanOp::Alloc { bytes, what } => {
-                allocs.push(gpu.memory().alloc(bytes).expect(what));
+            PlanOp::Alloc { slot, bytes, what, transient } => {
+                let a = gpu.memory().alloc(bytes).expect(what);
+                fill_slot(&mut slots, &mut transient_slots, slot, a, transient);
+            }
+            PlanOp::Free { slot } => {
+                let a = slots[slot]
+                    .take()
+                    .unwrap_or_else(|| panic!("plan {:?}: Free of empty slot {slot}", plan.name));
+                gpu.memory().free(a);
+                stats.frees += 1;
+            }
+            PlanOp::Evict { stream, slot, writeback_bytes, label } => {
+                if writeback_bytes > 0 {
+                    gpu.d2h(resolve(&stream), writeback_bytes, label);
+                }
+                let a = slots[slot]
+                    .take()
+                    .unwrap_or_else(|| panic!("plan {:?}: Evict of empty slot {slot}", plan.name));
+                gpu.memory().free(a);
+                stats.evictions += 1;
+            }
+            PlanOp::Prefetch { stream, slot, bytes, what, label } => {
+                let a = gpu.memory().alloc(bytes).expect(what);
+                fill_slot(&mut slots, &mut transient_slots, slot, a, true);
+                gpu.h2d(resolve(&stream), bytes, label);
+                stats.prefetches += 1;
+                stats.staged_bytes += bytes;
             }
             PlanOp::H2D { stream, bytes, label } => {
                 gpu.h2d(resolve(&stream), bytes, label);
+                stats.staged_bytes += bytes;
             }
             PlanOp::Launch { stream, unit, label, .. } => {
                 let u = &dev.units[unit];
+                if let Some(workload) = u.workload {
+                    // Virtual unit: analytic workload, no tensor data to
+                    // slice — the schedule is real, the numerics absent.
+                    assert!(
+                        mode == ExecMode::Dry,
+                        "plan {:?}: virtual work units are dry-only (no data to compute on)",
+                        plan.name
+                    );
+                    let cfg = plan.kernel.full_config(plan.config, plan.rank as u32);
+                    gpu.launch(resolve(&stream), cfg, workload, label);
+                    continue;
+                }
                 let shard = &plan.shards[u.shard];
                 let piece = Arc::new(shard.tensor.slice_range(u.seg.start, u.seg.end));
                 plan.kernel.enqueue(
@@ -221,11 +294,31 @@ fn run_device(
             PlanOp::Reduce { .. } => {}
         }
     }
+    // Leak check (dry runs): when the program ends, the only live slots
+    // may be the persistent ones — a live transient buffer means a plan
+    // builder forgot its Free/Evict and would monotonically consume the
+    // pool on long plans.
+    if mode == ExecMode::Dry {
+        let leaked: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|&(i, s)| s.is_some() && transient_slots[i])
+            .map(|(i, _)| i)
+            .collect();
+        assert!(
+            leaked.is_empty(),
+            "plan {:?}: transient slots {leaked:?} still live at end of device {} program \
+             (end-of-plan live bytes must equal the persistent allocations)",
+            plan.name,
+            dev.device
+        );
+    }
     let timeline = gpu.synchronize();
-    for a in allocs {
+    stats.peak_bytes = gpu.memory().peak();
+    for a in slots.into_iter().flatten() {
         gpu.memory().free(a);
     }
-    timeline
+    (timeline, stats)
 }
 
 fn trivial_outcomes(plan: &Plan) -> Vec<UnitOutcome> {
@@ -244,7 +337,7 @@ pub fn run_plan_on(gpu: &mut Gpu, plan: &Plan, mode: ExecMode) -> ExecOutcome {
     let dev = &plan.devices[0];
     let buffers = make_buffers(plan, mode);
     let host_acc: HostAcc = Arc::new(Mutex::new(None));
-    let timeline = run_device(gpu, plan, dev, &buffers, &host_acc, mode);
+    let (timeline, mem) = run_device(gpu, plan, dev, &buffers, &host_acc, mode);
     let mut output = reduce_output(plan, &buffers, mode);
     if let Some(host_m) = host_acc.lock().take() {
         output.axpy(1.0, &host_m);
@@ -264,6 +357,7 @@ pub fn run_plan_on(gpu: &mut Gpu, plan: &Plan, mode: ExecMode) -> ExecOutcome {
         completed_segments: total,
         total_items: total,
         dead_devices: Vec::new(),
+        mem: vec![mem],
     }
 }
 
@@ -273,16 +367,20 @@ pub fn run_plan(plan: &Plan, mode: ExecMode) -> ExecOutcome {
     let buffers = make_buffers(plan, mode);
     let host_acc: HostAcc = Arc::new(Mutex::new(None));
     let mut device_timelines = Vec::with_capacity(plan.devices.len());
+    let mut mem = Vec::with_capacity(plan.devices.len());
     for dev in &plan.devices {
         if dev.skip_if_idle && dev.units.is_empty() {
             device_timelines.push(Timeline::default());
+            mem.push(DeviceMemStats::default());
             continue;
         }
         let mut gpu = match &dev.host {
             Some(h) => Gpu::with_host(dev.spec.clone(), h.clone()),
             None => Gpu::new(dev.spec.clone()),
         };
-        device_timelines.push(run_device(&mut gpu, plan, dev, &buffers, &host_acc, mode));
+        let (tl, m) = run_device(&mut gpu, plan, dev, &buffers, &host_acc, mode);
+        device_timelines.push(tl);
+        mem.push(m);
     }
     let mut output = reduce_output(plan, &buffers, mode);
     if let Some(host_m) = host_acc.lock().take() {
@@ -303,6 +401,7 @@ pub fn run_plan(plan: &Plan, mode: ExecMode) -> ExecOutcome {
         completed_segments: total,
         total_items: total,
         dead_devices: Vec::new(),
+        mem,
     }
 }
 
@@ -643,6 +742,9 @@ pub fn run_plan_resilient_on(
         replaced_segments: 0,
         total_items,
         dead_devices: Vec::new(),
+        // Resilient waves alloc lazily outside the slot machinery: only
+        // the pool watermark is meaningful here.
+        mem: vec![DeviceMemStats { peak_bytes: gpu.memory().peak(), ..Default::default() }],
     }
 }
 
@@ -934,9 +1036,14 @@ pub fn run_plan_resilient(
 
     let mut device_timelines = Vec::with_capacity(n);
     let mut device_shards = Vec::with_capacity(n);
+    let mut mem = Vec::with_capacity(n);
     for slot in ctxs.iter_mut() {
         match slot {
             Some(ctx) => {
+                mem.push(DeviceMemStats {
+                    peak_bytes: ctx.gpu.memory().peak(),
+                    ..Default::default()
+                });
                 for a in ctx.allocs.drain(..) {
                     ctx.gpu.memory().free(a);
                 }
@@ -954,6 +1061,7 @@ pub fn run_plan_resilient(
             None => {
                 device_shards.push(Vec::new());
                 device_timelines.push(Timeline::default());
+                mem.push(DeviceMemStats::default());
             }
         }
     }
@@ -996,6 +1104,7 @@ pub fn run_plan_resilient(
         completed_segments,
         total_items,
         dead_devices: (0..n).filter(|&d| dead[d]).collect(),
+        mem,
     }
 }
 

@@ -3,8 +3,9 @@
 //! A [`Plan`] is built once by a *plan builder* (the `pipeline`, `cluster`
 //! and `serve` crates) and executed by the single interpreter in
 //! [`crate::interp`]. Per device the plan lowers to a linear program of
-//! typed ops ([`PlanOp`]) — `Alloc`, `H2D`, `Launch`, `HostResidue`,
-//! `Barrier`, `D2H` — each tagged with a stream placement; streams within
+//! typed ops ([`PlanOp`]) — `Alloc`, `Free`, `Evict`, `Prefetch`, `H2D`,
+//! `Launch`, `HostResidue`, `Barrier`, `D2H` — each tagged with a stream
+//! placement where it moves data; streams within
 //! a device execute their queues in order, so the op list plus the barrier
 //! edges form the schedule DAG. Cross-device reduction is a single
 //! analytic [`PlanOp::Reduce`] op.
@@ -14,7 +15,7 @@
 
 use crate::kernel::KernelChoice;
 use crate::retry::RetryPolicy;
-use scalfrag_gpusim::{DeviceSpec, HostSpec, LaunchConfig};
+use scalfrag_gpusim::{DeviceSpec, HostSpec, KernelWorkload, LaunchConfig};
 use scalfrag_kernels::FactorSet;
 use scalfrag_tensor::segment::Segment;
 use scalfrag_tensor::{CooTensor, Idx};
@@ -43,12 +44,30 @@ pub enum StreamRef {
 }
 
 /// One typed op of the lowered per-device program.
+///
+/// Memory ops name device buffers by *slot* — a small program-local
+/// handle the interpreter maps to a live pool allocation. `Alloc`/`Free`
+/// are host-side bookkeeping (no timeline span); `Evict` and `Prefetch`
+/// move segment bytes and therefore occupy copy-engine time like any
+/// other transfer, participating in retries, dry runs and trace
+/// fingerprints.
 #[derive(Clone, Debug)]
 #[allow(missing_docs)] // field meanings documented per variant
 pub enum PlanOp {
-    /// Charge a device-memory allocation of `bytes` (fails the plan with
-    /// the `what` message if it cannot fit).
-    Alloc { bytes: u64, what: &'static str },
+    /// Charge a device-memory allocation of `bytes` into `slot` (fails
+    /// the plan with the `what` message if it cannot fit). `transient`
+    /// buffers must be freed before the program ends — the interpreter's
+    /// dry-run leak check enforces it.
+    Alloc { slot: usize, bytes: u64, what: &'static str, transient: bool },
+    /// Release `slot` back to the device pool (no timeline span).
+    Free { slot: usize },
+    /// Evict `slot` to make room for the next resident segment: an
+    /// optional D2H write-back of `writeback_bytes` on `stream` (0 =
+    /// clean drop, no span), then the slot's pool page is released.
+    Evict { stream: StreamRef, slot: usize, writeback_bytes: u64, label: String },
+    /// (Re-)stage a segment: allocate `bytes` into the empty `slot` and
+    /// H2D the payload on `stream` — the re-fetch half of an eviction.
+    Prefetch { stream: StreamRef, slot: usize, bytes: u64, what: &'static str, label: String },
     /// Host-to-device copy of `bytes` on `stream`.
     H2D { stream: StreamRef, bytes: u64, label: String },
     /// One segment's kernel launch on `stream` with the lowered
@@ -101,6 +120,11 @@ pub struct WorkUnit {
     pub h2d_label: String,
     /// Kernel span label.
     pub kernel_label: String,
+    /// Analytic cost-model workload for *virtual* units (synthetic
+    /// presets too large to materialise): the interpreter launches this
+    /// workload directly instead of slicing the shard tensor. Virtual
+    /// units are dry-only — a functional run panics.
+    pub workload: Option<KernelWorkload>,
 }
 
 /// One shard's slice of a device program: output allocation, units, and
@@ -163,6 +187,11 @@ pub struct DeviceOps {
     /// Skip the device entirely (empty timeline) when it has no units —
     /// cluster semantics; single-device plans always run their prologue.
     pub skip_if_idle: bool,
+    /// Explicit op program: when set, [`Plan::lower_device`] returns it
+    /// verbatim instead of lowering the declarative fields. Used by
+    /// builders whose schedule the generic lowering cannot express (the
+    /// out-of-core streaming plan's evict/prefetch loop).
+    pub program: Option<Vec<PlanOp>>,
 }
 
 /// How per-shard partial buffers combine into the output matrix.
@@ -303,13 +332,24 @@ impl Plan {
     /// Lowers one device's share into its linear op program. Execution
     /// and [`Plan::render`] both consume this, so the dump *is* the
     /// schedule.
+    ///
+    /// Transient per-segment buffers get `Free` ops: each worker stream
+    /// keeps at most one segment buffer live (its FIFO queue guarantees
+    /// the previous segment's kernel drained before the buffer is
+    /// rewritten), so long plans hold `O(streams)` segment buffers
+    /// instead of monotonically consuming the pool.
     pub fn lower_device(&self, dev: &DeviceOps) -> Vec<PlanOp> {
+        if let Some(program) = &dev.program {
+            return program.clone();
+        }
         let mut ops = Vec::new();
+        let mut next_slot = 0usize;
         if let Some(res) = &dev.residue {
             ops.push(PlanOp::HostResidue { stream: StreamRef::Host, label: res.label });
         }
         for &(bytes, what) in &dev.prologue_allocs {
-            ops.push(PlanOp::Alloc { bytes, what });
+            ops.push(PlanOp::Alloc { slot: next_slot, bytes, what, transient: false });
+            next_slot += 1;
         }
         ops.push(PlanOp::H2D {
             stream: StreamRef::Worker(0),
@@ -325,9 +365,12 @@ impl Plan {
         }
         let cfg = self.kernel.full_config(self.config, self.rank as u32);
         let mut next_stream = 0usize;
+        // The transient segment buffer each worker stream currently holds.
+        let mut live_seg: Vec<Option<usize>> = vec![None; dev.worker_streams];
         for sw in &dev.shard_work {
             if let Some((bytes, what)) = sw.output_alloc {
-                ops.push(PlanOp::Alloc { bytes, what });
+                ops.push(PlanOp::Alloc { slot: next_slot, bytes, what, transient: false });
+                next_slot += 1;
             }
             let mut used: Vec<usize> = Vec::new();
             for &ui in &sw.units {
@@ -344,7 +387,12 @@ impl Plan {
                     used.push(s);
                 }
                 if let Some((bytes, what)) = u.alloc {
-                    ops.push(PlanOp::Alloc { bytes, what });
+                    if let Some(prev) = live_seg[s].take() {
+                        ops.push(PlanOp::Free { slot: prev });
+                    }
+                    ops.push(PlanOp::Alloc { slot: next_slot, bytes, what, transient: true });
+                    live_seg[s] = Some(next_slot);
+                    next_slot += 1;
                 }
                 ops.push(PlanOp::H2D {
                     stream: StreamRef::Worker(s),
@@ -385,6 +433,9 @@ impl Plan {
                 });
             }
             ops.push(PlanOp::D2H { stream: StreamRef::Worker(0), bytes, label: label.to_string() });
+        }
+        for slot in live_seg.into_iter().flatten() {
+            ops.push(PlanOp::Free { slot });
         }
         ops
     }
@@ -441,7 +492,19 @@ fn render_stream(r: &StreamRef) -> String {
 
 fn render_op(op: &PlanOp) -> String {
     match op {
-        PlanOp::Alloc { bytes, what } => format!("Alloc    {bytes} B ({what})"),
+        PlanOp::Alloc { slot, bytes, what, transient } => format!(
+            "Alloc    slot{slot} {bytes} B ({what}{})",
+            if *transient { ", transient" } else { "" }
+        ),
+        PlanOp::Free { slot } => format!("Free     slot{slot}"),
+        PlanOp::Evict { stream, slot, writeback_bytes, label } => format!(
+            "Evict    [{}] slot{slot} writeback {writeback_bytes} B \"{label}\"",
+            render_stream(stream)
+        ),
+        PlanOp::Prefetch { stream, slot, bytes, what, label } => format!(
+            "Prefetch [{}] slot{slot} {bytes} B ({what}) \"{label}\"",
+            render_stream(stream)
+        ),
         PlanOp::H2D { stream, bytes, label } => {
             format!("H2D      [{}] {bytes} B \"{label}\"", render_stream(stream))
         }

@@ -19,7 +19,8 @@ mod retry;
 mod trace;
 
 pub use interp::{
-    run_plan, run_plan_on, run_plan_resilient, run_plan_resilient_on, ExecOutcome, UnitOutcome,
+    run_plan, run_plan_on, run_plan_resilient, run_plan_resilient_on, DeviceMemStats, ExecOutcome,
+    UnitOutcome,
 };
 pub use ir::{
     ClusterPolicy, DeviceOps, ExecMode, PlaceStrategy, Plan, PlanMeta, PlanOp, Reduce, ResidueWork,

@@ -43,7 +43,7 @@ pub use cost::{kernel_duration, CostBreakdown, KernelWorkload};
 pub use device::{DeviceSpec, HostSpec};
 pub use gpu::{EventId, Gpu, OpId, StreamId};
 pub use launch::LaunchConfig;
-pub use memory::{Allocation, MemoryPool, OutOfMemory};
+pub use memory::{size_class, Allocation, MemStats, MemoryPool, OutOfMemory, MIN_CLASS_BYTES};
 pub use occupancy::{occupancy, Limiter, Occupancy};
 pub use profiler::{analyze_kernel, profile, KernelAnalysis, LabelStats, Profile};
 pub use racecheck::{

@@ -1,19 +1,48 @@
-//! Device memory accounting.
+//! Device memory management: a size-classed exclusive pool allocator.
 //!
 //! The pipeline of §IV-C must "reasonably allocate storage space …
-//! according to the performance and storage capacity of the GPU", so the
-//! simulator tracks allocations against the device capacity and fails a
-//! request that would not fit — which is what forces large tensors to be
-//! segmented in the first place.
+//! according to the performance and storage capacity of the GPU", and the
+//! out-of-core streaming mode goes further: segment staging buffers are
+//! allocated and released thousands of times per plan, so the simulator
+//! models a real pooled allocator rather than a monotone byte counter.
+//!
+//! ## Design (kubecl-style exclusive pools)
+//!
+//! Pages are carved from capacity at their **exact** requested size — a
+//! streaming budget is often tight to the byte, and rounding the carve up
+//! would spuriously overflow it. Size classes (powers of two, ≥
+//! [`MIN_CLASS_BYTES`]) govern **reuse**: a freed page parks in the free
+//! list and is preferentially handed to the next fitting request of the
+//! *same* class (exclusive-pool semantics — a small request never squats
+//! a huge page), which is what makes a double-buffered streaming loop
+//! cost two carves total instead of one per segment. Under capacity
+//! pressure the allocator degrades gracefully: cross-class best-fit reuse
+//! first, then an auto-trim of every pooled free page, and only then
+//! [`OutOfMemory`].
+//!
+//! The pool distinguishes three byte populations, all tracked with
+//! high-watermarks:
+//!
+//! * **in use** — page bytes of live allocations ([`MemoryPool::used`]);
+//! * **reserved** — carved from capacity: in-use pages plus pooled free
+//!   pages ([`MemoryPool::reserved`]);
+//! * **requested** — what callers actually asked for; `in_use −
+//!   requested` is the internal fragmentation of reusing pages larger
+//!   than their request.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
 
-/// Error returned when an allocation exceeds the remaining capacity.
+/// Smallest size class: smaller requests all share the bottom class.
+pub const MIN_CLASS_BYTES: u64 = 256;
+
+/// Error returned when an allocation exceeds the remaining capacity even
+/// after trimming every pooled free page.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OutOfMemory {
     /// Bytes requested.
     pub requested: u64,
-    /// Bytes currently free.
+    /// Bytes currently free (capacity minus live allocations, post-trim).
     pub available: u64,
 }
 
@@ -29,41 +58,139 @@ impl std::fmt::Display for OutOfMemory {
 
 impl std::error::Error for OutOfMemory {}
 
-/// A live device allocation. Freed via [`MemoryPool::free`].
+/// A live device allocation. Freed via [`MemoryPool::free`] (the page
+/// returns to its size-class free list for reuse).
 #[derive(Debug, PartialEq, Eq)]
 pub struct Allocation {
     id: u64,
-    bytes: u64,
+    requested: u64,
+    page_bytes: u64,
 }
 
 impl Allocation {
-    /// Size of the allocation in bytes.
+    /// Bytes the caller requested.
     pub fn bytes(&self) -> u64 {
-        self.bytes
+        self.requested
+    }
+
+    /// Bytes of the backing page (≥ [`Allocation::bytes`] when a larger
+    /// pooled page was reused).
+    pub fn page_bytes(&self) -> u64 {
+        self.page_bytes
     }
 }
 
-/// A capacity-tracked device memory pool.
+/// A point-in-time snapshot of the pool's accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Total device capacity in bytes.
+    pub capacity: u64,
+    /// Page bytes of live allocations.
+    pub in_use: u64,
+    /// Bytes carved from capacity (live pages + pooled free pages).
+    pub reserved: u64,
+    /// Bytes callers actually requested across live allocations.
+    pub requested: u64,
+    /// High-watermark of `in_use`.
+    pub peak_in_use: u64,
+    /// High-watermark of `reserved`.
+    pub peak_reserved: u64,
+    /// Pages carved fresh from capacity.
+    pub carves: u64,
+    /// Allocations served from the free lists (no capacity touched).
+    pub reuses: u64,
+    /// Free pages released back to capacity by trims.
+    pub trimmed_pages: u64,
+    /// Allocation requests that failed with [`OutOfMemory`].
+    pub failures: u64,
+}
+
+impl MemStats {
+    /// Internal fragmentation: page bytes live allocations hold beyond
+    /// what was requested (the cost of reusing larger pooled pages).
+    pub fn internal_frag_bytes(&self) -> u64 {
+        self.in_use - self.requested
+    }
+
+    /// Bytes sitting in class free lists (reserved but reusable).
+    pub fn pooled_free_bytes(&self) -> u64 {
+        self.reserved - self.in_use
+    }
+
+    /// Memory pressure in `[0, 1]`: fraction of capacity reserved.
+    pub fn pressure(&self) -> f64 {
+        if self.capacity == 0 {
+            return 1.0;
+        }
+        self.reserved as f64 / self.capacity as f64
+    }
+}
+
+#[derive(Default)]
+struct PoolInner {
+    in_use: u64,
+    reserved: u64,
+    requested: u64,
+    peak_in_use: u64,
+    peak_reserved: u64,
+    next_id: u64,
+    /// page size → stack of reusable page ids (LIFO, deterministic).
+    free_pages: BTreeMap<u64, Vec<u64>>,
+    carves: u64,
+    reuses: u64,
+    trimmed_pages: u64,
+    failures: u64,
+}
+
+impl PoolInner {
+    fn take_free(&mut self, page: u64) {
+        let ids = self.free_pages.get_mut(&page).expect("page size has a free list");
+        ids.pop().expect("free lists never hold empty vecs");
+        if ids.is_empty() {
+            self.free_pages.remove(&page);
+        }
+    }
+
+    fn trim_all(&mut self) {
+        for (page, ids) in std::mem::take(&mut self.free_pages) {
+            let n = ids.len() as u64;
+            self.reserved -= page * n;
+            self.trimmed_pages += n;
+        }
+    }
+}
+
+/// The size class of a request: next power of two, with a shared bottom
+/// class at [`MIN_CLASS_BYTES`]. Free pages are reused exclusively within
+/// their class before any cross-class fallback.
+pub fn size_class(bytes: u64) -> u64 {
+    bytes.max(MIN_CLASS_BYTES).next_power_of_two()
+}
+
+/// A capacity-tracked, size-classed exclusive pool over the device memory.
 ///
 /// Thread-safe: allocations may be requested from kernel closures running
 /// on the rayon pool.
-#[derive(Debug)]
 pub struct MemoryPool {
     capacity: u64,
-    used: AtomicU64,
-    next_id: AtomicU64,
-    peak: AtomicU64,
+    inner: Mutex<PoolInner>,
+}
+
+impl std::fmt::Debug for MemoryPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("MemoryPool")
+            .field("capacity", &s.capacity)
+            .field("in_use", &s.in_use)
+            .field("reserved", &s.reserved)
+            .finish_non_exhaustive()
+    }
 }
 
 impl MemoryPool {
     /// Creates a pool with the given byte capacity.
     pub fn new(capacity: u64) -> Self {
-        Self {
-            capacity,
-            used: AtomicU64::new(0),
-            next_id: AtomicU64::new(1),
-            peak: AtomicU64::new(0),
-        }
+        Self { capacity, inner: Mutex::new(PoolInner::default()) }
     }
 
     /// Total capacity in bytes.
@@ -71,46 +198,125 @@ impl MemoryPool {
         self.capacity
     }
 
-    /// Bytes currently allocated.
+    /// Page bytes of live allocations.
     pub fn used(&self) -> u64 {
-        self.used.load(Ordering::Relaxed)
+        self.inner.lock().in_use
     }
 
-    /// Bytes currently free.
+    /// Bytes carved from capacity (live pages plus pooled free pages).
+    pub fn reserved(&self) -> u64 {
+        self.inner.lock().reserved
+    }
+
+    /// Bytes a fresh carve could still claim without trimming.
     pub fn available(&self) -> u64 {
-        self.capacity - self.used()
+        self.capacity - self.inner.lock().reserved
     }
 
-    /// High-water mark of allocated bytes.
+    /// High-watermark of live page bytes.
     pub fn peak(&self) -> u64 {
-        self.peak.load(Ordering::Relaxed)
+        self.inner.lock().peak_in_use
     }
 
-    /// Allocates `bytes`, failing if the pool cannot hold them.
-    pub fn alloc(&self, bytes: u64) -> Result<Allocation, OutOfMemory> {
-        let mut current = self.used.load(Ordering::Relaxed);
-        loop {
-            let new = current + bytes;
-            if new > self.capacity {
-                return Err(OutOfMemory { requested: bytes, available: self.capacity - current });
-            }
-            match self.used.compare_exchange_weak(current, new, Ordering::AcqRel, Ordering::Relaxed)
-            {
-                Ok(_) => {
-                    self.peak.fetch_max(new, Ordering::Relaxed);
-                    let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Allocation { id, bytes });
-                }
-                Err(seen) => current = seen,
-            }
+    /// Memory pressure in `[0, 1]`: fraction of capacity reserved.
+    pub fn pressure(&self) -> f64 {
+        self.stats().pressure()
+    }
+
+    /// Snapshot of the full accounting state.
+    pub fn stats(&self) -> MemStats {
+        let g = self.inner.lock();
+        MemStats {
+            capacity: self.capacity,
+            in_use: g.in_use,
+            reserved: g.reserved,
+            requested: g.requested,
+            peak_in_use: g.peak_in_use,
+            peak_reserved: g.peak_reserved,
+            carves: g.carves,
+            reuses: g.reuses,
+            trimmed_pages: g.trimmed_pages,
+            failures: g.failures,
         }
     }
 
-    /// Releases an allocation back to the pool.
-    pub fn free(&self, alloc: Allocation) {
-        let _ = alloc.id;
-        self.used.fetch_sub(alloc.bytes, Ordering::AcqRel);
+    /// Allocates `bytes`: (1) reuse a pooled page of the same size class,
+    /// (2) carve a fresh exact-size page, (3) best-fit reuse of any
+    /// larger pooled page, (4) carve after trimming the free lists.
+    /// Fails with [`OutOfMemory`] only when the request cannot fit next
+    /// to the *live* allocations at all.
+    pub fn alloc(&self, bytes: u64) -> Result<Allocation, OutOfMemory> {
+        let mut g = self.inner.lock();
+        if bytes == 0 {
+            let id = g.next_id;
+            g.next_id += 1;
+            return Ok(Allocation { id, requested: 0, page_bytes: 0 });
+        }
+        // 1. Exclusive-pool reuse: the smallest free page that fits AND
+        //    shares the request's size class — exactly the pages in
+        //    `[bytes, size_class(bytes)]`.
+        let class = size_class(bytes);
+        if let Some(page) = g.free_pages.range(bytes..=class).next().map(|(&p, _)| p) {
+            g.take_free(page);
+            g.reuses += 1;
+            return Ok(finish_alloc(&mut g, bytes, page));
+        }
+        // 2. Fresh exact-size carve: capacity is charged what was asked,
+        //    so a byte-tight streaming budget never fails on rounding.
+        if g.reserved + bytes <= self.capacity {
+            g.carves += 1;
+            g.reserved += bytes;
+            return Ok(finish_alloc(&mut g, bytes, bytes));
+        }
+        // 3. Pressure fallback: best-fit reuse of a larger-class pooled
+        //    page (costs internal fragmentation, saves capacity).
+        if let Some(page) = g.free_pages.range(bytes..).next().map(|(&p, _)| p) {
+            g.take_free(page);
+            g.reuses += 1;
+            return Ok(finish_alloc(&mut g, bytes, page));
+        }
+        // 4. Trim every pooled free page back to capacity and retry the
+        //    carve.
+        if g.reserved > g.in_use {
+            g.trim_all();
+            if g.reserved + bytes <= self.capacity {
+                g.carves += 1;
+                g.reserved += bytes;
+                return Ok(finish_alloc(&mut g, bytes, bytes));
+            }
+        }
+        g.failures += 1;
+        // Post-trim, reserved == in_use, so this is the honest free count.
+        Err(OutOfMemory { requested: bytes, available: self.capacity - g.reserved })
     }
+
+    /// Releases an allocation: the page parks in the free list keyed by
+    /// its size and is reused by the next fitting request of its class.
+    /// Capacity is only recovered by [`MemoryPool::trim`] (or the
+    /// allocator's auto-trim under pressure) — exclusive-pool semantics.
+    pub fn free(&self, alloc: Allocation) {
+        let mut g = self.inner.lock();
+        g.in_use -= alloc.page_bytes;
+        g.requested -= alloc.requested;
+        if alloc.page_bytes > 0 {
+            g.free_pages.entry(alloc.page_bytes).or_default().push(alloc.id);
+        }
+    }
+
+    /// Releases every pooled free page back to capacity.
+    pub fn trim(&self) {
+        self.inner.lock().trim_all();
+    }
+}
+
+fn finish_alloc(g: &mut PoolInner, requested: u64, page_bytes: u64) -> Allocation {
+    g.in_use += page_bytes;
+    g.requested += requested;
+    g.peak_in_use = g.peak_in_use.max(g.in_use);
+    g.peak_reserved = g.peak_reserved.max(g.reserved);
+    let id = g.next_id;
+    g.next_id += 1;
+    Allocation { id, requested, page_bytes }
 }
 
 #[cfg(test)]
@@ -118,28 +324,88 @@ mod tests {
     use super::*;
 
     #[test]
-    fn alloc_and_free_round_trip() {
-        let pool = MemoryPool::new(1000);
+    fn freed_pages_are_reused_within_their_size_class() {
+        let pool = MemoryPool::new(1 << 20);
         let a = pool.alloc(400).unwrap();
+        assert_eq!(a.bytes(), 400);
+        assert_eq!(a.page_bytes(), 400, "carves are exact-size");
         assert_eq!(pool.used(), 400);
-        assert_eq!(pool.available(), 600);
-        let b = pool.alloc(600).unwrap();
-        assert_eq!(pool.available(), 0);
         pool.free(a);
-        assert_eq!(pool.available(), 400);
-        pool.free(b);
         assert_eq!(pool.used(), 0);
-        assert_eq!(pool.peak(), 1000);
+        assert_eq!(pool.reserved(), 400, "freed page stays pooled");
+        // Same class (256, 512]: served from the free list, no new carve.
+        let b = pool.alloc(300).unwrap();
+        assert_eq!(b.page_bytes(), 400);
+        let s = pool.stats();
+        assert_eq!(s.reuses, 1);
+        assert_eq!(s.carves, 1);
+        assert_eq!(s.internal_frag_bytes(), 100, "reused page is 100 B over");
+        pool.free(b);
+        // Different class: a tiny request must not squat the 400 B page.
+        let c = pool.alloc(64).unwrap();
+        assert_eq!(c.page_bytes(), 64);
+        assert_eq!(pool.stats().carves, 2);
+        pool.free(c);
     }
 
     #[test]
-    fn over_allocation_fails_with_details() {
-        let pool = MemoryPool::new(100);
-        let _a = pool.alloc(80).unwrap();
+    fn tight_capacity_keeps_exact_accounting() {
+        // Byte-tight capacity: exact carves preserve the seed
+        // allocator's accounting down to the last byte.
+        let pool = MemoryPool::new(1_000);
+        let a = pool.alloc(999).unwrap();
+        assert_eq!(a.page_bytes(), 999);
         let err = pool.alloc(30).unwrap_err();
         assert_eq!(err.requested, 30);
-        assert_eq!(err.available, 20);
+        assert_eq!(err.available, 1);
         assert!(err.to_string().contains("out of memory"));
+        assert_eq!(pool.stats().failures, 1);
+        let b = pool.alloc(1).unwrap();
+        assert_eq!(pool.used(), 1_000);
+        assert_eq!(pool.peak(), 1_000);
+        pool.free(a);
+        pool.free(b);
+        assert_eq!(pool.used(), 0);
+    }
+
+    #[test]
+    fn pressure_falls_back_to_best_fit_then_trim() {
+        let pool = MemoryPool::new(1_024);
+        let a = pool.alloc(1_000).unwrap();
+        pool.free(a);
+        assert_eq!(pool.reserved(), 1_000, "page pooled, capacity still reserved");
+        // 24 B of capacity remain: a 200 B request cannot carve, so it
+        // best-fits into the pooled 1000 B page despite the class gap.
+        let b = pool.alloc(200).unwrap();
+        assert_eq!(b.page_bytes(), 1_000);
+        assert_eq!(pool.stats().internal_frag_bytes(), 800);
+        pool.free(b);
+        // A request bigger than any pooled page only fits once the
+        // pooled 1000 B page is trimmed back to capacity.
+        let c = pool.alloc(1_010).unwrap();
+        assert_eq!(c.page_bytes(), 1_010);
+        assert!(pool.stats().trimmed_pages >= 1, "auto-trim reclaimed the pooled page");
+        pool.free(c);
+        pool.trim();
+        assert_eq!(pool.reserved(), 0);
+    }
+
+    #[test]
+    fn fragmentation_accounting_tracks_reuse_waste() {
+        let pool = MemoryPool::new(1 << 20);
+        let a = pool.alloc(512).unwrap();
+        pool.free(a);
+        let b = pool.alloc(300).unwrap(); // same class: reuses the 512 B page
+        let s = pool.stats();
+        assert_eq!(s.requested, 300);
+        assert_eq!(s.in_use, 512);
+        assert_eq!(s.internal_frag_bytes(), 212);
+        assert_eq!(s.pooled_free_bytes(), 0);
+        assert!(s.pressure() > 0.0 && s.pressure() < 1.0);
+        pool.free(b);
+        let s = pool.stats();
+        assert_eq!(s.pooled_free_bytes(), 512);
+        assert_eq!(s.internal_frag_bytes(), 0);
     }
 
     #[test]
@@ -148,6 +414,22 @@ mod tests {
         let a = pool.alloc(0).unwrap();
         assert_eq!(pool.used(), 0);
         pool.free(a);
+        assert_eq!(pool.reserved(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_both_live_and_reserved_watermarks() {
+        let pool = MemoryPool::new(4_096);
+        let a = pool.alloc(1_024).unwrap();
+        let b = pool.alloc(1_024).unwrap();
+        pool.free(a);
+        pool.free(b);
+        let c = pool.alloc(1_024).unwrap();
+        let s = pool.stats();
+        assert_eq!(s.peak_in_use, 2_048);
+        assert_eq!(s.peak_reserved, 2_048);
+        assert_eq!(s.in_use, 1_024);
+        pool.free(c);
     }
 
     #[test]
@@ -174,5 +456,31 @@ mod tests {
         }
         assert_eq!(pool.used(), 0);
         assert!(pool.peak() <= 10_000);
+        assert!(pool.reserved() <= 10_000);
+    }
+
+    #[test]
+    fn streaming_loop_reuses_two_pages() {
+        // The two-slot double-buffer pattern: alternate alloc/free of
+        // same-class segment buffers must settle on two carved pages.
+        let pool = MemoryPool::new(1 << 24);
+        let mut slots: [Option<Allocation>; 2] = [None, None];
+        for i in 0..64 {
+            let s = i % 2;
+            if let Some(a) = slots[s].take() {
+                pool.free(a);
+            }
+            slots[s] = Some(pool.alloc(100_000).unwrap());
+        }
+        for s in &mut slots {
+            if let Some(a) = s.take() {
+                pool.free(a);
+            }
+        }
+        let st = pool.stats();
+        assert_eq!(st.carves, 2, "a steady-state stream carves once per slot");
+        assert_eq!(st.reuses, 62);
+        assert_eq!(st.peak_in_use, 200_000);
+        assert_eq!(st.internal_frag_bytes(), 0);
     }
 }

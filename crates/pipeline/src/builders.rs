@@ -40,6 +40,7 @@ pub fn build_sync_plan(
         h2d_bytes: tensor_bytes,
         h2d_label: "tensor H2D".to_string(),
         kernel_label: "kernel".to_string(),
+        workload: None,
     }];
     Plan {
         name: "scalfrag-sync",
@@ -71,6 +72,7 @@ pub fn build_sync_plan(
             final_d2h: Some((out_bytes, "output D2H")),
             shard_list: vec![0],
             skip_if_idle: false,
+            program: None,
         }],
         reduce: Reduce::Single,
         reduction_s: 0.0,
@@ -123,6 +125,7 @@ pub fn build_pipelined_plan(
             h2d_bytes: seg.byte_size(order) as u64,
             h2d_label: format!("seg{i} H2D ({} nnz)", seg.nnz()),
             kernel_label: format!("seg{i} kernel"),
+            workload: None,
         })
         .collect();
     let unit_ids: Vec<usize> = (0..units.len()).collect();
@@ -161,6 +164,7 @@ pub fn build_pipelined_plan(
             final_d2h: Some((out_bytes, "output D2H")),
             shard_list: vec![0],
             skip_if_idle: false,
+            program: None,
         }],
         reduce: Reduce::Single,
         reduction_s: 0.0,

@@ -33,6 +33,10 @@
 //!   EDF scheduling and tenant fairness, admission control with typed
 //!   rejections, an LRU plan cache over quantized tensor features, and
 //!   per-job/aggregate serving reports.
+//! * [`oom`] — out-of-core streaming MTTKRP: double-buffered segment
+//!   staging under a configurable device-memory budget with `Evict` /
+//!   `Prefetch` ScheduleIR ops, plus synthetic ≥1B-nnz presets executed
+//!   as virtual (analytic-workload) plans.
 //! * [`conformance`] — the conformance harness: a slow `f64` differential
 //!   MTTKRP oracle with a seeded property-based corpus, a metamorphic
 //!   invariant catalogue, and the simulated-race checker driver.
@@ -68,6 +72,7 @@ pub use scalfrag_faults as faults;
 pub use scalfrag_gpusim as gpusim;
 pub use scalfrag_kernels as kernels;
 pub use scalfrag_linalg as linalg;
+pub use scalfrag_oom as oom;
 pub use scalfrag_pipeline as pipeline;
 pub use scalfrag_serve as serve;
 pub use scalfrag_tensor as tensor;

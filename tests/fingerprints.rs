@@ -26,6 +26,7 @@ const GOLDEN_SERVE_FINGERPRINT: u64 = 0x373c_1ac3_9717_638c;
 const GOLDEN_FAULT_LOG_FINGERPRINT: u64 = 0xbd60_acb6_58c7_9e45;
 const GOLDEN_CLUSTER_OUTPUT_CHECKSUM: u64 = 0xd336_3d55_543a_4baf;
 const GOLDEN_PLAN_TRACE_FINGERPRINT: u64 = 0xed33_cf2f_445d_e4d6;
+const GOLDEN_STREAMING_TRACE_FINGERPRINT: u64 = 0x3d53_ffcf_3f4e_e0c3;
 
 fn print_or_assert(label: &str, got: u64, golden: u64) {
     if std::env::var("PRINT_FINGERPRINTS").is_ok() {
@@ -118,7 +119,13 @@ fn plan_trace_fingerprint_is_pinned() {
         const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let byte = |h: &mut u64, b: u8| *h = (*h ^ b as u64).wrapping_mul(FNV_PRIME);
-        for b in scalfrag::conformance::all_plan_builders() {
+        // The streaming builder (added after this digest was pinned) has
+        // its own golden below; folding it in here would shift the
+        // combined constant for the seven pre-existing builders.
+        for b in scalfrag::conformance::all_plan_builders()
+            .into_iter()
+            .filter(|b| b.name != "oom-stream")
+        {
             let plan = (b.build)(&tensor, &factors, 0);
             let outcome = scalfrag::exec::run_plan(&plan, ExecMode::Dry);
             assert!(
@@ -139,6 +146,30 @@ fn plan_trace_fingerprint_is_pinned() {
     let a = combined();
     assert_eq!(a, combined(), "same plans, two trace digests in one process");
     print_or_assert("plan-trace", a, GOLDEN_PLAN_TRACE_FINGERPRINT);
+}
+
+/// The out-of-core streaming builder, interpreted dry over the pinned
+/// tensor under its registry budget, must schedule the identical
+/// Prefetch/Launch/Evict ops at identical simulated times — the
+/// acceptance gate for the streaming subsystem's determinism.
+#[test]
+fn streaming_plan_trace_fingerprint_is_pinned() {
+    let dims = [80u32, 56, 40];
+    let tensor = gen::zipf_slices(&dims, 6_000, 1.1, 61);
+    let factors = FactorSet::random(&dims, 8, 62);
+    let digest = || {
+        let plan = scalfrag::oom::registry_plan(&tensor, &factors, 0);
+        let outcome = scalfrag::exec::run_plan(&plan, ExecMode::Dry);
+        assert!(outcome.mem[0].evictions > 0, "the registry budget must force evictions");
+        assert!(
+            outcome.mem[0].peak_bytes <= scalfrag::oom::registry_budget(&tensor, &factors, 0),
+            "peak live bytes must stay within the budget"
+        );
+        outcome.trace.fingerprint()
+    };
+    let a = digest();
+    assert_eq!(a, digest(), "same streaming plan, two trace digests in one process");
+    print_or_assert("streaming-trace", a, GOLDEN_STREAMING_TRACE_FINGERPRINT);
 }
 
 #[test]
