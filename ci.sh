@@ -31,6 +31,9 @@ cargo run --release -q -p scalfrag-bench --bin conformance -- --smoke
 echo "==> plan-dump smoke test (every plan builder lowers to a stable non-empty trace)"
 cargo run --release -q -p scalfrag-bench --bin plan_dump -- --smoke
 
+echo "==> optimizer smoke test (nonzero op reduction + bit-identical output; writes results/BENCH_opt.json)"
+cargo run --release -q -p scalfrag-bench --bin opt_bench -- --smoke
+
 echo "==> out-of-core smoke test (1B-nnz preset streams at footprint/8; writes results/BENCH_oom_stream.json)"
 cargo run --release -q -p scalfrag-bench --bin oom_stream -- --smoke
 

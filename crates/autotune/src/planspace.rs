@@ -1,0 +1,94 @@
+//! Joint plan-space search: (launch configuration × optimizer pipeline).
+//!
+//! ScalFrag's adaptive launching (§IV-B) originally searched only the
+//! `(gridSize, blockSize)` grid of Fig. 4. With the ScheduleIR optimizer
+//! the search space gains a second, orthogonal axis: *which pass pipeline
+//! to run over the plan* (raw, transfer-coalesced, cross-stream batched,
+//! …). This module is the generic argmin over that product space — the
+//! cost callback is supplied by the caller (`scalfrag-opt` dry-runs each
+//! candidate plan through the interpreter, i.e. the analytic workload
+//! model prices every point), so this crate stays execution-agnostic.
+//!
+//! Determinism: ties break toward the earliest enumeration point
+//! (pipelines outer, configurations inner), so a seeded search always
+//! returns the same choice.
+
+/// One evaluated point of the joint space.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JointChoice {
+    /// Index into the caller's pipeline list.
+    pub pipeline: usize,
+    /// Index into the caller's configuration list.
+    pub config: usize,
+    /// Cost of the chosen point (whatever unit the callback returns —
+    /// simulated seconds for the plan optimizer).
+    pub cost: f64,
+    /// Points evaluated (|pipelines| × |configs|).
+    pub evaluated: usize,
+}
+
+/// Exhaustive argmin over the `(pipeline, config)` product space.
+///
+/// `cost(pipeline_index, config_index)` prices one point; non-finite
+/// costs are treated as unschedulable and never chosen. Ties keep the
+/// earliest point in `(pipeline, config)` lexicographic order.
+///
+/// # Panics
+/// Panics if either axis is empty, or if every point is non-finite.
+pub fn joint_argmin(
+    num_pipelines: usize,
+    num_configs: usize,
+    mut cost: impl FnMut(usize, usize) -> f64,
+) -> JointChoice {
+    assert!(num_pipelines > 0, "joint search needs at least one pipeline");
+    assert!(num_configs > 0, "joint search needs at least one configuration");
+    let mut best: Option<JointChoice> = None;
+    let mut evaluated = 0usize;
+    for p in 0..num_pipelines {
+        for c in 0..num_configs {
+            let t = cost(p, c);
+            evaluated += 1;
+            if !t.is_finite() {
+                continue;
+            }
+            if best.is_none_or(|b| t < b.cost) {
+                best = Some(JointChoice { pipeline: p, config: c, cost: t, evaluated });
+            }
+        }
+    }
+    let mut b = best.expect("at least one (pipeline, config) point must be schedulable");
+    b.evaluated = evaluated;
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_the_cheapest_point() {
+        let costs = [[3.0, 2.0], [5.0, 1.0], [4.0, 9.0]];
+        let c = joint_argmin(3, 2, |p, cfg| costs[p][cfg]);
+        assert_eq!((c.pipeline, c.config), (1, 1));
+        assert_eq!(c.cost, 1.0);
+        assert_eq!(c.evaluated, 6);
+    }
+
+    #[test]
+    fn ties_break_toward_the_earliest_point() {
+        let c = joint_argmin(2, 2, |_, _| 7.0);
+        assert_eq!((c.pipeline, c.config), (0, 0));
+    }
+
+    #[test]
+    fn non_finite_points_are_never_chosen() {
+        let c = joint_argmin(2, 1, |p, _| if p == 0 { f64::INFINITY } else { 2.0 });
+        assert_eq!(c.pipeline, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "schedulable")]
+    fn all_unschedulable_panics() {
+        joint_argmin(1, 1, |_, _| f64::NAN);
+    }
+}

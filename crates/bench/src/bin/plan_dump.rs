@@ -1,13 +1,17 @@
 //! ScheduleIR plan inspector: lowers every registered plan builder over a
-//! seeded tensor, interprets the plans dry, and prints the typed IR dump
-//! plus the structured trace each path scheduled.
+//! seeded tensor, interprets the plans dry — raw and through the default
+//! optimizer pipeline — and prints the typed IR dump plus the structured
+//! trace each path scheduled.
 //!
 //! Two depths:
 //!
 //! * `plan_dump --smoke` (CI) — builds and dry-runs every builder twice,
-//!   asserting each trace is non-empty and its fingerprint is stable
-//!   within the process; prints the one-line-per-builder digest table.
-//! * `plan_dump` (full) — additionally prints each plan's IR dump and the
+//!   raw and optimized, asserting each trace is non-empty and its
+//!   fingerprint is stable within the process; prints the
+//!   one-line-per-builder digest table with raw→optimized op count,
+//!   modelled time and peak-memory columns.
+//! * `plan_dump` (full) — additionally prints each plan's IR dump (the
+//!   optimized dump names its passes in the `optimizer:` line) and the
 //!   full op-by-op trace table.
 //!
 //! The process exits nonzero when a trace is empty or unstable, so the
@@ -16,6 +20,7 @@
 use scalfrag_conformance::all_plan_builders;
 use scalfrag_exec::{run_plan, ExecMode};
 use scalfrag_kernels::FactorSet;
+use scalfrag_opt::optimize_default;
 use scalfrag_tensor::gen;
 
 fn main() {
@@ -27,23 +32,32 @@ fn main() {
 
     let mut ok = true;
     println!(
-        "{:<22} {:>6} {:>12} {:>7} {:>18}  stable",
-        "builder", "ops", "peak mem B", "evict", "trace fingerprint"
+        "{:<22} {:>9} {:>22} {:>21} {:>7} {:>18}  stable",
+        "builder", "ops", "est s (raw->opt)", "peak mem B", "evict", "trace fingerprint"
     );
     for b in all_plan_builders() {
         let plan = (b.build)(&tensor, &factors, 0);
+        let opt_plan = optimize_default(&plan);
         let a = run_plan(&plan, ExecMode::Dry);
         let again = run_plan(&plan, ExecMode::Dry);
-        let stable = a.trace.fingerprint() == again.trace.fingerprint();
-        let nonempty = !a.trace.is_empty();
+        let o = run_plan(&opt_plan, ExecMode::Dry);
+        let o_again = run_plan(&opt_plan, ExecMode::Dry);
+        let stable = a.trace.fingerprint() == again.trace.fingerprint()
+            && o.trace.fingerprint() == o_again.trace.fingerprint();
+        let nonempty = !a.trace.is_empty() && !o.trace.is_empty();
         ok &= stable && nonempty;
-        let peak = a.mem.iter().map(|m| m.peak_bytes).max().unwrap_or(0);
+        let peak =
+            |m: &scalfrag_exec::ExecOutcome| m.mem.iter().map(|m| m.peak_bytes).max().unwrap_or(0);
         let evictions: u64 = a.mem.iter().map(|m| m.evictions).sum();
         println!(
-            "{:<22} {:>6} {:>12} {:>7} 0x{:016x}  {}",
+            "{:<22} {:>4}→{:<4} {:>10.4e}→{:<10.4e} {:>10}→{:<10} {:>7} 0x{:016x}  {}",
             b.name,
-            a.trace.events.len(),
-            peak,
+            plan.total_ops(),
+            opt_plan.total_ops(),
+            a.makespan(),
+            o.makespan(),
+            peak(&a),
+            peak(&o),
             evictions,
             a.trace.fingerprint(),
             if !nonempty {
@@ -55,13 +69,17 @@ fn main() {
             }
         );
         if !smoke {
-            println!("\n-- {} IR --\n{}", b.name, plan.render());
-            println!("-- {} trace --\n{}", b.name, a.trace.render());
+            println!("\n-- {} IR (raw) --\n{}", b.name, plan.render());
+            println!("-- {} IR (optimized) --\n{}", b.name, opt_plan.render());
+            println!("-- {} trace (raw) --\n{}", b.name, a.trace.render());
+            println!("-- {} trace (optimized) --\n{}", b.name, o.trace.render());
         }
     }
 
     if ok {
-        println!("\nplan_dump: PASS (every builder lowered, non-empty stable traces)");
+        println!(
+            "\nplan_dump: PASS (every builder lowered raw + optimized, non-empty stable traces)"
+        );
     } else {
         println!("\nplan_dump: FAIL");
         std::process::exit(1);

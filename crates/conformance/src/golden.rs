@@ -1,0 +1,70 @@
+//! Golden-pin plumbing shared by the fingerprint tests and benchmark
+//! gates: the `PRINT_FINGERPRINTS=1` re-pin flow and the combined
+//! builder-sweep trace digest.
+//!
+//! A golden pin is a constant in a test; when a *toolchain* change (and
+//! nothing else) legitimately shifts a SipHash-family digest, the test
+//! is re-run with `PRINT_FINGERPRINTS=1`, which prints the new value
+//! instead of asserting, and the constant is updated by hand. Every
+//! pinned digest in the repo goes through [`print_or_assert`] so the
+//! flow (and its failure message) is identical everywhere.
+
+use crate::backends::all_plan_builders;
+use scalfrag_exec::{run_plan, ExecMode, Plan};
+use scalfrag_kernels::FactorSet;
+use scalfrag_tensor::CooTensor;
+
+/// Asserts `got == golden`, or — when `PRINT_FINGERPRINTS` is set in
+/// the environment — prints `label: 0x…` instead, so a legitimate
+/// toolchain shift can be re-pinned in one run.
+pub fn print_or_assert(label: &str, got: u64, golden: u64) {
+    if std::env::var("PRINT_FINGERPRINTS").is_ok() {
+        println!("{label}: 0x{got:016x}");
+        return;
+    }
+    assert_eq!(
+        got, golden,
+        "{label} drifted: got 0x{got:016x}, pinned 0x{golden:016x} — a seeded run is no longer \
+         deterministic (or a rustc upgrade moved DefaultHasher; re-pin with PRINT_FINGERPRINTS=1 \
+         if, and only if, nothing but the toolchain changed)"
+    );
+}
+
+/// One digest over every registered plan builder that passes `filter`:
+/// each builder's plan is transformed by `transform` (identity for the
+/// raw pins, an optimizer pipeline for the optimized pins), dry-run,
+/// and its name + [`trace
+/// fingerprint`](scalfrag_exec::PlanTrace::fingerprint) FNV-1a-folded
+/// into the running hash. Builders fold in registration order, so the
+/// digest also pins the registry order.
+///
+/// # Panics
+/// Panics if any selected builder emits an empty trace.
+pub fn combined_plan_fingerprint(
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    filter: impl Fn(&str) -> bool,
+    transform: impl Fn(Plan) -> Plan,
+) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let byte = |h: &mut u64, b: u8| *h = (*h ^ b as u64).wrapping_mul(FNV_PRIME);
+    for b in all_plan_builders().into_iter().filter(|b| filter(b.name)) {
+        let plan = transform((b.build)(tensor, factors, mode));
+        let outcome = run_plan(&plan, ExecMode::Dry);
+        assert!(
+            !outcome.trace.is_empty(),
+            "{}: every execution path must emit a plan trace",
+            b.name
+        );
+        for &c in b.name.as_bytes() {
+            byte(&mut h, c);
+        }
+        byte(&mut h, 0xff);
+        for c in outcome.trace.fingerprint().to_le_bytes() {
+            byte(&mut h, c);
+        }
+    }
+    h
+}

@@ -27,6 +27,7 @@
 pub mod backends;
 pub mod differential;
 pub mod gen;
+pub mod golden;
 pub mod metamorphic;
 pub mod oracle;
 pub mod race;
@@ -37,6 +38,7 @@ pub use differential::{
     run_differential, tolerance_for, BackendVerdict, ConformanceReport, Divergence,
 };
 pub use gen::{corpus, smoke_corpus, TensorCase};
+pub use golden::{combined_plan_fingerprint, print_or_assert};
 pub use metamorphic::Exactness;
 pub use oracle::oracle_mttkrp;
 pub use race::{check_all_kernels, self_test as race_self_test, RaceVerdict};

@@ -51,7 +51,7 @@ pub enum StreamRef {
 /// move segment bytes and therefore occupy copy-engine time like any
 /// other transfer, participating in retries, dry runs and trace
 /// fingerprints.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 #[allow(missing_docs)] // field meanings documented per variant
 pub enum PlanOp {
     /// Charge a device-memory allocation of `bytes` into `slot` (fails
@@ -240,6 +240,10 @@ pub struct PlanMeta {
     pub predictor: String,
     /// Retry policy attached by a resilient wrapper (informational).
     pub retry: Option<RetryPolicy>,
+    /// Comma-separated names of the optimizer passes applied to this plan
+    /// (empty = raw builder output). Stamped by `scalfrag-opt`; rendered
+    /// so an IR dump always says where its schedule came from.
+    pub optimizer: String,
 }
 
 /// An executable MTTKRP schedule: shards, per-device programs, reduction,
@@ -327,6 +331,12 @@ impl Plan {
     /// Total `(shard, segment)` work items across all devices.
     pub fn total_items(&self) -> usize {
         self.seg_lists.iter().map(Vec::len).sum()
+    }
+
+    /// Total lowered op count across all device programs — the op-budget
+    /// metric the plan optimizer reports reductions against.
+    pub fn total_ops(&self) -> usize {
+        self.devices.iter().map(|d| self.lower_device(d).len()).sum()
     }
 
     /// Lowers one device's share into its linear op program. Execution
@@ -458,6 +468,9 @@ impl Plan {
         }
         if !self.meta.predictor.is_empty() {
             let _ = writeln!(s, "  predictor: {}", self.meta.predictor);
+        }
+        if !self.meta.optimizer.is_empty() {
+            let _ = writeln!(s, "  optimizer: {}", self.meta.optimizer);
         }
         if let Some(r) = &self.meta.retry {
             let _ = writeln!(s, "  retry: {r:?}");

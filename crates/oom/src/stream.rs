@@ -262,6 +262,7 @@ pub(crate) fn assemble_plan(
             ),
             predictor: "fixed config".to_string(),
             retry: None,
+            optimizer: String::new(),
         },
     }
 }

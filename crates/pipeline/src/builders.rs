@@ -92,6 +92,7 @@ pub fn build_sync_plan(
             segment_map: "monolithic (1 segment, 1 stream)".to_string(),
             predictor: "fixed config".to_string(),
             retry: None,
+            optimizer: String::new(),
         },
     }
 }
@@ -184,6 +185,7 @@ pub fn build_pipelined_plan(
             ),
             predictor: "fixed config".to_string(),
             retry: None,
+            optimizer: String::new(),
         },
     }
 }

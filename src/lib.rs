@@ -23,6 +23,11 @@
 //!   to one typed [`exec::Plan`] DAG, and one fault-aware interpreter
 //!   executes it (dry-run, retry/backoff and shard re-placement are
 //!   interpreter modes, not separate code paths).
+//! * [`opt`] — the pass-based plan optimizer over the ScheduleIR:
+//!   transfer coalescing, copy/compute overlap re-streaming, dead-op
+//!   elimination, eviction sinking / prefetch hoisting, each with a
+//!   machine-checked safety contract, plus a cost-model-guided orderer
+//!   that picks the best pass pipeline per plan.
 //! * [`cluster`] — multi-GPU sharded MTTKRP: node/interconnect model,
 //!   shard policies, device-level scheduling and the cross-device
 //!   reduction stage.
@@ -73,6 +78,7 @@ pub use scalfrag_gpusim as gpusim;
 pub use scalfrag_kernels as kernels;
 pub use scalfrag_linalg as linalg;
 pub use scalfrag_oom as oom;
+pub use scalfrag_opt as opt;
 pub use scalfrag_pipeline as pipeline;
 pub use scalfrag_serve as serve;
 pub use scalfrag_tensor as tensor;

@@ -22,23 +22,14 @@ use scalfrag::faults::mat_checksum;
 use scalfrag::prelude::*;
 use scalfrag::tensor::gen;
 
+use scalfrag::conformance::{combined_plan_fingerprint, print_or_assert};
+
 const GOLDEN_SERVE_FINGERPRINT: u64 = 0x373c_1ac3_9717_638c;
 const GOLDEN_FAULT_LOG_FINGERPRINT: u64 = 0xbd60_acb6_58c7_9e45;
 const GOLDEN_CLUSTER_OUTPUT_CHECKSUM: u64 = 0xd336_3d55_543a_4baf;
 const GOLDEN_PLAN_TRACE_FINGERPRINT: u64 = 0xed33_cf2f_445d_e4d6;
+const GOLDEN_OPT_PLAN_TRACE_FINGERPRINT: u64 = 0xdf2e_b300_3259_743d;
 const GOLDEN_STREAMING_TRACE_FINGERPRINT: u64 = 0x3d53_ffcf_3f4e_e0c3;
-
-fn print_or_assert(label: &str, got: u64, golden: u64) {
-    if std::env::var("PRINT_FINGERPRINTS").is_ok() {
-        println!("{label}: 0x{got:016x}");
-        return;
-    }
-    assert_eq!(
-        got, golden,
-        "{label} drifted: got 0x{got:016x}, pinned 0x{golden:016x} — a seeded run is no longer \
-         deterministic (or a rustc upgrade moved DefaultHasher; see module docs)"
-    );
-}
 
 fn serve_workload() -> Vec<MttkrpJob> {
     let dims = [64u32, 48, 32];
@@ -115,37 +106,46 @@ fn plan_trace_fingerprint_is_pinned() {
     let dims = [80u32, 56, 40];
     let tensor = gen::zipf_slices(&dims, 6_000, 1.1, 61);
     let factors = FactorSet::random(&dims, 8, 62);
-    let combined = || {
-        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        let byte = |h: &mut u64, b: u8| *h = (*h ^ b as u64).wrapping_mul(FNV_PRIME);
-        // The streaming builder (added after this digest was pinned) has
-        // its own golden below; folding it in here would shift the
-        // combined constant for the seven pre-existing builders.
-        for b in scalfrag::conformance::all_plan_builders()
-            .into_iter()
-            .filter(|b| b.name != "oom-stream")
-        {
-            let plan = (b.build)(&tensor, &factors, 0);
-            let outcome = scalfrag::exec::run_plan(&plan, ExecMode::Dry);
-            assert!(
-                !outcome.trace.is_empty(),
-                "{}: every execution path must emit a plan trace",
-                b.name
-            );
-            for &c in b.name.as_bytes() {
-                byte(&mut h, c);
-            }
-            byte(&mut h, 0xff);
-            for c in outcome.trace.fingerprint().to_le_bytes() {
-                byte(&mut h, c);
-            }
-        }
-        h
-    };
+    // The streaming builder (added after this digest was pinned) has its
+    // own golden below; folding it in here would shift the combined
+    // constant for the seven pre-existing builders.
+    let combined =
+        || combined_plan_fingerprint(&tensor, &factors, 0, |name| name != "oom-stream", |p| p);
     let a = combined();
     assert_eq!(a, combined(), "same plans, two trace digests in one process");
     print_or_assert("plan-trace", a, GOLDEN_PLAN_TRACE_FINGERPRINT);
+}
+
+/// Every registered builder's plan, run through the *default optimizer
+/// pipeline* and interpreted dry, must also schedule deterministically —
+/// the optimized twin of the raw pin above, covering all eight builders
+/// (the streamer included: its evict/prefetch loop is exactly what the
+/// memory-op passes canonicalize).
+#[test]
+fn optimized_plan_trace_fingerprint_is_pinned() {
+    let dims = [80u32, 56, 40];
+    let tensor = gen::zipf_slices(&dims, 6_000, 1.1, 61);
+    let factors = FactorSet::random(&dims, 8, 62);
+    let combined = || {
+        combined_plan_fingerprint(
+            &tensor,
+            &factors,
+            0,
+            |_| true,
+            |p| {
+                let opt = scalfrag::opt::optimize_default(&p);
+                assert!(
+                    !opt.meta.optimizer.is_empty(),
+                    "{}: the optimized plan must carry its pass provenance",
+                    p.name
+                );
+                opt
+            },
+        )
+    };
+    let a = combined();
+    assert_eq!(a, combined(), "same optimized plans, two trace digests in one process");
+    print_or_assert("opt-plan-trace", a, GOLDEN_OPT_PLAN_TRACE_FINGERPRINT);
 }
 
 /// The out-of-core streaming builder, interpreted dry over the pinned
