@@ -37,4 +37,7 @@ cargo run --release -q -p scalfrag-bench --bin opt_bench -- --smoke
 echo "==> out-of-core smoke test (1B-nnz preset streams at footprint/8; writes results/BENCH_oom_stream.json)"
 cargo run --release -q -p scalfrag-bench --bin oom_stream -- --smoke
 
+echo "==> balance-arm smoke test (predictor picks balanced on the skewed preset at >=1.2x; writes results/BENCH_balance.json)"
+cargo run --release -q -p scalfrag-bench --bin balance_bench -- --smoke
+
 echo "CI green."

@@ -19,7 +19,13 @@
 //!    paper: DecisionTree < 15 % MAPE, training < 0.5 s, inference < 1 % of
 //!    an MTTKRP), and [`LaunchPredictor`] answers the online question:
 //!    *given this tensor, which `<<<grid, block>>>` should ScalFrag use?*
+//! 5. **Choosing the kernel arm** — [`arms::predict_arm`] sits one level
+//!    above the launch predictor: a bucket-threshold rule over the
+//!    [`scalfrag_tensor::FeatureKey`] imbalance features that dispatches
+//!    between the tiled baseline, the load-balanced segmented scan and the
+//!    FLYCOO mode-agnostic arm, calibrated against the cost-model argmin.
 
+pub mod arms;
 pub mod boost;
 pub mod forest;
 pub mod importance;
@@ -35,6 +41,7 @@ pub mod tree;
 pub mod tuner;
 pub mod validate;
 
+pub use arms::{modelled_best_arm, predict_arm, ArmVerdict, MttkrpObjective};
 pub use boost::AdaBoostR2;
 pub use forest::BaggingForest;
 pub use importance::{tree_importance, FeatureImportance};

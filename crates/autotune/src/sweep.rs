@@ -18,6 +18,10 @@ pub enum KernelFlavor {
     CooAtomic,
     /// The ScalFrag shared-memory tiled kernel.
     Tiled,
+    /// The load-balanced segmented-scan kernel (`balance-segscan`).
+    Balanced,
+    /// The FLYCOO mode-agnostic kernel (`balance-flycoo`).
+    ModeAgnostic,
 }
 
 impl KernelFlavor {
@@ -25,7 +29,7 @@ impl KernelFlavor {
     /// this kernel's dynamic shared-memory request.
     pub fn config(&self, base: LaunchConfig, rank: u32) -> LaunchConfig {
         match self {
-            KernelFlavor::CooAtomic => base,
+            KernelFlavor::CooAtomic | KernelFlavor::Balanced | KernelFlavor::ModeAgnostic => base,
             KernelFlavor::Tiled => {
                 LaunchConfig::with_shared(base.grid, base.block, tiled_smem_bytes(rank, base.block))
             }
@@ -44,6 +48,8 @@ impl KernelFlavor {
         let w = match self {
             KernelFlavor::CooAtomic => coo_atomic_workload(stats, rank),
             KernelFlavor::Tiled => tiled_workload(stats, rank, cfg.block),
+            KernelFlavor::Balanced => scalfrag_balance::balanced_workload(stats, rank),
+            KernelFlavor::ModeAgnostic => scalfrag_balance::flycoo_workload(stats, rank),
         };
         kernel_duration(device, &cfg, &w).total
     }

@@ -1,7 +1,9 @@
 //! ScheduleIR plan inspector: lowers every registered plan builder over a
-//! seeded tensor, interprets the plans dry — raw and through the default
-//! optimizer pipeline — and prints the typed IR dump plus the structured
-//! trace each path scheduled.
+//! seeded tensor — the core sync/pipelined/multi-stream paths, the
+//! streamer, and the two balance arms (`balance-segscan`,
+//! `balance-flycoo`) — interprets the plans dry — raw and through the
+//! default optimizer pipeline — and prints the typed IR dump plus the
+//! structured trace each path scheduled.
 //!
 //! Two depths:
 //!

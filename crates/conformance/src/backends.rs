@@ -2,11 +2,12 @@
 //!
 //! Two registries, matching the two layers a divergence can hide in:
 //!
-//! * [`kernel_backends`] — the five raw kernel formats (COO atomic,
-//!   ScalFrag tiled, CSF fiber, BCSF heavy/light, HiCOO block) plus the
-//!   F-COO segmented reduction. Each runner owns its format conversion and
-//!   preprocessing (mode sort, block build), so a conversion bug is
-//!   attributed to the format that performed it.
+//! * [`kernel_backends`] — the raw kernel formats (COO atomic, ScalFrag
+//!   tiled, CSF fiber, BCSF heavy/light, HiCOO block, the F-COO segmented
+//!   reduction, the load-balanced segmented scan over fixed-nnz chunks and
+//!   the FLYCOO mode-agnostic remap kernel). Each runner owns its format
+//!   conversion and preprocessing (mode sort, block build, remap build), so
+//!   a conversion bug is attributed to the format that performed it.
 //! * [`path_backends`] — full execution paths: the ParTI baseline facade,
 //!   ScalFrag single-GPU (sync and pipelined+hybrid), ClusterScalFrag
 //!   across scheduler/shard-policy combos and device counts, the serving
@@ -18,6 +19,7 @@
 
 use std::sync::Arc;
 
+use scalfrag_balance::{BalancedKernel, FlycooKernel, CHUNK_LEN, FLYCOO_SEG_LEN};
 use scalfrag_cluster::{DeviceScheduler, FaultRecoveryPolicy, NodeSpec, ShardPolicy};
 use scalfrag_core::{ClusterScalFrag, Parti, ScalFrag};
 use scalfrag_exec::PlanBuilder;
@@ -29,7 +31,7 @@ use scalfrag_kernels::{
 };
 use scalfrag_linalg::Mat;
 use scalfrag_serve::{MttkrpJob, ScalFragServer};
-use scalfrag_tensor::{CooTensor, CsfTensor, FCooTensor, HiCooTensor};
+use scalfrag_tensor::{ChunkedTensor, CooTensor, CsfTensor, FCooTensor, FlycooTensor, HiCooTensor};
 
 /// A named way of computing MTTKRP.
 pub struct Backend {
@@ -102,6 +104,18 @@ pub fn kernel_backends() -> Vec<Backend> {
             FCooKernel::execute(&fcoo, f, &out);
             into_mat(out, t.dims()[mode] as usize, f.rank())
         }),
+        Backend::new(BalancedKernel::NAME, |t, f, mode| {
+            let chunked = ChunkedTensor::from_coo(t, mode, CHUNK_LEN);
+            let out = out_buffer(t, f, mode);
+            BalancedKernel::execute(&chunked, f, &out);
+            into_mat(out, t.dims()[mode] as usize, f.rank())
+        }),
+        Backend::new(FlycooKernel::NAME, |t, f, mode| {
+            let fly = FlycooTensor::from_coo(t, FLYCOO_SEG_LEN);
+            let out = out_buffer(t, f, mode);
+            FlycooKernel::execute(&fly, f, mode, &out);
+            into_mat(out, t.dims()[mode] as usize, f.rank())
+        }),
     ]
 }
 
@@ -167,6 +181,22 @@ pub fn path_backends() -> Vec<Backend> {
             let plan = scalfrag_oom::registry_plan(t, f, mode);
             scalfrag_exec::run_plan(&plan, scalfrag_exec::ExecMode::Functional).output
         }),
+        Backend::new("path:balance-segscan", |t, f, mode| {
+            let ctx = ScalFrag::builder()
+                .fixed_config(CFG)
+                .pipelined(false)
+                .balanced_kernel(true)
+                .build();
+            ctx.mttkrp(t, f, mode).output
+        }),
+        Backend::new("path:balance-flycoo", |t, f, mode| {
+            let ctx = ScalFrag::builder()
+                .fixed_config(CFG)
+                .pipelined(false)
+                .mode_agnostic_kernel(true)
+                .build();
+            ctx.mttkrp(t, f, mode).output
+        }),
         Backend::new("path:cluster-resilient", |t, f, mode| {
             let ctx = ClusterScalFrag::builder().node(node(3)).fixed_config(CFG).shards(6).build();
             // Two recoverable faults, recovered in-run; the output must
@@ -184,7 +214,9 @@ pub fn path_backends() -> Vec<Backend> {
 }
 
 /// Every ScheduleIR plan builder registered anywhere in the workspace
-/// (core, pipeline, cluster, serve, oom), concatenated in crate order.
+/// (core, pipeline, cluster, serve, oom, balance), concatenated in crate
+/// order — the balance arms last, so the seed builders keep their pinned
+/// fold order in the golden trace fingerprints.
 ///
 /// The coverage contract: each builder named `X` must have a
 /// [`path_backends`] entry named `path:X`, so no execution path can be
@@ -195,6 +227,7 @@ pub fn all_plan_builders() -> Vec<PlanBuilder> {
     v.extend(scalfrag_cluster::plan_builders());
     v.extend(scalfrag_serve::plan_builders());
     v.extend(scalfrag_oom::plan_builders());
+    v.extend(scalfrag_pipeline::balance_plan_builders());
     v
 }
 

@@ -53,6 +53,43 @@ fn duplicate_heavy(dims: &[u32], nnz: usize, seed: u64) -> CooTensor {
     t
 }
 
+fn one_fiber_heavy(dims: &[u32], nnz: usize, seed: u64) -> CooTensor {
+    // 60 % of the entries share one (non-mode-0) coordinate tuple: a
+    // single mode-0 fiber holds more than half the tensor. This is the
+    // worst case for fiber-parallel kernels and the motivating shape for
+    // the balanced segmented scan, whose fixed-nnz chunks ignore it.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = CooTensor::new(dims);
+    let hot: Vec<u32> = dims[1..].iter().map(|&d| rng.gen_range(0..d)).collect();
+    for i in 0..nnz {
+        let v = rng.gen::<f32>() * 0.999 + 1e-3;
+        if i * 5 < nnz * 3 {
+            let mut c = vec![rng.gen_range(0..dims[0])];
+            c.extend(&hot);
+            t.push(&c, v);
+        } else {
+            let c: Vec<u32> = dims.iter().map(|&d| rng.gen_range(0..d)).collect();
+            t.push(&c, v);
+        }
+    }
+    t
+}
+
+fn dense_slice_among_empty(dims: &[u32], seed: u64) -> CooTensor {
+    // One fully dense mode-0 slice; every other slice empty. Maximal slice
+    // imbalance with zero entries anywhere else — the BCSF split and the
+    // chunked layout must both handle a tensor that is one giant run.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = CooTensor::new(dims);
+    let slice = dims[0] / 2;
+    for j in 0..dims[1] {
+        for k in 0..dims[2] {
+            t.push(&[slice, j, k], rng.gen::<f32>() * 0.999 + 1e-3);
+        }
+    }
+    t
+}
+
 fn one_slice(dims: &[u32], nnz: usize, seed: u64) -> CooTensor {
     // Every non-zero in slice 0 of mode 0: the most contended output row
     // possible, and the single-heavy-slice extreme of the BCSF split.
@@ -141,6 +178,16 @@ pub fn corpus(seed: u64) -> Vec<TensorCase> {
         8,
     ));
     cases.push(TensorCase::new("one-slice", one_slice(&[48, 24, 24], 2_000, seed + 34), 8));
+    cases.push(TensorCase::new(
+        "one-fiber-heavy",
+        one_fiber_heavy(&[40, 32, 24], 3_000, seed + 40),
+        8,
+    ));
+    cases.push(TensorCase::new(
+        "dense-slice-among-empty",
+        dense_slice_among_empty(&[64, 24, 20], seed + 41),
+        8,
+    ));
     cases.push(TensorCase::new("rank-1", gen::uniform(&[48, 32, 24], 2_500, seed + 35), 1));
     cases.push(TensorCase::new("tiny-dims", gen::uniform(&[2, 2, 2], 6, seed + 36), 3));
 
@@ -174,7 +221,16 @@ mod tests {
     #[test]
     fn corpus_has_the_contracted_families() {
         let names: Vec<String> = corpus(1).into_iter().map(|c| c.name).collect();
-        for needle in ["zipf", "dup", "empty", "one-slice", "rank-1", "four-way"] {
+        for needle in [
+            "zipf",
+            "dup",
+            "empty",
+            "one-slice",
+            "one-fiber-heavy",
+            "dense-slice-among-empty",
+            "rank-1",
+            "four-way",
+        ] {
             assert!(names.iter().any(|n| n.contains(needle)), "missing family {needle}");
         }
         assert!(names.len() >= 20);
@@ -189,5 +245,38 @@ mod tests {
         assert!(one.tensor.mode_indices(0).iter().all(|&i| i == 0));
         let r1 = cases.iter().find(|c| c.name == "rank-1").unwrap();
         assert_eq!(r1.rank, 1);
+    }
+
+    #[test]
+    fn heavy_skew_cases_have_the_advertised_shape() {
+        let cases = corpus(11);
+        let fiber = cases.iter().find(|c| c.name == "one-fiber-heavy").unwrap();
+        let counts = fiber.tensor.fiber_nnz_counts(0);
+        let max = *counts.iter().max().unwrap() as usize;
+        assert!(
+            max * 2 > fiber.tensor.nnz(),
+            "one fiber must hold >50% of nnz (max {max} of {})",
+            fiber.tensor.nnz()
+        );
+        let dense = cases.iter().find(|c| c.name == "dense-slice-among-empty").unwrap();
+        let rows = dense.tensor.mode_indices(0);
+        assert!(rows.iter().all(|&i| i == rows[0]), "exactly one populated slice");
+        assert_eq!(dense.tensor.nnz(), 24 * 20, "that slice is fully dense");
+    }
+
+    /// The satellite contract: the ULP budget formula (`16 + 4·max row
+    /// terms`) must still cover the heavy-skew cases for every kernel
+    /// backend — a dense slice concentrates thousands of terms into one
+    /// output row, and the budget must scale with it, not drown in it.
+    #[test]
+    fn ulp_budget_covers_the_heavy_skew_cases() {
+        let cases: Vec<TensorCase> = corpus(13)
+            .into_iter()
+            .filter(|c| c.name == "one-fiber-heavy" || c.name == "dense-slice-among-empty")
+            .collect();
+        assert_eq!(cases.len(), 2);
+        let report =
+            crate::differential::run_differential(&crate::backends::kernel_backends(), &cases, 13);
+        assert!(report.all_pass(), "{}", report.table());
     }
 }

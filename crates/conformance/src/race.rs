@@ -3,16 +3,22 @@
 //! Runs every kernel's write trace (see `scalfrag_kernels::race`) over a
 //! tensor and launch configuration, and packages the per-kernel
 //! [`RaceReport`]s plus the mutant self-test CI gates on: the checker must
-//! *catch* the deliberately-racy plain-store COO mutant on a contended
-//! tensor, and must *pass* every shipped kernel — a checker that cannot
-//! catch the mutant proves nothing by passing the real kernels.
+//! *catch* the deliberately-racy mutants on a contended tensor — the
+//! plain-store COO kernel, and the segmented-scan kernel with its carry
+//! applied as a plain store to the shared output row — and must *pass*
+//! every shipped kernel: a checker that cannot catch the mutants proves
+//! nothing by passing the real kernels.
 
+use scalfrag_balance::{CHUNK_LEN, FLYCOO_SEG_LEN};
 use scalfrag_gpusim::{AccessLog, LaunchConfig, RaceReport};
 use scalfrag_kernels::race::{
-    trace_bcsf, trace_coo, trace_csf, trace_fcoo, trace_hicoo, trace_racy_coo, trace_tiled,
+    trace_balanced, trace_bcsf, trace_coo, trace_csf, trace_fcoo, trace_flycoo, trace_hicoo,
+    trace_racy_balanced_carry, trace_racy_coo, trace_tiled,
 };
 use scalfrag_kernels::BcsfKernel;
-use scalfrag_tensor::{gen, CooTensor, CsfTensor, FCooTensor, HiCooTensor};
+use scalfrag_tensor::{
+    gen, ChunkedTensor, CooTensor, CsfTensor, FCooTensor, FlycooTensor, HiCooTensor,
+};
 
 /// One kernel's race verdict.
 pub struct RaceVerdict {
@@ -58,6 +64,14 @@ pub fn check_all_kernels(
     trace_fcoo(&FCooTensor::from_coo(tensor, mode, 128), rank, cfg, &mut log);
     verdicts.push(RaceVerdict { kernel: "fcoo-segreduce", report: log.check() });
 
+    let mut log = AccessLog::new();
+    trace_balanced(&ChunkedTensor::from_coo(tensor, mode, CHUNK_LEN), rank, cfg, &mut log);
+    verdicts.push(RaceVerdict { kernel: "balance-segscan", report: log.check() });
+
+    let mut log = AccessLog::new();
+    trace_flycoo(&FlycooTensor::from_coo(tensor, FLYCOO_SEG_LEN), mode, rank, cfg, &mut log);
+    verdicts.push(RaceVerdict { kernel: "balance-flycoo", report: log.check() });
+
     verdicts
 }
 
@@ -75,6 +89,19 @@ pub fn self_test() -> Result<(), String> {
     let mutant = log.check();
     if mutant.is_race_free() {
         return Err("race checker failed to catch the plain-store COO mutant".into());
+    }
+
+    // Second mutant: the segmented-scan kernel with its carry applied as a
+    // plain store to the shared output row instead of through the carry
+    // cells + single resolver. A small chunk length guarantees cut rows.
+    let mut log = AccessLog::new();
+    let chunked = ChunkedTensor::from_coo(&tensor, 0, 64);
+    if chunked.boundary_rows().is_empty() {
+        return Err("self-test tensor produced no cut rows; mutant check is vacuous".into());
+    }
+    trace_racy_balanced_carry(&chunked, rank, cfg, &mut log);
+    if log.check().is_race_free() {
+        return Err("race checker failed to catch the plain-store segscan carry mutant".into());
     }
 
     for mode in 0..tensor.order() {
@@ -115,7 +142,9 @@ mod tests {
                 "csf-fiber",
                 "bcsf-heavy-light",
                 "hicoo-block",
-                "fcoo-segreduce"
+                "fcoo-segreduce",
+                "balance-segscan",
+                "balance-flycoo"
             ]
         );
     }

@@ -21,6 +21,15 @@ pub struct ScalFragConfig {
     /// Launch the shared-memory tiled kernel (§IV-A) instead of the plain
     /// atomic COO kernel.
     pub tiled_kernel: bool,
+    /// Launch the load-balanced segmented-scan kernel (`balance-segscan`):
+    /// fixed-nnz chunks + carry chain, immune to slice/fiber skew. Takes
+    /// priority over `tiled_kernel`.
+    pub balanced_kernel: bool,
+    /// Launch the FLYCOO mode-agnostic kernel (`balance-flycoo`): one
+    /// tensor copy + per-mode remap tables, no re-tiling between modes.
+    /// Takes priority over `tiled_kernel`; `balanced_kernel` wins if both
+    /// are set.
+    pub mode_agnostic_kernel: bool,
     /// Segment the tensor and overlap transfers with compute (§IV-C);
     /// otherwise execute synchronously.
     pub pipelined: bool,
@@ -46,6 +55,8 @@ impl Default for ScalFragConfig {
         Self {
             adaptive_launch: true,
             tiled_kernel: true,
+            balanced_kernel: false,
+            mode_agnostic_kernel: false,
             pipelined: true,
             hybrid: false,
             hybrid_threshold: 4,
@@ -81,6 +92,20 @@ impl ScalFragBuilder {
     /// Enables/disables the tiled kernel.
     pub fn tiled_kernel(mut self, on: bool) -> Self {
         self.config.tiled_kernel = on;
+        self
+    }
+
+    /// Enables/disables the load-balanced segmented-scan kernel (takes
+    /// priority over `tiled_kernel`).
+    pub fn balanced_kernel(mut self, on: bool) -> Self {
+        self.config.balanced_kernel = on;
+        self
+    }
+
+    /// Enables/disables the FLYCOO mode-agnostic kernel (takes priority
+    /// over `tiled_kernel`; loses to `balanced_kernel`).
+    pub fn mode_agnostic_kernel(mut self, on: bool) -> Self {
+        self.config.mode_agnostic_kernel = on;
         self
     }
 
@@ -200,7 +225,11 @@ impl ScalFrag {
     }
 
     fn kernel_choice(&self) -> KernelChoice {
-        if self.config.tiled_kernel {
+        if self.config.balanced_kernel {
+            KernelChoice::Balanced
+        } else if self.config.mode_agnostic_kernel {
+            KernelChoice::ModeAgnostic
+        } else if self.config.tiled_kernel {
             KernelChoice::Tiled
         } else {
             KernelChoice::CooAtomic
@@ -349,6 +378,29 @@ mod tests {
         assert!(r.overlap_ratio < 0.05);
         let expect = mttkrp_seq(&t, &f, 1);
         assert!(r.output.max_abs_diff(&expect) < 1e-2);
+    }
+
+    #[test]
+    fn balance_arms_match_reference_end_to_end() {
+        let (t, f) = small();
+        for (balanced, agnostic) in [(true, false), (false, true)] {
+            let ctx = ScalFrag::builder()
+                .fixed_config(LaunchConfig::new(1024, 256))
+                .pipelined(false)
+                .balanced_kernel(balanced)
+                .mode_agnostic_kernel(agnostic)
+                .build();
+            for mode in 0..3 {
+                let r = ctx.mttkrp(&t, &f, mode);
+                let expect = mttkrp_seq(&t, &f, mode);
+                assert!(
+                    r.output.max_abs_diff(&expect) < 1e-2,
+                    "balanced={balanced} agnostic={agnostic} mode={mode}: {}",
+                    r.output.max_abs_diff(&expect)
+                );
+                assert_eq!(r.config.shared_mem_per_block, 0, "balance arms use no smem tile");
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! Kernel dispatch shared by every plan builder and the interpreter.
 
+use scalfrag_balance::{BalancedKernel, FlycooKernel, CHUNK_LEN, FLYCOO_SEG_LEN};
 use scalfrag_gpusim::{Gpu, LaunchConfig, StreamId};
 use scalfrag_kernels::{AtomicF32Buffer, CooAtomicKernel, FactorSet, SegmentStats, TiledKernel};
-use scalfrag_tensor::CooTensor;
+use scalfrag_tensor::{ChunkedTensor, CooTensor, FlycooTensor};
 use std::sync::Arc;
 
 /// Which kernel the interpreter launches per segment.
@@ -12,6 +13,12 @@ pub enum KernelChoice {
     CooAtomic,
     /// ScalFrag shared-memory tiled kernel.
     Tiled,
+    /// Load-balanced segmented-scan kernel over fixed-nnz chunks
+    /// (`balance-segscan`): immune to slice/fiber skew.
+    Balanced,
+    /// FLYCOO-style mode-agnostic kernel (`balance-flycoo`): one tensor
+    /// copy plus per-mode remap tables serves every MTTKRP mode.
+    ModeAgnostic,
 }
 
 impl KernelChoice {
@@ -19,7 +26,7 @@ impl KernelChoice {
     /// request) for a base `(grid, block)`.
     pub fn full_config(&self, base: LaunchConfig, rank: u32) -> LaunchConfig {
         match self {
-            KernelChoice::CooAtomic => base,
+            KernelChoice::CooAtomic | KernelChoice::Balanced | KernelChoice::ModeAgnostic => base,
             KernelChoice::Tiled => TiledKernel::config_with_smem(base, rank),
         }
     }
@@ -34,12 +41,16 @@ impl KernelChoice {
         match self {
             KernelChoice::CooAtomic => scalfrag_kernels::workload::coo_atomic_workload(stats, rank),
             KernelChoice::Tiled => scalfrag_kernels::workload::tiled_workload(stats, rank, block),
+            KernelChoice::Balanced => scalfrag_balance::balanced_workload(stats, rank),
+            KernelChoice::ModeAgnostic => scalfrag_balance::flycoo_workload(stats, rank),
         }
     }
 
     /// Enqueues one segment's kernel launch on `stream`: resolves the
     /// launch configuration, cost-model workload and (when `out` is given)
-    /// the functional kernel body.
+    /// the functional kernel body. The balance arms build their chunked /
+    /// remapped layouts from the COO segment here, mirroring the device-side
+    /// format construction the real kernels would do at load time.
     #[allow(clippy::too_many_arguments)]
     pub fn enqueue(
         &self,
@@ -59,6 +70,20 @@ impl KernelChoice {
                 }
                 KernelChoice::Tiled => {
                     TiledKernel::enqueue(gpu, stream, config, seg, factors, mode, out, label);
+                }
+                KernelChoice::Balanced => {
+                    let stats = SegmentStats::compute(&seg, mode);
+                    let chunked = Arc::new(ChunkedTensor::from_coo(&seg, mode, CHUNK_LEN));
+                    BalancedKernel::enqueue(
+                        gpu, stream, config, &stats, chunked, factors, out, label,
+                    );
+                }
+                KernelChoice::ModeAgnostic => {
+                    let stats = SegmentStats::compute(&seg, mode);
+                    let fly = Arc::new(FlycooTensor::from_coo(&seg, FLYCOO_SEG_LEN));
+                    FlycooKernel::enqueue(
+                        gpu, stream, config, &stats, fly, mode, factors, out, label,
+                    );
                 }
             },
             None => {

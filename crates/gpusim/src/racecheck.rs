@@ -305,6 +305,43 @@ mod tests {
         assert_eq!(addrs, vec![2, 5, 9]);
     }
 
+    /// The segmented-scan carry protocol at log level: each chunk worker
+    /// plain-stores only its *own* carry cell, and the single resolver
+    /// thread is the only writer of the boundary row — race-free even
+    /// though the row is "shared" between chunks logically.
+    #[test]
+    fn exclusive_carry_cells_with_single_resolver_are_race_free() {
+        let mut log = AccessLog::new();
+        let chunks: Vec<SimThread> = (0..4).map(|b| SimThread { block: b, thread: 0 }).collect();
+        let carry_base = 100usize;
+        for (c, t) in chunks.iter().enumerate() {
+            // Interior rows: disjoint per chunk.
+            log.global_write(10 + c, *t, AccessKind::PlainWrite);
+            // Carry-out: one exclusive cell per chunk.
+            log.global_write(carry_base + c, *t, AccessKind::PlainWrite);
+        }
+        // The resolver alone writes the cut row (word 50).
+        let resolver = SimThread { block: 0, thread: 0 };
+        log.global_write(50, resolver, AccessKind::Atomic);
+        let r = log.check();
+        assert!(r.is_race_free(), "{}", r.summary());
+    }
+
+    /// The broken variant: chunk workers apply their carries straight to
+    /// the shared boundary row with plain stores — the checker must flag
+    /// the word even though every single store looks innocuous locally.
+    #[test]
+    fn plain_carry_application_to_shared_row_is_caught() {
+        let mut log = AccessLog::new();
+        for b in 0..3u32 {
+            let t = SimThread { block: b, thread: 0 };
+            log.global_write(50, t, AccessKind::PlainWrite);
+        }
+        let r = log.check();
+        assert_eq!(r.conflicts.len(), 1);
+        assert_eq!(r.conflicts[0].addr, 50);
+    }
+
     #[test]
     fn grid_stride_mapping_wraps() {
         assert_eq!(grid_stride_thread(0, 2, 32), SimThread { block: 0, thread: 0 });

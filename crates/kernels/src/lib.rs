@@ -54,7 +54,8 @@ pub use factors::FactorSet;
 pub use fcoo_kernel::FCooKernel;
 pub use hicoo_kernel::HiCooKernel;
 pub use race::{
-    trace_bcsf, trace_coo, trace_csf, trace_fcoo, trace_hicoo, trace_racy_coo, trace_tiled,
+    trace_balanced, trace_bcsf, trace_coo, trace_csf, trace_fcoo, trace_flycoo, trace_hicoo,
+    trace_racy_balanced_carry, trace_racy_coo, trace_tiled,
 };
 pub use tiled_kernel::TiledKernel;
 pub use tucker::{tucker_hosvd, TuckerResult};

@@ -24,17 +24,30 @@
 //! * **F-COO segmented reduction** — one block per partition; rows
 //!   strictly interior to a partition are plain-stored (exclusively
 //!   owned), rows on a partition boundary are combined atomically.
+//! * **Balanced segmented-scan** — one worker per fixed-nnz chunk;
+//!   interior rows (never cut by a chunk boundary) are plain-stored by
+//!   their owning chunk, each chunk's carry-out goes to its *own*
+//!   exclusive carry cell as a plain store, and the boundary rows are
+//!   written only by the single carry-resolution worker (atomics, since
+//!   the output buffer is shared across segments).
+//! * **FLYCOO mode-agnostic** — one block per remap partition, same
+//!   interior/carry-cell/resolver discipline as the balanced kernel but
+//!   walking the mode's remap table instead of sorted storage.
 //!
 //! [`trace_racy_coo`] is the deliberately-broken mutant: the plain-store
 //! version of the COO kernel (the classic forgot-the-atomic bug). The
 //! checker must flag it whenever two entries of one output row land on
 //! different simulated threads — the self-test in the conformance harness
-//! asserts exactly that.
+//! asserts exactly that. [`trace_racy_balanced_carry`] is its
+//! segmented-scan sibling: every chunk applies its carry-in/carry-out
+//! directly to the shared boundary row with a plain store instead of
+//! handing it to its exclusive carry cell — two chunks cut by the same
+//! row then plain-write the same words, which the checker must flag.
 
 use crate::bcsf_kernel::HeavyLightSplit;
 use scalfrag_gpusim::racecheck::{block_of_item, grid_stride_thread, AccessKind, AccessLog};
 use scalfrag_gpusim::{LaunchConfig, SimThread};
-use scalfrag_tensor::{CooTensor, CsfTensor, FCooTensor, HiCooTensor};
+use scalfrag_tensor::{ChunkedTensor, CooTensor, CsfTensor, FCooTensor, FlycooTensor, HiCooTensor};
 
 /// Traces the ParTI-style atomic COO kernel: thread-per-entry, `rank`
 /// atomics into `out[row·rank ‥ row·rank+rank]`.
@@ -242,6 +255,145 @@ pub fn trace_fcoo(fcoo: &FCooTensor, rank: usize, cfg: LaunchConfig, log: &mut A
     }
 }
 
+/// Traces the load-balanced segmented-scan kernel over a chunked tensor:
+/// one worker per fixed-nnz chunk. Rows wholly inside a chunk are
+/// plain-stored by that chunk's worker (exclusive ownership); a chunk
+/// whose entry stream continues into its successor hands its partial row
+/// off through its *own* carry cell (one plain-stored word range per
+/// chunk, single writer by construction); the cut rows themselves are
+/// written only by the dedicated carry-resolution worker, atomically.
+/// Carry cells live past the output rows at `dims[mode]·rank`.
+pub fn trace_balanced(
+    chunked: &ChunkedTensor,
+    rank: usize,
+    cfg: LaunchConfig,
+    log: &mut AccessLog,
+) {
+    let carry_base = chunked.dims()[chunked.mode()] as usize * rank;
+    for c in 0..chunked.num_chunks() {
+        let range = chunked.chunk_range(c);
+        let t = SimThread { block: block_of_item(c as u64, cfg.grid), thread: 0 };
+        let head_cut = chunked.chunk_continues(c);
+        let tail_cut = chunked.chunk_continues(c + 1);
+        let mut open = u32::MAX;
+        for e in range.clone() {
+            let row = chunked.row(e);
+            if row == open {
+                continue;
+            }
+            open = row;
+            let run_starts_at_head = e == range.start && head_cut;
+            let run_ends_at_tail = chunked.row(range.end - 1) == row && tail_cut;
+            if run_starts_at_head || run_ends_at_tail {
+                // Cut row: the partial goes to the chunk's carry cell,
+                // never to the shared output row.
+                continue;
+            }
+            let base = row as usize * rank;
+            for f in 0..rank {
+                log.global_write(base + f, t, AccessKind::PlainWrite);
+            }
+        }
+        if head_cut || tail_cut {
+            let cell = carry_base + c * rank;
+            for f in 0..rank {
+                log.global_write(cell + f, t, AccessKind::PlainWrite);
+            }
+        }
+    }
+    // The carry-resolution worker is the only writer of the cut rows.
+    let resolver = SimThread { block: 0, thread: 0 };
+    for b in chunked.boundary_rows() {
+        let base = b.row as usize * rank;
+        for f in 0..rank {
+            log.global_write(base + f, resolver, AccessKind::Atomic);
+        }
+    }
+}
+
+/// The racy segmented-scan mutant: instead of handing partials to
+/// exclusive carry cells and letting one resolver write each cut row,
+/// every chunk applies its carry directly to the shared boundary row with
+/// a plain store. Two chunks cut by the same row then plain-write the
+/// same words from different simulated threads — a lost-update race the
+/// checker must flag.
+pub fn trace_racy_balanced_carry(
+    chunked: &ChunkedTensor,
+    rank: usize,
+    cfg: LaunchConfig,
+    log: &mut AccessLog,
+) {
+    for c in 0..chunked.num_chunks() {
+        let range = chunked.chunk_range(c);
+        let t = SimThread { block: block_of_item(c as u64, cfg.grid), thread: 0 };
+        let mut open = u32::MAX;
+        for e in range {
+            let row = chunked.row(e);
+            if row == open {
+                continue;
+            }
+            open = row;
+            let base = row as usize * rank;
+            for f in 0..rank {
+                log.global_write(base + f, t, AccessKind::PlainWrite);
+            }
+        }
+    }
+}
+
+/// Traces the FLYCOO mode-agnostic kernel: one block per remap partition,
+/// with the same interior/carry-cell/resolver write discipline as
+/// [`trace_balanced`] — only the iteration order (the mode's remap table)
+/// differs.
+pub fn trace_flycoo(
+    fly: &FlycooTensor,
+    mode: usize,
+    rank: usize,
+    cfg: LaunchConfig,
+    log: &mut AccessLog,
+) {
+    let carry_base = fly.dims()[mode] as usize * rank;
+    for p in 0..fly.num_partitions() {
+        let range = fly.partition_range(p);
+        if range.is_empty() {
+            continue;
+        }
+        let t = SimThread { block: block_of_item(p as u64, cfg.grid), thread: 0 };
+        let head_cut = fly.partition_continues(mode, p);
+        let tail_cut = fly.partition_continues(mode, p + 1);
+        let mut open = u32::MAX;
+        for k in range.clone() {
+            let row = fly.row_at(mode, k);
+            if row == open {
+                continue;
+            }
+            open = row;
+            let run_starts_at_head = k == range.start && head_cut;
+            let run_ends_at_tail = fly.row_at(mode, range.end - 1) == row && tail_cut;
+            if run_starts_at_head || run_ends_at_tail {
+                continue;
+            }
+            let base = row as usize * rank;
+            for f in 0..rank {
+                log.global_write(base + f, t, AccessKind::PlainWrite);
+            }
+        }
+        if head_cut || tail_cut {
+            let cell = carry_base + p * rank;
+            for f in 0..rank {
+                log.global_write(cell + f, t, AccessKind::PlainWrite);
+            }
+        }
+    }
+    let resolver = SimThread { block: 0, thread: 0 };
+    for b in fly.boundary_rows(mode) {
+        let base = b.row as usize * rank;
+        for f in 0..rank {
+            log.global_write(base + f, resolver, AccessKind::Atomic);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,6 +447,41 @@ mod tests {
         let mut log = AccessLog::new();
         trace_fcoo(&FCooTensor::from_coo(&t, mode, 64), rank, cfg, &mut log);
         assert!(log.check().is_race_free(), "fcoo: {}", log.check().summary());
+    }
+
+    #[test]
+    fn balanced_trace_is_race_free_and_carry_mutant_is_not() {
+        let t = gen::zipf_slices(&[40, 30, 20], 2_000, 1.0, 7);
+        let cfg = LaunchConfig::new(8, 64);
+        for chunk_len in [32usize, 128, 4096] {
+            let c = ChunkedTensor::from_coo(&t, 0, chunk_len);
+            let mut clean = AccessLog::new();
+            trace_balanced(&c, 8, cfg, &mut clean);
+            assert!(
+                clean.check().is_race_free(),
+                "chunk_len {chunk_len}: {}",
+                clean.check().summary()
+            );
+        }
+        // 2 000 nnz over 40 slices: average run ≫ 32, so chunk boundaries
+        // must cut rows — the precondition for the mutant to race.
+        let c = ChunkedTensor::from_coo(&t, 0, 32);
+        assert!(!c.boundary_rows().is_empty(), "fixture must produce cut rows");
+        let mut racy = AccessLog::new();
+        trace_racy_balanced_carry(&c, 8, cfg, &mut racy);
+        assert!(!racy.check().is_race_free(), "plain-store carry application must be caught");
+    }
+
+    #[test]
+    fn flycoo_trace_is_race_free_for_every_mode() {
+        let t = gen::zipf_slices(&[40, 30, 20], 2_000, 1.0, 7);
+        let f = FlycooTensor::from_coo(&t, 64);
+        let cfg = LaunchConfig::new(8, 64);
+        for mode in 0..3 {
+            let mut log = AccessLog::new();
+            trace_flycoo(&f, mode, 8, cfg, &mut log);
+            assert!(log.check().is_race_free(), "mode {mode}: {}", log.check().summary());
+        }
     }
 
     #[test]

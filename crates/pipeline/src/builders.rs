@@ -228,6 +228,42 @@ pub fn build_hybrid_plan(
     plan
 }
 
+/// Lowers the load-balanced segmented-scan schedule: the monolithic sync
+/// shape (one stream, whole-tensor H2D) but with the `balance-segscan`
+/// kernel folding fixed-nnz chunks, immune to slice/fiber skew.
+pub fn build_balance_segscan_plan(
+    spec: &DeviceSpec,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    config: LaunchConfig,
+) -> Plan {
+    let mut plan = build_sync_plan(spec, tensor, factors, mode, config, KernelChoice::Balanced);
+    plan.name = "balance-segscan";
+    plan.meta.segment_map =
+        format!("monolithic; {}-nnz balanced chunks + carry chain", scalfrag_balance::CHUNK_LEN);
+    plan
+}
+
+/// Lowers the FLYCOO mode-agnostic schedule: one *unsorted* tensor copy is
+/// shipped once and the `balance-flycoo` kernel walks the per-mode remap
+/// table — no re-sorting or re-tiling per mode.
+pub fn build_balance_flycoo_plan(
+    spec: &DeviceSpec,
+    tensor: &CooTensor,
+    factors: &FactorSet,
+    mode: usize,
+    config: LaunchConfig,
+) -> Plan {
+    let mut plan = build_sync_plan(spec, tensor, factors, mode, config, KernelChoice::ModeAgnostic);
+    plan.name = "balance-flycoo";
+    plan.meta.segment_map = format!(
+        "monolithic; mode-agnostic remap, {}-nnz partitions",
+        scalfrag_balance::FLYCOO_SEG_LEN
+    );
+    plan
+}
+
 /// The pipeline crate's registered plan builders.
 pub fn plan_builders() -> Vec<PlanBuilder> {
     let cfg = LaunchConfig::new(512, 256);
@@ -249,6 +285,24 @@ pub fn plan_builders() -> Vec<PlanBuilder> {
                 4,
                 KernelChoice::Tiled,
             )
+        }),
+    ]
+}
+
+/// The load-imbalance-immune builders of `scalfrag-balance`, registered
+/// separately so the conformance registry can append them after the seed
+/// builders without disturbing pinned fold orders.
+pub fn balance_plan_builders() -> Vec<PlanBuilder> {
+    let cfg = LaunchConfig::new(512, 256);
+    vec![
+        PlanBuilder::new("balance-segscan", move |tensor, factors, mode| {
+            let mut t = tensor.clone();
+            t.sort_for_mode(mode);
+            build_balance_segscan_plan(&DeviceSpec::rtx3090(), &t, factors, mode, cfg)
+        }),
+        PlanBuilder::new("balance-flycoo", move |tensor, factors, mode| {
+            // Deliberately unsorted: the remap table is the sort.
+            build_balance_flycoo_plan(&DeviceSpec::rtx3090(), tensor, factors, mode, cfg)
         }),
     ]
 }

@@ -31,7 +31,10 @@ pub mod hybrid;
 pub mod plan;
 pub mod resilient;
 
-pub use builders::{build_hybrid_plan, build_pipelined_plan, build_sync_plan, plan_builders};
+pub use builders::{
+    balance_plan_builders, build_balance_flycoo_plan, build_balance_segscan_plan,
+    build_hybrid_plan, build_pipelined_plan, build_sync_plan, plan_builders,
+};
 pub use executor::{execute_pipelined, execute_sync, ExecMode, KernelChoice, PipelineRun};
 pub use hybrid::{execute_hybrid, split_by_slice_population, HybridSplit};
 pub use plan::PipelinePlan;

@@ -153,6 +153,8 @@ mod tests {
             slice_ratio_bucket: 8,
             fiber_ratio_bucket: 1,
             imbalance_bucket: 2,
+            fiber_imbalance_bucket: 1,
+            gini_bucket: 2,
         }
     }
 

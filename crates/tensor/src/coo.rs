@@ -258,6 +258,29 @@ impl CooTensor {
         keys.len()
     }
 
+    /// Non-zero counts per distinct mode-`m` fiber (a fiber fixes every
+    /// index except mode `m`), in lexicographic fiber order — the raw
+    /// material of the `maxFiberLength` imbalance features that drive the
+    /// load-balanced kernel arm. `counts.len() == num_fibers(mode)` and
+    /// `counts.iter().sum() == nnz`.
+    pub fn fiber_nnz_counts(&self, mode: usize) -> Vec<u32> {
+        assert!(mode < self.order(), "mode out of range");
+        let mut keys: Vec<Vec<Idx>> = (0..self.nnz())
+            .map(|e| (0..self.order()).filter(|&m| m != mode).map(|m| self.inds[m][e]).collect())
+            .collect();
+        keys.sort_unstable();
+        let mut counts = Vec::new();
+        let mut run = 0u32;
+        for i in 0..keys.len() {
+            run += 1;
+            if i + 1 == keys.len() || keys[i + 1] != keys[i] {
+                counts.push(run);
+                run = 0;
+            }
+        }
+        counts
+    }
+
     /// A random tensor with `nnz` distinct uniform coordinates and values in
     /// `(0, 1]`. Deterministic in `seed`.
     pub fn random_uniform(dims: &[Idx], nnz: usize, seed: u64) -> Self {
@@ -431,6 +454,21 @@ mod tests {
         // Mode-1 fibers fix (i, k).
         // Pairs: (0,0),(0,1),(1,1),(1,0),(2,0),(2,1),(3,0),(3,1) -> 8 distinct.
         assert_eq!(t.num_fibers(1), 8);
+    }
+
+    #[test]
+    fn fiber_counts_partition_the_nnz() {
+        let t = small();
+        for mode in 0..3 {
+            let counts = t.fiber_nnz_counts(mode);
+            assert_eq!(counts.len(), t.num_fibers(mode), "mode {mode} fiber count mismatch");
+            assert_eq!(counts.iter().sum::<u32>() as usize, t.nnz());
+            assert!(counts.iter().all(|&c| c > 0));
+        }
+        // Mode-2: the (2,1) fiber holds two entries, every other fiber one.
+        let mut c2 = t.fiber_nnz_counts(2);
+        c2.sort_unstable();
+        assert_eq!(c2, vec![1, 1, 1, 1, 1, 1, 2]);
     }
 
     #[test]

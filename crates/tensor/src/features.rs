@@ -42,11 +42,20 @@ pub struct TensorFeatures {
     pub avg_nnz_per_fiber: f64,
     /// `max/avg` slice population — the load-imbalance indicator.
     pub slice_imbalance: f64,
+    /// Largest fiber population (`maxFiberLength`).
+    pub max_nnz_per_fiber: u32,
+    /// `max/avg` fiber population — the fiber-level imbalance that
+    /// serializes whole blocks in slice/fiber-parallel kernels and that
+    /// the load-balanced segmented-scan arm is immune to.
+    pub fiber_imbalance: f64,
+    /// Gini coefficient of the non-empty slice populations in `[0, 1)`:
+    /// 0 for perfectly even slices, → 1 when one slice holds everything.
+    pub nnz_gini: f64,
 }
 
 /// Names of the flattened feature vector entries, in [`TensorFeatures::to_vec`]
 /// order — used by model introspection and reports.
-pub const FEATURE_NAMES: [&str; 12] = [
+pub const FEATURE_NAMES: [&str; 14] = [
     "order",
     "log_nnz",
     "log_mode_dim",
@@ -59,6 +68,8 @@ pub const FEATURE_NAMES: [&str; 12] = [
     "cv_nnz_per_slice",
     "log_avg_nnz_per_fiber",
     "slice_imbalance",
+    "fiber_imbalance",
+    "nnz_gini",
 ];
 
 impl TensorFeatures {
@@ -96,8 +107,27 @@ impl TensorFeatures {
                 / num_slices as f64
         };
 
-        let num_fibers = tensor.num_fibers(mode);
+        let fiber_counts = tensor.fiber_nnz_counts(mode);
+        let num_fibers = fiber_counts.len();
         let avg_nnz_per_fiber = if num_fibers == 0 { 0.0 } else { nnz as f64 / num_fibers as f64 };
+        let max_nnz_per_fiber = fiber_counts.iter().copied().max().unwrap_or(0);
+
+        // Gini of the non-empty slice populations: sort ascending, then
+        // G = 2·Σᵢ i·xᵢ / (n·Σx) − (n+1)/n with 1-based ranks — 0 for an
+        // even histogram, → 1 − 1/n when one slice dominates.
+        let nnz_gini = {
+            let mut sorted = nonempty.clone();
+            sorted.sort_unstable();
+            let n = sorted.len() as f64;
+            let total: f64 = sorted.iter().map(|&c| c as f64).sum();
+            if sorted.is_empty() || total <= 0.0 {
+                0.0
+            } else {
+                let weighted: f64 =
+                    sorted.iter().enumerate().map(|(i, &c)| (i as f64 + 1.0) * c as f64).sum();
+                (2.0 * weighted / (n * total) - (n + 1.0) / n).max(0.0)
+            }
+        };
 
         Self {
             order: tensor.order(),
@@ -122,6 +152,13 @@ impl TensorFeatures {
             } else {
                 0.0
             },
+            max_nnz_per_fiber,
+            fiber_imbalance: if avg_nnz_per_fiber > 0.0 {
+                max_nnz_per_fiber as f64 / avg_nnz_per_fiber
+            } else {
+                0.0
+            },
+            nnz_gini,
         }
     }
 
@@ -147,6 +184,8 @@ impl TensorFeatures {
             },
             l(self.avg_nnz_per_fiber),
             self.slice_imbalance,
+            self.fiber_imbalance,
+            self.nnz_gini,
         ]
     }
 
@@ -168,7 +207,9 @@ impl TensorFeatures {
 ///   grid — quarter octaves for `nnz` (≈ ±9 % within a bucket), half
 ///   octaves for the rest;
 /// * ratios (`sliceRatio`, `fiberRatio`) in eighths;
-/// * the skew indicator (`max/avg` slice population) in whole octaves.
+/// * the skew indicators (`max/avg` slice and fiber populations) in whole
+///   octaves, and the slice-population Gini coefficient in eighths — the
+///   imbalance axes that separate the load-balanced kernel arm's regime.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct FeatureKey {
     /// Tensor order `N`.
@@ -191,6 +232,13 @@ pub struct FeatureKey {
     pub fiber_ratio_bucket: i32,
     /// `round(log2 slice_imbalance)` — whole-octave skew bucket.
     pub imbalance_bucket: i32,
+    /// `round(log2 fiber_imbalance)` — whole-octave fiber-skew bucket;
+    /// together with `gini_bucket` this is what flips the predictor to
+    /// the load-balanced segmented-scan arm.
+    pub fiber_imbalance_bucket: i32,
+    /// `round(8 · nnz_gini)` — eighth buckets of the slice-population
+    /// Gini coefficient in `[0, 1)`.
+    pub gini_bucket: i32,
 }
 
 impl FeatureKey {
@@ -214,6 +262,8 @@ impl FeatureKey {
             slice_ratio_bucket: (8.0 * f.slice_ratio).round() as i32,
             fiber_ratio_bucket: (8.0 * f.fiber_ratio).round() as i32,
             imbalance_bucket: lb(f.slice_imbalance.max(1.0), 1.0),
+            fiber_imbalance_bucket: lb(f.fiber_imbalance.max(1.0), 1.0),
+            gini_bucket: (8.0 * f.nnz_gini).round() as i32,
         }
     }
 
@@ -252,6 +302,11 @@ mod tests {
         assert_eq!(f.num_fibers, 4);
         assert!((f.fiber_ratio - 1.0).abs() < 1e-12);
         assert!((f.density - 4.0 / 12.0).abs() < 1e-12);
+        // Each mode-0 fiber holds exactly one entry: no fiber skew.
+        assert_eq!(f.max_nnz_per_fiber, 1);
+        assert!((f.fiber_imbalance - 1.0).abs() < 1e-12);
+        // Slice populations {3, 1}: G = 2·(1·1 + 2·3)/(2·4) − 3/2 = 0.25.
+        assert!((f.nnz_gini - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -331,11 +386,15 @@ mod tests {
             f.num_slices = (f.num_slices + step).min(f.mode_dim as usize);
             f.num_fibers += 37 * step;
             f.slice_imbalance *= 1.5;
+            f.fiber_imbalance *= 1.4;
+            f.nnz_gini = (f.nnz_gini + 0.05).min(0.99);
             let next = FeatureKey::quantize(&f, 0, 8);
             assert!(next.nnz_bucket > prev.nnz_bucket, "nnz bucket must strictly grow on doubling");
             assert!(next.slices_bucket >= prev.slices_bucket);
             assert!(next.fibers_bucket >= prev.fibers_bucket);
             assert!(next.imbalance_bucket >= prev.imbalance_bucket);
+            assert!(next.fiber_imbalance_bucket >= prev.fiber_imbalance_bucket);
+            assert!(next.gini_bucket >= prev.gini_bucket);
             prev = next;
         }
     }
@@ -399,6 +458,74 @@ mod tests {
             FeatureKey::of(&b, 0, 16),
             "slice relabeling + value rewrite must not change the key"
         );
+    }
+
+    /// Metamorphic: the imbalance features are functions of the slice and
+    /// fiber *histograms*, so reordering the stored entries must leave
+    /// their raw values (not just their buckets) exactly unchanged.
+    #[test]
+    fn imbalance_features_invariant_under_nnz_shuffle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let t = crate::gen::zipf_slices(&[72, 48, 36], 4_000, 1.2, 41);
+        let n = t.nnz();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(42);
+        for i in (1..n).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let mut shuffled = CooTensor::new(t.dims());
+        for &e in &order {
+            let coord: Vec<Idx> = (0..t.order()).map(|m| t.mode_indices(m)[e]).collect();
+            shuffled.push(&coord, t.values()[e]);
+        }
+        for mode in 0..t.order() {
+            let a = TensorFeatures::extract(&t, mode);
+            let b = TensorFeatures::extract(&shuffled, mode);
+            assert_eq!(a.max_nnz_per_fiber, b.max_nnz_per_fiber, "mode {mode}");
+            assert_eq!(a.fiber_imbalance, b.fiber_imbalance, "mode {mode}");
+            assert_eq!(a.nnz_gini, b.nnz_gini, "mode {mode}");
+        }
+    }
+
+    /// Metamorphic: sharpening the slice distribution (higher Zipf
+    /// exponent, same shape/nnz/seed) must monotonically raise the Gini
+    /// coefficient, and concentrating >50 % of the nnz into one fiber
+    /// must raise the fiber imbalance far above the uniform baseline.
+    #[test]
+    fn imbalance_features_monotone_in_skew() {
+        let ginis: Vec<f64> = [0.0f64, 0.6, 1.3]
+            .iter()
+            .map(|&a| {
+                let t = crate::gen::zipf_slices(&[128, 64, 48], 8_000, a, 19);
+                TensorFeatures::extract(&t, 0).nnz_gini
+            })
+            .collect();
+        assert!(
+            ginis[0] < ginis[1] && ginis[1] < ginis[2],
+            "gini must grow with the Zipf exponent: {ginis:?}"
+        );
+        assert!(ginis[2] > 0.5, "strongly skewed slices have gini > 0.5, got {}", ginis[2]);
+
+        // One mode-0 fiber (j=3, k=5) holding 60 % of the nnz.
+        let uni = crate::gen::uniform(&[64, 32, 24], 2_000, 20);
+        let mut heavy = CooTensor::new(&[64, 32, 24]);
+        for e in 0..uni.nnz() {
+            if e % 5 < 3 {
+                heavy.push(&[uni.mode_indices(0)[e], 3, 5], uni.values()[e]);
+            } else {
+                heavy.push(&uni.coord(e), uni.values()[e]);
+            }
+        }
+        let fu = TensorFeatures::extract(&uni, 0);
+        let fh = TensorFeatures::extract(&heavy, 0);
+        assert!(
+            fh.fiber_imbalance > 8.0 * fu.fiber_imbalance,
+            "one dominant fiber: {} vs uniform {}",
+            fh.fiber_imbalance,
+            fu.fiber_imbalance
+        );
+        assert!(fh.max_nnz_per_fiber as usize > uni.nnz() / 2);
     }
 
     #[test]

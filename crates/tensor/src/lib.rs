@@ -12,6 +12,10 @@
 //! * [`CsfTensor`] — compressed sparse fiber (Smith & Karypis), the
 //!   tree-based family representative.
 //! * [`HiCooTensor`] — a HiCOO-lite block-compressed format (Li et al.).
+//! * [`ChunkedTensor`] — fixed-nnz chunks with boundary-row carry metadata
+//!   (Nisa et al.'s load-balanced layout) and [`FlycooTensor`] — one
+//!   tensor copy plus per-mode remap tables (FLYCOO), the formats behind
+//!   the `scalfrag-balance` kernel arms.
 //! * [`gen`] — synthetic tensor generators (uniform, Zipf-skewed slices,
 //!   block-clustered) and [`frostt`] — presets mirroring the ten FROSTT
 //!   datasets of Table III (order, mode-size ratios, density, skew),
@@ -24,10 +28,12 @@
 //! * [`io`] — FROSTT `.tns` text format reader/writer so real datasets can
 //!   be dropped in.
 
+pub mod chunked;
 pub mod coo;
 pub mod csf;
 pub mod fcoo;
 pub mod features;
+pub mod flycoo;
 pub mod frostt;
 pub mod gen;
 pub mod hicoo;
@@ -38,10 +44,12 @@ pub mod reorder;
 pub mod segment;
 pub mod semisparse;
 
+pub use chunked::{BoundaryRow, ChunkedTensor};
 pub use coo::CooTensor;
 pub use csf::CsfTensor;
 pub use fcoo::FCooTensor;
 pub use features::{FeatureKey, TensorFeatures};
+pub use flycoo::FlycooTensor;
 pub use frostt::DatasetPreset;
 pub use hicoo::HiCooTensor;
 pub use permute::ModePermutation;

@@ -14,6 +14,11 @@
 //!   occupancy, streams, copy engines and the analytic kernel cost model.
 //! * [`kernels`] — MTTKRP kernels (CPU reference, ParTI-style COO atomic,
 //!   ScalFrag shared-memory tiled, CSF) and the CPD-ALS driver.
+//! * [`balance`] — the load-imbalance-immune kernel arms: the Nisa-style
+//!   load-balanced segmented-scan kernel over fixed-nnz chunks (bit-stable
+//!   across chunk counts) and the FLYCOO-style mode-agnostic kernel whose
+//!   single tensor copy plus per-mode remap tables serves every CPD-ALS
+//!   mode without re-tiling.
 //! * [`autotune`] — the adaptive launching strategy: from-scratch ML models
 //!   (CART, bagging, AdaBoost.R2, kNN, ridge) mapping tensor features to
 //!   launch configurations.
@@ -69,6 +74,7 @@
 //! ```
 
 pub use scalfrag_autotune as autotune;
+pub use scalfrag_balance as balance;
 pub use scalfrag_cluster as cluster;
 pub use scalfrag_conformance as conformance;
 pub use scalfrag_core as core;

@@ -28,7 +28,10 @@ const GOLDEN_SERVE_FINGERPRINT: u64 = 0x373c_1ac3_9717_638c;
 const GOLDEN_FAULT_LOG_FINGERPRINT: u64 = 0xbd60_acb6_58c7_9e45;
 const GOLDEN_CLUSTER_OUTPUT_CHECKSUM: u64 = 0xd336_3d55_543a_4baf;
 const GOLDEN_PLAN_TRACE_FINGERPRINT: u64 = 0xed33_cf2f_445d_e4d6;
-const GOLDEN_OPT_PLAN_TRACE_FINGERPRINT: u64 = 0xdf2e_b300_3259_743d;
+const GOLDEN_BALANCE_PLAN_TRACE_FINGERPRINT: u64 = 0x22fc_902a_17f3_df68;
+// Re-pinned when the two balance builders joined the registry (the opt
+// digest deliberately folds every builder, so it shifts on registration).
+const GOLDEN_OPT_PLAN_TRACE_FINGERPRINT: u64 = 0x0efc_bda0_9457_834f;
 const GOLDEN_STREAMING_TRACE_FINGERPRINT: u64 = 0x3d53_ffcf_3f4e_e0c3;
 
 fn serve_workload() -> Vec<MttkrpJob> {
@@ -106,21 +109,45 @@ fn plan_trace_fingerprint_is_pinned() {
     let dims = [80u32, 56, 40];
     let tensor = gen::zipf_slices(&dims, 6_000, 1.1, 61);
     let factors = FactorSet::random(&dims, 8, 62);
-    // The streaming builder (added after this digest was pinned) has its
-    // own golden below; folding it in here would shift the combined
-    // constant for the seven pre-existing builders.
-    let combined =
-        || combined_plan_fingerprint(&tensor, &factors, 0, |name| name != "oom-stream", |p| p);
+    // Builders added after this digest was pinned (the streamer, the two
+    // balance arms) have their own goldens below; folding them in here
+    // would shift the combined constant for the pre-existing builders.
+    let combined = || {
+        combined_plan_fingerprint(
+            &tensor,
+            &factors,
+            0,
+            |name| name != "oom-stream" && !name.starts_with("balance-"),
+            |p| p,
+        )
+    };
     let a = combined();
     assert_eq!(a, combined(), "same plans, two trace digests in one process");
     print_or_assert("plan-trace", a, GOLDEN_PLAN_TRACE_FINGERPRINT);
 }
 
+/// The two balance-arm builders (`balance-segscan`, `balance-flycoo`),
+/// lowered over the pinned tensor and interpreted dry, must schedule
+/// deterministically — the plan-level determinism gate for the
+/// load-balanced segmented scan and the FLYCOO mode-agnostic kernel.
+#[test]
+fn balance_plan_trace_fingerprint_is_pinned() {
+    let dims = [80u32, 56, 40];
+    let tensor = gen::zipf_slices(&dims, 6_000, 1.1, 61);
+    let factors = FactorSet::random(&dims, 8, 62);
+    let combined = || {
+        combined_plan_fingerprint(&tensor, &factors, 0, |name| name.starts_with("balance-"), |p| p)
+    };
+    let a = combined();
+    assert_eq!(a, combined(), "same balance plans, two trace digests in one process");
+    print_or_assert("balance-plan-trace", a, GOLDEN_BALANCE_PLAN_TRACE_FINGERPRINT);
+}
+
 /// Every registered builder's plan, run through the *default optimizer
 /// pipeline* and interpreted dry, must also schedule deterministically —
-/// the optimized twin of the raw pin above, covering all eight builders
-/// (the streamer included: its evict/prefetch loop is exactly what the
-/// memory-op passes canonicalize).
+/// the optimized twin of the raw pin above, covering all ten builders
+/// (the streamer and both balance arms included: the streamer's
+/// evict/prefetch loop is exactly what the memory-op passes canonicalize).
 #[test]
 fn optimized_plan_trace_fingerprint_is_pinned() {
     let dims = [80u32, 56, 40];

@@ -9,7 +9,7 @@
 //! 2. **Pass algebra** — every declared commutation, checked in both
 //!    orders on every builder's plan; the declaration table itself must
 //!    be symmetric.
-//! 3. **The oracle** — all eight builders, run through the full default
+//! 3. **The oracle** — all ten builders, run through the full default
 //!    pipeline, must stay ULP-clean against the `f64` differential
 //!    oracle over the seeded corpus; every candidate pipeline must keep
 //!    the output *bit-identical* to the raw plan (the passes only move
@@ -83,7 +83,7 @@ fn declared_commutations_are_symmetric_and_hold_on_every_builder() {
     }
 }
 
-/// The tentpole acceptance gate: all eight registered builders, through
+/// The tentpole acceptance gate: all ten registered builders, through
 /// the full default pipeline, ULP-clean against the differential oracle.
 #[test]
 fn optimized_builders_stay_ulp_clean_against_the_oracle() {
@@ -104,7 +104,7 @@ fn optimized_builders_stay_ulp_clean_against_the_oracle() {
             }
         })
         .collect();
-    assert_eq!(backends.len(), 8, "eight registered builders expected");
+    assert_eq!(backends.len(), 10, "ten registered builders expected");
     let cases: Vec<_> = smoke_corpus(17).into_iter().filter(|c| c.tensor.nnz() > 0).collect();
     assert!(cases.len() >= 3);
     let report = run_differential(&backends, &cases, 17);
