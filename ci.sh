@@ -40,4 +40,8 @@ cargo run --release -q -p scalfrag-bench --bin oom_stream -- --smoke
 echo "==> balance-arm smoke test (predictor picks balanced on the skewed preset at >=1.2x; writes results/BENCH_balance.json)"
 cargo run --release -q -p scalfrag-bench --bin balance_bench -- --smoke
 
+echo "==> host-pool smoke test (bit-identical at pool sizes 1/2/4/8; >=1.5x corpus speedup at 4 threads when >=4 cores; writes results/BENCH_host.json)"
+cargo run --release -q -p scalfrag-bench --bin host_bench -- --smoke
+test -s results/BENCH_host.json || { echo "BENCH_host.json missing"; exit 1; }
+
 echo "CI green."

@@ -13,9 +13,8 @@
 //! range — one strict left-to-right fold per output row, bit-stable
 //! across partition counts.
 
-use rayon::prelude::*;
 use scalfrag_gpusim::{Gpu, KernelWorkload, LaunchConfig, OpId, StreamId};
-use scalfrag_kernels::{AtomicF32Buffer, FactorSet, SegmentStats};
+use scalfrag_kernels::{partials, simd, AtomicF32Buffer, FactorSet, SegmentStats};
 use scalfrag_tensor::FlycooTensor;
 use std::sync::Arc;
 
@@ -60,8 +59,9 @@ impl FlycooKernel {
             return;
         }
 
-        // Phase 1: partition-parallel fold of interior rows (remap order).
-        (0..fly.num_partitions()).into_par_iter().for_each(|p| {
+        // Phase 1: partition-parallel fold of interior rows (remap order),
+        // partials applied in partition order.
+        partials::run_units(fly.num_partitions(), out, |p, list| {
             let range = fly.partition_range(p);
             let head_cut = fly.partition_continues(mode, p);
             let tail_cut = fly.partition_continues(mode, p + 1);
@@ -74,7 +74,7 @@ impl FlycooKernel {
                 let row = fly.row_at(mode, k);
                 if row != open {
                     if !open_cut {
-                        flush(out, open as usize * rank, &mut acc);
+                        flush_list(list, open as usize * rank, &mut acc);
                     }
                     open = row;
                     open_cut = tail_cut && open == tail_row;
@@ -85,7 +85,7 @@ impl FlycooKernel {
                 accumulate(fly, factors, mode, k, &mut prod, &mut acc);
             }
             if !open_cut {
-                flush(out, open as usize * rank, &mut acc);
+                flush_list(list, open as usize * rank, &mut acc);
             }
         });
 
@@ -131,22 +131,14 @@ fn accumulate(
     acc: &mut [f32],
 ) {
     let e = fly.remap(mode)[k] as usize;
-    let v = fly.values()[e];
-    for x in prod.iter_mut() {
-        *x = v;
-    }
+    simd::fill(prod, fly.values()[e]);
     for m in 0..fly.order() {
         if m == mode {
             continue;
         }
-        let row = factors.get(m).row(fly.mode_indices(m)[e] as usize);
-        for (x, &w) in prod.iter_mut().zip(row) {
-            *x *= w;
-        }
+        simd::mul_assign(prod, factors.get(m).row(fly.mode_indices(m)[e] as usize));
     }
-    for (a, &x) in acc.iter_mut().zip(prod.iter()) {
-        *a += x;
-    }
+    simd::add_assign(acc, prod);
 }
 
 #[inline]
@@ -154,6 +146,16 @@ fn flush(out: &AtomicF32Buffer, base: usize, acc: &mut [f32]) {
     for (f, a) in acc.iter_mut().enumerate() {
         if *a != 0.0 {
             out.add(base + f, *a);
+        }
+        *a = 0.0;
+    }
+}
+
+#[inline]
+fn flush_list(list: &mut partials::UpdateList, base: usize, acc: &mut [f32]) {
+    for (f, a) in acc.iter_mut().enumerate() {
+        if *a != 0.0 {
+            list.push((base + f, *a));
         }
         *a = 0.0;
     }

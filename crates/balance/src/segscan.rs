@@ -18,9 +18,8 @@
 //! entries in mode-sorted order, independent of the chunk count — the
 //! bit-stability contract `bit_stable_across_chunk_counts` asserts.
 
-use rayon::prelude::*;
 use scalfrag_gpusim::{Gpu, KernelWorkload, LaunchConfig, OpId, StreamId};
-use scalfrag_kernels::{AtomicF32Buffer, FactorSet, SegmentStats};
+use scalfrag_kernels::{partials, simd, AtomicF32Buffer, FactorSet, SegmentStats};
 use scalfrag_tensor::ChunkedTensor;
 use std::sync::Arc;
 
@@ -71,8 +70,10 @@ impl BalancedKernel {
             return;
         }
 
-        // Phase 1: chunk-parallel fold of interior rows.
-        (0..chunked.num_chunks()).into_par_iter().for_each(|c| {
+        // Phase 1: chunk-parallel fold of interior rows, partials applied
+        // in chunk order (the submission-order discipline the host pool's
+        // determinism contract rests on).
+        partials::run_units(chunked.num_chunks(), out, |c, list| {
             let range = chunked.chunk_range(c);
             let head_cut = chunked.chunk_continues(c);
             let tail_cut = chunked.chunk_continues(c + 1);
@@ -85,7 +86,7 @@ impl BalancedKernel {
                 let row = chunked.row(e);
                 if row != open {
                     if !open_cut {
-                        flush(out, open as usize * rank, &mut acc);
+                        flush_list(list, open as usize * rank, &mut acc);
                     }
                     open = row;
                     open_cut = tail_cut && open == tail_row;
@@ -97,7 +98,7 @@ impl BalancedKernel {
                 accumulate(chunked, factors, e, &mut prod, &mut acc);
             }
             if !open_cut {
-                flush(out, open as usize * rank, &mut acc);
+                flush_list(list, open as usize * rank, &mut acc);
             }
         });
 
@@ -142,19 +143,11 @@ fn accumulate(
     prod: &mut [f32],
     acc: &mut [f32],
 ) {
-    let v = chunked.values()[e];
-    for x in prod.iter_mut() {
-        *x = v;
-    }
+    simd::fill(prod, chunked.values()[e]);
     for (k, &m) in chunked.other_modes().iter().enumerate() {
-        let row = factors.get(m).row(chunked.other_indices(k)[e] as usize);
-        for (x, &w) in prod.iter_mut().zip(row) {
-            *x *= w;
-        }
+        simd::mul_assign(prod, factors.get(m).row(chunked.other_indices(k)[e] as usize));
     }
-    for (a, &x) in acc.iter_mut().zip(prod.iter()) {
-        *a += x;
-    }
+    simd::add_assign(acc, prod);
 }
 
 #[inline]
@@ -162,6 +155,16 @@ fn flush(out: &AtomicF32Buffer, base: usize, acc: &mut [f32]) {
     for (f, a) in acc.iter_mut().enumerate() {
         if *a != 0.0 {
             out.add(base + f, *a);
+        }
+        *a = 0.0;
+    }
+}
+
+#[inline]
+fn flush_list(list: &mut partials::UpdateList, base: usize, acc: &mut [f32]) {
+    for (f, a) in acc.iter_mut().enumerate() {
+        if *a != 0.0 {
+            list.push((base + f, *a));
         }
         *a = 0.0;
     }

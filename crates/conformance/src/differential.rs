@@ -37,7 +37,7 @@ pub fn tolerance_for(tensor: &CooTensor, mode: usize) -> u64 {
 }
 
 /// Where a backend first left tolerance.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Divergence {
     /// Corpus case name.
     pub case: String,
@@ -57,7 +57,7 @@ pub struct Divergence {
 }
 
 /// One backend's verdict over the whole corpus.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BackendVerdict {
     /// Backend name as registered.
     pub backend: String,
@@ -79,7 +79,7 @@ impl BackendVerdict {
 }
 
 /// The structured result of a differential run.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ConformanceReport {
     /// One verdict per backend, in registration order.
     pub verdicts: Vec<BackendVerdict>,
@@ -185,6 +185,98 @@ pub fn run_differential(
         }
     }
 
+    ConformanceReport { verdicts, cases: cases.len() }
+}
+
+/// One (case, mode) unit's verdict fragment for one backend — everything
+/// the submission-order fold needs, computed without any shared state.
+struct UnitVerdict {
+    max_ulp: u64,
+    label: String,
+    divergence: Option<Divergence>,
+}
+
+/// The parallel corpus runner: (case, mode) pairs fan out across the
+/// `scalfrag-host` pool and each unit runs every backend against the
+/// oracle independently; the per-unit fragments then fold **in (case,
+/// mode) submission order** with exactly [`run_differential`]'s verdict
+/// logic (strictly-greater `max_ulp` update, first-wins divergence).
+/// The returned report is therefore identical to the sequential runner's
+/// — same `max_ulp`, same `worst_case`, same `first_divergence` fields —
+/// at every pool size, which `tests/conformance.rs` pins.
+pub fn run_differential_parallel(
+    backends: &[Backend],
+    cases: &[TensorCase],
+    seed: u64,
+) -> ConformanceReport {
+    let units: Vec<(usize, usize)> = cases
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, case)| (0..case.tensor.order()).map(move |mode| (ci, mode)))
+        .collect();
+
+    let fragments: Vec<Vec<UnitVerdict>> = scalfrag_host::par_map(units.len(), |u| {
+        let (ci, mode) = units[u];
+        let case = &cases[ci];
+        let factors = FactorSet::random(case.tensor.dims(), case.rank, seed ^ ((ci as u64) << 8));
+        let expected = oracle_mttkrp(&case.tensor, &factors, mode);
+        let tol = tolerance_for(&case.tensor, mode);
+        backends
+            .iter()
+            .map(|b| {
+                let actual = (b.run)(&case.tensor, &factors, mode);
+                assert_eq!(
+                    (actual.rows(), actual.cols()),
+                    (expected.rows(), expected.cols()),
+                    "{}: output shape mismatch on {} mode {mode}",
+                    b.name,
+                    case.name
+                );
+                let worst = max_ulp(expected.as_slice(), actual.as_slice());
+                let divergence = (worst.max_ulp > tol).then(|| {
+                    let at = worst.at.unwrap_or(0);
+                    Divergence {
+                        case: case.name.clone(),
+                        mode,
+                        row: at / expected.cols(),
+                        col: at % expected.cols(),
+                        expected: expected.as_slice()[at],
+                        actual: actual.as_slice()[at],
+                        ulp: worst.max_ulp,
+                        tolerance: tol,
+                    }
+                });
+                UnitVerdict {
+                    max_ulp: worst.max_ulp,
+                    label: format!("{} mode {mode}", case.name),
+                    divergence,
+                }
+            })
+            .collect()
+    });
+
+    let mut verdicts: Vec<BackendVerdict> = backends
+        .iter()
+        .map(|b| BackendVerdict {
+            backend: b.name.to_string(),
+            comparisons: 0,
+            max_ulp: 0,
+            worst_case: None,
+            first_divergence: None,
+        })
+        .collect();
+    for fragment in fragments {
+        for (v, u) in verdicts.iter_mut().zip(fragment) {
+            v.comparisons += 1;
+            if u.max_ulp > v.max_ulp {
+                v.max_ulp = u.max_ulp;
+                v.worst_case = Some(u.label);
+            }
+            if v.first_divergence.is_none() {
+                v.first_divergence = u.divergence;
+            }
+        }
+    }
     ConformanceReport { verdicts, cases: cases.len() }
 }
 

@@ -15,6 +15,9 @@
 //!   against the oracle under a per-case ULP budget, yielding a
 //!   [`differential::ConformanceReport`] with per-backend max-ULP and
 //!   first-divergence coordinates.
+//!   [`differential::run_differential_parallel`] fans the (case, mode)
+//!   units out across the `scalfrag-host` work-stealing pool and folds
+//!   verdict fragments in submission order — same report, real cores.
 //! * **Metamorphic suite** — [`metamorphic`] is a catalogue of reusable
 //!   invariants the mathematics guarantees (mode permutation, nnz shuffle,
 //!   power-of-two factor scaling, rank-column permutation, segment-count
@@ -35,7 +38,8 @@ pub mod ulp;
 
 pub use backends::{all_plan_builders, kernel_backends, path_backends, Backend};
 pub use differential::{
-    run_differential, tolerance_for, BackendVerdict, ConformanceReport, Divergence,
+    run_differential, run_differential_parallel, tolerance_for, BackendVerdict, ConformanceReport,
+    Divergence,
 };
 pub use gen::{corpus, smoke_corpus, TensorCase};
 pub use golden::{combined_plan_fingerprint, print_or_assert};

@@ -1,0 +1,79 @@
+//! The thread-count-invariance harness: run a computation at pool sizes
+//! 1/2/4/8 and demand bit-identical results, with 1 thread (the inline
+//! sequential path) as the reference.
+//!
+//! This is the reusable core of the determinism test net — kernel
+//! formats, plan builders, and the conformance corpus runner all assert
+//! invariance through it, and the pool's own mutant self-tests prove it
+//! actually catches order-sensitive reductions.
+
+/// The pool sizes every invariance property is checked at.
+pub const INVARIANCE_THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// Runs `f` once per entry of [`INVARIANCE_THREADS`] under
+/// [`crate::with_threads`] and compares each result against the 1-thread
+/// reference. Returns `Err` naming the first diverging pool size.
+///
+/// For f32 payloads, compare **bits**: have `f` return `Vec<u32>` via
+/// `to_bits()` (or any `PartialEq + Debug` encoding of the exact output).
+pub fn thread_invariant<T, F>(label: &str, f: F) -> Result<(), String>
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn() -> T,
+{
+    let reference = crate::with_threads(1, &f);
+    for &threads in INVARIANCE_THREADS.iter().skip(1) {
+        let got = crate::with_threads(threads, &f);
+        if got != reference {
+            return Err(format!(
+                "{label}: output at {threads} worker threads differs from the 1-thread \
+                 reference\n  1 thread : {reference:?}\n  {threads} threads: {got:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Panicking wrapper over [`thread_invariant`] for direct use in tests.
+pub fn assert_thread_invariant<T, F>(label: &str, f: F)
+where
+    T: PartialEq + std::fmt::Debug,
+    F: Fn() -> T,
+{
+    if let Err(msg) = thread_invariant(label, f) {
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn accepts_a_deterministic_computation() {
+        assert_thread_invariant("ordered-sum", || {
+            crate::par_map(100, |i| i as f32 * 1.5).into_iter().fold(0.0f32, |a, b| a + b).to_bits()
+        });
+    }
+
+    #[test]
+    fn reports_the_diverging_thread_count() {
+        // A computation that (deterministically) changes with the thread
+        // count — the harness must name the first bad pool size (2).
+        let err =
+            thread_invariant("threads-leak", crate::current_num_threads).expect_err("must diverge");
+        assert!(err.contains("threads-leak"), "{err}");
+        assert!(err.contains("2 worker threads"), "{err}");
+    }
+
+    #[test]
+    fn runs_the_closure_once_per_pool_size() {
+        let calls = AtomicUsize::new(0);
+        assert_thread_invariant("counted", || {
+            calls.fetch_add(1, Ordering::Relaxed);
+            0u32
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), INVARIANCE_THREADS.len());
+    }
+}

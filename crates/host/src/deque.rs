@@ -1,0 +1,269 @@
+//! A Chase–Lev work-stealing deque (Le et al., "Correct and Efficient
+//! Work-Stealing for Weak Memory Models", PPoPP 2013), specialized to
+//! `Copy` tasks.
+//!
+//! The owner pushes and pops at the *bottom* (LIFO — newest split first,
+//! for cache locality); thieves CAS the *top* (FIFO — oldest, largest
+//! range first, which is what makes recursive range splitting balance).
+//!
+//! Restricting `T: Copy` sidesteps the classic reclamation hazard: a
+//! thief that loses the top CAS has read a value it must not use, and
+//! with `Copy` tasks discarding that read is free — no drop, no
+//! double-free. Buffer growth keeps every retired buffer alive until the
+//! deque itself drops, so a racing thief can always safely read through
+//! a stale buffer pointer (it will then fail its CAS and retry).
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::{Arc, Mutex};
+
+const INITIAL_CAP: usize = 64;
+
+struct Buffer<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+impl<T: Copy> Buffer<T> {
+    fn alloc(cap: usize) -> *mut Buffer<T> {
+        debug_assert!(cap.is_power_of_two());
+        let mut slots = Vec::with_capacity(cap);
+        slots.resize_with(cap, || UnsafeCell::new(MaybeUninit::uninit()));
+        Box::into_raw(Box::new(Buffer { slots: slots.into_boxed_slice() }))
+    }
+
+    fn cap(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// # Safety
+    /// The Chase–Lev protocol guarantees no concurrent write to the same
+    /// slot; stale concurrent *reads* are benign because `T: Copy`.
+    unsafe fn write(&self, index: isize, value: T) {
+        let slot = &self.slots[index as usize & (self.cap() - 1)];
+        unsafe { (*slot.get()).write(value) };
+    }
+
+    /// # Safety
+    /// Caller must hold an index in `[top, bottom)` per the protocol; a
+    /// racing read of a just-overwritten slot is discarded by the failed
+    /// CAS that follows it.
+    unsafe fn read(&self, index: isize) -> T {
+        let slot = &self.slots[index as usize & (self.cap() - 1)];
+        unsafe { (*slot.get()).assume_init_read() }
+    }
+}
+
+struct Inner<T> {
+    top: AtomicIsize,
+    bottom: AtomicIsize,
+    buffer: AtomicPtr<Buffer<T>>,
+    /// Buffers replaced by growth, freed only when the deque drops —
+    /// the poor man's epoch scheme, valid because growth is rare and
+    /// buffers are small.
+    retired: Mutex<Vec<*mut Buffer<T>>>,
+}
+
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // T: Copy implies no destructor for remaining elements.
+        unsafe { drop(Box::from_raw(self.buffer.load(Ordering::Relaxed))) };
+        for &ptr in self.retired.get_mut().unwrap().iter() {
+            unsafe { drop(Box::from_raw(ptr)) };
+        }
+    }
+}
+
+/// Owner handle: single-threaded `push`/`pop` at the bottom.
+pub struct Worker<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// Thief handle: `steal` CASes the top. Clone freely.
+pub struct Stealer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer { inner: Arc::clone(&self.inner) }
+    }
+}
+
+/// Creates a deque, returning the owner and one thief handle.
+pub fn deque<T: Copy + Send>() -> (Worker<T>, Stealer<T>) {
+    let inner = Arc::new(Inner {
+        top: AtomicIsize::new(0),
+        bottom: AtomicIsize::new(0),
+        buffer: AtomicPtr::new(Buffer::<T>::alloc(INITIAL_CAP)),
+        retired: Mutex::new(Vec::new()),
+    });
+    (Worker { inner: Arc::clone(&inner) }, Stealer { inner })
+}
+
+impl<T: Copy + Send> Worker<T> {
+    /// Pushes onto the bottom. Owner-only.
+    pub fn push(&self, value: T) {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed);
+        let t = inner.top.load(Ordering::Acquire);
+        let mut buf = inner.buffer.load(Ordering::Relaxed);
+        unsafe {
+            if b - t >= (*buf).cap() as isize {
+                buf = self.grow(t, b);
+            }
+            (*buf).write(b, value);
+        }
+        inner.bottom.store(b + 1, Ordering::Release);
+    }
+
+    /// Doubles the buffer, copying the live `[t, b)` window. Owner-only.
+    fn grow(&self, t: isize, b: isize) -> *mut Buffer<T> {
+        let inner = &*self.inner;
+        let old = inner.buffer.load(Ordering::Relaxed);
+        let new = unsafe { Buffer::<T>::alloc((*old).cap() * 2) };
+        for i in t..b {
+            unsafe { (*new).write(i, (*old).read(i)) };
+        }
+        inner.buffer.store(new, Ordering::Release);
+        inner.retired.lock().unwrap().push(old);
+        new
+    }
+
+    /// Pops from the bottom (LIFO). Owner-only.
+    pub fn pop(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let b = inner.bottom.load(Ordering::Relaxed) - 1;
+        let buf = inner.buffer.load(Ordering::Relaxed);
+        inner.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = inner.top.load(Ordering::Relaxed);
+        if t <= b {
+            let value = unsafe { (*buf).read(b) };
+            if t == b {
+                // Last element: race the thieves for it.
+                let won = inner
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                inner.bottom.store(b + 1, Ordering::Relaxed);
+                won.then_some(value)
+            } else {
+                Some(value)
+            }
+        } else {
+            inner.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+impl<T: Copy + Send> Stealer<T> {
+    /// Steals from the top (FIFO). Any thread. `None` means empty *or*
+    /// lost a race — callers treat both as "try elsewhere".
+    pub fn steal(&self) -> Option<T> {
+        let inner = &*self.inner;
+        let t = inner.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = inner.bottom.load(Ordering::Acquire);
+        if t < b {
+            let buf = inner.buffer.load(Ordering::Acquire);
+            let value = unsafe { (*buf).read(t) };
+            if inner.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok() {
+                return Some(value);
+            }
+        }
+        None
+    }
+
+    /// Racy emptiness probe — good enough for park/unpark heuristics.
+    pub fn is_empty(&self) -> bool {
+        let t = self.inner.top.load(Ordering::Acquire);
+        let b = self.inner.bottom.load(Ordering::Acquire);
+        t >= b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn owner_lifo_thief_fifo() {
+        let (w, s) = deque::<usize>();
+        for i in 0..4 {
+            w.push(i);
+        }
+        assert_eq!(s.steal(), Some(0), "thief takes the oldest");
+        assert_eq!(w.pop(), Some(3), "owner takes the newest");
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(s.steal(), Some(1));
+        assert_eq!(w.pop(), None);
+        assert_eq!(s.steal(), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn grows_past_initial_capacity() {
+        let (w, s) = deque::<usize>();
+        let n = INITIAL_CAP * 4 + 3;
+        for i in 0..n {
+            w.push(i);
+        }
+        // Drain half from each end and check every value arrives once.
+        let mut seen = vec![false; n];
+        for _ in 0..n / 2 {
+            seen[s.steal().unwrap()] = true;
+        }
+        while let Some(v) = w.pop() {
+            assert!(!seen[v]);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn concurrent_steal_stress_every_task_exactly_once() {
+        const N: usize = 20_000;
+        const THIEVES: usize = 4;
+        let (w, s) = deque::<usize>();
+        let counts: Arc<Vec<AtomicUsize>> = Arc::new((0..N).map(|_| AtomicUsize::new(0)).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..THIEVES {
+                let s = s.clone();
+                let counts = Arc::clone(&counts);
+                scope.spawn(move || {
+                    let mut idle = 0u32;
+                    while idle < 10_000 {
+                        match s.steal() {
+                            Some(v) => {
+                                counts[v].fetch_add(1, Ordering::Relaxed);
+                                idle = 0;
+                            }
+                            None => idle += 1,
+                        }
+                    }
+                });
+            }
+            // Owner interleaves pushes and pops.
+            for i in 0..N {
+                w.push(i);
+                if i % 3 == 0 {
+                    if let Some(v) = w.pop() {
+                        counts[v].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            while let Some(v) = w.pop() {
+                counts[v].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(c.load(Ordering::Relaxed), 1, "task {i} not executed exactly once");
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! `scalfrag-host` — a real work-stealing thread pool (Chase–Lev deques,
+//! no external deps) plus the *deterministic* parallel primitives the
+//! rest of the repo builds on.
+//!
+//! # The determinism contract
+//!
+//! The pool schedules freely — pieces run wherever stealing lands them —
+//! but [`par_map`] gives every unit a private output slot, so the
+//! returned `Vec` is in unit order no matter the schedule. Callers then
+//! fold those per-unit results **in submission order** (the same
+//! chunk-indexed reduction discipline `balance-segscan` uses for its
+//! carry chain). Two consequences, both load-bearing for the repo's
+//! golden fingerprint pins:
+//!
+//! * **Thread-count invariance:** the fold order is a function of the
+//!   unit decomposition only, so 1, 2, 4 and 8 workers produce
+//!   bit-identical f32 outputs. [`check::thread_invariant`] is the
+//!   reusable harness for asserting this.
+//! * **Sequential equivalence:** with units folded in submission order,
+//!   the parallel path performs the *same add sequence* as the
+//!   sequential shim did, so pre-pool golden checksums survive.
+//!
+//! The unit decomposition itself must therefore *not* depend on
+//! [`current_num_threads`] — that was the bug class behind the stale
+//! `current_num_threads() == 1` assumption this crate retires (kernels
+//! now use fixed chunk counts; see `scalfrag_kernels::reference`).
+//!
+//! # Thread-count control
+//!
+//! The effective worker count is resolved per call site:
+//! 1. inside a pool worker → `1` (nested parallelism runs inline —
+//!    deadlock-free by construction);
+//! 2. innermost [`with_threads`] override on this thread, if any;
+//! 3. the `SCALFRAG_THREADS` env var, if set;
+//! 4. `std::thread::available_parallelism()`.
+//!
+//! Pools are cached per size and shared across calls, so
+//! `with_threads(4, ..)` in a loop spawns threads once.
+
+mod deque;
+mod pool;
+
+pub mod check;
+
+pub use pool::Pool;
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::mem::{ManuallyDrop, MaybeUninit};
+use std::sync::{Arc, Mutex, OnceLock};
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    static THREAD_OVERRIDE: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
+pub(crate) fn enter_worker() {
+    IN_WORKER.with(|w| w.set(true));
+}
+
+/// True on a pool worker thread (where nested parallel calls run inline).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(s) = std::env::var("SCALFRAG_THREADS") {
+            if let Ok(n) = s.trim().parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// The worker count parallel primitives will use *right now* on this
+/// thread (see the crate docs for the resolution order).
+///
+/// Chunking heuristics must **not** divide work by this value if they
+/// feed a bit-pinned path — decomposition must be thread-independent.
+pub fn current_num_threads() -> usize {
+    if in_worker() {
+        return 1;
+    }
+    THREAD_OVERRIDE.with(|o| o.borrow().last().copied()).unwrap_or_else(default_threads)
+}
+
+/// Runs `f` with the effective thread count pinned to `n.max(1)` on this
+/// thread (nestable; innermost wins). `n <= 1` selects the inline
+/// sequential path — the reference the determinism tests compare against.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Guard;
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| {
+                o.borrow_mut().pop();
+            });
+        }
+    }
+    THREAD_OVERRIDE.with(|o| o.borrow_mut().push(n.max(1)));
+    let _guard = Guard;
+    f()
+}
+
+/// Cached pools, one per size, spawned on first use and kept for the
+/// process lifetime.
+fn pool_for(threads: usize) -> Arc<Pool> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<Pool>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    Arc::clone(pools.lock().unwrap().entry(threads).or_insert_with(|| Arc::new(Pool::new(threads))))
+}
+
+/// Runs `body(start, end)` over a partition of `0..n`, parallel when the
+/// effective thread count exceeds 1, inline otherwise.
+///
+/// **Scheduling-only splits:** piece boundaries depend on the thread
+/// count and on stealing, so `body` must be *range-fold-safe* — its
+/// observable effect for `(s, e)` must equal running `(s, s+1) … (e-1, e)`
+/// individually. Per-index writes to disjoint slots qualify; folding a
+/// range into one accumulator does not (use [`par_map`] over explicit
+/// units for that).
+pub fn par_for(n: usize, grain: usize, body: impl Fn(usize, usize) + Sync) {
+    if n == 0 {
+        return;
+    }
+    let threads = current_num_threads();
+    if threads <= 1 || n <= grain.max(1) {
+        body(0, n);
+        return;
+    }
+    pool_for(threads).run(n, grain, &body);
+}
+
+struct SendPtr<T>(*mut T);
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    // Accessor (rather than field access) so closures capture the whole
+    // wrapper — edition-2021 disjoint capture would otherwise grab the
+    // raw pointer field and lose the Send/Sync impls.
+    fn get(self) -> *mut T {
+        self.0
+    }
+}
+
+/// Maps `f` over `0..n` in parallel, returning results **in unit order**
+/// regardless of the schedule — the deterministic building block.
+///
+/// Each unit writes a private slot, so this is exactly as deterministic
+/// as `(0..n).map(f).collect()` provided `f(i)` itself only depends on
+/// `i`. Fold the returned `Vec` in order and the whole pipeline is
+/// bit-identical across thread counts.
+pub fn par_map<T: Send, F: Fn(usize) -> T + Sync>(n: usize, f: F) -> Vec<T> {
+    let threads = current_num_threads();
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let mut out: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    out.resize_with(n, MaybeUninit::uninit);
+    let base = SendPtr(out.as_mut_ptr());
+    // Grain 1: units are coarse by construction (kernel chunks, corpus
+    // cases), so per-unit tasks are the right granularity.
+    pool_for(threads).run(n, 1, &move |s, e| {
+        for i in s..e {
+            let value = f(i);
+            unsafe { (*base.get().add(i)).write(value) };
+        }
+    });
+    // All n slots are initialized: `run` returns only after every index
+    // executed, and a worker panic would have propagated above.
+    let mut out = ManuallyDrop::new(out);
+    unsafe { Vec::from_raw_parts(out.as_mut_ptr().cast::<T>(), out.len(), out.capacity()) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_is_in_unit_order() {
+        for &threads in &[1usize, 2, 4, 8] {
+            let got = with_threads(threads, || par_map(1000, |i| i * 3));
+            assert_eq!(got, (0..1000).map(|i| i * 3).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn with_threads_nests_innermost_wins() {
+        with_threads(4, || {
+            assert_eq!(current_num_threads(), 4);
+            with_threads(2, || assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 4);
+        });
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline_without_deadlock() {
+        let got = with_threads(4, || {
+            par_map(16, |i| {
+                // Inside a worker, current_num_threads() is 1 and this
+                // nested call runs inline.
+                let inner: usize = par_map(8, |j| i * j).into_iter().sum();
+                inner
+            })
+        });
+        let want: Vec<usize> = (0..16).map(|i| (0..8).map(|j| i * j).sum()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn par_for_covers_range() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hits: Vec<AtomicUsize> = (0..513).map(|_| AtomicUsize::new(0)).collect();
+        with_threads(4, || {
+            par_for(513, 32, |s, e| {
+                for h in &hits[s..e] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_map_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || par_map(64, |i| if i == 13 { panic!("unlucky") } else { i }))
+        });
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn f32_fold_bit_identical_across_thread_counts() {
+        // Order-sensitive f32 payload: if units ran out of order *and*
+        // were folded in completion order, bits would move.
+        let fold = |threads: usize| -> u32 {
+            with_threads(threads, || {
+                par_map(257, |i| (i as f32 * 0.1).sin())
+                    .into_iter()
+                    .fold(0.0f32, |a, b| a + b)
+                    .to_bits()
+            })
+        };
+        let golden = fold(1);
+        for &t in &[2usize, 4, 8] {
+            assert_eq!(fold(t), golden, "{t} threads moved bits");
+        }
+    }
+}

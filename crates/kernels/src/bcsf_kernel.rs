@@ -19,9 +19,12 @@
 use crate::atomic_buf::AtomicF32Buffer;
 use crate::factors::FactorSet;
 use crate::workload::SegmentStats;
-use rayon::prelude::*;
+use crate::{partials, simd};
 use scalfrag_gpusim::KernelWorkload;
 use scalfrag_tensor::CooTensor;
+
+/// Entries per heavy-slice pre-reduction chunk (one CTA's worth).
+const HEAVY_CHUNK: usize = 256;
 
 /// The heavy/light split kernel over a mode-sorted COO tensor.
 pub struct BcsfKernel;
@@ -116,74 +119,70 @@ impl BcsfKernel {
         let order = tensor.order();
 
         let accumulate = |e: usize, acc: &mut [f32]| {
-            let v = tensor.values()[e];
-            for a in acc.iter_mut() {
-                *a = v;
-            }
+            simd::fill(acc, tensor.values()[e]);
             for m in 0..order {
                 if m == mode {
                     continue;
                 }
-                let row = factors.get(m).row(tensor.mode_indices(m)[e] as usize);
-                for (a, &w) in acc.iter_mut().zip(row) {
-                    *a *= w;
-                }
+                simd::mul_assign(acc, factors.get(m).row(tensor.mode_indices(m)[e] as usize));
             }
         };
 
-        // Heavy slices: entry-parallel with atomic adds (chunked so each
-        // worker pre-reduces a run before touching the shared row).
-        split.heavy.par_iter().for_each(|r| {
-            let row = tensor.mode_indices(mode)[r.start] as usize;
-            let base = row * rank;
-            r.clone().collect::<Vec<_>>().par_chunks(256).for_each(|chunk| {
-                let mut sum = vec![0.0f32; rank];
-                let mut acc = vec![0.0f32; rank];
-                for &e in chunk {
-                    accumulate(e, &mut acc);
-                    for (s, &a) in sum.iter_mut().zip(acc.iter()) {
-                        *s += a;
-                    }
+        // Heavy slices: entry-parallel (chunked so each worker pre-reduces
+        // a run before its partial reaches the shared row). The units are
+        // the flattened (slice, chunk) pairs in slice-then-chunk order —
+        // the exact sequence the sequential path flushed in.
+        let heavy_units: Vec<(usize, std::ops::Range<usize>)> = split
+            .heavy
+            .iter()
+            .flat_map(|r| {
+                let base = tensor.mode_indices(mode)[r.start] as usize * rank;
+                r.clone().step_by(HEAVY_CHUNK).map(move |s| (base, s..(s + HEAVY_CHUNK).min(r.end)))
+            })
+            .collect();
+        partials::run_units(heavy_units.len(), out, |u, list| {
+            let (base, ref chunk) = heavy_units[u];
+            let mut sum = vec![0.0f32; rank];
+            let mut acc = vec![0.0f32; rank];
+            for e in chunk.clone() {
+                accumulate(e, &mut acc);
+                simd::add_assign(&mut sum, &acc);
+            }
+            for (f, &s) in sum.iter().enumerate() {
+                if s != 0.0 {
+                    list.push((base + f, s));
                 }
-                for (f, &s) in sum.iter().enumerate() {
-                    if s != 0.0 {
-                        out.add(base + f, s);
-                    }
-                }
-            });
+            }
         });
 
-        // Light runs: one worker per run, row-local accumulation.
-        split.light_runs.par_iter().for_each(|r| {
+        // Light runs: one unit per run, row-local accumulation.
+        partials::run_units(split.light_runs.len(), out, |u, list| {
+            let r = &split.light_runs[u];
             let mut acc = vec![0.0f32; rank];
             let mut sum = vec![0.0f32; rank];
             let mut open = usize::MAX;
+            let flush = |open: usize, sum: &mut [f32], list: &mut partials::UpdateList| {
+                let base = open * rank;
+                for (f, s) in sum.iter_mut().enumerate() {
+                    if *s != 0.0 {
+                        list.push((base + f, *s));
+                    }
+                    *s = 0.0;
+                }
+            };
             for e in r.clone() {
                 let row = tensor.mode_indices(mode)[e] as usize;
                 if row != open {
                     if open != usize::MAX {
-                        let base = open * rank;
-                        for (f, s) in sum.iter_mut().enumerate() {
-                            if *s != 0.0 {
-                                out.add(base + f, *s);
-                            }
-                            *s = 0.0;
-                        }
+                        flush(open, &mut sum, list);
                     }
                     open = row;
                 }
                 accumulate(e, &mut acc);
-                for (s, &a) in sum.iter_mut().zip(acc.iter()) {
-                    *s += a;
-                }
+                simd::add_assign(&mut sum, &acc);
             }
             if open != usize::MAX {
-                let base = open * rank;
-                for (f, &s) in sum.iter().enumerate() {
-                    if s != 0.0 {
-                        out.add(base + f, s);
-                    }
-                }
+                flush(open, &mut sum, list);
             }
         });
     }

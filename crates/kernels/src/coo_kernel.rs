@@ -9,10 +9,15 @@
 use crate::atomic_buf::AtomicF32Buffer;
 use crate::factors::FactorSet;
 use crate::workload::{coo_atomic_workload, SegmentStats};
-use rayon::prelude::*;
+use crate::{partials, simd};
 use scalfrag_gpusim::{Gpu, KernelWorkload, LaunchConfig, OpId, StreamId};
 use scalfrag_tensor::CooTensor;
 use std::sync::Arc;
+
+/// Entries per parallel unit. Fixed (never thread-derived) so the unit
+/// decomposition — and with it the submission-order fold — is identical
+/// at every pool size.
+const UNIT_LEN: usize = 1024;
 
 /// The nnz-parallel atomic COO MTTKRP kernel (the ParTI baseline kernel).
 pub struct CooAtomicKernel;
@@ -35,27 +40,25 @@ impl CooAtomicKernel {
         let rank = factors.rank();
         assert_eq!(out.len(), seg.dims()[mode] as usize * rank, "output buffer shape mismatch");
         let order = seg.order();
-        (0..seg.nnz()).into_par_iter().for_each(|e| {
-            let v = seg.values()[e];
-            let mut acc = [0.0f32; 64];
-            let acc = &mut acc[..rank.min(64)];
-            for a in acc.iter_mut() {
-                *a = v;
-            }
-            // Ranks above the 64-register budget fall back to a heap path.
-            debug_assert!(rank <= 64, "rank > 64 unsupported by the register kernel");
-            for m in 0..order {
-                if m == mode {
-                    continue;
+        let nnz = seg.nnz();
+        let units = nnz.div_ceil(UNIT_LEN);
+        partials::run_units(units, out, |u, list| {
+            for e in u * UNIT_LEN..((u + 1) * UNIT_LEN).min(nnz) {
+                let mut acc = [0.0f32; 64];
+                let acc = &mut acc[..rank.min(64)];
+                simd::fill(acc, seg.values()[e]);
+                // Ranks above the 64-register budget fall back to a heap path.
+                debug_assert!(rank <= 64, "rank > 64 unsupported by the register kernel");
+                for m in 0..order {
+                    if m == mode {
+                        continue;
+                    }
+                    simd::mul_assign(acc, factors.get(m).row(seg.mode_indices(m)[e] as usize));
                 }
-                let row = factors.get(m).row(seg.mode_indices(m)[e] as usize);
-                for (a, &w) in acc.iter_mut().zip(row) {
-                    *a *= w;
+                let base = seg.mode_indices(mode)[e] as usize * rank;
+                for (f, &a) in acc.iter().enumerate() {
+                    list.push((base + f, a));
                 }
-            }
-            let base = seg.mode_indices(mode)[e] as usize * rank;
-            for (f, &a) in acc.iter().enumerate() {
-                out.add(base + f, a);
             }
         });
     }

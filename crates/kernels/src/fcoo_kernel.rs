@@ -10,7 +10,7 @@
 use crate::atomic_buf::AtomicF32Buffer;
 use crate::factors::FactorSet;
 use crate::workload::SegmentStats;
-use rayon::prelude::*;
+use crate::{partials, simd};
 use scalfrag_gpusim::{Gpu, KernelWorkload, LaunchConfig, OpId, StreamId};
 use scalfrag_tensor::FCooTensor;
 use std::sync::Arc;
@@ -56,7 +56,8 @@ impl FCooKernel {
             return;
         }
 
-        (0..fcoo.num_partitions()).into_par_iter().for_each(|p| {
+        // One unit per F-COO partition, applied in partition order.
+        partials::run_units(fcoo.num_partitions(), out, |p, list| {
             let range = fcoo.partition_range(p);
             let mut acc = vec![0.0f32; rank];
             let mut prod = vec![0.0f32; rank];
@@ -66,32 +67,27 @@ impl FCooKernel {
                 let row = fcoo.row(e) as usize;
                 if row != open_row {
                     debug_assert!(fcoo.starts_row(e), "rows change only at start flags");
-                    flush(out, open_row, rank, &mut acc);
+                    flush(list, open_row, rank, &mut acc);
                     open_row = row;
                 }
-                let v = fcoo.values()[e];
-                for x in prod.iter_mut() {
-                    *x = v;
-                }
+                simd::fill(&mut prod, fcoo.values()[e]);
                 for (k, _) in fcoo.other_modes().iter().enumerate() {
                     let m = fcoo.other_modes()[k];
-                    let row = factors.get(m).row(fcoo.other_indices(k)[e] as usize);
-                    for (x, &w) in prod.iter_mut().zip(row) {
-                        *x *= w;
-                    }
+                    simd::mul_assign(
+                        &mut prod,
+                        factors.get(m).row(fcoo.other_indices(k)[e] as usize),
+                    );
                 }
-                for (a, &x) in acc.iter_mut().zip(prod.iter()) {
-                    *a += x;
-                }
+                simd::add_assign(&mut acc, &prod);
             }
-            flush(out, open_row, rank, &mut acc);
+            flush(list, open_row, rank, &mut acc);
         });
 
-        fn flush(out: &AtomicF32Buffer, row: usize, rank: usize, acc: &mut [f32]) {
+        fn flush(list: &mut crate::partials::UpdateList, row: usize, rank: usize, acc: &mut [f32]) {
             let base = row * rank;
             for (f, a) in acc.iter_mut().enumerate() {
                 if *a != 0.0 {
-                    out.add(base + f, *a);
+                    list.push((base + f, *a));
                 }
                 *a = 0.0;
             }

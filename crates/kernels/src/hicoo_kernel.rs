@@ -11,7 +11,7 @@
 use crate::atomic_buf::AtomicF32Buffer;
 use crate::factors::FactorSet;
 use crate::workload::SegmentStats;
-use rayon::prelude::*;
+use crate::{partials, simd};
 use scalfrag_gpusim::{Gpu, KernelWorkload, LaunchConfig, OpId, StreamId};
 use scalfrag_tensor::HiCooTensor;
 use std::sync::Arc;
@@ -57,7 +57,9 @@ impl HiCooKernel {
         assert_eq!(out.len(), hicoo.dims()[mode] as usize * rank, "output buffer shape mismatch");
         let edge = hicoo.block_edge() as usize;
 
-        hicoo.blocks().par_iter().for_each(|b| {
+        // One unit per HiCOO block, applied in block order.
+        partials::run_units(hicoo.blocks().len(), out, |u, list| {
+            let b = &hicoo.blocks()[u];
             // Local tile: one row of partials per in-block output row.
             let mut tile = vec![0.0f32; edge * rank];
             let mut touched = vec![false; edge];
@@ -66,25 +68,16 @@ impl HiCooKernel {
 
             for e in b.start..b.end {
                 let coord = hicoo.coord_in(b, e);
-                let v = hicoo.values()[e];
-                for x in prod.iter_mut() {
-                    *x = v;
-                }
+                simd::fill(&mut prod, hicoo.values()[e]);
                 for (m, &c) in coord.iter().enumerate() {
                     if m == mode {
                         continue;
                     }
-                    let row = factors.get(m).row(c as usize);
-                    for (x, &w) in prod.iter_mut().zip(row) {
-                        *x *= w;
-                    }
+                    simd::mul_assign(&mut prod, factors.get(m).row(c as usize));
                 }
                 let local = coord[mode] as usize - row_base;
                 touched[local] = true;
-                let t = &mut tile[local * rank..(local + 1) * rank];
-                for (a, &x) in t.iter_mut().zip(prod.iter()) {
-                    *a += x;
-                }
+                simd::add_assign(&mut tile[local * rank..(local + 1) * rank], &prod);
             }
             for (local, &hit) in touched.iter().enumerate() {
                 if hit {
@@ -92,7 +85,7 @@ impl HiCooKernel {
                     for f in 0..rank {
                         let v = tile[local * rank + f];
                         if v != 0.0 {
-                            out.add(base + f, v);
+                            list.push((base + f, v));
                         }
                     }
                 }

@@ -33,8 +33,10 @@ pub mod csf_kernel;
 pub mod factors;
 pub mod fcoo_kernel;
 pub mod hicoo_kernel;
+pub mod partials;
 pub mod race;
 pub mod reference;
+pub mod simd;
 pub mod spttm;
 pub mod tiled_kernel;
 pub mod tucker;
@@ -53,6 +55,7 @@ pub use csf_kernel::CsfFiberKernel;
 pub use factors::FactorSet;
 pub use fcoo_kernel::FCooKernel;
 pub use hicoo_kernel::HiCooKernel;
+pub use partials::{run_units, UpdateList};
 pub use race::{
     trace_balanced, trace_bcsf, trace_coo, trace_csf, trace_fcoo, trace_flycoo, trace_hicoo,
     trace_racy_balanced_carry, trace_racy_coo, trace_tiled,

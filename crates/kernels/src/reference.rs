@@ -10,10 +10,24 @@
 //! validator that literally materialises `X₍ₙ₎` and the Khatri-Rao chain
 //! for tiny tensors.
 
-use crate::FactorSet;
-use rayon::prelude::*;
+use crate::{simd, FactorSet};
 use scalfrag_linalg::{khatri_rao_chain, matmul, Mat};
 use scalfrag_tensor::{matricize, CooTensor, CsfTensor};
+
+/// Fixed partial count for [`mttkrp_par`]. Deliberately **not** derived
+/// from `rayon::current_num_threads()`: with the work-stealing pool the
+/// thread count varies per call site, and a thread-dependent chunk count
+/// would change the partial fold order — and therefore the f32 bits —
+/// between pool sizes. 32 partials keep 8 workers busy (4 chunks each)
+/// while bounding partial-matrix memory.
+pub const PAR_CHUNKS: usize = 32;
+
+/// Entry-chunk length [`mttkrp_par`] uses for `nnz` entries — a pure
+/// function of the workload, identical at every thread count. Public so
+/// the heuristic-regression test can pin the thread-independence.
+pub fn par_chunk_len(nnz: usize) -> usize {
+    nnz.div_ceil(PAR_CHUNKS).max(1)
+}
 
 /// Sequential COO MTTKRP for any mode of any-order tensors.
 ///
@@ -26,30 +40,24 @@ pub fn mttkrp_seq(tensor: &CooTensor, factors: &FactorSet, mode: usize) -> Mat {
     let mut out = Mat::zeros(tensor.dims()[mode] as usize, rank);
     let mut acc = vec![0.0f32; rank];
     for e in 0..tensor.nnz() {
-        let v = tensor.values()[e];
-        for a in acc.iter_mut() {
-            *a = v;
-        }
+        simd::fill(&mut acc, tensor.values()[e]);
         for m in 0..order {
             if m == mode {
                 continue;
             }
-            let row = factors.get(m).row(tensor.mode_indices(m)[e] as usize);
-            for (a, &w) in acc.iter_mut().zip(row) {
-                *a *= w;
-            }
+            simd::mul_assign(&mut acc, factors.get(m).row(tensor.mode_indices(m)[e] as usize));
         }
         let out_row = out.row_mut(tensor.mode_indices(mode)[e] as usize);
-        for (o, &a) in out_row.iter_mut().zip(&acc) {
-            *o += a;
-        }
+        simd::add_assign(out_row, &acc);
     }
     out
 }
 
-/// Rayon-parallel COO MTTKRP. The tensor does not need to be sorted; each
-/// worker accumulates a private output which is reduced at the end (the
-/// multi-core CPU strategy of SPLATT-style libraries).
+/// Pool-parallel COO MTTKRP. The tensor does not need to be sorted; each
+/// chunk accumulates a private output which is reduced at the end (the
+/// multi-core CPU strategy of SPLATT-style libraries). The chunk count is
+/// fixed ([`par_chunk_len`]) and partials fold in chunk order, so the
+/// result is bit-identical at every pool size.
 pub fn mttkrp_par(tensor: &CooTensor, factors: &FactorSet, mode: usize) -> Mat {
     check_shapes(tensor, factors, mode);
     let rank = factors.rank();
@@ -59,36 +67,25 @@ pub fn mttkrp_par(tensor: &CooTensor, factors: &FactorSet, mode: usize) -> Mat {
     if nnz == 0 {
         return Mat::zeros(rows, rank);
     }
-    let chunk = nnz.div_ceil(rayon::current_num_threads().max(1) * 4).max(1);
+    let chunk = par_chunk_len(nnz);
+    let num_chunks = nnz.div_ceil(chunk);
 
-    let partials: Vec<Mat> = (0..nnz)
-        .into_par_iter()
-        .chunks(chunk)
-        .map(|entries| {
-            let mut local = Mat::zeros(rows, rank);
-            let mut acc = vec![0.0f32; rank];
-            for e in entries {
-                let v = tensor.values()[e];
-                for a in acc.iter_mut() {
-                    *a = v;
+    let partials: Vec<Mat> = scalfrag_host::par_map(num_chunks, |c| {
+        let mut local = Mat::zeros(rows, rank);
+        let mut acc = vec![0.0f32; rank];
+        for e in c * chunk..((c + 1) * chunk).min(nnz) {
+            simd::fill(&mut acc, tensor.values()[e]);
+            for m in 0..order {
+                if m == mode {
+                    continue;
                 }
-                for m in 0..order {
-                    if m == mode {
-                        continue;
-                    }
-                    let row = factors.get(m).row(tensor.mode_indices(m)[e] as usize);
-                    for (a, &w) in acc.iter_mut().zip(row) {
-                        *a *= w;
-                    }
-                }
-                let out_row = local.row_mut(tensor.mode_indices(mode)[e] as usize);
-                for (o, &a) in out_row.iter_mut().zip(&acc) {
-                    *o += a;
-                }
+                simd::mul_assign(&mut acc, factors.get(m).row(tensor.mode_indices(m)[e] as usize));
             }
-            local
-        })
-        .collect();
+            let out_row = local.row_mut(tensor.mode_indices(mode)[e] as usize);
+            simd::add_assign(out_row, &acc);
+        }
+        local
+    });
 
     let mut out = Mat::zeros(rows, rank);
     for p in partials {
@@ -107,14 +104,13 @@ pub fn mttkrp_csf(csf: &CsfTensor, factors: &FactorSet) -> Mat {
     let rows = csf.dims()[mode] as usize;
     let mut out = Mat::zeros(rows, rank);
 
-    let slice_results: Vec<(usize, Vec<f32>)> = (0..csf.num_slices())
-        .into_par_iter()
-        .map(|s| {
-            let mut acc = vec![0.0f32; rank];
-            accumulate_subtree(csf, factors, 0, s, &mut acc);
-            (csf.fids(0)[s] as usize, acc)
-        })
-        .collect();
+    // Slice-parallel on the host pool; results land in slice order (the
+    // same order the sequential shim produced), so bits are pool-invariant.
+    let slice_results: Vec<(usize, Vec<f32>)> = scalfrag_host::par_map(csf.num_slices(), |s| {
+        let mut acc = vec![0.0f32; rank];
+        accumulate_subtree(csf, factors, 0, s, &mut acc);
+        (csf.fids(0)[s] as usize, acc)
+    });
 
     for (row, acc) in slice_results {
         let out_row = out.row_mut(row);

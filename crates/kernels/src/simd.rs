@@ -1,0 +1,127 @@
+//! SIMD-friendly fixed-width accumulator-tile primitives.
+//!
+//! The kernels' inner loops are all rank-length elementwise ops —
+//! `acc = v`, `acc *= factor_row`, `acc += prod` — over slices whose
+//! length (the CP rank) is only known at run time, which keeps LLVM from
+//! vectorizing the naive `zip` loops well. These helpers process the
+//! slice in fixed [`LANES`]-wide blocks through `[f32; LANES]` array
+//! refs (via `chunks_exact` + `try_into`), giving the autovectorizer a
+//! compile-time width, with a scalar tail for the remainder.
+//!
+//! **Bit-exactness:** every helper performs exactly the per-element
+//! operations of its naive loop, in the same element order, with no
+//! reassociation — so swapping a naive loop for a helper cannot move
+//! output bits. `bitwise_matches_naive_loops` pins that promise.
+
+/// Fixed accumulator-tile width. Eight f32 lanes = one AVX2 register.
+pub const LANES: usize = 8;
+
+/// `acc[i] = v` for all `i` — vectorized broadcast fill.
+#[inline]
+pub fn fill(acc: &mut [f32], v: f32) {
+    let mut chunks = acc.chunks_exact_mut(LANES);
+    for c in &mut chunks {
+        let c: &mut [f32; LANES] = c.try_into().unwrap();
+        *c = [v; LANES];
+    }
+    for a in chunks.into_remainder() {
+        *a = v;
+    }
+}
+
+/// `acc[i] *= row[i]` — vectorized elementwise product.
+///
+/// # Panics
+/// Panics (in debug) if `row` is shorter than `acc`.
+#[inline]
+pub fn mul_assign(acc: &mut [f32], row: &[f32]) {
+    debug_assert!(row.len() >= acc.len());
+    let n = acc.len();
+    let mut a_chunks = acc.chunks_exact_mut(LANES);
+    let mut r_chunks = row[..n].chunks_exact(LANES);
+    for (a, r) in (&mut a_chunks).zip(&mut r_chunks) {
+        let a: &mut [f32; LANES] = a.try_into().unwrap();
+        let r: &[f32; LANES] = r.try_into().unwrap();
+        for i in 0..LANES {
+            a[i] *= r[i];
+        }
+    }
+    for (a, &r) in a_chunks.into_remainder().iter_mut().zip(r_chunks.remainder()) {
+        *a *= r;
+    }
+}
+
+/// `acc[i] += x[i]` — vectorized elementwise add.
+///
+/// # Panics
+/// Panics (in debug) if `x` is shorter than `acc`.
+#[inline]
+pub fn add_assign(acc: &mut [f32], x: &[f32]) {
+    debug_assert!(x.len() >= acc.len());
+    let n = acc.len();
+    let mut a_chunks = acc.chunks_exact_mut(LANES);
+    let mut x_chunks = x[..n].chunks_exact(LANES);
+    for (a, r) in (&mut a_chunks).zip(&mut x_chunks) {
+        let a: &mut [f32; LANES] = a.try_into().unwrap();
+        let r: &[f32; LANES] = r.try_into().unwrap();
+        for i in 0..LANES {
+            a[i] += r[i];
+        }
+    }
+    for (a, &r) in a_chunks.into_remainder().iter_mut().zip(x_chunks.remainder()) {
+        *a += r;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exercises lengths around the lane boundary (0, 1, LANES-1, LANES,
+    /// LANES+1, 2·LANES+3, a big odd one) against the naive loops, on
+    /// bit-patterns including negative zero, subnormals and values whose
+    /// products round — bits must match exactly.
+    #[test]
+    fn bitwise_matches_naive_loops() {
+        let lens = [0usize, 1, LANES - 1, LANES, LANES + 1, 2 * LANES + 3, 67];
+        for &n in &lens {
+            let row: Vec<f32> = (0..n)
+                .map(|i| match i % 5 {
+                    0 => -0.0,
+                    1 => f32::MIN_POSITIVE / 2.0, // subnormal
+                    2 => 1e8 + i as f32,
+                    3 => -3.7e-3 * i as f32,
+                    _ => (i as f32 * 0.7).sin(),
+                })
+                .collect();
+            let x: Vec<f32> = (0..n).map(|i| (i as f32 * 1.3).cos() * 1e3).collect();
+
+            let mut a = vec![0.0f32; n];
+            let mut b = vec![0.0f32; n];
+
+            fill(&mut a, 2.5);
+            b.iter_mut().for_each(|v| *v = 2.5);
+            assert_eq!(bits(&a), bits(&b), "fill len {n}");
+
+            mul_assign(&mut a, &row);
+            b.iter_mut().zip(&row).for_each(|(v, &r)| *v *= r);
+            assert_eq!(bits(&a), bits(&b), "mul_assign len {n}");
+
+            add_assign(&mut a, &x);
+            b.iter_mut().zip(&x).for_each(|(v, &r)| *v += r);
+            assert_eq!(bits(&a), bits(&b), "add_assign len {n}");
+        }
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn mul_accepts_longer_row() {
+        let mut acc = vec![2.0f32; 3];
+        let row = [3.0f32; 10];
+        mul_assign(&mut acc, &row);
+        assert_eq!(acc, vec![6.0; 3]);
+    }
+}

@@ -18,7 +18,7 @@
 use crate::atomic_buf::AtomicF32Buffer;
 use crate::factors::FactorSet;
 use crate::workload::{tiled_smem_bytes, tiled_workload, SegmentStats};
-use rayon::prelude::*;
+use crate::{partials, simd};
 use scalfrag_gpusim::{Gpu, KernelWorkload, LaunchConfig, OpId, StreamId};
 use scalfrag_tensor::CooTensor;
 use std::sync::Arc;
@@ -60,9 +60,13 @@ impl TiledKernel {
         if nnz == 0 {
             return;
         }
+        // Window = block size: the functional analogue of one thread
+        // block's shared-memory tile. Not thread-derived, so the unit
+        // decomposition is pool-size-invariant.
         let window = (block as usize).max(32);
 
-        (0..nnz).into_par_iter().chunks(window).for_each(|entries| {
+        let units = nnz.div_ceil(window);
+        partials::run_units(units, out, |u, list| {
             // The `mvals` tile: partial sums for the row currently being
             // accumulated. Sorted input => row changes are monotone, so a
             // single open row suffices (the shared-memory tile of the
@@ -71,42 +75,34 @@ impl TiledKernel {
             let mut mvals = vec![0.0f32; rank];
             let mut acc = vec![0.0f32; rank];
 
-            let flush = |row: usize, mvals: &mut [f32]| {
+            let flush = |row: usize, mvals: &mut [f32], list: &mut partials::UpdateList| {
                 if row != usize::MAX {
                     let base = row * rank;
                     for (f, m) in mvals.iter_mut().enumerate() {
                         if *m != 0.0 {
-                            out.add(base + f, *m);
+                            list.push((base + f, *m));
                         }
                         *m = 0.0;
                     }
                 }
             };
 
-            for e in entries {
+            for e in u * window..((u + 1) * window).min(nnz) {
                 let row = seg.mode_indices(mode)[e] as usize;
                 if row != open_row {
-                    flush(open_row, &mut mvals);
+                    flush(open_row, &mut mvals, list);
                     open_row = row;
                 }
-                let v = seg.values()[e];
-                for a in acc.iter_mut() {
-                    *a = v;
-                }
+                simd::fill(&mut acc, seg.values()[e]);
                 for m in 0..order {
                     if m == mode {
                         continue;
                     }
-                    let frow = factors.get(m).row(seg.mode_indices(m)[e] as usize);
-                    for (a, &w) in acc.iter_mut().zip(frow) {
-                        *a *= w;
-                    }
+                    simd::mul_assign(&mut acc, factors.get(m).row(seg.mode_indices(m)[e] as usize));
                 }
-                for (mv, &a) in mvals.iter_mut().zip(acc.iter()) {
-                    *mv += a;
-                }
+                simd::add_assign(&mut mvals, &acc);
             }
-            flush(open_row, &mut mvals);
+            flush(open_row, &mut mvals, list);
         });
     }
 

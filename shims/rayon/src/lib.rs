@@ -9,12 +9,28 @@
 //! exactly one). All downstream combinators (`map`, `for_each`, `sum`,
 //! `collect`, …) come from [`std::iter::Iterator`], which [`ParIter`]
 //! implements.
+//!
+//! With the `parallel` feature (the workspace default since the
+//! `scalfrag-host` pool landed), [`current_num_threads`] forwards to the
+//! real work-stealing pool's effective count — so thread-count *queries*
+//! see reality — while the `ParIter` surface stays sequential: it is the
+//! reference execution order the parallel primitives are required to
+//! reproduce bit-for-bit. Hot paths that want actual parallelism call
+//! `scalfrag_host::par_map` directly.
 
-/// Number of worker threads in the (sequential) pool. Always 1, so every
-/// chunking heuristic that divides by the thread count stays well-defined
-/// and every execution order is reproducible.
+/// Number of worker threads parallel primitives will use. Without the
+/// `parallel` feature this is the sequential shim's constant 1; with it,
+/// the scalfrag-host pool's effective count (override stack → env →
+/// available parallelism; 1 inside a pool worker).
 pub fn current_num_threads() -> usize {
-    1
+    #[cfg(feature = "parallel")]
+    {
+        scalfrag_host::current_num_threads()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
 }
 
 /// Sequential stand-in for rayon's `ParallelIterator`: a thin wrapper over
@@ -166,8 +182,20 @@ mod tests {
         assert_eq!(log, vec![0, 1, 2, 3, 4]);
     }
 
+    #[cfg(not(feature = "parallel"))]
     #[test]
     fn one_thread_reported() {
         assert_eq!(super::current_num_threads(), 1);
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn thread_count_forwards_to_the_host_pool() {
+        scalfrag_host::with_threads(4, || {
+            assert_eq!(super::current_num_threads(), 4);
+        });
+        scalfrag_host::with_threads(1, || {
+            assert_eq!(super::current_num_threads(), 1);
+        });
     }
 }

@@ -47,6 +47,11 @@
 //!   staging under a configurable device-memory budget with `Evict` /
 //!   `Prefetch` ScheduleIR ops, plus synthetic ≥1B-nnz presets executed
 //!   as virtual (analytic-workload) plans.
+//! * [`host`] — the work-stealing host executor: Chase-Lev deques, a
+//!   parking worker pool, order-preserving `par_map`/`par_for` helpers
+//!   and the thread-count-invariance test harness. Kernel inner loops
+//!   and the conformance corpus runner fan out through it while staying
+//!   bit-identical at every pool size.
 //! * [`conformance`] — the conformance harness: a slow `f64` differential
 //!   MTTKRP oracle with a seeded property-based corpus, a metamorphic
 //!   invariant catalogue, and the simulated-race checker driver.
@@ -81,6 +86,7 @@ pub use scalfrag_core as core;
 pub use scalfrag_exec as exec;
 pub use scalfrag_faults as faults;
 pub use scalfrag_gpusim as gpusim;
+pub use scalfrag_host as host;
 pub use scalfrag_kernels as kernels;
 pub use scalfrag_linalg as linalg;
 pub use scalfrag_oom as oom;

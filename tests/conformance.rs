@@ -9,7 +9,8 @@
 
 use scalfrag::conformance::{
     self, all_plan_builders, corpus, kernel_backends, max_ulp, oracle_mttkrp, path_backends,
-    race_self_test, run_differential, smoke_corpus, tolerance_for, Exactness,
+    race_self_test, run_differential, run_differential_parallel, smoke_corpus, tolerance_for,
+    Exactness,
 };
 use scalfrag::exec::run_plan;
 use scalfrag::kernels::{AtomicF32Buffer, BcsfKernel, HiCooKernel};
@@ -33,6 +34,57 @@ fn all_kernel_formats_conform_on_the_full_corpus() {
     for b in &kernel_backends() {
         assert!(table.contains(b.name), "table missing backend {}", b.name);
     }
+}
+
+/// The parallel-sweep satellite: the full ≥20-case corpus through the
+/// pool-backed runner is **field-for-field identical** to the sequential
+/// runner — same `max_ulp`, same `worst_case`, same `first_divergence` —
+/// and that equality holds at every pool size. ULP budgets and
+/// first-divergence semantics are unchanged by parallelism.
+#[test]
+fn parallel_corpus_runner_matches_sequential_field_for_field() {
+    let cases = corpus(SEED);
+    assert!(cases.len() >= 20);
+    let backends = kernel_backends();
+    let sequential = run_differential(&backends, &cases, SEED);
+    scalfrag::host::check::assert_thread_invariant("parallel-corpus-runner", || {
+        let parallel = run_differential_parallel(&backends, &cases, SEED);
+        assert_eq!(sequential, parallel, "parallel report diverged from sequential");
+        parallel.cases
+    });
+    assert!(sequential.all_pass(), "corpus must pass:\n{}", sequential.table());
+}
+
+/// Divergence reporting under parallelism: a broken backend must yield
+/// the *same* first-divergence coordinates from the parallel runner as
+/// from the sequential one — submission-order folding means "first" is
+/// (case, mode) order, not completion order.
+#[test]
+fn parallel_runner_reports_identical_divergence_for_a_mutant() {
+    use scalfrag::conformance::backends::Backend;
+    let make = || {
+        vec![
+            Backend { name: "honest-oracle", run: Box::new(oracle_mttkrp) },
+            Backend {
+                name: "mutant-double",
+                run: Box::new(|t, f, mode| {
+                    let mut y = oracle_mttkrp(t, f, mode);
+                    y.scale(2.0);
+                    y
+                }),
+            },
+        ]
+    };
+    let cases: Vec<_> =
+        smoke_corpus(SEED ^ 21).into_iter().filter(|c| c.tensor.nnz() > 0).take(4).collect();
+    let sequential = run_differential(&make(), &cases, SEED ^ 21);
+    let parallel =
+        scalfrag::host::with_threads(4, || run_differential_parallel(&make(), &cases, SEED ^ 21));
+    assert_eq!(sequential, parallel);
+    assert!(sequential.verdicts[0].pass());
+    let d = parallel.verdicts[1].first_divergence.as_ref().expect("mutant must be flagged");
+    let e = sequential.verdicts[1].first_divergence.as_ref().unwrap();
+    assert_eq!((&d.case, d.mode, d.row, d.col, d.ulp), (&e.case, e.mode, e.row, e.col, e.ulp));
 }
 
 #[test]

@@ -67,10 +67,15 @@ fn multi_gpu_timelines_are_bit_identical_across_runs() {
         (r.per_device.clone(), r.assignments.clone(), r.reduction_s, r.total_s)
     };
     assert_eq!(run(), run());
-    // The parallel runtime is the sequential rayon shim, so the simulated
-    // schedule cannot depend on a worker-thread count: there is exactly
-    // one, by construction (see shims/README.md).
-    assert_eq!(rayon::current_num_threads(), 1);
+    // The parallel runtime is now a real work-stealing pool, so the old
+    // "exactly one worker by construction" assumption is gone. What holds
+    // instead — and what matters — is thread-count invariance: the
+    // simulated schedule is a pure function of the plan, not of how many
+    // workers happened to execute it.
+    scalfrag::host::check::assert_thread_invariant("cluster-dry-timeline", || {
+        let (per_device, assignments, reduction_s, total_s) = run();
+        (per_device, assignments, reduction_s.to_bits(), total_s.to_bits())
+    });
 }
 
 #[test]
@@ -79,4 +84,54 @@ fn feature_extraction_is_deterministic() {
     let a = TensorFeatures::extract(&t, 0).to_vec();
     let b = TensorFeatures::extract(&t, 0).to_vec();
     assert_eq!(a, b);
+}
+
+/// The tentpole property: every registered kernel format produces
+/// **bit-identical** output at pool sizes 1/2/4/8. The inner loops fan
+/// out across the work-stealing pool, but per-unit partials fold in
+/// submission order, so the add sequence — and therefore every output
+/// bit — is a function of the unit decomposition alone.
+#[test]
+fn kernel_formats_are_bit_identical_across_pool_sizes() {
+    use scalfrag::conformance::kernel_backends;
+    let backends = kernel_backends();
+    assert!(backends.len() >= 6, "expected the six kernel formats, got {}", backends.len());
+    // Zipf skew forces uneven units (steal-heavy schedules) and large
+    // per-row populations (order-sensitive f32 sums).
+    let t = scalfrag::tensor::gen::zipf_slices(&[48, 32, 24], 4_000, 1.3, 21);
+    let f = FactorSet::random(t.dims(), 16, 22);
+    for b in &backends {
+        for mode in 0..3 {
+            scalfrag::host::check::assert_thread_invariant(
+                &format!("{} mode {mode}", b.name),
+                || {
+                    (b.run)(&t, &f, mode)
+                        .as_slice()
+                        .iter()
+                        .map(|v| v.to_bits())
+                        .collect::<Vec<u32>>()
+                },
+            );
+        }
+    }
+}
+
+/// Same property one layer up: every registered plan builder, executed
+/// functionally through the ScheduleIR interpreter, lands bit-identical
+/// output *and* an identical plan-trace fingerprint at every pool size.
+#[test]
+fn plan_builders_are_bit_identical_across_pool_sizes() {
+    use scalfrag::conformance::all_plan_builders;
+    let t = scalfrag::tensor::gen::zipf_slices(&[40, 30, 20], 3_000, 1.1, 23);
+    let f = FactorSet::random(t.dims(), 8, 24);
+    let builders = all_plan_builders();
+    assert!(builders.len() >= 6, "expected ≥6 plan builders, got {}", builders.len());
+    for b in &builders {
+        scalfrag::host::check::assert_thread_invariant(&format!("plan:{}", b.name), || {
+            let plan = (b.build)(&t, &f, 0);
+            let run = run_plan(&plan, ExecMode::Functional);
+            let bits: Vec<u32> = run.output.as_slice().iter().map(|v| v.to_bits()).collect();
+            (bits, run.trace.fingerprint())
+        });
+    }
 }

@@ -219,4 +219,20 @@ fn cluster_shard_order_reduction_checksum_is_pinned() {
     assert_eq!(sums[0], sums[1], "1-device vs 2-device outputs differ");
     assert_eq!(sums[0], sums[2], "1-device vs 3-device outputs differ");
     print_or_assert("cluster-output", sums[0], GOLDEN_CLUSTER_OUTPUT_CHECKSUM);
+
+    // The same golden must hold at every host-pool size: the kernels
+    // fan out across the work-stealing pool, but submission-order
+    // partial folding keeps the add sequence — the checksum hashes
+    // value bits, so this pins the whole determinism discipline.
+    scalfrag::host::check::assert_thread_invariant("cluster-output-vs-pool", || {
+        let report = ClusterScalFrag::builder()
+            .node(NodeSpec::homogeneous(DeviceSpec::rtx3090(), 2))
+            .fixed_config(LaunchConfig::new(512, 256))
+            .shards(6)
+            .build()
+            .mttkrp(&tensor, &factors, 0);
+        let sum = mat_checksum(&report.output);
+        assert_eq!(sum, GOLDEN_CLUSTER_OUTPUT_CHECKSUM, "pool moved the pinned output bits");
+        sum
+    });
 }
