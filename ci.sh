@@ -19,8 +19,9 @@ cargo test -q
 echo "==> compile-check examples"
 cargo build --release --examples
 
-echo "==> serving-layer smoke test"
+echo "==> serving-layer smoke test (batch fusion >=1.5x + snapshot warm start; writes results/BENCH_serve.json)"
 cargo run --release -q -p scalfrag-bench --bin serve_load -- --smoke
+test -s results/BENCH_serve.json || { echo "BENCH_serve.json missing"; exit 1; }
 
 echo "==> fault-storm smoke test"
 cargo run --release -q -p scalfrag-bench --bin fault_storm -- --smoke

@@ -133,6 +133,42 @@ pub fn modelled_best_arm(
         .unwrap()
 }
 
+/// Minimum modelled transfer speedup before the serving layer prefers a
+/// batch-fused dispatch over solo dispatches. Below this the fused plan's
+/// extra formation wait buys nothing measurable.
+pub const BATCH_SPEEDUP_GATE: f64 = 1.05;
+
+/// Modelled transfer-side speedup of dispatching `group` compatible jobs
+/// as **one** batch-fused plan versus `group` solo dispatches.
+///
+/// Solo, every job re-uploads the shared factor set: per-job transfer is
+/// `F + T` (factor bytes + mean tensor bytes). Fused, the factors cross
+/// PCIe once and amortise over the group: `F/g + T`. The ratio is the
+/// speedup of the H2D-bound front of the pipeline — the part batching
+/// actually changes; kernels and D2H are per-job either way.
+pub fn batched_transfer_speedup(
+    factor_bytes: usize,
+    mean_tensor_bytes: usize,
+    group: usize,
+) -> f64 {
+    let g = group.max(1) as f64;
+    let f = factor_bytes as f64;
+    let t = mean_tensor_bytes as f64;
+    if f + t <= 0.0 {
+        return 1.0;
+    }
+    (f + t) / (f / g + t)
+}
+
+/// The batching arm decision: fuse when the modelled transfer speedup
+/// clears [`BATCH_SPEEDUP_GATE`]. Factor-light workloads (huge tensors,
+/// small rank) keep solo dispatch — there the shared upload is noise and
+/// fusing only adds formation wait.
+pub fn prefer_batched(factor_bytes: usize, mean_tensor_bytes: usize, group: usize) -> bool {
+    group > 1
+        && batched_transfer_speedup(factor_bytes, mean_tensor_bytes, group) >= BATCH_SPEEDUP_GATE
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -250,5 +286,29 @@ mod tests {
             predict_arm(&key, MttkrpObjective::SingleMode),
             predict_arm(&key, MttkrpObjective::SingleMode)
         );
+    }
+
+    #[test]
+    fn batched_speedup_grows_with_group_and_saturates_at_the_solo_ratio() {
+        let f = 64 * 1024; // factor set
+        let t = 16 * 1024; // mean tensor payload
+        let s2 = batched_transfer_speedup(f, t, 2);
+        let s8 = batched_transfer_speedup(f, t, 8);
+        assert!(s2 > 1.0 && s8 > s2, "amortisation must improve with group size");
+        assert!(
+            s8 < (f + t) as f64 / t as f64,
+            "the asymptote is the solo transfer over the tensor-only transfer"
+        );
+        assert_eq!(batched_transfer_speedup(f, t, 1), 1.0, "a group of one amortises nothing");
+    }
+
+    #[test]
+    fn prefer_batched_tracks_the_factor_share_of_the_transfer() {
+        // Rank-heavy serving shapes: factors dwarf the tensor payload.
+        assert!(prefer_batched(256 * 1024, 8 * 1024, 4));
+        // Factor-light: a huge tensor hides the shared upload entirely.
+        assert!(!prefer_batched(4 * 1024, 4 * 1024 * 1024, 8));
+        // Never batch a group of one.
+        assert!(!prefer_batched(256 * 1024, 8 * 1024, 1));
     }
 }

@@ -41,7 +41,10 @@ pub mod tree;
 pub mod tuner;
 pub mod validate;
 
-pub use arms::{modelled_best_arm, predict_arm, ArmVerdict, MttkrpObjective};
+pub use arms::{
+    batched_transfer_speedup, modelled_best_arm, predict_arm, prefer_batched, ArmVerdict,
+    MttkrpObjective, BATCH_SPEEDUP_GATE,
+};
 pub use boost::AdaBoostR2;
 pub use forest::BaggingForest;
 pub use importance::{tree_importance, FeatureImportance};

@@ -194,6 +194,7 @@ pub fn build_cluster_plan(
             predictor: "fixed config".to_string(),
             retry: None,
             optimizer: String::new(),
+            batch_jobs: 0,
         },
     }
 }

@@ -197,6 +197,17 @@ pub fn path_backends() -> Vec<Backend> {
                 .build();
             ctx.mttkrp(t, f, mode).output
         }),
+        Backend::new("path:serve-batched", |t, f, mode| {
+            // The batch-fused serving path: the registered builder fuses
+            // three copies of the job into one plan (shared factor
+            // upload, per-job launches); the differential output is the
+            // LAST fused job's matrix, so the fan-out — not just the
+            // group lead — must be numerically right.
+            let builders = scalfrag_pipeline::batched_plan_builders();
+            let plan = (builders[0].build)(t, f, mode);
+            let outcome = scalfrag_exec::run_plan(&plan, scalfrag_exec::ExecMode::Functional);
+            outcome.shard_outputs.last().cloned().expect("batched plan yields per-job outputs")
+        }),
         Backend::new("path:cluster-resilient", |t, f, mode| {
             let ctx = ClusterScalFrag::builder().node(node(3)).fixed_config(CFG).shards(6).build();
             // Two recoverable faults, recovered in-run; the output must
@@ -214,9 +225,10 @@ pub fn path_backends() -> Vec<Backend> {
 }
 
 /// Every ScheduleIR plan builder registered anywhere in the workspace
-/// (core, pipeline, cluster, serve, oom, balance), concatenated in crate
-/// order — the balance arms last, so the seed builders keep their pinned
-/// fold order in the golden trace fingerprints.
+/// (core, pipeline, cluster, serve, oom, balance, serve-batched),
+/// concatenated in crate order — later additions append, so the seed
+/// builders keep their pinned fold order in the golden trace
+/// fingerprints.
 ///
 /// The coverage contract: each builder named `X` must have a
 /// [`path_backends`] entry named `path:X`, so no execution path can be
@@ -228,6 +240,7 @@ pub fn all_plan_builders() -> Vec<PlanBuilder> {
     v.extend(scalfrag_serve::plan_builders());
     v.extend(scalfrag_oom::plan_builders());
     v.extend(scalfrag_pipeline::balance_plan_builders());
+    v.extend(scalfrag_pipeline::batched_plan_builders());
     v
 }
 

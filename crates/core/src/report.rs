@@ -21,8 +21,15 @@ pub struct PhaseTiming {
     /// [`PhaseTiming::h2d_fraction`] but included in
     /// [`PhaseTiming::total`].
     pub queue_s: f64,
+    /// Time spent waiting for a batch group to close after leaving the
+    /// queue (s) — zero for solo dispatch; the batch-fused serving layer
+    /// fills it in for every member of a fused group. Like `queue_s` it is
+    /// idle time: excluded from [`PhaseTiming::busy_s`] and
+    /// [`PhaseTiming::h2d_fraction`], included in [`PhaseTiming::total`].
+    pub batch_wait_s: f64,
     /// Execution makespan (s), from first phase start to last phase end —
-    /// smaller than the busy sum when phases overlap. Excludes queue wait.
+    /// smaller than the busy sum when phases overlap. Excludes queue wait
+    /// and batch wait.
     pub total_s: f64,
 }
 
@@ -30,12 +37,26 @@ impl PhaseTiming {
     /// Extracts phase timing from a timeline (queue wait zero).
     pub fn from_timeline(t: &Timeline) -> Self {
         let (h2d_s, kernel_s, d2h_s, host_s) = t.breakdown();
-        Self { h2d_s, kernel_s, d2h_s, host_s, queue_s: 0.0, total_s: t.makespan() }
+        Self {
+            h2d_s,
+            kernel_s,
+            d2h_s,
+            host_s,
+            queue_s: 0.0,
+            batch_wait_s: 0.0,
+            total_s: t.makespan(),
+        }
     }
 
     /// Returns `self` with the queue wait filled in.
     pub fn with_queue(mut self, queue_s: f64) -> Self {
         self.queue_s = queue_s;
+        self
+    }
+
+    /// Returns `self` with the batch-formation wait filled in.
+    pub fn with_batch_wait(mut self, batch_wait_s: f64) -> Self {
+        self.batch_wait_s = batch_wait_s;
         self
     }
 
@@ -46,9 +67,10 @@ impl PhaseTiming {
         self.h2d_s + self.kernel_s + self.d2h_s + self.host_s
     }
 
-    /// End-to-end latency: queue wait plus execution makespan.
+    /// End-to-end latency: queue wait plus batch-formation wait plus
+    /// execution makespan.
     pub fn total(&self) -> f64 {
-        self.queue_s + self.total_s
+        self.queue_s + self.batch_wait_s + self.total_s
     }
 
     /// Fraction of total busy time spent in H2D — the §III-B observation
@@ -75,6 +97,7 @@ impl PhaseTiming {
             ("d2h_s", self.d2h_s),
             ("host_s", self.host_s),
             ("queue_s", self.queue_s),
+            ("batch_wait_s", self.batch_wait_s),
             ("total_s", self.total_s),
         ];
         for (name, v) in phases {
@@ -203,6 +226,7 @@ mod tests {
                 d2h_s: 0.001,
                 host_s: 0.0,
                 queue_s: 0.0,
+                batch_wait_s: 0.0,
                 total_s: 0.012,
             },
             overlap_ratio: 0.2,
@@ -243,6 +267,25 @@ mod tests {
         assert!(negative.check_consistency().is_err());
         let nan = PhaseTiming { queue_s: f64::NAN, ..Default::default() };
         assert!(nan.check_consistency().is_err());
+        // The batch-formation wait is a phase like any other: negative or
+        // non-finite values must fail the structural check.
+        let neg_batch = PhaseTiming { batch_wait_s: -0.5, ..Default::default() };
+        assert!(neg_batch.check_consistency().is_err());
+        let inf_batch = PhaseTiming { batch_wait_s: f64::INFINITY, ..Default::default() };
+        assert!(inf_batch.check_consistency().is_err());
+    }
+
+    #[test]
+    fn batch_wait_extends_total_but_not_busy() {
+        let t =
+            Timeline { spans: vec![span(Engine::H2D, 0.0, 2.0), span(Engine::Compute, 2.0, 3.0)] };
+        let p = PhaseTiming::from_timeline(&t).with_queue(1.0).with_batch_wait(0.5);
+        assert_eq!(p.batch_wait_s, 0.5);
+        assert_eq!(p.busy_s(), 3.0, "batch wait is idle time, not busy time");
+        assert_eq!(p.total_s, 3.0, "makespan excludes the batch wait");
+        assert_eq!(p.total(), 4.5, "end-to-end latency includes queue and batch waits");
+        assert!((p.h2d_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!(p.check_consistency().is_ok());
     }
 
     #[test]
@@ -261,6 +304,7 @@ mod tests {
                 d2h_s: 0.001,
                 host_s: 0.002,
                 queue_s: 0.0,
+                batch_wait_s: 0.0,
                 total_s: 0.012,
             },
             overlap_ratio: 0.0,

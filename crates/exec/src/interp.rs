@@ -89,6 +89,11 @@ pub struct ExecOutcome {
     pub dead_devices: Vec<usize>,
     /// Per-device memory accounting, index-aligned with the device list.
     pub mem: Vec<DeviceMemStats>,
+    /// Per-shard output matrices, shard-index order — filled only by
+    /// functional fault-free runs of [`Reduce::PerJob`] plans (the
+    /// batch-fused serving path reads one matrix per fused job); empty
+    /// everywhere else.
+    pub shard_outputs: Vec<Mat>,
 }
 
 impl ExecOutcome {
@@ -116,8 +121,21 @@ fn reduce_output(plan: &Plan, buffers: &[Arc<AtomicF32Buffer>], mode: ExecMode) 
         ExecMode::Functional => match plan.reduce {
             Reduce::Single => Mat::from_vec(plan.rows, plan.rank, buffers[0].to_vec()),
             Reduce::FoldShards => fold_shards(&plan.shards, buffers, plan.rows, plan.rank),
+            // Per-job plans never fold: the canonical output is the group
+            // lead's (shard 0); the full set returns via `shard_outputs`.
+            Reduce::PerJob => Mat::from_vec(plan.rows, plan.rank, buffers[0].to_vec()),
         },
     }
+}
+
+/// Materializes every per-shard buffer as its own output matrix — the
+/// per-job results of a [`Reduce::PerJob`] plan. Empty unless the run is
+/// functional and the plan is per-job.
+fn per_job_outputs(plan: &Plan, buffers: &[Arc<AtomicF32Buffer>], mode: ExecMode) -> Vec<Mat> {
+    if mode != ExecMode::Functional || plan.reduce != Reduce::PerJob {
+        return Vec::new();
+    }
+    buffers.iter().map(|b| Mat::from_vec(plan.rows, plan.rank, b.to_vec())).collect()
 }
 
 /// Host-side fold of the per-shard partial outputs, in shard-index order.
@@ -258,7 +276,13 @@ fn run_device(
                     continue;
                 }
                 let shard = &plan.shards[u.shard];
-                let piece = Arc::new(shard.tensor.slice_range(u.seg.start, u.seg.end));
+                // A segment covering the whole shard (batched serving
+                // plans launch one kernel per job) needs no copy.
+                let piece = if u.seg.start == 0 && u.seg.end == shard.tensor.nnz() {
+                    Arc::clone(&shard.tensor)
+                } else {
+                    Arc::new(shard.tensor.slice_range(u.seg.start, u.seg.end))
+                };
                 plan.kernel.enqueue(
                     gpu,
                     resolve(&stream),
@@ -342,10 +366,12 @@ pub fn run_plan_on(gpu: &mut Gpu, plan: &Plan, mode: ExecMode) -> ExecOutcome {
     if let Some(host_m) = host_acc.lock().take() {
         output.axpy(1.0, &host_m);
     }
+    let shard_outputs = per_job_outputs(plan, &buffers, mode);
     let outcomes = trivial_outcomes(plan);
     let total = outcomes.len();
     ExecOutcome {
         output,
+        shard_outputs,
         trace: PlanTrace::from_timelines([(0, &timeline)]),
         device_timelines: vec![timeline.clone()],
         device_shards: vec![dev.shard_list.clone()],
@@ -386,10 +412,12 @@ pub fn run_plan(plan: &Plan, mode: ExecMode) -> ExecOutcome {
     if let Some(host_m) = host_acc.lock().take() {
         output.axpy(1.0, &host_m);
     }
+    let shard_outputs = per_job_outputs(plan, &buffers, mode);
     let outcomes = trivial_outcomes(plan);
     let total = outcomes.len();
     ExecOutcome {
         output,
+        shard_outputs,
         trace: PlanTrace::from_timelines(device_timelines.iter().enumerate()),
         timeline: device_timelines.first().cloned().unwrap_or_default(),
         device_shards: plan.devices.iter().map(|d| d.shard_list.clone()).collect(),
@@ -745,6 +773,7 @@ pub fn run_plan_resilient_on(
         // Resilient waves alloc lazily outside the slot machinery: only
         // the pool watermark is meaningful here.
         mem: vec![DeviceMemStats { peak_bytes: gpu.memory().peak(), ..Default::default() }],
+        shard_outputs: Vec::new(),
     }
 }
 
@@ -1105,6 +1134,7 @@ pub fn run_plan_resilient(
         total_items,
         dead_devices: (0..n).filter(|&d| dead[d]).collect(),
         mem,
+        shard_outputs: Vec::new(),
     }
 }
 

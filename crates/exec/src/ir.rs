@@ -202,6 +202,13 @@ pub enum Reduce {
     /// Fold partials in shard-index order (copy owned row blocks, sum
     /// row-overlapping partials) — bitwise invariant to placement.
     FoldShards,
+    /// Batch-fused serving plans: every shard is one *independent* job
+    /// accumulating into its own buffer; nothing is folded. The canonical
+    /// `output` is shard 0's matrix (the group lead) and the interpreter
+    /// returns every per-job matrix in `ExecOutcome::shard_outputs`, in
+    /// shard-index order. Because each job's kernels touch only its own
+    /// buffer, a group of N is bit-identical per job to N solo runs.
+    PerJob,
 }
 
 /// Re-placement strategy a cluster plan's policy uses for orphaned work.
@@ -244,6 +251,10 @@ pub struct PlanMeta {
     /// (empty = raw builder output). Stamped by `scalfrag-opt`; rendered
     /// so an IR dump always says where its schedule came from.
     pub optimizer: String,
+    /// Batch provenance: the number of serving jobs fused into this plan
+    /// (0 = not a batched plan). Set by `build_batched_plan`; rendered so
+    /// an IR dump always says how many jobs share the factor upload.
+    pub batch_jobs: usize,
 }
 
 /// An executable MTTKRP schedule: shards, per-device programs, reduction,
@@ -471,6 +482,9 @@ impl Plan {
         }
         if !self.meta.optimizer.is_empty() {
             let _ = writeln!(s, "  optimizer: {}", self.meta.optimizer);
+        }
+        if self.meta.batch_jobs > 0 {
+            let _ = writeln!(s, "  batch: {} fused job(s)", self.meta.batch_jobs);
         }
         if let Some(r) = &self.meta.retry {
             let _ = writeln!(s, "  retry: {r:?}");

@@ -263,6 +263,7 @@ pub(crate) fn assemble_plan(
             predictor: "fixed config".to_string(),
             retry: None,
             optimizer: String::new(),
+            batch_jobs: 0,
         },
     }
 }

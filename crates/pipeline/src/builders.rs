@@ -93,6 +93,7 @@ pub fn build_sync_plan(
             predictor: "fixed config".to_string(),
             retry: None,
             optimizer: String::new(),
+            batch_jobs: 0,
         },
     }
 }
@@ -186,6 +187,7 @@ pub fn build_pipelined_plan(
             predictor: "fixed config".to_string(),
             retry: None,
             optimizer: String::new(),
+            batch_jobs: 0,
         },
     }
 }
@@ -262,6 +264,159 @@ pub fn build_balance_flycoo_plan(
         scalfrag_balance::FLYCOO_SEG_LEN
     );
     plan
+}
+
+/// One job's slice of a batch-fused serving plan: a stable id (drives the
+/// span labels the serving layer splits per-job timing out of) and its
+/// *mode-sorted* tensor.
+#[derive(Clone, Debug)]
+pub struct BatchedJobSpec {
+    /// Stable job id — appears in every span label of this job.
+    pub id: u64,
+    /// The job's tensor, already sorted for the target mode.
+    pub tensor: Arc<CooTensor>,
+}
+
+/// Lowers a batch of FeatureKey-compatible serving jobs into ONE plan:
+/// the shared factor matrices ride a single H2D on worker stream 0 (the
+/// generic lowering's factors-once + barrier prologue), then each job
+/// fans out as its own shard — one whole-tensor H2D + one kernel launch
+/// on a round-robin worker stream, one per-job D2H on the dedicated
+/// return stream. `Reduce::PerJob` keeps every job in its own buffer, so
+/// a group of N is bit-identical per job to N solo single-launch runs —
+/// the ULP-cleanliness contract of the batch-fused serving path.
+///
+/// All jobs must share the factor set, mode, and dims (group formation in
+/// `serve::batch` guarantees it); the per-job transient tensor buffers
+/// are recycled per stream by the lowering, so device memory holds the
+/// factors, N output buffers, and at most `streams` staged tensors.
+pub fn build_batched_plan(
+    spec: &DeviceSpec,
+    jobs: &[BatchedJobSpec],
+    factors: Arc<FactorSet>,
+    mode: usize,
+    config: LaunchConfig,
+    kernel: KernelChoice,
+    streams: usize,
+) -> Plan {
+    assert!(!jobs.is_empty(), "a batched plan needs at least one job");
+    let dims = jobs[0].tensor.dims().to_vec();
+    for j in &jobs[1..] {
+        assert_eq!(j.tensor.dims(), &dims[..], "batched jobs must share tensor dims");
+    }
+    let rank = factors.rank();
+    let rows = dims[mode] as usize;
+    let order = jobs[0].tensor.order();
+    let factors_bytes = factors.byte_size() as u64;
+    let out_bytes = (rows * rank * 4) as u64;
+    let worker_streams = streams.max(1).min(jobs.len());
+
+    let mut units = Vec::with_capacity(jobs.len());
+    let mut shard_work = Vec::with_capacity(jobs.len());
+    let mut shards = Vec::with_capacity(jobs.len());
+    let mut seg_lists = Vec::with_capacity(jobs.len());
+    let mut static_streams = Vec::with_capacity(jobs.len());
+    for (j, job) in jobs.iter().enumerate() {
+        let seg = Segment { start: 0, end: job.tensor.nnz() };
+        let tensor_bytes = job.tensor.byte_size() as u64;
+        let s = j % worker_streams;
+        units.push(WorkUnit {
+            shard: j,
+            segment: 0,
+            seg: seg.clone(),
+            stream: Some(s),
+            alloc: Some((tensor_bytes, "job tensor must fit")),
+            h2d_bytes: tensor_bytes,
+            h2d_label: format!("job{} H2D ({} nnz)", job.id, seg.nnz()),
+            kernel_label: format!("job{} kernel", job.id),
+            workload: None,
+        });
+        shard_work.push(ShardWork {
+            shard: j,
+            output_alloc: Some((out_bytes, "job output must fit")),
+            units: vec![j],
+            d2h: Some((out_bytes, format!("job{} output D2H", job.id))),
+        });
+        shards.push(ShardDesc { index: j, tensor: Arc::clone(&job.tensor), rows: None });
+        seg_lists.push(vec![seg]);
+        static_streams.push(vec![s]);
+    }
+    Plan {
+        name: "serve-batched",
+        mode,
+        rank,
+        rows,
+        order,
+        config,
+        kernel,
+        factors,
+        factors_bytes,
+        shards,
+        seg_lists,
+        devices: vec![DeviceOps {
+            device: 0,
+            name: spec.name,
+            spec: spec.clone(),
+            host: None,
+            worker_streams,
+            dedicated_d2h: true,
+            residue: None,
+            prologue_allocs: vec![(factors_bytes, "factor matrices must fit on the device")],
+            units,
+            shard_work,
+            final_d2h: None,
+            shard_list: (0..jobs.len()).collect(),
+            skip_if_idle: false,
+            program: None,
+        }],
+        reduce: Reduce::PerJob,
+        reduction_s: 0.0,
+        peer_reduce: false,
+        replay_spec: spec.clone(),
+        cluster: None,
+        sync_after_prologue: false,
+        resilient_prologue: vec![(factors_bytes, "factor matrices must fit on the device")],
+        seg_alloc_what: "job tensor must fit",
+        static_streams: Some(static_streams),
+        tag_shards: true,
+        meta: PlanMeta {
+            segment_map: format!(
+                "batched ×{}: shared factor upload, per-job H2D/launch/D2H over {} stream(s)",
+                jobs.len(),
+                worker_streams
+            ),
+            predictor: "fixed config".to_string(),
+            retry: None,
+            optimizer: String::new(),
+            batch_jobs: jobs.len(),
+        },
+    }
+}
+
+/// The batch-fused serving builder, registered separately so the
+/// conformance registry can append it after every earlier builder without
+/// disturbing pinned fold orders. The registry shape is one tensor, so
+/// the builder synthesizes a deterministic three-job batch (three fused
+/// copies of the input) over two worker streams — enough to exercise the
+/// shared factor upload, the round-robin fan-out, and the per-job D2H.
+pub fn batched_plan_builders() -> Vec<PlanBuilder> {
+    let cfg = LaunchConfig::new(512, 256);
+    vec![PlanBuilder::new("serve-batched", move |tensor, factors, mode| {
+        let mut t = tensor.clone();
+        t.sort_for_mode(mode);
+        let t = Arc::new(t);
+        let jobs: Vec<BatchedJobSpec> =
+            (0..3).map(|id| BatchedJobSpec { id, tensor: Arc::clone(&t) }).collect();
+        build_batched_plan(
+            &DeviceSpec::rtx3090(),
+            &jobs,
+            Arc::new(factors.clone()),
+            mode,
+            cfg,
+            KernelChoice::Tiled,
+            2,
+        )
+    })]
 }
 
 /// The pipeline crate's registered plan builders.

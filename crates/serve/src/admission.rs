@@ -90,6 +90,12 @@ pub enum RejectReason {
         /// Pool index of the failed device.
         device: usize,
     },
+    /// The tenant's token bucket ran dry: it submitted faster than its
+    /// configured sustained rate for longer than its burst allowance.
+    RateLimited {
+        /// The configured sustained rate (jobs/s).
+        rate_jobs_per_s: f64,
+    },
 }
 
 /// A typed rejection: the serving layer's answer under overload — never a
@@ -119,6 +125,9 @@ impl std::fmt::Display for RejectReason {
             }
             RejectReason::DeviceFailure { device } => {
                 write!(f, "device {device} failed and retries are exhausted")
+            }
+            RejectReason::RateLimited { rate_jobs_per_s } => {
+                write!(f, "tenant rate limit exceeded ({rate_jobs_per_s:.1} jobs/s)")
             }
         }
     }
@@ -189,6 +198,13 @@ mod tests {
         assert!((half.makespan_budget_s - 0.5).abs() < 1e-12);
         let dead = p.degraded(0, 4);
         assert_eq!(dead.makespan_budget_s, 0.0, "an all-down pool admits no backlog");
+    }
+
+    #[test]
+    fn rate_limited_rejection_formats() {
+        let r = RejectReason::RateLimited { rate_jobs_per_s: 50.0 };
+        let msg = format!("{r}");
+        assert!(msg.contains("rate limit") && msg.contains("50.0"), "unhelpful message: {msg}");
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Pool autoscaling: attach and detach simulated devices under sustained
+//! load, with hysteresis.
+//!
+//! The server's [`crate::DevicePool`] is the *capacity ceiling*; with an
+//! [`AutoscalePolicy`] configured, only `min_devices` of it start active
+//! and the [`Autoscaler`] grows and shrinks the active set as the queue
+//! depth crosses its watermarks:
+//!
+//! * depth ≥ `high_watermark` sustained for `sustain_s` → **attach** the
+//!   lowest-index inactive device. An attaching device pays
+//!   `attach_delay_s` of warm-up before taking work — the same
+//!   park-then-rejoin mechanics the fault path uses for a device healing
+//!   from a transient outage.
+//! * depth ≤ `low_watermark` sustained for `sustain_s` → **detach** the
+//!   highest-index active *idle* device (never below `min_devices`, and
+//!   never one with a job in flight).
+//!
+//! The two sustain windows are the hysteresis: a depth oscillating around
+//! a watermark between consecutive events resets the clock instead of
+//! flapping the pool. Every decision is a pure function of simulated
+//! event times, so autoscaled runs stay bit-reproducible.
+
+/// Autoscaling thresholds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AutoscalePolicy {
+    /// Devices that are always active (the warm floor).
+    pub min_devices: usize,
+    /// Queue depth that, sustained, triggers an attach.
+    pub high_watermark: usize,
+    /// Queue depth that, sustained, triggers a detach.
+    pub low_watermark: usize,
+    /// How long (s) a watermark crossing must persist before acting.
+    pub sustain_s: f64,
+    /// Warm-up (s) an attached device pays before its first dispatch.
+    pub attach_delay_s: f64,
+}
+
+impl Default for AutoscalePolicy {
+    fn default() -> Self {
+        Self {
+            min_devices: 1,
+            high_watermark: 16,
+            low_watermark: 2,
+            sustain_s: 5e-3,
+            attach_delay_s: 1e-3,
+        }
+    }
+}
+
+/// One scaling action, on the simulated clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScaleEvent {
+    /// When the action fired (s).
+    pub time_s: f64,
+    /// `true` = attach, `false` = detach.
+    pub attach: bool,
+    /// Pool index of the device acted on.
+    pub device: usize,
+}
+
+/// The autoscaler state machine: stepped at every scheduling event.
+pub struct Autoscaler {
+    policy: AutoscalePolicy,
+    above_since: Option<f64>,
+    below_since: Option<f64>,
+    /// Every attach/detach performed, in order.
+    pub events: Vec<ScaleEvent>,
+}
+
+impl Autoscaler {
+    /// A fresh autoscaler under `policy`.
+    pub fn new(policy: AutoscalePolicy) -> Self {
+        assert!(policy.min_devices >= 1, "autoscaling needs at least one warm device");
+        assert!(policy.low_watermark < policy.high_watermark, "watermarks must leave a dead band");
+        assert!(policy.sustain_s >= 0.0 && policy.attach_delay_s >= 0.0);
+        Self { policy, above_since: None, below_since: None, events: Vec::new() }
+    }
+
+    /// The initial active mask for a pool of `total` devices: the first
+    /// `min_devices` are warm, the rest parked.
+    pub fn initial_active(&self, total: usize) -> Vec<bool> {
+        (0..total).map(|i| i < self.policy.min_devices.min(total)).collect()
+    }
+
+    /// Attaches performed so far.
+    pub fn attaches(&self) -> usize {
+        self.events.iter().filter(|e| e.attach).count()
+    }
+
+    /// Detaches performed so far.
+    pub fn detaches(&self) -> usize {
+        self.events.iter().filter(|e| !e.attach).count()
+    }
+
+    /// Observes queue depth `depth` at simulated time `now` and applies at
+    /// most one scaling action to `active`/`free_at`. An attached device
+    /// rejoins no earlier than `now + attach_delay_s` (and no earlier than
+    /// its own past busy horizon); a detached device keeps its `free_at`
+    /// history and is simply skipped by dispatch.
+    pub fn step(&mut self, now: f64, depth: usize, active: &mut [bool], free_at: &mut [f64]) {
+        let total = active.len();
+        let n_active = active.iter().filter(|a| **a).count();
+        if depth >= self.policy.high_watermark && n_active < total {
+            self.below_since = None;
+            match self.above_since {
+                None => self.above_since = Some(now),
+                Some(t0) if now - t0 >= self.policy.sustain_s => {
+                    let dev = active.iter().position(|a| !a).expect("n_active < total");
+                    active[dev] = true;
+                    free_at[dev] = free_at[dev].max(now + self.policy.attach_delay_s);
+                    self.events.push(ScaleEvent { time_s: now, attach: true, device: dev });
+                    self.above_since = None;
+                }
+                Some(_) => {}
+            }
+        } else if depth <= self.policy.low_watermark && n_active > self.policy.min_devices {
+            self.above_since = None;
+            match self.below_since {
+                None => self.below_since = Some(now),
+                Some(t0) if now - t0 >= self.policy.sustain_s => {
+                    // Highest-index active device that is idle right now;
+                    // in-flight work is never interrupted.
+                    let candidate = (0..total)
+                        .rev()
+                        .find(|&d| active[d] && free_at[d].is_finite() && free_at[d] <= now);
+                    if let Some(dev) = candidate {
+                        active[dev] = false;
+                        self.events.push(ScaleEvent { time_s: now, attach: false, device: dev });
+                        self.below_since = None;
+                    }
+                }
+                Some(_) => {}
+            }
+        } else {
+            self.above_since = None;
+            self.below_since = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AutoscalePolicy {
+        AutoscalePolicy {
+            min_devices: 1,
+            high_watermark: 4,
+            low_watermark: 1,
+            sustain_s: 1.0,
+            attach_delay_s: 0.5,
+        }
+    }
+
+    #[test]
+    fn sustained_pressure_attaches_with_warmup() {
+        let mut a = Autoscaler::new(policy());
+        let mut active = a.initial_active(2);
+        let mut free_at = vec![0.0, 0.0];
+        assert_eq!(active, vec![true, false]);
+        a.step(0.0, 8, &mut active, &mut free_at);
+        assert!(!active[1], "one observation is not sustained pressure");
+        a.step(0.5, 8, &mut active, &mut free_at);
+        assert!(!active[1], "0.5s < sustain window");
+        a.step(1.0, 8, &mut active, &mut free_at);
+        assert!(active[1], "1s of pressure must attach");
+        assert_eq!(free_at[1], 1.5, "attach pays the warm-up delay");
+        assert_eq!(a.attaches(), 1);
+        assert_eq!(a.events, vec![ScaleEvent { time_s: 1.0, attach: true, device: 1 }]);
+    }
+
+    #[test]
+    fn dips_inside_the_window_reset_the_clock() {
+        let mut a = Autoscaler::new(policy());
+        let mut active = a.initial_active(2);
+        let mut free_at = vec![0.0, 0.0];
+        a.step(0.0, 8, &mut active, &mut free_at);
+        a.step(0.5, 2, &mut active, &mut free_at); // dead band: resets
+        a.step(1.0, 8, &mut active, &mut free_at);
+        a.step(1.5, 8, &mut active, &mut free_at);
+        assert!(!active[1], "the dip at 0.5 must have reset the sustain clock");
+        a.step(2.0, 8, &mut active, &mut free_at);
+        assert!(active[1]);
+    }
+
+    #[test]
+    fn idle_lull_detaches_but_never_below_the_floor() {
+        let mut a = Autoscaler::new(policy());
+        let mut active = vec![true, true];
+        let mut free_at = vec![0.0, 0.0];
+        a.step(10.0, 0, &mut active, &mut free_at);
+        a.step(11.0, 0, &mut active, &mut free_at);
+        assert_eq!(active, vec![true, false], "sustained idle detaches the top device");
+        assert_eq!(a.detaches(), 1);
+        a.step(20.0, 0, &mut active, &mut free_at);
+        a.step(21.0, 0, &mut active, &mut free_at);
+        assert_eq!(active, vec![true, false], "min_devices floors the shrink");
+    }
+
+    #[test]
+    fn busy_devices_are_never_detached() {
+        let mut a = Autoscaler::new(policy());
+        let mut active = vec![true, true];
+        let mut free_at = vec![99.0, 99.0]; // both busy far into the future
+        a.step(10.0, 0, &mut active, &mut free_at);
+        a.step(11.0, 0, &mut active, &mut free_at);
+        assert_eq!(active, vec![true, true], "in-flight work must not be interrupted");
+        // The moment one drains, the pending shrink fires.
+        free_at[1] = 11.5;
+        a.step(12.0, 0, &mut active, &mut free_at);
+        assert_eq!(active, vec![true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dead band")]
+    fn inverted_watermarks_rejected() {
+        let _ = Autoscaler::new(AutoscalePolicy {
+            high_watermark: 2,
+            low_watermark: 2,
+            ..AutoscalePolicy::default()
+        });
+    }
+}

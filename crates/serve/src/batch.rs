@@ -1,0 +1,194 @@
+//! Batch-group formation: coalescing compatible queued jobs into one
+//! fused dispatch.
+//!
+//! The batch-fused serving path replaces *job → plan → interpret* with
+//! *group → fused plan → interpret*: after the QoS queue picks a lead
+//! job, the scheduler drains every queued job that can share the lead's
+//! fused plan and dispatches the whole group as one
+//! `scalfrag_pipeline::build_batched_plan` schedule — the shared factor
+//! matrices cross PCIe once instead of once per job.
+//!
+//! ## Formation rules
+//!
+//! Two queued jobs may share a fused plan only when ([`BatchGroup::compatible`]):
+//!
+//! 1. their quantized [`FeatureKey`]s are
+//!    [`FeatureKey::batch_compatible`] (exact equality — an equivalence
+//!    relation, so group membership is order-independent),
+//! 2. they hold the *same* factor-set handle (`Arc::ptr_eq` — the fused
+//!    plan uploads one factor set, so value-equal copies do not qualify),
+//! 3. their tensors have identical dims and the same MTTKRP mode (the
+//!    fused plan has one output geometry), and
+//! 4. they sit in the same priority class — batching must never let a
+//!    bulk job ride along with (and stretch) a latency-sensitive one.
+//!
+//! ## Wait accounting
+//!
+//! With `dev_free` the dispatch device's free time, a member's *ready*
+//! time is `t_ready = max(dev_free, arrival)` and the group starts at
+//! `group_start = max over members of t_ready`. The member's queue wait
+//! is `t_ready − arrival` (it would have waited that long solo) and its
+//! batch-formation wait is `group_start − t_ready` — the extra idle time
+//! the fusion cost it, reported as `PhaseTiming::batch_wait_s`.
+
+use crate::queue::Pending;
+use std::sync::Arc;
+
+/// A set of queued jobs dispatched as one fused plan. The lead (the QoS
+/// queue's pick) is `members[0]`; the rest joined in admission-sequence
+/// order.
+pub struct BatchGroup {
+    /// The fused members, lead first.
+    pub members: Vec<Pending>,
+}
+
+impl BatchGroup {
+    /// Wraps an already-formed member list (lead first, non-empty).
+    pub fn new(members: Vec<Pending>) -> Self {
+        assert!(!members.is_empty(), "a batch group needs at least the lead");
+        debug_assert!(
+            members[1..].iter().all(|m| Self::compatible(&members[0], m)),
+            "every member must be batch-compatible with the lead"
+        );
+        Self { members }
+    }
+
+    /// The QoS queue's pick that seeded the group.
+    pub fn lead(&self) -> &Pending {
+        &self.members[0]
+    }
+
+    /// Number of fused jobs.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether `candidate` may join a group led by `lead` — the four
+    /// formation rules (equal quantized key, shared factor handle, equal
+    /// dims + mode, same priority class). Symmetric and transitive, so a
+    /// group is well-defined no matter which member leads.
+    pub fn compatible(lead: &Pending, candidate: &Pending) -> bool {
+        lead.key.batch_compatible(&candidate.key)
+            && Arc::ptr_eq(&lead.job.factors, &candidate.job.factors)
+            && lead.job.mode == candidate.job.mode
+            && lead.job.tensor.dims() == candidate.job.tensor.dims()
+            && lead.job.priority.class() == candidate.job.priority.class()
+    }
+
+    /// Member `i`'s ready time: the later of the device freeing and the
+    /// job arriving.
+    pub fn t_ready(&self, i: usize, dev_free: f64) -> f64 {
+        dev_free.max(self.members[i].job.arrival_s)
+    }
+
+    /// When the fused plan starts: the last member's ready time.
+    pub fn group_start(&self, dev_free: f64) -> f64 {
+        (0..self.members.len()).map(|i| self.t_ready(i, dev_free)).fold(dev_free, f64::max)
+    }
+
+    /// Member `i`'s batch-formation wait: group start minus its own ready
+    /// time — zero for the member that closed the group.
+    pub fn batch_wait_s(&self, i: usize, dev_free: f64) -> f64 {
+        (self.group_start(dev_free) - self.t_ready(i, dev_free)).max(0.0)
+    }
+
+    /// Sum of the members' tensor payloads (bytes) — the denominator of
+    /// the proportional shared-H2D split in per-job phase accounting.
+    pub fn total_tensor_bytes(&self) -> usize {
+        self.members.iter().map(|m| m.job.tensor.byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{MttkrpJob, Priority};
+    use scalfrag_kernels::FactorSet;
+    use scalfrag_tensor::{CooTensor, FeatureKey};
+
+    fn pending(
+        id: u64,
+        tensor: &Arc<CooTensor>,
+        factors: &Arc<FactorSet>,
+        mode: usize,
+        priority: Priority,
+        arrival: f64,
+    ) -> Pending {
+        let job = MttkrpJob::new(id, "acme", Arc::clone(tensor), Arc::clone(factors), mode)
+            .with_priority(priority)
+            .at(arrival);
+        let key = FeatureKey::of(&job.tensor, job.mode, job.rank());
+        Pending { job, seq: id, est_s: 1e-3, attempt: 1, key }
+    }
+
+    fn catalog() -> (Arc<CooTensor>, Arc<CooTensor>, Arc<FactorSet>) {
+        let dims = [40u32, 30, 20];
+        // Seeds 1 and 16 land in the same quantized buckets at this size —
+        // two *variants* of one shape class, like the workload generator's.
+        let a = Arc::new(CooTensor::random_uniform(&dims, 600, 1));
+        let b = Arc::new(CooTensor::random_uniform(&dims, 600, 16));
+        let f = Arc::new(FactorSet::random(&dims, 8, 3));
+        (a, b, f)
+    }
+
+    #[test]
+    fn same_class_jobs_are_compatible() {
+        let (a, b, f) = catalog();
+        let lead = pending(0, &a, &f, 0, Priority::Normal, 0.0);
+        let mate = pending(1, &b, &f, 0, Priority::Normal, 0.1);
+        assert!(BatchGroup::compatible(&lead, &mate));
+        assert!(BatchGroup::compatible(&mate, &lead), "compatibility is symmetric");
+    }
+
+    #[test]
+    fn formation_rules_reject_mismatches() {
+        let (a, b, f) = catalog();
+        let lead = pending(0, &a, &f, 0, Priority::Normal, 0.0);
+        // Different mode.
+        assert!(!BatchGroup::compatible(&lead, &pending(1, &b, &f, 1, Priority::Normal, 0.0)));
+        // Different priority class.
+        assert!(!BatchGroup::compatible(&lead, &pending(2, &b, &f, 0, Priority::Low, 0.0)));
+        // Value-equal but distinct factor handle.
+        let f2 = Arc::new(FactorSet::random(&[40, 30, 20], 8, 3));
+        assert!(!BatchGroup::compatible(&lead, &pending(3, &b, &f2, 0, Priority::Normal, 0.0)));
+        // Different dims (and hence a different key).
+        let small = Arc::new(CooTensor::random_uniform(&[10, 10, 10], 50, 4));
+        let fs = Arc::new(FactorSet::random(&[10, 10, 10], 8, 5));
+        assert!(!BatchGroup::compatible(&lead, &pending(4, &small, &fs, 0, Priority::Normal, 0.0)));
+    }
+
+    #[test]
+    fn wait_accounting_charges_the_late_member_nothing() {
+        let (a, b, f) = catalog();
+        let g = BatchGroup::new(vec![
+            pending(0, &a, &f, 0, Priority::Normal, 1.0),
+            pending(1, &b, &f, 0, Priority::Normal, 3.0),
+        ]);
+        // Device free at 2.0: member 0 ready at 2.0, member 1 at 3.0.
+        assert_eq!(g.group_start(2.0), 3.0);
+        assert_eq!(g.batch_wait_s(0, 2.0), 1.0, "early member waits for the group to close");
+        assert_eq!(g.batch_wait_s(1, 2.0), 0.0, "the closing member never batch-waits");
+        // Device free after every arrival: nobody batch-waits.
+        assert_eq!(g.group_start(5.0), 5.0);
+        assert_eq!(g.batch_wait_s(0, 5.0), 0.0);
+        assert_eq!(g.batch_wait_s(1, 5.0), 0.0);
+    }
+
+    #[test]
+    fn byte_total_sums_members() {
+        let (a, b, f) = catalog();
+        let g = BatchGroup::new(vec![
+            pending(0, &a, &f, 0, Priority::Normal, 0.0),
+            pending(1, &b, &f, 0, Priority::Normal, 0.0),
+        ]);
+        assert_eq!(g.total_tensor_bytes(), a.byte_size() + b.byte_size());
+        assert_eq!(g.size(), 2);
+        assert_eq!(g.lead().job.id, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the lead")]
+    fn empty_group_rejected() {
+        let _ = BatchGroup::new(Vec::new());
+    }
+}

@@ -5,20 +5,32 @@
 //!
 //! * **Jobs and queues** ([`job`], [`queue`]) — [`MttkrpJob`]s carry a
 //!   tensor handle, mode, factors, priority class, optional deadline and a
-//!   tenant; the queue dispatches by priority, then round-robin tenant
-//!   fairness, then earliest deadline first.
+//!   tenant; the QoS queue rate-limits each tenant with a token bucket,
+//!   shares devices by weighted fair queueing, and orders within a tenant
+//!   by SLO-aware earliest-deadline-first.
 //! * **Admission control** ([`admission`]) — a bounded queue plus an
 //!   estimated-makespan budget; overload produces typed [`Rejected`]
 //!   responses with retry hints, never panics or unbounded queues.
+//! * **Batch groups** ([`batch`]) — compatible queued jobs (equal
+//!   quantized key, shared factor handle, same geometry and priority
+//!   class) fuse into one ScheduleIR plan per dispatch: the factor set
+//!   crosses PCIe once per *group* instead of once per job.
 //! * **Plan cache** ([`plan_cache`]) — quantized [`FeatureKey`]s memoize
 //!   the adaptive-launching verdict (§IV-B of the paper) per shape class,
-//!   with LRU eviction and hit/miss counters.
+//!   with LRU eviction, hit/miss counters and deterministic
+//!   snapshot/restore for warm starts.
 //! * **Scheduler** ([`scheduler`]) — a deterministic discrete-event loop
 //!   over a [`DevicePool`] (explicit devices or a `scalfrag-cluster`
-//!   node); each dispatch runs the full pipelined executor (§IV-C).
-//! * **Report** ([`report`]) — per-job phase timings (queue wait, plan,
-//!   H2D/kernel/D2H), latency percentiles, throughput, cache hit rate and
-//!   rejection counts, with a bit-stable fingerprint for reproducibility.
+//!   node); each dispatch interprets one batch-fused plan through the
+//!   `scalfrag-opt` default pipeline.
+//! * **Autoscaling** ([`autoscale`]) — watermark + hysteresis growth and
+//!   shrink of the active device set under sustained load, reusing the
+//!   fault path's park/rejoin mechanics.
+//! * **Report** ([`report`]) — per-job phase timings (queue wait, batch
+//!   wait, plan, H2D/kernel/D2H with the shared factor upload split
+//!   proportionally), latency percentiles, throughput, batch occupancy,
+//!   cache hit rate and rejection counts, with a bit-stable fingerprint
+//!   for reproducibility.
 //!
 //! ```
 //! use scalfrag_serve::{ScalFragServer, WorkloadSpec};
@@ -36,6 +48,8 @@
 //! ```
 
 pub mod admission;
+pub mod autoscale;
+pub mod batch;
 pub mod job;
 pub mod plan_cache;
 pub mod queue;
@@ -44,8 +58,11 @@ pub mod scheduler;
 pub mod workload;
 
 pub use admission::{estimate_service_s, AdmissionPolicy, RejectReason, Rejected};
+pub use autoscale::{AutoscalePolicy, Autoscaler, ScaleEvent};
+pub use batch::BatchGroup;
 pub use job::{JobId, MttkrpJob, Priority};
-pub use plan_cache::{CacheStats, ExecutionPlan, PlanCache};
+pub use plan_cache::{CacheStats, ExecutionPlan, PlanCache, SnapshotError, SNAPSHOT_VERSION};
+pub use queue::{slo_target_s, QosConfig, QosQueues, TokenBucket};
 pub use report::{JobRecord, ServeReport};
 pub use scheduler::{plan_builders, DevicePool, PLAN_HIT_S, PLAN_MISS_S};
 pub use workload::{synthesize, WorkloadSpec};
@@ -83,6 +100,27 @@ pub struct ServerConfig {
     /// `retry_after_s` hint, at most this many times. `0` (the default)
     /// keeps rejections final, matching the fault-free serving semantics.
     pub max_retries: u32,
+    /// Largest batch group one dispatch may fuse (`1` = solo dispatches
+    /// only — the batching-off ablation).
+    pub max_batch: usize,
+    /// How far past the dispatch device's free time the arrival horizon
+    /// stretches (s): arrivals inside the window are admitted *before* the
+    /// group forms so they can join it, at the cost of the earlier
+    /// members' `batch_wait_s`. `0` (the default) never delays a dispatch.
+    pub batch_window_s: f64,
+    /// Per-tenant QoS: token-bucket rate limits and WFQ weights.
+    pub qos: QosConfig,
+    /// `Some(policy)` = start with `policy.min_devices` active and let the
+    /// autoscaler grow/shrink the active set; `None` = the whole pool
+    /// serves from the start.
+    pub autoscale: Option<AutoscalePolicy>,
+    /// A plan-cache snapshot ([`PlanCache::snapshot`]) to warm-start from.
+    /// Restore errors panic at serve start — a bad snapshot is an operator
+    /// error, not a load condition.
+    pub warm_snapshot: Option<String>,
+    /// Capture a [`PlanCache::snapshot`] at end of run into
+    /// [`ServeReport::cache_snapshot`].
+    pub snapshot_cache: bool,
     /// Predictor training seed.
     pub train_seed: u64,
     /// Predictor training tiers (`None` = autotune defaults, ~3 K – 2 M
@@ -101,6 +139,12 @@ impl Default for ServerConfig {
             functional: false,
             hybrid_threshold: None,
             max_retries: 0,
+            max_batch: 8,
+            batch_window_s: 0.0,
+            qos: QosConfig::default(),
+            autoscale: None,
+            warm_snapshot: None,
+            snapshot_cache: false,
             train_seed: 0x5ca1,
             train_tiers: None,
         }
@@ -208,6 +252,44 @@ impl ScalFragServerBuilder {
         self
     }
 
+    /// Cap batch groups at `n` fused jobs (`1` = solo dispatches only).
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.config.get_or_insert_with(ServerConfig::default).max_batch = n;
+        self
+    }
+
+    /// Stretch the arrival horizon by `window_s` so near-future arrivals
+    /// can join the batch group about to form.
+    pub fn batch_window_s(mut self, window_s: f64) -> Self {
+        self.config.get_or_insert_with(ServerConfig::default).batch_window_s = window_s;
+        self
+    }
+
+    /// Replace the per-tenant QoS configuration (rate limits + weights).
+    pub fn qos(mut self, qos: QosConfig) -> Self {
+        self.config.get_or_insert_with(ServerConfig::default).qos = qos;
+        self
+    }
+
+    /// Enable pool autoscaling under `policy`.
+    pub fn autoscale(mut self, policy: AutoscalePolicy) -> Self {
+        self.config.get_or_insert_with(ServerConfig::default).autoscale = Some(policy);
+        self
+    }
+
+    /// Warm-start the plan cache from a [`PlanCache::snapshot`].
+    pub fn warm_snapshot(mut self, snapshot: String) -> Self {
+        self.config.get_or_insert_with(ServerConfig::default).warm_snapshot = Some(snapshot);
+        self
+    }
+
+    /// Capture an end-of-run cache snapshot into
+    /// [`ServeReport::cache_snapshot`].
+    pub fn snapshot_cache(mut self, on: bool) -> Self {
+        self.config.get_or_insert_with(ServerConfig::default).snapshot_cache = on;
+        self
+    }
+
     /// Train the predictor on these nnz tiers (keeps load tests cheap).
     pub fn train_tiers(mut self, tiers: Vec<usize>) -> Self {
         self.config.get_or_insert_with(ServerConfig::default).train_tiers = Some(tiers);
@@ -265,7 +347,9 @@ mod tests {
         assert!(!report.completed.is_empty(), "a small stream must not be all-rejected");
         assert!(report.makespan_s > 0.0);
         assert!(report.throughput_jobs_per_s() > 0.0);
-        assert!(report.cache.hits + report.cache.misses >= report.completed.len() as u64);
+        // One plan lookup per fused dispatch, not per job.
+        assert!(report.cache.hits + report.cache.misses >= report.dispatch_groups as u64);
+        assert!(report.dispatch_groups >= 1);
         for r in &report.completed {
             assert!(r.finish_s >= r.start_s && r.start_s >= r.arrival_s);
             assert!(r.timing.check_consistency().is_ok(), "job {}: bad timing", r.id);
@@ -316,6 +400,27 @@ mod tests {
             report.predictor_trainings, 1,
             "second server must reuse the first server's models"
         );
+    }
+
+    #[test]
+    fn snapshot_warm_start_turns_misses_into_hits() {
+        let cold =
+            ScalFragServer::builder().snapshot_cache(true).train_tiers(vec![3_000, 12_000]).build();
+        let cold_report = cold.run(synthesize(&small_spec()));
+        let snap = cold_report.cache_snapshot.clone().expect("snapshot_cache captures one");
+        assert!(cold_report.cache.misses > 0, "a cold cache must miss first");
+        let warm = ScalFragServer::builder()
+            .warm_snapshot(snap)
+            .predictor(cold.trained_predictor().clone())
+            .train_tiers(vec![3_000, 12_000])
+            .build();
+        let warm_report = warm.run(synthesize(&small_spec()));
+        assert_eq!(
+            warm_report.cache.misses, 0,
+            "every shape class was snapshotted, so the warm run never misses: {:?}",
+            warm_report.cache
+        );
+        assert!(warm_report.cache.hits > 0);
     }
 
     #[test]

@@ -8,11 +8,93 @@
 //! counts and the hybrid split decision. A stream of similarly-shaped
 //! tensors then pays the predictor once per *shape class* instead of once
 //! per request.
+//!
+//! The cache also snapshots: [`PlanCache::snapshot`] serializes the full
+//! LRU state (entries, recency ticks, capacity) to a deterministic
+//! versioned text form, and [`PlanCache::restore`] rebuilds it —
+//! byte-identical round trips, typed [`SnapshotError`]s on version or
+//! format mismatch. A server warm-started from a snapshot serves its
+//! first request of every known shape class from the cache.
 
 use scalfrag_gpusim::LaunchConfig;
 use scalfrag_pipeline::KernelChoice;
 use scalfrag_tensor::FeatureKey;
 use std::collections::HashMap;
+
+/// Format version written into (and required from) every snapshot.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot failed to restore.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapshotError {
+    /// The snapshot was written by a different format version.
+    VersionMismatch {
+        /// Version found in the snapshot header.
+        found: u32,
+        /// The version this build reads ([`SNAPSHOT_VERSION`]).
+        expected: u32,
+    },
+    /// The snapshot text does not parse.
+    Corrupt {
+        /// 1-based line the parser gave up on.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::VersionMismatch { found, expected } => {
+                write!(f, "plan-cache snapshot version {found} (this build reads {expected})")
+            }
+            SnapshotError::Corrupt { line, reason } => {
+                write!(f, "plan-cache snapshot corrupt at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn kernel_name(kernel: KernelChoice) -> &'static str {
+    match kernel {
+        KernelChoice::CooAtomic => "coo-atomic",
+        KernelChoice::Tiled => "tiled",
+        KernelChoice::Balanced => "balanced",
+        KernelChoice::ModeAgnostic => "mode-agnostic",
+    }
+}
+
+fn kernel_from_name(name: &str) -> Option<KernelChoice> {
+    match name {
+        "coo-atomic" => Some(KernelChoice::CooAtomic),
+        "tiled" => Some(KernelChoice::Tiled),
+        "balanced" => Some(KernelChoice::Balanced),
+        "mode-agnostic" => Some(KernelChoice::ModeAgnostic),
+        _ => None,
+    }
+}
+
+/// The key as a sortable integer tuple — snapshot entries are ordered by
+/// this, so serialization never depends on `HashMap` iteration order.
+fn key_tuple(k: &FeatureKey) -> [i64; 12] {
+    [
+        k.order as i64,
+        k.mode as i64,
+        k.rank as i64,
+        k.nnz_bucket as i64,
+        k.slices_bucket as i64,
+        k.fibers_bucket as i64,
+        k.mode_dim_bucket as i64,
+        k.slice_ratio_bucket as i64,
+        k.fiber_ratio_bucket as i64,
+        k.imbalance_bucket as i64,
+        k.fiber_imbalance_bucket as i64,
+        k.gini_bucket as i64,
+    ]
+}
 
 /// Everything the executor needs to run a job — the memoized verdict of
 /// the planning stage.
@@ -59,6 +141,7 @@ impl CacheStats {
 }
 
 /// A bounded LRU map from quantized tensor features to execution plans.
+#[derive(Debug)]
 pub struct PlanCache {
     capacity: usize,
     /// key → (plan, last-use tick).
@@ -123,6 +206,131 @@ impl PlanCache {
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Serializes the cache to the versioned snapshot text form:
+    /// a header line, then one line per entry sorted by key. Entries
+    /// carry their recency ticks, so a restored cache evicts in exactly
+    /// the order the original would have. Hit/miss counters are *not*
+    /// snapshotted — a warm-started server counts its own traffic.
+    pub fn snapshot(&self) -> String {
+        let mut entries: Vec<(&FeatureKey, &(ExecutionPlan, u64))> = self.map.iter().collect();
+        entries.sort_by_key(|(k, _)| key_tuple(k));
+        let mut out = format!(
+            "scalfrag-plan-cache v{SNAPSHOT_VERSION}\ncapacity {} tick {}\n",
+            self.capacity, self.tick
+        );
+        for (k, (p, last_use)) in entries {
+            let kt = key_tuple(k);
+            let key_str = kt.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ");
+            let hybrid = match p.hybrid_threshold {
+                Some(t) => t.to_string(),
+                None => "-".to_string(),
+            };
+            out.push_str(&format!(
+                "entry {key_str} | {} {} {} {} {} {} {hybrid} | {last_use}\n",
+                p.config.grid,
+                p.config.block,
+                p.config.shared_mem_per_block,
+                kernel_name(p.kernel),
+                p.segments,
+                p.streams,
+            ));
+        }
+        out
+    }
+
+    /// Rebuilds a cache from [`PlanCache::snapshot`] output. The restored
+    /// cache reproduces the original's entries, recency order, tick and
+    /// capacity; counters start at zero.
+    pub fn restore(snapshot: &str) -> Result<Self, SnapshotError> {
+        let corrupt =
+            |line: usize, reason: &str| SnapshotError::Corrupt { line, reason: reason.to_string() };
+        let mut lines = snapshot.lines().enumerate();
+        let (_, header) = lines.next().ok_or_else(|| corrupt(1, "empty snapshot"))?;
+        let version: u32 = header
+            .strip_prefix("scalfrag-plan-cache v")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| corrupt(1, "bad header"))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let (_, meta) = lines.next().ok_or_else(|| corrupt(2, "missing capacity line"))?;
+        let meta: Vec<&str> = meta.split_whitespace().collect();
+        let (capacity, tick) = match meta.as_slice() {
+            ["capacity", c, "tick", t] => (
+                c.parse::<usize>().map_err(|_| corrupt(2, "bad capacity"))?,
+                t.parse::<u64>().map_err(|_| corrupt(2, "bad tick"))?,
+            ),
+            _ => return Err(corrupt(2, "malformed capacity line")),
+        };
+        if capacity == 0 {
+            return Err(corrupt(2, "capacity must be positive"));
+        }
+        let mut cache = PlanCache::new(capacity);
+        cache.tick = tick;
+        for (i, line) in lines {
+            let lineno = i + 1;
+            let body = line
+                .strip_prefix("entry ")
+                .ok_or_else(|| corrupt(lineno, "expected an entry line"))?;
+            let parts: Vec<&str> = body.split('|').map(str::trim).collect();
+            if parts.len() != 3 {
+                return Err(corrupt(lineno, "entry needs key | plan | last_use fields"));
+            }
+            let kf: Vec<i64> = parts[0]
+                .split_whitespace()
+                .map(|v| v.parse::<i64>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| corrupt(lineno, "non-integer key field"))?;
+            if kf.len() != 12 {
+                return Err(corrupt(lineno, "key needs 12 fields"));
+            }
+            let key = FeatureKey {
+                order: kf[0] as usize,
+                mode: kf[1] as usize,
+                rank: kf[2] as u32,
+                nnz_bucket: kf[3] as i32,
+                slices_bucket: kf[4] as i32,
+                fibers_bucket: kf[5] as i32,
+                mode_dim_bucket: kf[6] as i32,
+                slice_ratio_bucket: kf[7] as i32,
+                fiber_ratio_bucket: kf[8] as i32,
+                imbalance_bucket: kf[9] as i32,
+                fiber_imbalance_bucket: kf[10] as i32,
+                gini_bucket: kf[11] as i32,
+            };
+            let pf: Vec<&str> = parts[1].split_whitespace().collect();
+            if pf.len() != 7 {
+                return Err(corrupt(lineno, "plan needs 7 fields"));
+            }
+            let int = |s: &str| s.parse::<u32>().map_err(|_| corrupt(lineno, "bad plan number"));
+            let plan = ExecutionPlan {
+                config: LaunchConfig {
+                    grid: int(pf[0])?,
+                    block: int(pf[1])?,
+                    shared_mem_per_block: int(pf[2])?,
+                },
+                kernel: kernel_from_name(pf[3])
+                    .ok_or_else(|| corrupt(lineno, "unknown kernel name"))?,
+                segments: pf[4].parse().map_err(|_| corrupt(lineno, "bad segments"))?,
+                streams: pf[5].parse().map_err(|_| corrupt(lineno, "bad streams"))?,
+                hybrid_threshold: if pf[6] == "-" { None } else { Some(int(pf[6])?) },
+            };
+            let last_use: u64 =
+                parts[2].parse().map_err(|_| corrupt(lineno, "bad last_use tick"))?;
+            if cache.map.len() >= capacity {
+                return Err(corrupt(lineno, "more entries than capacity"));
+            }
+            if last_use > tick {
+                return Err(corrupt(lineno, "last_use beyond the snapshot tick"));
+            }
+            cache.map.insert(key, (plan, last_use));
+        }
+        Ok(cache)
     }
 
     /// Counter snapshot.
@@ -214,5 +422,75 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = PlanCache::new(0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_deterministically() {
+        let mut c = PlanCache::new(4);
+        c.insert(key(1), plan(64));
+        c.insert(
+            key(2),
+            ExecutionPlan { hybrid_threshold: Some(32), kernel: KernelChoice::Balanced, ..plan(9) },
+        );
+        let _ = c.get(&key(1)); // refresh recency so the ticks differ
+        let snap = c.snapshot();
+        let restored = PlanCache::restore(&snap).expect("round trip");
+        assert_eq!(restored.snapshot(), snap, "snapshot(restore(s)) must be byte-identical");
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.stats().capacity, 4);
+        assert_eq!((restored.stats().hits, restored.stats().misses), (0, 0));
+    }
+
+    #[test]
+    fn restored_cache_reproduces_lru_order() {
+        let mut c = PlanCache::new(2);
+        c.insert(key(1), plan(1));
+        c.insert(key(2), plan(2));
+        let _ = c.get(&key(1)); // 2 becomes LRU
+        let mut restored = PlanCache::restore(&c.snapshot()).unwrap();
+        restored.insert(key(3), plan(3));
+        assert!(restored.get(&key(2)).is_none(), "the restored LRU victim must match");
+        assert!(restored.get(&key(1)).is_some());
+        assert!(restored.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn restored_cache_serves_hits() {
+        let mut c = PlanCache::new(4);
+        let p = ExecutionPlan { kernel: KernelChoice::ModeAgnostic, ..plan(128) };
+        c.insert(key(7), p);
+        let mut warm = PlanCache::restore(&c.snapshot()).unwrap();
+        assert_eq!(warm.get(&key(7)), Some(p), "every kernel flavor must survive the trip");
+        assert_eq!(warm.stats().hits, 1);
+    }
+
+    #[test]
+    fn version_mismatch_is_a_typed_error() {
+        let snap = PlanCache::new(2).snapshot();
+        let future = snap.replacen("v1", "v9", 1);
+        assert_eq!(
+            PlanCache::restore(&future).unwrap_err(),
+            SnapshotError::VersionMismatch { found: 9, expected: SNAPSHOT_VERSION }
+        );
+        let msg = format!("{}", PlanCache::restore(&future).unwrap_err());
+        assert!(msg.contains("version 9"), "unhelpful message: {msg}");
+    }
+
+    #[test]
+    fn corruption_is_a_typed_error_with_a_line() {
+        let mut c = PlanCache::new(2);
+        c.insert(key(1), plan(1));
+        let snap = c.snapshot();
+        for bad in [
+            snap.replacen("entry", "entry x", 1),
+            snap.replacen("tiled", "warp-speed", 1),
+            snap.replace("scalfrag-plan-cache v1", "something else"),
+            String::new(),
+        ] {
+            match PlanCache::restore(&bad) {
+                Err(SnapshotError::Corrupt { line, .. }) => assert!(line >= 1),
+                other => panic!("expected Corrupt, got {other:?} for {bad:?}"),
+            }
+        }
     }
 }

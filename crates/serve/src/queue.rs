@@ -1,20 +1,49 @@
-//! Per-tenant job queues with priority + EDF ordering and round-robin
-//! fairness.
+//! Per-tenant QoS queueing: token-bucket rate limits, weighted fair
+//! queueing across tenants, and SLO-aware EDF within a tenant.
 //!
-//! The dispatch rule, in order:
+//! This replaces the original priority → round-robin → EDF chain with a
+//! hierarchy a production serving tier would run:
 //!
-//! 1. **Priority** — the best (lowest) class present anywhere wins.
-//! 2. **Tenant fairness** — among tenants holding a job of that class, the
-//!    one least recently served dispatches next (round-robin over a rotor
-//!    of active tenants).
-//! 3. **EDF** — within the chosen tenant and class, the earliest deadline
-//!    dispatches first; deadline-less jobs rank last, FIFO among
-//!    themselves.
+//! 1. **Token bucket** ([`TokenBucket`], applied at admission) — each
+//!    tenant refills at a configured rate and may burst up to the bucket
+//!    capacity; a dry bucket rejects with
+//!    [`crate::RejectReason::RateLimited`] and a refill-time retry hint.
+//! 2. **Weighted fair queueing** — the dispatcher picks the tenant with
+//!    the smallest virtual start tag (start-time fair queueing over the
+//!    admission-time service estimates), so a tenant's long-run share of
+//!    device time tracks its configured weight regardless of how fast it
+//!    submits.
+//! 3. **SLO-aware EDF** — within the chosen tenant, the job whose SLO
+//!    target expires first dispatches first. The target is the job's
+//!    explicit deadline when it has one, otherwise `arrival +
+//!    priority-class SLO budget` ([`HIGH_SLO_S`] / [`NORMAL_SLO_S`] /
+//!    [`LOW_SLO_S`]) — priority thus *derives* urgency instead of
+//!    preempting fairness outright.
 //!
-//! Everything is deterministic: ties break on submission sequence.
+//! Everything is deterministic: virtual-time ties break on tenant name,
+//! EDF ties on admission sequence.
 
-use crate::job::MttkrpJob;
+use crate::job::{MttkrpJob, Priority};
+use scalfrag_tensor::FeatureKey;
 use std::collections::{BTreeMap, VecDeque};
+
+/// SLO budget (s) a deadline-less `High` job is held to.
+pub const HIGH_SLO_S: f64 = 5e-3;
+/// SLO budget (s) a deadline-less `Normal` job is held to.
+pub const NORMAL_SLO_S: f64 = 5e-2;
+/// SLO budget (s) a deadline-less `Low` job is held to.
+pub const LOW_SLO_S: f64 = 5e-1;
+
+/// The absolute time (s) a job's SLO expires: its deadline if explicit,
+/// otherwise arrival plus the priority-class budget.
+pub fn slo_target_s(job: &MttkrpJob) -> f64 {
+    let budget = match job.priority {
+        Priority::High => HIGH_SLO_S,
+        Priority::Normal => NORMAL_SLO_S,
+        Priority::Low => LOW_SLO_S,
+    };
+    job.deadline_s.unwrap_or(job.arrival_s + budget)
+}
 
 /// A queued job plus its bookkeeping.
 #[derive(Clone)]
@@ -23,31 +52,101 @@ pub struct Pending {
     pub job: MttkrpJob,
     /// Admission sequence number (global FIFO tie-breaker).
     pub seq: u64,
-    /// Admission-time service estimate (s) — drives the backlog account.
+    /// Admission-time service estimate (s) — drives the backlog account
+    /// and the WFQ virtual clock.
     pub est_s: f64,
     /// 1-based submission attempt: 1 on first arrival, bumped each time a
     /// rejection or device failure sends the job back through admission.
     pub attempt: u32,
+    /// The quantized planning/batching key, computed once at admission —
+    /// group formation compares these instead of re-extracting features.
+    pub key: FeatureKey,
 }
 
-/// The multi-tenant queue structure.
+/// Per-tenant token bucket: `rate` tokens/s refill up to `burst`
+/// capacity; each admission takes one token.
+#[derive(Clone, Copy, Debug)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last_s: f64,
+}
+
+impl TokenBucket {
+    /// A full bucket refilling at `rate` jobs/s with `burst` capacity.
+    pub fn new(rate: f64, burst: f64) -> Self {
+        assert!(rate > 0.0 && burst >= 1.0, "token bucket needs rate > 0 and burst >= 1");
+        Self { rate, burst, tokens: burst, last_s: 0.0 }
+    }
+
+    /// Takes one token at simulated time `now`, or returns the time (s)
+    /// until the next token materialises.
+    pub fn try_acquire(&mut self, now: f64) -> Result<(), f64> {
+        self.tokens = (self.tokens + (now - self.last_s).max(0.0) * self.rate).min(self.burst);
+        self.last_s = self.last_s.max(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err((1.0 - self.tokens) / self.rate)
+        }
+    }
+}
+
+/// Per-tenant QoS configuration of a server.
+#[derive(Clone, Debug)]
+pub struct QosConfig {
+    /// `Some(rate)` = cap every tenant at `rate` admitted jobs/s
+    /// (token-bucket, [`QosConfig::burst`] deep). `None` = no rate limit.
+    pub rate_jobs_per_s: Option<f64>,
+    /// Token-bucket depth (jobs) — how far a tenant may burst past its
+    /// sustained rate.
+    pub burst: f64,
+    /// WFQ weights per tenant; unlisted tenants weigh 1.0. A weight-2
+    /// tenant receives twice the device share of a weight-1 tenant under
+    /// contention.
+    pub tenant_weights: Vec<(String, f64)>,
+}
+
+impl Default for QosConfig {
+    fn default() -> Self {
+        Self { rate_jobs_per_s: None, burst: 8.0, tenant_weights: Vec::new() }
+    }
+}
+
+/// The multi-tenant QoS queue: WFQ across tenants, SLO-aware EDF within.
 #[derive(Default)]
-pub struct TenantQueues {
+pub struct QosQueues {
     /// Per-tenant FIFO of pending jobs (BTreeMap for deterministic
     /// iteration order).
     queues: BTreeMap<String, VecDeque<Pending>>,
-    /// Round-robin rotor over tenants that currently have pending jobs;
-    /// front = next to serve.
-    rotor: VecDeque<String>,
+    /// Per-tenant virtual finish tag of the last service charged to it.
+    finish_vt: BTreeMap<String, f64>,
+    /// Per-tenant WFQ weight (absent = 1.0).
+    weights: BTreeMap<String, f64>,
+    /// Global virtual clock: the start tag of the last dispatch.
+    vtime: f64,
     len: usize,
     peak_depth: usize,
     backlog_s: f64,
 }
 
-impl TenantQueues {
-    /// An empty queue set.
+impl QosQueues {
+    /// An empty queue set with uniform weights.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty queue set with explicit WFQ weights (unlisted tenants
+    /// weigh 1.0; non-positive weights are rejected).
+    pub fn with_weights(weights: &[(String, f64)]) -> Self {
+        let mut q = Self::default();
+        for (tenant, w) in weights {
+            assert!(*w > 0.0, "WFQ weight for {tenant} must be positive");
+            q.weights.insert(tenant.clone(), *w);
+        }
+        q
     }
 
     /// Total queued jobs across all tenants.
@@ -70,61 +169,114 @@ impl TenantQueues {
         self.backlog_s
     }
 
+    fn weight(&self, tenant: &str) -> f64 {
+        self.weights.get(tenant).copied().unwrap_or(1.0)
+    }
+
+    /// The tenant's WFQ start tag if it dispatched next.
+    fn start_tag(&self, tenant: &str) -> f64 {
+        self.vtime.max(self.finish_vt.get(tenant).copied().unwrap_or(0.0))
+    }
+
+    /// Advances the tenant's virtual finish tag by one service of
+    /// `est_s`, scaled by its weight.
+    fn charge(&mut self, tenant: &str, est_s: f64) {
+        let start = self.start_tag(tenant);
+        let finish = start + est_s / self.weight(tenant);
+        self.finish_vt.insert(tenant.to_string(), finish);
+    }
+
     /// Enqueues an admitted job under its tenant.
     pub fn push(&mut self, pending: Pending) {
         let tenant = pending.job.tenant.clone();
         self.backlog_s += pending.est_s;
         self.len += 1;
         self.peak_depth = self.peak_depth.max(self.len);
-        let q = self.queues.entry(tenant.clone()).or_default();
-        if q.is_empty() {
-            self.rotor.push_back(tenant);
-        }
-        q.push_back(pending);
+        self.queues.entry(tenant).or_default().push_back(pending);
     }
 
-    /// Dequeues the next job per the priority → fairness → EDF rule.
+    fn remove_at(&mut self, tenant: &str, idx: usize) -> Pending {
+        let q = self.queues.get_mut(tenant).expect("tenant has a queue");
+        let pending = q.remove(idx).expect("index in range");
+        if q.is_empty() {
+            self.queues.remove(tenant);
+        }
+        self.len -= 1;
+        self.backlog_s = (self.backlog_s - pending.est_s).max(0.0);
+        pending
+    }
+
+    /// Dequeues the next job per the WFQ → SLO-EDF rule and charges its
+    /// service to the tenant's virtual clock.
     pub fn pop(&mut self) -> Option<Pending> {
         if self.len == 0 {
             return None;
         }
-        // 1. Best priority class present anywhere.
-        let best_class = self
+        // 1. WFQ: the tenant with the smallest start tag (name-ordered
+        //    iteration makes ties deterministic).
+        let tenant = self
             .queues
-            .values()
-            .flat_map(|q| q.iter().map(|p| p.job.priority.class()))
-            .min()
-            .expect("non-empty queues");
-        // 2. First tenant in rotor order holding that class.
-        let rotor_pos = self
-            .rotor
-            .iter()
-            .position(|t| self.queues[t].iter().any(|p| p.job.priority.class() == best_class))
-            .expect("some tenant holds the best class");
-        let tenant = self.rotor.remove(rotor_pos).expect("position in range");
-        // 3. EDF within (tenant, class): earliest deadline, then FIFO.
-        let q = self.queues.get_mut(&tenant).expect("rotor tenant has a queue");
+            .keys()
+            .min_by(|a, b| {
+                self.start_tag(a)
+                    .partial_cmp(&self.start_tag(b))
+                    .expect("finite virtual time")
+                    .then(a.cmp(b))
+            })
+            .expect("non-empty queues")
+            .clone();
+        // 2. SLO-EDF within the tenant: earliest SLO target, then FIFO.
+        let q = &self.queues[&tenant];
         let best_idx = q
             .iter()
             .enumerate()
-            .filter(|(_, p)| p.job.priority.class() == best_class)
             .min_by(|(_, a), (_, b)| {
-                let da = a.job.deadline_s.unwrap_or(f64::INFINITY);
-                let db = b.job.deadline_s.unwrap_or(f64::INFINITY);
-                da.partial_cmp(&db).unwrap().then(a.seq.cmp(&b.seq))
+                slo_target_s(&a.job)
+                    .partial_cmp(&slo_target_s(&b.job))
+                    .expect("finite SLO targets")
+                    .then(a.seq.cmp(&b.seq))
             })
             .map(|(i, _)| i)
-            .expect("tenant holds the best class");
-        let pending = q.remove(best_idx).expect("index in range");
-        if q.is_empty() {
-            self.queues.remove(&tenant);
-        } else {
-            // Served tenants go to the back of the rotor.
-            self.rotor.push_back(tenant);
-        }
-        self.len -= 1;
-        self.backlog_s = (self.backlog_s - pending.est_s).max(0.0);
+            .expect("tenant queue is non-empty");
+        self.vtime = self.start_tag(&tenant);
+        let pending = self.remove_at(&tenant, best_idx);
+        self.charge(&tenant, pending.est_s);
         Some(pending)
+    }
+
+    /// Removes up to `max` queued jobs matching `pred`, in admission
+    /// order, charging each to its tenant's virtual clock (a batched
+    /// member consumes device time exactly like a solo dispatch would).
+    /// Used by batch-group formation after [`QosQueues::pop`] picks the
+    /// lead.
+    pub fn drain_compatible<F>(&mut self, max: usize, mut pred: F) -> Vec<Pending>
+    where
+        F: FnMut(&Pending) -> bool,
+    {
+        if max == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let mut picks: Vec<(u64, String)> = Vec::new();
+        for (tenant, q) in &self.queues {
+            for p in q {
+                if pred(p) {
+                    picks.push((p.seq, tenant.clone()));
+                }
+            }
+        }
+        picks.sort();
+        picks.truncate(max);
+        let mut drained = Vec::with_capacity(picks.len());
+        for (seq, tenant) in picks {
+            let idx = self.queues[&tenant]
+                .iter()
+                .position(|p| p.seq == seq)
+                .expect("picked job still queued");
+            let pending = self.remove_at(&tenant, idx);
+            self.charge(&tenant, pending.est_s);
+            drained.push(pending);
+        }
+        drained
     }
 }
 
@@ -137,38 +289,51 @@ mod tests {
     use std::sync::Arc;
 
     fn job(id: u64, tenant: &str, priority: Priority, deadline: Option<f64>) -> Pending {
+        job_est(id, tenant, priority, deadline, 1.0)
+    }
+
+    fn job_est(
+        id: u64,
+        tenant: &str,
+        priority: Priority,
+        deadline: Option<f64>,
+        est_s: f64,
+    ) -> Pending {
         let t = Arc::new(CooTensor::random_uniform(&[10, 10, 10], 50, id));
         let f = Arc::new(FactorSet::random(&[10, 10, 10], 4, id));
         let mut j = MttkrpJob::new(id, tenant, t, f, 0).with_priority(priority);
         if let Some(d) = deadline {
             j = j.with_deadline(d);
         }
-        Pending { job: j, seq: id, est_s: 1.0, attempt: 1 }
+        let key = FeatureKey::of(&j.tensor, 0, 4);
+        Pending { job: j, seq: id, est_s, attempt: 1, key }
     }
 
     #[test]
-    fn priority_beats_fifo() {
-        let mut q = TenantQueues::new();
+    fn slo_targets_derive_from_priority_or_deadline() {
+        let high = job(0, "a", Priority::High, None);
+        let normal = job(1, "a", Priority::Normal, None);
+        let low = job(2, "a", Priority::Low, None);
+        assert!(slo_target_s(&high.job) < slo_target_s(&normal.job));
+        assert!(slo_target_s(&normal.job) < slo_target_s(&low.job));
+        let dl = job(3, "a", Priority::Low, Some(1e-4));
+        assert_eq!(slo_target_s(&dl.job), 1e-4, "an explicit deadline wins");
+    }
+
+    #[test]
+    fn slo_edf_orders_within_a_tenant() {
+        let mut q = QosQueues::new();
         q.push(job(0, "a", Priority::Low, None));
         q.push(job(1, "a", Priority::High, None));
-        q.push(job(2, "a", Priority::Normal, None));
+        q.push(job(2, "a", Priority::Normal, Some(1e-3)));
         let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|p| p.job.id).collect();
-        assert_eq!(order, vec![1, 2, 0]);
-    }
-
-    #[test]
-    fn edf_orders_within_class_and_deadline_less_jobs_rank_last() {
-        let mut q = TenantQueues::new();
-        q.push(job(0, "a", Priority::Normal, None));
-        q.push(job(1, "a", Priority::Normal, Some(9.0)));
-        q.push(job(2, "a", Priority::Normal, Some(3.0)));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|p| p.job.id).collect();
+        // Deadline 1 ms < High SLO (5 ms) < Low SLO (500 ms).
         assert_eq!(order, vec![2, 1, 0]);
     }
 
     #[test]
-    fn round_robin_across_tenants() {
-        let mut q = TenantQueues::new();
+    fn fair_queueing_alternates_equal_weight_tenants() {
+        let mut q = QosQueues::new();
         for id in 0..3 {
             q.push(job(id, "a", Priority::Normal, None));
         }
@@ -177,22 +342,80 @@ mod tests {
         }
         let order: Vec<String> =
             std::iter::from_fn(|| q.pop()).map(|p| p.job.tenant.clone()).collect();
-        // a and b alternate while both have work; a finishes its backlog after.
         assert_eq!(order, vec!["a", "b", "a", "b", "a"]);
     }
 
     #[test]
-    fn high_priority_jumps_the_rotor() {
-        let mut q = TenantQueues::new();
-        q.push(job(0, "a", Priority::Normal, None));
-        q.push(job(1, "b", Priority::Normal, None));
-        q.push(job(2, "c", Priority::High, None));
-        assert_eq!(q.pop().unwrap().job.id, 2, "High dispatches before earlier Normals");
+    fn wfq_weights_shift_the_share() {
+        // Tenant a has weight 3: over the first 4 dispatches it should
+        // receive 3 slots to b's 1.
+        let mut q = QosQueues::with_weights(&[("a".into(), 3.0)]);
+        for id in 0..6 {
+            q.push(job(id, "a", Priority::Normal, None));
+        }
+        for id in 6..12 {
+            q.push(job(id, "b", Priority::Normal, None));
+        }
+        let first4: Vec<String> = (0..4).map(|_| q.pop().unwrap().job.tenant.clone()).collect();
+        let a_count = first4.iter().filter(|t| *t == "a").count();
+        assert_eq!(a_count, 3, "weight-3 tenant gets 3 of the first 4 slots: {first4:?}");
+    }
+
+    #[test]
+    fn drain_compatible_takes_matching_jobs_in_admission_order() {
+        let mut q = QosQueues::new();
+        q.push(job(0, "b", Priority::Normal, None));
+        q.push(job(1, "a", Priority::Normal, None));
+        q.push(job(2, "b", Priority::Low, None));
+        q.push(job(3, "a", Priority::Normal, None));
+        let drained = q.drain_compatible(2, |p| p.job.priority == Priority::Normal);
+        let ids: Vec<u64> = drained.iter().map(|p| p.job.id).collect();
+        assert_eq!(ids, vec![0, 1], "admission (seq) order across tenants, capped at max");
+        assert_eq!(q.len(), 2);
+        assert!(q.drain_compatible(0, |_| true).is_empty());
+    }
+
+    #[test]
+    fn drained_members_are_charged_like_dispatches() {
+        // Tenant a gets 3 jobs batched away in one drain; tenant b then
+        // deserves the next dispatches until the shares even out.
+        let mut q = QosQueues::new();
+        for id in 0..4 {
+            q.push(job(id, "a", Priority::Normal, None));
+        }
+        for id in 4..6 {
+            q.push(job(id, "b", Priority::Normal, None));
+        }
+        let lead = q.pop().unwrap();
+        assert_eq!(lead.job.tenant, "a");
+        let drained = q.drain_compatible(2, |p| p.job.tenant == "a");
+        assert_eq!(drained.len(), 2);
+        assert_eq!(
+            q.pop().unwrap().job.tenant,
+            "b",
+            "after 3 charged services, tenant a must yield"
+        );
+        assert_eq!(q.pop().unwrap().job.tenant, "b");
+        assert_eq!(q.pop().unwrap().job.tenant, "a");
+    }
+
+    #[test]
+    fn token_bucket_limits_and_refills() {
+        let mut b = TokenBucket::new(10.0, 2.0);
+        assert!(b.try_acquire(0.0).is_ok());
+        assert!(b.try_acquire(0.0).is_ok(), "burst of 2 admits 2 at once");
+        let wait = b.try_acquire(0.0).unwrap_err();
+        assert!((wait - 0.1).abs() < 1e-12, "next token is 1/rate away, got {wait}");
+        assert!(b.try_acquire(0.1).is_ok(), "refilled after the hint");
+        // Long idle refills to burst, never beyond.
+        assert!(b.try_acquire(10.0).is_ok());
+        assert!(b.try_acquire(10.0).is_ok());
+        assert!(b.try_acquire(10.0).is_err(), "capacity caps the burst at 2");
     }
 
     #[test]
     fn bookkeeping_tracks_depth_and_backlog() {
-        let mut q = TenantQueues::new();
+        let mut q = QosQueues::new();
         assert!(q.is_empty());
         q.push(job(0, "a", Priority::Normal, None));
         q.push(job(1, "b", Priority::Normal, None));

@@ -39,6 +39,8 @@ pub struct JobRecord {
     /// the job was resubmitted after a rejection or device failure;
     /// `arrival_s` then dates from the last resubmission).
     pub attempt: u32,
+    /// How many jobs shared this job's fused dispatch (1 = solo group).
+    pub group_size: usize,
     /// MTTKRP output (only kept in functional mode).
     pub output: Option<Mat>,
 }
@@ -52,6 +54,12 @@ impl JobRecord {
     /// Time spent queued before dispatch.
     pub fn queue_wait_s(&self) -> f64 {
         self.timing.queue_s
+    }
+
+    /// Time spent waiting for the batch group to close after leaving the
+    /// queue (zero for solo dispatch).
+    pub fn batch_wait_s(&self) -> f64 {
+        self.timing.batch_wait_s
     }
 
     /// `Some(true/false)` when the job had a deadline.
@@ -79,12 +87,26 @@ pub struct ServeReport {
     /// Jobs sent back through admission (rejection retries honouring
     /// `retry_after_s`, plus requeues after device failures).
     pub resubmissions: usize,
+    /// Fused dispatches performed (each covers `group_size` jobs) — the
+    /// denominator of [`ServeReport::mean_batch_occupancy`].
+    pub dispatch_groups: usize,
+    /// Devices attached by the pool autoscaler.
+    pub device_attaches: usize,
+    /// Devices detached by the pool autoscaler.
+    pub device_detaches: usize,
     /// Completed jobs whose phase timing failed
     /// `PhaseTiming::check_consistency` — always zero on a healthy
     /// simulation; nonzero values are a correctness signal, not noise.
     pub timing_inconsistencies: usize,
     /// The first job whose timing failed the consistency check, if any.
     pub first_inconsistent_job: Option<JobId>,
+    /// End-of-run plan-cache snapshot (only when
+    /// [`crate::ServerConfig::snapshot_cache`] is set) — feed it to
+    /// [`crate::ServerConfig::warm_snapshot`] to warm-start the next run.
+    /// Excluded from [`ServeReport::fingerprint`]: its text duplicates the
+    /// cache counters already hashed and is deterministic by construction
+    /// (covered by the `plan_cache` round-trip tests).
+    pub cache_snapshot: Option<String>,
 }
 
 impl ServeReport {
@@ -121,6 +143,33 @@ impl ServeReport {
     /// 99th-percentile latency (s).
     pub fn p99_latency_s(&self) -> f64 {
         self.latency_percentile_s(0.99)
+    }
+
+    /// 99.9th-percentile latency (s) — the tail the batch window and the
+    /// autoscaler trade against throughput.
+    pub fn p999_latency_s(&self) -> f64 {
+        self.latency_percentile_s(0.999)
+    }
+
+    /// Mean jobs per fused dispatch (1.0 = no batching happened; 0 when
+    /// nothing dispatched).
+    pub fn mean_batch_occupancy(&self) -> f64 {
+        if self.dispatch_groups == 0 {
+            0.0
+        } else {
+            self.completed.len() as f64 / self.dispatch_groups as f64
+        }
+    }
+
+    /// The batch-occupancy curve: `(group size, number of groups)` pairs
+    /// in ascending size order, reconstructed from the per-job records
+    /// (every member of a size-g group reports `group_size = g`).
+    pub fn batch_occupancy_curve(&self) -> Vec<(usize, usize)> {
+        let mut members: std::collections::BTreeMap<usize, usize> = Default::default();
+        for r in &self.completed {
+            *members.entry(r.group_size.max(1)).or_insert(0) += 1;
+        }
+        members.into_iter().map(|(size, n)| (size, n / size)).collect()
     }
 
     /// Mean queue wait over completed jobs (s).
@@ -170,6 +219,14 @@ impl ServeReport {
             .count()
     }
 
+    /// Jobs rejected by a tenant's token bucket.
+    pub fn rate_limited_rejections(&self) -> usize {
+        self.rejected
+            .iter()
+            .filter(|r| matches!(r.reason, RejectReason::RateLimited { .. }))
+            .count()
+    }
+
     /// Deadline hit rate among completed jobs that had one (`None` when no
     /// job carried a deadline).
     pub fn deadline_hit_rate(&self) -> Option<f64> {
@@ -198,8 +255,10 @@ impl ServeReport {
             r.plan_s.to_bits().hash(&mut h);
             r.cache_hit.hash(&mut h);
             r.timing.queue_s.to_bits().hash(&mut h);
+            r.timing.batch_wait_s.to_bits().hash(&mut h);
             r.timing.total_s.to_bits().hash(&mut h);
             r.attempt.hash(&mut h);
+            r.group_size.hash(&mut h);
         }
         for r in &self.rejected {
             r.job_id.hash(&mut h);
@@ -211,6 +270,9 @@ impl ServeReport {
         self.peak_queue_depth.hash(&mut h);
         self.makespan_s.to_bits().hash(&mut h);
         self.resubmissions.hash(&mut h);
+        self.dispatch_groups.hash(&mut h);
+        self.device_attaches.hash(&mut h);
+        self.device_detaches.hash(&mut h);
         self.timing_inconsistencies.hash(&mut h);
         self.first_inconsistent_job.hash(&mut h);
         h.finish()
@@ -239,13 +301,36 @@ impl ServeReport {
             ));
         }
         out.push_str(&format!(
-            "throughput {:.1} jobs/s | latency p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms | mean queue wait {:.3}ms\n",
+            "throughput {:.1} jobs/s | latency p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms p999 {:.3}ms | mean queue wait {:.3}ms\n",
             self.throughput_jobs_per_s(),
             self.p50_latency_s() * 1e3,
             self.p95_latency_s() * 1e3,
             self.p99_latency_s() * 1e3,
+            self.p999_latency_s() * 1e3,
             self.mean_queue_wait_s() * 1e3,
         ));
+        if self.dispatch_groups > 0 {
+            let curve = self
+                .batch_occupancy_curve()
+                .iter()
+                .map(|(size, n)| format!("{size}x{n}"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            out.push_str(&format!(
+                "batching: {} groups, mean occupancy {:.2} [{curve}]\n",
+                self.dispatch_groups,
+                self.mean_batch_occupancy(),
+            ));
+        }
+        if self.device_attaches + self.device_detaches > 0 {
+            out.push_str(&format!(
+                "autoscale: {} attaches, {} detaches\n",
+                self.device_attaches, self.device_detaches,
+            ));
+        }
+        if self.rate_limited_rejections() > 0 {
+            out.push_str(&format!("rate-limited {}\n", self.rate_limited_rejections()));
+        }
         out.push_str(&format!(
             "plan cache: {} hits / {} misses ({:.1}% hit rate), {} evictions, {}/{} entries | total plan time {:.3}ms | trainings {}\n",
             self.cache.hits,
@@ -283,6 +368,7 @@ mod tests {
             timing: PhaseTiming::default().with_queue(0.0),
             deadline_s: if id == 2 { Some(finish - 1.0) } else { None },
             attempt: 1,
+            group_size: 1,
             output: None,
         }
     }
@@ -302,8 +388,12 @@ mod tests {
             peak_queue_depth: 4,
             predictor_trainings: 1,
             resubmissions: 0,
+            dispatch_groups: 10,
+            device_attaches: 0,
+            device_detaches: 0,
             timing_inconsistencies: 0,
             first_inconsistent_job: None,
+            cache_snapshot: None,
         }
     }
 
@@ -330,12 +420,19 @@ mod tests {
             peak_queue_depth: 0,
             predictor_trainings: 0,
             resubmissions: 0,
+            dispatch_groups: 0,
+            device_attaches: 0,
+            device_detaches: 0,
             timing_inconsistencies: 0,
             first_inconsistent_job: None,
+            cache_snapshot: None,
         };
         assert_eq!(r.p99_latency_s(), 0.0);
+        assert_eq!(r.p999_latency_s(), 0.0);
         assert_eq!(r.throughput_jobs_per_s(), 0.0);
         assert_eq!(r.mean_queue_wait_s(), 0.0);
+        assert_eq!(r.mean_batch_occupancy(), 0.0);
+        assert!(r.batch_occupancy_curve().is_empty());
         assert!(r.deadline_hit_rate().is_none());
     }
 
@@ -367,8 +464,44 @@ mod tests {
     #[test]
     fn render_mentions_every_headline_metric() {
         let s = report().render();
-        for needle in ["throughput", "p99", "hit rate", "queue-full", "peak queue depth"] {
+        for needle in
+            ["throughput", "p99", "p999", "hit rate", "queue-full", "peak queue depth", "batching"]
+        {
             assert!(s.contains(needle), "missing {needle} in:\n{s}");
         }
+    }
+
+    #[test]
+    fn batch_and_autoscale_metrics_show_in_fingerprint_and_render() {
+        let base = report().fingerprint();
+        let mut r = report();
+        // Recast records 0..5 as one fused group of 6.
+        for rec in r.completed.iter_mut().take(6) {
+            rec.group_size = 6;
+            rec.timing.batch_wait_s = 1e-3;
+        }
+        r.dispatch_groups = 5;
+        r.device_attaches = 2;
+        r.device_detaches = 1;
+        assert_ne!(r.fingerprint(), base, "batch/autoscale state must be fingerprinted");
+        assert!((r.mean_batch_occupancy() - 2.0).abs() < 1e-12, "10 jobs over 5 groups");
+        assert_eq!(r.batch_occupancy_curve(), vec![(1, 4), (6, 1)]);
+        let s = r.render();
+        assert!(s.contains("mean occupancy 2.00"), "missing occupancy in:\n{s}");
+        assert!(s.contains("2 attaches, 1 detaches"), "missing autoscale line in:\n{s}");
+    }
+
+    #[test]
+    fn rate_limited_rejections_are_counted() {
+        let mut r = report();
+        r.rejected.push(Rejected {
+            job_id: 100,
+            tenant: "t0".into(),
+            reason: RejectReason::RateLimited { rate_jobs_per_s: 20.0 },
+            retry_after_s: 0.05,
+            arrival_s: 4.0,
+        });
+        assert_eq!(r.rate_limited_rejections(), 1);
+        assert!(r.render().contains("rate-limited 1"));
     }
 }

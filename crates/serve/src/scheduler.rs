@@ -1,29 +1,37 @@
-//! The dispatch engine: a discrete-event loop that admits arriving jobs,
-//! orders the queue (priority → tenant fairness → EDF), and executes each
-//! dispatched job on the next free device of the pool.
+//! The dispatch engine: a discrete-event loop that admits arriving jobs
+//! (token-bucket rate limits, bounded queue, makespan budget), orders the
+//! queue (WFQ across tenants → SLO-aware EDF within), and dispatches
+//! *batch groups* — compatible queued jobs fused into one ScheduleIR plan
+//! per [`crate::batch`] — onto the earliest-free active device of the
+//! pool, growing and shrinking the active set via [`crate::autoscale`].
 //!
 //! Time is the simulated clock shared with the gpusim substrate: arrivals
-//! carry simulated timestamps, service times come out of the pipeline
-//! executor's timeline, and planning costs use the calibrated constants
+//! carry simulated timestamps, service times come out of the fused plan's
+//! interpreted timeline, and planning costs use the calibrated constants
 //! below — so a serving run is bit-reproducible from its workload.
 
 use crate::admission::{estimate_service_s, RejectReason, Rejected};
+use crate::autoscale::Autoscaler;
+use crate::batch::BatchGroup;
 use crate::job::MttkrpJob;
 use crate::plan_cache::{ExecutionPlan, PlanCache};
-use crate::queue::{Pending, TenantQueues};
+use crate::queue::{Pending, QosQueues, TokenBucket};
 use crate::report::{JobRecord, ServeReport};
 use crate::ScalFragServer;
+use scalfrag_autotune::prefer_batched;
 use scalfrag_cluster::NodeSpec;
 use scalfrag_core::PhaseTiming;
-use scalfrag_exec::PlanBuilder;
+use scalfrag_exec::{run_plan, PlanBuilder};
 use scalfrag_faults::{DeviceHealth, FaultInjector, OpClass, OpVerdict, RecoveryAction};
-use scalfrag_gpusim::{DeviceSpec, Gpu, LaunchConfig};
+use scalfrag_gpusim::{DeviceSpec, Gpu, LaunchConfig, SpanKind};
 use scalfrag_pipeline::plan::MAX_SEGMENTS;
 use scalfrag_pipeline::{
-    build_pipelined_plan, execute_hybrid, execute_pipelined, split_by_slice_population, ExecMode,
-    KernelChoice, PipelinePlan,
+    build_batched_plan, build_pipelined_plan, execute_hybrid, split_by_slice_population,
+    BatchedJobSpec, ExecMode, KernelChoice, PipelinePlan,
 };
-use scalfrag_tensor::{segment, FeatureKey, TensorFeatures};
+use scalfrag_tensor::{segment, CooTensor, FeatureKey, TensorFeatures};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Simulated cost of planning from scratch (s): predictor inference over
 /// the launch space plus segment/stream planning. Calibrated to the
@@ -35,8 +43,9 @@ pub const PLAN_MISS_S: f64 = 1.5e-4;
 pub const PLAN_HIT_S: f64 = 1.0e-6;
 
 /// The set of simulated devices jobs dispatch onto. Each device runs one
-/// job at a time; the scheduler always hands the next job to the device
-/// that frees earliest.
+/// batch group at a time; the scheduler always hands the next group to
+/// the *active* device that frees earliest (with autoscaling off, every
+/// device is active).
 #[derive(Clone, Debug)]
 pub struct DevicePool {
     devices: Vec<DeviceSpec>,
@@ -85,14 +94,45 @@ impl DevicePool {
     }
 }
 
+/// Memoized per-(tensor handle, mode) planning artifacts. Feature
+/// extraction and mode-sorting are O(nnz), and a serving workload cycles
+/// a small catalog of tensor handles over millions of jobs — the memo
+/// makes repeat planning O(1). Keys are raw `Arc` addresses, which is
+/// sound here because the job stream keeps every tensor alive for the
+/// whole run and the maps are only probed, never iterated.
+#[derive(Default)]
+struct PlannerMemo {
+    features: HashMap<(usize, usize), TensorFeatures>,
+    sorted: HashMap<(usize, usize), Arc<CooTensor>>,
+}
+
+impl PlannerMemo {
+    fn features_of(&mut self, job: &MttkrpJob) -> &TensorFeatures {
+        self.features
+            .entry((Arc::as_ptr(&job.tensor) as usize, job.mode))
+            .or_insert_with(|| TensorFeatures::extract(&job.tensor, job.mode))
+    }
+
+    fn sorted_of(&mut self, job: &MttkrpJob) -> Arc<CooTensor> {
+        Arc::clone(self.sorted.entry((Arc::as_ptr(&job.tensor) as usize, job.mode)).or_insert_with(
+            || {
+                let mut sorted = (*job.tensor).clone();
+                sorted.sort_for_mode(job.mode);
+                Arc::new(sorted)
+            },
+        ))
+    }
+}
+
 impl ScalFragServer {
     /// Serves a whole job stream to completion and reports.
     ///
     /// Jobs are processed in arrival order (the stream is sorted by
     /// arrival time, ties broken by id, so callers may submit in any
     /// order). The loop interleaves two event kinds in simulated-time
-    /// order: *arrivals* (admission control) and *dispatches* (queue pop →
-    /// plan → execute on the earliest-free device).
+    /// order: *arrivals* (rate limiting + admission control) and
+    /// *dispatches* (queue pop → batch-group formation → fused plan →
+    /// interpret on the earliest-free active device).
     pub fn run(&self, jobs: Vec<MttkrpJob>) -> ServeReport {
         self.serve(jobs, None)
     }
@@ -101,15 +141,16 @@ impl ScalFragServer {
     /// [`ScalFragServer::run`], with the injector polled at every
     /// scheduling decision.
     ///
-    /// * **Dispatch** polls [`FaultInjector::on_op`]: a down device parks
-    ///   until it heals (forever, if the failure is permanent) and the job
-    ///   reroutes; an aborted kernel charges its full service time and the
-    ///   job fails over.
+    /// * **Dispatch** polls [`FaultInjector::on_op`] before the group
+    ///   forms: a down device parks until it heals (forever, if the
+    ///   failure is permanent) and the lead reroutes; an aborted kernel
+    ///   charges the group's full service time and every member fails
+    ///   over.
     /// * **Mid-service failures** ([`FaultInjector::fail_between`]) kill
-    ///   the in-flight job at the fault time and requeue it (counted in
-    ///   [`ServeReport::resubmissions`]) while it has retry budget
-    ///   ([`crate::ServerConfig::max_retries`]); past the budget it is
-    ///   rejected with [`RejectReason::DeviceFailure`].
+    ///   the in-flight group at the fault time and requeue each member
+    ///   (counted in [`ServeReport::resubmissions`]) while it has retry
+    ///   budget ([`crate::ServerConfig::max_retries`]); past the budget a
+    ///   member is rejected with [`RejectReason::DeviceFailure`].
     /// * **Stragglers** execute against a derated
     ///   [`DeviceSpec`](scalfrag_gpusim::DeviceSpec::derated).
     /// * **Admission degrades** with pool health: down devices shrink the
@@ -135,9 +176,21 @@ impl ScalFragServer {
         });
         let num_devices = self.pool.num_devices();
         let max_retries = self.config.max_retries;
+        let batch_window = self.config.batch_window_s.max(0.0);
         let mut free_at = vec![0.0f64; num_devices];
-        let mut queue = TenantQueues::new();
-        let mut cache = PlanCache::new(self.config.cache_capacity);
+        let mut autoscaler = self.config.autoscale.map(Autoscaler::new);
+        let mut active = match &autoscaler {
+            Some(a) => a.initial_active(num_devices),
+            None => vec![true; num_devices],
+        };
+        let mut queue = QosQueues::with_weights(&self.config.qos.tenant_weights);
+        let mut buckets: HashMap<String, TokenBucket> = HashMap::new();
+        let mut cache = match &self.config.warm_snapshot {
+            Some(snap) => PlanCache::restore(snap)
+                .expect("ServerConfig::warm_snapshot is not a valid plan-cache snapshot"),
+            None => PlanCache::new(self.config.cache_capacity),
+        };
+        let mut memo = PlannerMemo::default();
         let mut completed: Vec<JobRecord> = Vec::with_capacity(jobs.len());
         let mut rejected: Vec<Rejected> = Vec::new();
         // Resubmitted jobs, sorted descending by (arrival, id, attempt) so
@@ -147,11 +200,12 @@ impl ScalFragServer {
         let mut next = 0usize;
         let mut seq = 0u64;
         let mut resubmissions = 0usize;
+        let mut dispatch_groups = 0usize;
         let mut timing_inconsistencies = 0usize;
         let mut first_inconsistent_job = None;
 
         while next < jobs.len() || !resubmit.is_empty() || !queue.is_empty() {
-            let (dev, dev_free) = earliest_free(&free_at);
+            let (dev, dev_free) = earliest_free_active(&free_at, &active);
             // The next submission event across fresh arrivals and pending
             // resubmissions (earlier time wins, then lower id).
             let fresh = jobs.get(next).map(|j| (j.arrival_s, j.id));
@@ -164,8 +218,11 @@ impl ScalFragServer {
             let arrival_s = if take_fresh { fresh.map(|f| f.0) } else { resub.map(|r| r.0) };
             // Admit every submission that lands before the next dispatch
             // can happen — admission state must be current when the queue
-            // pops.
-            let arrival_due = arrival_s.is_some_and(|t| queue.is_empty() || t <= dev_free);
+            // pops. `batch_window_s` stretches the horizon so near-future
+            // arrivals may still join the group about to form (the members
+            // already ready are charged the wait as `batch_wait_s`).
+            let arrival_due =
+                arrival_s.is_some_and(|t| queue.is_empty() || t <= dev_free + batch_window);
             if arrival_due {
                 let (job, attempt) = if take_fresh {
                     let job = jobs[next].clone();
@@ -174,26 +231,55 @@ impl ScalFragServer {
                 } else {
                     resubmit.pop().expect("resub event implies non-empty resubmit list")
                 };
+                let now = job.arrival_s;
+                if let Some(a) = autoscaler.as_mut() {
+                    a.step(now, queue.len(), &mut active, &mut free_at);
+                }
+                // Per-tenant token bucket: the QoS gate in front of the
+                // shared admission gate.
+                if let Some(rate) = self.config.qos.rate_jobs_per_s {
+                    let burst = self.config.qos.burst;
+                    let bucket = buckets
+                        .entry(job.tenant.clone())
+                        .or_insert_with(|| TokenBucket::new(rate, burst));
+                    if let Err(retry_after_s) = bucket.try_acquire(now) {
+                        if attempt <= max_retries {
+                            let mut job = job;
+                            job.arrival_s += retry_after_s;
+                            resubmissions += 1;
+                            push_resubmission(&mut resubmit, job, attempt + 1);
+                        } else {
+                            rejected.push(Rejected {
+                                job_id: job.id,
+                                tenant: job.tenant.clone(),
+                                reason: RejectReason::RateLimited { rate_jobs_per_s: rate },
+                                retry_after_s,
+                                arrival_s: now,
+                            });
+                        }
+                        continue;
+                    }
+                }
                 let est = estimate_service_s(
                     job.transfer_bytes(),
                     job.rank(),
                     self.pool.planning_device(),
                 );
+                let n_active = active.iter().filter(|a| **a).count().max(1);
                 let residual: f64 = free_at
                     .iter()
-                    .map(|&f| if f.is_finite() { (f - job.arrival_s).max(0.0) } else { 0.0 })
+                    .zip(&active)
+                    .filter(|(_, a)| **a)
+                    .map(|(&f, _)| if f.is_finite() { (f - now).max(0.0) } else { 0.0 })
                     .sum();
-                let wait_est = (residual + queue.backlog_s()) / num_devices as f64;
+                let wait_est = (residual + queue.backlog_s()) / n_active as f64;
                 let mean_queued =
                     if queue.is_empty() { est } else { queue.backlog_s() / queue.len() as f64 };
                 let policy = match injector.as_deref_mut() {
                     Some(inj) => {
                         let healthy = (0..num_devices)
                             .filter(|&d| {
-                                !matches!(
-                                    inj.health_at(d, job.arrival_s),
-                                    DeviceHealth::Down { .. }
-                                )
+                                !matches!(inj.health_at(d, now), DeviceHealth::Down { .. })
                             })
                             .count();
                         self.config.admission.degraded(healthy, num_devices)
@@ -202,7 +288,9 @@ impl ScalFragServer {
                 };
                 match policy.admit(queue.len(), wait_est, mean_queued) {
                     Ok(()) => {
-                        queue.push(Pending { job, seq, est_s: est, attempt });
+                        let key =
+                            FeatureKey::quantize(memo.features_of(&job), job.mode, job.rank());
+                        queue.push(Pending { job, seq, est_s: est, attempt, key });
                         seq += 1;
                     }
                     Err((_reason, retry_after_s)) if attempt <= max_retries => {
@@ -220,92 +308,127 @@ impl ScalFragServer {
                     }),
                 }
             } else {
-                let pending = queue.pop().expect("dispatch branch implies non-empty queue");
-                let start = free_at[dev].max(pending.job.arrival_s);
-                if !start.is_finite() {
-                    // Every device is permanently down: drain the queue
-                    // into final rejections rather than spinning.
+                let lead = queue.pop().expect("dispatch branch implies non-empty queue");
+                let lead_ready = dev_free.max(lead.job.arrival_s);
+                if !lead_ready.is_finite() {
+                    // Every active device is permanently down: drain the
+                    // queue into final rejections rather than spinning.
                     rejected.push(Rejected {
-                        job_id: pending.job.id,
-                        tenant: pending.job.tenant.clone(),
+                        job_id: lead.job.id,
+                        tenant: lead.job.tenant.clone(),
                         reason: RejectReason::DeviceFailure { device: dev },
                         retry_after_s: f64::INFINITY,
-                        arrival_s: pending.job.arrival_s,
+                        arrival_s: lead.job.arrival_s,
                     });
                     continue;
                 }
                 let mut aborted = false;
                 let mut spec = self.pool.devices()[dev].clone();
                 if let Some(inj) = injector.as_deref_mut() {
-                    match inj.on_op(dev, OpClass::Kernel, start) {
+                    match inj.on_op(dev, OpClass::Kernel, lead_ready) {
                         OpVerdict::DeviceDown { until_s } => {
-                            // The job never started: park the device until
-                            // it heals and reroute the job untouched.
+                            // The group never formed: park the device until
+                            // it heals and reroute the lead untouched.
                             free_at[dev] = until_s.unwrap_or(f64::INFINITY);
                             inj.record_recovery(
                                 dev,
-                                start,
-                                RecoveryAction::Requeue { job: pending.job.id },
+                                lead_ready,
+                                RecoveryAction::Requeue { job: lead.job.id },
                             );
-                            queue.push(pending);
+                            queue.push(lead);
                             continue;
                         }
                         OpVerdict::Aborted => aborted = true,
                         OpVerdict::Ok | OpVerdict::Corrupted => {}
                     }
-                    if let DeviceHealth::Straggling { derate } = inj.health_at(dev, start) {
+                    if let DeviceHealth::Straggling { derate } = inj.health_at(dev, lead_ready) {
                         spec = spec.derated(derate);
                     }
                 }
-                let record =
-                    self.execute(&pending.job, dev, &spec, start, pending.attempt, &mut cache);
+                // Group formation: drain the queue's compatible followers
+                // behind the QoS pick, capped by `max_batch` — unless the
+                // arm decision says this shape gains nothing from fusing,
+                // or the hybrid CPU/GPU split (inherently per-job) is on.
+                let solo_only = self.config.hybrid_threshold.is_some() && self.config.functional;
+                let max_batch = self.config.max_batch.max(1);
+                let fuse = !solo_only
+                    && max_batch > 1
+                    && prefer_batched(
+                        lead.job.factors.byte_size(),
+                        lead.job.tensor.byte_size(),
+                        max_batch,
+                    );
+                let mut members = vec![lead];
+                if fuse {
+                    let extra = queue.drain_compatible(max_batch - 1, |p| {
+                        BatchGroup::compatible(&members[0], p)
+                    });
+                    members.extend(extra);
+                }
+                let group = BatchGroup::new(members);
+                let group_start = group.group_start(dev_free);
+                let (records, group_finish) =
+                    self.execute_group(&group, dev, &spec, dev_free, &mut cache, &mut memo);
                 let failure = match injector.as_deref_mut() {
-                    Some(inj) if !aborted => inj.fail_between(dev, record.start_s, record.finish_s),
+                    Some(inj) if !aborted => inj.fail_between(dev, group_start, group_finish),
                     _ => None,
                 };
                 if aborted || failure.is_some() {
                     // An abort charges the full (wasted) service time but
                     // leaves the device up; a mid-service device failure
-                    // kills the job at the fault time and takes the device
-                    // with it until it heals.
+                    // kills the whole group at the fault time and takes
+                    // the device with it until it heals.
                     let (fail_s, free_again_s) = match failure {
                         Some((t, until_s)) => (t, until_s.unwrap_or(f64::INFINITY)),
-                        None => (record.finish_s, record.finish_s),
+                        None => (group_finish, group_finish),
                     };
                     free_at[dev] = free_again_s.max(fail_s);
-                    if pending.attempt <= max_retries {
-                        if let Some(inj) = injector.as_deref_mut() {
-                            inj.record_recovery(
-                                dev,
-                                fail_s,
-                                RecoveryAction::Requeue { job: pending.job.id },
-                            );
+                    for m in group.members {
+                        if m.attempt <= max_retries {
+                            if let Some(inj) = injector.as_deref_mut() {
+                                inj.record_recovery(
+                                    dev,
+                                    fail_s,
+                                    RecoveryAction::Requeue { job: m.job.id },
+                                );
+                            }
+                            let mut job = m.job;
+                            job.arrival_s = fail_s;
+                            resubmissions += 1;
+                            push_resubmission(&mut resubmit, job, m.attempt + 1);
+                        } else {
+                            rejected.push(Rejected {
+                                job_id: m.job.id,
+                                tenant: m.job.tenant.clone(),
+                                reason: RejectReason::DeviceFailure { device: dev },
+                                retry_after_s: (free_again_s - fail_s).max(1e-6),
+                                arrival_s: fail_s,
+                            });
                         }
-                        let mut job = pending.job;
-                        job.arrival_s = fail_s;
-                        resubmissions += 1;
-                        push_resubmission(&mut resubmit, job, pending.attempt + 1);
-                    } else {
-                        rejected.push(Rejected {
-                            job_id: pending.job.id,
-                            tenant: pending.job.tenant.clone(),
-                            reason: RejectReason::DeviceFailure { device: dev },
-                            retry_after_s: (free_again_s - fail_s).max(1e-6),
-                            arrival_s: fail_s,
-                        });
                     }
                     continue;
                 }
-                if record.timing.check_consistency().is_err() {
-                    timing_inconsistencies += 1;
-                    first_inconsistent_job.get_or_insert(record.id);
+                for r in records {
+                    if r.timing.check_consistency().is_err() {
+                        timing_inconsistencies += 1;
+                        first_inconsistent_job.get_or_insert(r.id);
+                    }
+                    completed.push(r);
                 }
-                free_at[dev] = record.finish_s;
-                completed.push(record);
+                dispatch_groups += 1;
+                free_at[dev] = group_finish;
+                if let Some(a) = autoscaler.as_mut() {
+                    a.step(group_start, queue.len(), &mut active, &mut free_at);
+                }
             }
         }
 
         let makespan_s = completed.iter().map(|r| r.finish_s).fold(0.0, f64::max);
+        let (device_attaches, device_detaches) = match &autoscaler {
+            Some(a) => (a.attaches(), a.detaches()),
+            None => (0, 0),
+        };
+        let cache_snapshot = self.config.snapshot_cache.then(|| cache.snapshot());
         ServeReport {
             completed,
             rejected,
@@ -314,17 +437,27 @@ impl ScalFragServer {
             peak_queue_depth: queue.peak_depth(),
             predictor_trainings: self.predictor.trainings(),
             resubmissions,
+            dispatch_groups,
+            device_attaches,
+            device_detaches,
             timing_inconsistencies,
             first_inconsistent_job,
+            cache_snapshot,
         }
     }
 
-    /// Plans one job: cache lookup on the quantized feature key, falling
-    /// back to the full planning path (predictor → segments/streams →
-    /// hybrid decision) on a miss. Returns `(plan, cache_hit, plan_s)`.
-    fn plan(&self, job: &MttkrpJob, cache: &mut PlanCache) -> (ExecutionPlan, bool, f64) {
-        let features = TensorFeatures::extract(&job.tensor, job.mode);
-        let key = FeatureKey::quantize(&features, job.mode, job.rank());
+    /// Plans one shape class: cache lookup on the quantized feature key,
+    /// falling back to the full planning path (predictor → segments/streams
+    /// → hybrid decision) on a miss. One call covers a whole batch group —
+    /// its members share the key by construction. Returns
+    /// `(plan, cache_hit, plan_s)`.
+    fn plan(
+        &self,
+        job: &MttkrpJob,
+        cache: &mut PlanCache,
+        memo: &mut PlannerMemo,
+    ) -> (ExecutionPlan, bool, f64) {
+        let key = FeatureKey::quantize(memo.features_of(job), job.mode, job.rank());
         if self.config.plan_caching {
             if let Some(plan) = cache.get(&key) {
                 return (plan, true, PLAN_HIT_S);
@@ -333,7 +466,8 @@ impl ScalFragServer {
             cache.count_bypass();
         }
         let config = if self.config.adaptive_launch {
-            self.predictor.for_rank(job.rank()).predict_from_features(&features.to_vec())
+            let features = memo.features_of(job).to_vec();
+            self.predictor.for_rank(job.rank()).predict_from_features(&features)
         } else {
             LaunchConfig::parti_default(job.tensor.nnz())
         };
@@ -359,72 +493,186 @@ impl ScalFragServer {
         (plan, false, PLAN_MISS_S)
     }
 
-    /// Executes one job on pool device `dev` starting at `start` (s).
-    /// `device` is the spec to simulate against — normally the pool's, but
-    /// a straggling device passes a derated copy.
-    fn execute(
+    /// Executes one batch group on pool device `dev`. `device` is the spec
+    /// to simulate against — normally the pool's, but a straggling device
+    /// passes a derated copy. Returns the per-member records plus the time
+    /// the device frees.
+    ///
+    /// The group becomes **one** fused ScheduleIR plan
+    /// ([`build_batched_plan`]): the shared factor set crosses PCIe once,
+    /// then each member's tensor staging, kernel and output return run as
+    /// independent `job{id}`-labelled spans cycling the worker streams.
+    /// The fused plan goes through the `scalfrag-opt` default pipeline
+    /// (bit-identical passes only) before interpretation, exactly like the
+    /// registered `serve-batched` builder the conformance suite pins.
+    ///
+    /// Per-member phase accounting reads the interpreted trace back:
+    /// `job{id}`-labelled spans bill that member; the remaining H2D time —
+    /// the shared factor upload, plus whatever staging copy an optimizer
+    /// pass folded into it — is split across members proportionally to
+    /// their tensor payload bytes. A member's `total_s` is its own last
+    /// span's end on the plan timeline, so per-engine bounds keep holding;
+    /// planning time is charged once to the group and shown as an equal
+    /// per-member share (`plan_s / size`), keeping `total_plan_s` an
+    /// honest sum.
+    fn execute_group(
         &self,
-        job: &MttkrpJob,
+        group: &BatchGroup,
         dev: usize,
         device: &DeviceSpec,
-        start: f64,
-        attempt: u32,
+        dev_free: f64,
         cache: &mut PlanCache,
-    ) -> JobRecord {
-        let (plan, cache_hit, plan_s) = self.plan(job, cache);
+        memo: &mut PlannerMemo,
+    ) -> (Vec<JobRecord>, f64) {
+        let lead = &group.lead().job;
+        let (plan, cache_hit, plan_s) = self.plan(lead, cache, memo);
         // A cached plan may have been made against a bigger card; fall
         // back to the heuristic rather than launching an invalid config.
         let config = if plan.config.validate(device).is_ok() {
             plan.config
         } else {
-            LaunchConfig::parti_default(job.tensor.nnz())
+            LaunchConfig::parti_default(lead.tensor.nnz())
         };
-        let mut gpu = Gpu::new(device.clone());
-        let run = match plan.hybrid_threshold {
-            Some(threshold) if self.config.functional => {
-                let split = split_by_slice_population(&job.tensor, job.mode, threshold);
-                execute_hybrid(
-                    &mut gpu,
-                    &split,
-                    &job.factors,
-                    job.mode,
-                    config,
-                    plan.segments,
-                    plan.streams,
-                    plan.kernel,
-                    ExecMode::Functional,
-                )
-            }
-            _ => {
-                let mut sorted = (*job.tensor).clone();
-                sorted.sort_for_mode(job.mode);
-                let pplan =
-                    PipelinePlan::new(&sorted, job.mode, config, plan.segments, plan.streams);
-                let exec =
-                    if self.config.functional { ExecMode::Functional } else { ExecMode::Dry };
-                execute_pipelined(&mut gpu, &sorted, &job.factors, &pplan, plan.kernel, exec)
-            }
-        };
-        let timing = PhaseTiming::from_timeline(&run.timeline).with_queue(start - job.arrival_s);
-        // Consistency is checked (and surfaced) by the serve loop via
-        // `ServeReport::timing_inconsistencies` — not asserted away here.
-        let finish_s = start + plan_s + timing.total_s;
-        JobRecord {
-            id: job.id,
-            tenant: job.tenant.clone(),
-            priority: job.priority,
-            device: dev,
-            arrival_s: job.arrival_s,
-            start_s: start,
-            finish_s,
-            plan_s,
-            cache_hit,
-            timing,
-            deadline_s: job.deadline_s,
-            attempt,
-            output: if self.config.functional { Some(run.output) } else { None },
+        let group_start = group.group_start(dev_free);
+
+        if let (Some(threshold), true) = (plan.hybrid_threshold, self.config.functional) {
+            // The hybrid CPU/GPU split stays a per-job path: the host-side
+            // residue has no per-member stream labelling to unfuse. The
+            // dispatch loop caps such groups at one member.
+            assert_eq!(group.size(), 1, "hybrid dispatch is solo by construction");
+            let m = &group.members[0];
+            let mut gpu = Gpu::new(device.clone());
+            let split = split_by_slice_population(&m.job.tensor, m.job.mode, threshold);
+            let run = execute_hybrid(
+                &mut gpu,
+                &split,
+                &m.job.factors,
+                m.job.mode,
+                config,
+                plan.segments,
+                plan.streams,
+                plan.kernel,
+                ExecMode::Functional,
+            );
+            let timing =
+                PhaseTiming::from_timeline(&run.timeline).with_queue(group_start - m.job.arrival_s);
+            let finish_s = group_start + plan_s + timing.total_s;
+            let record = JobRecord {
+                id: m.job.id,
+                tenant: m.job.tenant.clone(),
+                priority: m.job.priority,
+                device: dev,
+                arrival_s: m.job.arrival_s,
+                start_s: group_start,
+                finish_s,
+                plan_s,
+                cache_hit,
+                timing,
+                deadline_s: m.job.deadline_s,
+                attempt: m.attempt,
+                group_size: 1,
+                output: Some(run.output),
+            };
+            return (vec![record], finish_s);
         }
+
+        let specs: Vec<BatchedJobSpec> = group
+            .members
+            .iter()
+            .map(|m| BatchedJobSpec { id: m.job.id, tensor: memo.sorted_of(&m.job) })
+            .collect();
+        let fused = build_batched_plan(
+            device,
+            &specs,
+            Arc::clone(&lead.factors),
+            lead.mode,
+            config,
+            plan.kernel,
+            plan.streams,
+        );
+        let fused = scalfrag_opt::optimize_default(&fused);
+        let exec = if self.config.functional { ExecMode::Functional } else { ExecMode::Dry };
+        let outcome = run_plan(&fused, exec);
+
+        let n = group.size();
+        let id_to_idx: HashMap<u64, usize> =
+            group.members.iter().enumerate().map(|(i, m)| (m.job.id, i)).collect();
+        let mut h2d = vec![0.0f64; n];
+        let mut kernel = vec![0.0f64; n];
+        let mut d2h = vec![0.0f64; n];
+        let mut ends = vec![0.0f64; n];
+        let mut shared_h2d = 0.0f64;
+        let mut makespan = 0.0f64;
+        for e in &outcome.trace.events {
+            makespan = makespan.max(e.end);
+            let dur = e.end - e.start;
+            match job_of_label(&e.label).and_then(|id| id_to_idx.get(&id)) {
+                Some(&j) => {
+                    match e.kind {
+                        SpanKind::CopyH2D => h2d[j] += dur,
+                        SpanKind::Kernel => kernel[j] += dur,
+                        SpanKind::CopyD2H => d2h[j] += dur,
+                        SpanKind::HostTask => {}
+                    }
+                    ends[j] = ends[j].max(e.end);
+                }
+                None => {
+                    if e.kind == SpanKind::CopyH2D {
+                        shared_h2d += dur;
+                    }
+                }
+            }
+        }
+
+        let total_bytes = group.total_tensor_bytes() as f64;
+        let plan_share = plan_s / n as f64;
+        let mut records = Vec::with_capacity(n);
+        for (j, m) in group.members.iter().enumerate() {
+            let share = if total_bytes > 0.0 {
+                m.job.tensor.byte_size() as f64 / total_bytes
+            } else {
+                1.0 / n as f64
+            };
+            let t_ready = group.t_ready(j, dev_free);
+            let timing = PhaseTiming {
+                h2d_s: h2d[j] + shared_h2d * share,
+                kernel_s: kernel[j],
+                d2h_s: d2h[j],
+                host_s: 0.0,
+                queue_s: (t_ready - m.job.arrival_s).max(0.0),
+                batch_wait_s: group.batch_wait_s(j, dev_free),
+                total_s: ends[j],
+            };
+            let output =
+                if self.config.functional { outcome.shard_outputs.get(j).cloned() } else { None };
+            records.push(JobRecord {
+                id: m.job.id,
+                tenant: m.job.tenant.clone(),
+                priority: m.job.priority,
+                device: dev,
+                arrival_s: m.job.arrival_s,
+                start_s: t_ready,
+                finish_s: group_start + plan_s + ends[j],
+                plan_s: plan_share,
+                cache_hit,
+                timing,
+                deadline_s: m.job.deadline_s,
+                attempt: m.attempt,
+                group_size: n,
+                output,
+            });
+        }
+        (records, group_start + plan_s + makespan)
     }
+}
+
+/// Parses the member id out of a fused-plan op label — the `"job{id} …"`
+/// labelling contract of [`build_batched_plan`]. Labels without the
+/// prefix (the shared factor upload) return `None`.
+fn job_of_label(label: &str) -> Option<u64> {
+    let rest = label.strip_prefix("job")?;
+    let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 /// The serving layer's registered plan builders: the plan a default
@@ -466,16 +714,19 @@ fn push_resubmission(resubmit: &mut Vec<(MttkrpJob, u32)>, job: MttkrpJob, attem
     });
 }
 
-/// Index and free-time of the earliest-free device (lowest index wins
-/// ties, deterministically).
-fn earliest_free(free_at: &[f64]) -> (usize, f64) {
-    let mut best = 0usize;
-    for (i, &t) in free_at.iter().enumerate().skip(1) {
-        if t < free_at[best] {
-            best = i;
+/// Index and free-time of the earliest-free *active* device (lowest index
+/// wins ties, deterministically). The active set never empties: with
+/// autoscaling off it is the whole pool, and the autoscaler floors the
+/// shrink at `min_devices ≥ 1`.
+fn earliest_free_active(free_at: &[f64], active: &[bool]) -> (usize, f64) {
+    let mut best: Option<usize> = None;
+    for (i, (&t, &a)) in free_at.iter().zip(active).enumerate() {
+        if a && best.is_none_or(|b| t < free_at[b]) {
+            best = Some(i);
         }
     }
-    (best, free_at[best])
+    let b = best.expect("the active device set never empties");
+    (b, free_at[b])
 }
 
 #[cfg(test)]
@@ -503,9 +754,252 @@ mod tests {
     }
 
     #[test]
-    fn earliest_free_prefers_lowest_index_on_tie() {
-        assert_eq!(earliest_free(&[1.0, 1.0, 0.5]), (2, 0.5));
-        assert_eq!(earliest_free(&[1.0, 1.0]), (0, 1.0));
+    fn earliest_free_active_prefers_lowest_index_and_skips_inactive() {
+        assert_eq!(earliest_free_active(&[1.0, 1.0, 0.5], &[true; 3]), (2, 0.5));
+        assert_eq!(earliest_free_active(&[1.0, 1.0], &[true; 2]), (0, 1.0));
+        assert_eq!(
+            earliest_free_active(&[1.0, 0.5], &[true, false]),
+            (0, 1.0),
+            "a parked device must never win dispatch"
+        );
+    }
+
+    #[test]
+    fn job_labels_parse_back_to_member_ids() {
+        assert_eq!(job_of_label("job17 H2D (600 nnz)"), Some(17));
+        assert_eq!(job_of_label("job3 kernel"), Some(3));
+        assert_eq!(job_of_label("job900 output D2H"), Some(900));
+        assert_eq!(job_of_label("factors H2D"), None);
+        assert_eq!(job_of_label("job H2D"), None, "no digits, no member");
+    }
+
+    mod batched {
+        use crate::admission::AdmissionPolicy;
+        use crate::autoscale::AutoscalePolicy;
+        use crate::queue::QosConfig;
+        use crate::scheduler::DevicePool;
+        use crate::workload::{synthesize, WorkloadSpec};
+        use crate::{RejectReason, ScalFragServer, ServerConfig};
+        use scalfrag_gpusim::DeviceSpec;
+
+        /// A near-simultaneous burst of one shape class: everything is
+        /// batch-compatible and the queue backs up behind one device.
+        fn burst_spec(jobs: usize) -> WorkloadSpec {
+            WorkloadSpec {
+                jobs,
+                tenants: 2,
+                shape_classes: 1,
+                variants_per_class: 1,
+                base_nnz: 3_000,
+                mean_interarrival_s: 1e-6,
+                ..Default::default()
+            }
+        }
+
+        fn loose() -> AdmissionPolicy {
+            AdmissionPolicy { max_queue_depth: 256, makespan_budget_s: 10.0 }
+        }
+
+        #[test]
+        fn burst_of_compatible_jobs_fuses_into_groups() {
+            let server =
+                ScalFragServer::builder().admission(loose()).train_tiers(vec![3_000]).build();
+            let report = server.run(synthesize(&burst_spec(16)));
+            assert_eq!(report.completed.len(), 16);
+            assert!(
+                report.dispatch_groups < 16,
+                "a same-class burst must fuse ({} groups for 16 jobs)",
+                report.dispatch_groups
+            );
+            assert!(report.completed.iter().any(|r| r.group_size > 1));
+            assert!(report.mean_batch_occupancy() > 1.0);
+            // Window 0: every fused member was already queued when the
+            // device freed, so nobody waits on the group forming.
+            assert!(report.completed.iter().all(|r| r.timing.batch_wait_s == 0.0));
+            for r in &report.completed {
+                assert!(r.timing.check_consistency().is_ok(), "job {}: bad timing", r.id);
+            }
+        }
+
+        #[test]
+        fn batch_window_admits_late_members_and_charges_the_wait() {
+            let config =
+                ServerConfig { admission: loose(), batch_window_s: 2e-3, ..Default::default() };
+            let server = ScalFragServer::builder().config(config).train_tiers(vec![3_000]).build();
+            let spec = WorkloadSpec { mean_interarrival_s: 2e-4, ..burst_spec(16) };
+            let report = server.run(synthesize(&spec));
+            assert_eq!(report.completed.len(), 16);
+            let waited: Vec<_> = report
+                .completed
+                .iter()
+                .filter(|r| r.group_size > 1 && r.timing.batch_wait_s > 0.0)
+                .collect();
+            assert!(
+                !waited.is_empty(),
+                "a 2ms window must let late arrivals join and charge the early members"
+            );
+            for r in &report.completed {
+                assert!(r.timing.check_consistency().is_ok(), "job {}: bad timing", r.id);
+                assert!(
+                    r.finish_s >= r.start_s + r.timing.batch_wait_s,
+                    "job {}: the batch wait must be inside the service window",
+                    r.id
+                );
+            }
+        }
+
+        /// Satellite regression: the shared factor upload is charged to
+        /// the members in proportion to their tensor payloads. Member 0
+        /// is excluded from the comparison — its own tensor upload sits
+        /// next to the factors on worker stream 0, so `coalesce-h2d`
+        /// folds it into the shared (proportionally split) pool; members
+        /// 1+ keep their labelled uploads.
+        #[test]
+        fn shared_h2d_splits_proportionally_to_tensor_bytes() {
+            use crate::job::MttkrpJob;
+            use scalfrag_kernels::FactorSet;
+            use scalfrag_tensor::CooTensor;
+            use std::sync::Arc;
+
+            let dims = [40u32, 30, 20];
+            let factors = Arc::new(FactorSet::random(&dims, 8, 3));
+            let job = |id: u64, t: &Arc<CooTensor>| {
+                MttkrpJob::new(id, "acme", Arc::clone(t), Arc::clone(&factors), 0).at(0.0)
+            };
+            let serve_trio = |a: &Arc<CooTensor>, b: &Arc<CooTensor>, c: &Arc<CooTensor>| {
+                let server =
+                    ScalFragServer::builder().admission(loose()).train_tiers(vec![600]).build();
+                let report = server.run(vec![job(0, a), job(1, b), job(2, c)]);
+                assert_eq!(report.completed.len(), 3);
+                assert!(
+                    report.completed.iter().all(|r| r.group_size == 3),
+                    "the simultaneous trio must fuse into one group"
+                );
+                let h2d =
+                    |id: u64| report.completed.iter().find(|r| r.id == id).unwrap().timing.h2d_s;
+                (h2d(1), h2d(2))
+            };
+
+            // Same tensor handle throughout: identical payloads, so the
+            // shared upload splits exactly evenly. The durations are
+            // differences of span times at different trace offsets, so
+            // allow rounding in the last few bits.
+            let t = Arc::new(CooTensor::random_uniform(&dims, 600, 1));
+            let (ha, hb) = serve_trio(&t, &t, &t);
+            assert!(
+                (ha - hb).abs() <= 1e-9 * ha.max(hb),
+                "equal payloads must split the shared upload evenly ({ha:.9e} vs {hb:.9e})"
+            );
+
+            // 600 vs 660 nnz (seed 1 lands both in one quarter-octave
+            // bucket, so the trio still fuses): the 10 % bigger payload
+            // must carry the strictly bigger H2D charge — its own upload
+            // AND its share of the factors both scale with bytes.
+            let big = Arc::new(CooTensor::random_uniform(&dims, 660, 1));
+            let (hs, hbig) = serve_trio(&t, &t, &big);
+            assert!(
+                hbig > hs,
+                "the bigger member must be charged more H2D ({hbig:.3e} vs {hs:.3e})"
+            );
+        }
+
+        #[test]
+        fn max_batch_one_disables_fusion() {
+            let config = ServerConfig { admission: loose(), max_batch: 1, ..Default::default() };
+            let server = ScalFragServer::builder().config(config).train_tiers(vec![3_000]).build();
+            let report = server.run(synthesize(&burst_spec(12)));
+            assert_eq!(report.completed.len(), 12);
+            assert_eq!(report.dispatch_groups, 12, "max_batch=1 must dispatch solo groups");
+            assert!(report.completed.iter().all(|r| r.group_size == 1));
+        }
+
+        #[test]
+        fn batched_outputs_are_bit_identical_to_solo() {
+            let run = |max_batch: usize| {
+                let config = ServerConfig {
+                    admission: loose(),
+                    functional: true,
+                    max_batch,
+                    ..Default::default()
+                };
+                ScalFragServer::builder()
+                    .config(config)
+                    .train_tiers(vec![3_000])
+                    .build()
+                    .run(synthesize(&burst_spec(8)))
+            };
+            let solo = run(1);
+            let fused = run(8);
+            assert!(
+                fused.completed.iter().any(|r| r.group_size > 1),
+                "the fused run must actually batch"
+            );
+            for f in &fused.completed {
+                let s = solo
+                    .completed
+                    .iter()
+                    .find(|r| r.id == f.id)
+                    .expect("both runs complete every job");
+                let (fo, so) = (f.output.as_ref().unwrap(), s.output.as_ref().unwrap());
+                assert_eq!(
+                    fo.as_slice(),
+                    so.as_slice(),
+                    "job {}: fused output must be bit-identical to solo",
+                    f.id
+                );
+            }
+        }
+
+        #[test]
+        fn rate_limited_tenants_get_typed_rejections() {
+            let config = ServerConfig {
+                admission: loose(),
+                qos: QosConfig {
+                    rate_jobs_per_s: Some(10.0),
+                    burst: 2.0,
+                    tenant_weights: Vec::new(),
+                },
+                ..Default::default()
+            };
+            let server = ScalFragServer::builder().config(config).train_tiers(vec![3_000]).build();
+            let report = server.run(synthesize(&burst_spec(20)));
+            assert!(
+                report.rate_limited_rejections() > 0,
+                "a burst far past 10 jobs/s must trip the bucket"
+            );
+            assert!(report
+                .rejected
+                .iter()
+                .any(|r| matches!(r.reason, RejectReason::RateLimited { rate_jobs_per_s } if rate_jobs_per_s == 10.0)));
+            assert_eq!(report.completed.len() + report.rejected.len(), 20);
+        }
+
+        #[test]
+        fn autoscaler_attaches_under_sustained_pressure() {
+            let config = ServerConfig {
+                admission: loose(),
+                autoscale: Some(AutoscalePolicy {
+                    min_devices: 1,
+                    high_watermark: 4,
+                    low_watermark: 1,
+                    sustain_s: 1e-6,
+                    attach_delay_s: 1e-4,
+                }),
+                ..Default::default()
+            };
+            let server = ScalFragServer::builder()
+                .pool(DevicePool::homogeneous(DeviceSpec::rtx3090(), 2))
+                .config(config)
+                .train_tiers(vec![3_000])
+                .build();
+            let report = server.run(synthesize(&burst_spec(32)));
+            assert_eq!(report.completed.len(), 32);
+            assert!(report.device_attaches >= 1, "sustained backlog must grow the pool");
+            assert!(
+                report.completed.iter().any(|r| r.device == 1),
+                "the attached device must take work"
+            );
+        }
     }
 
     mod faulted {

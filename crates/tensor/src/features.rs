@@ -271,6 +271,21 @@ impl FeatureKey {
     pub fn of(tensor: &CooTensor, mode: usize, rank: u32) -> Self {
         Self::quantize(&TensorFeatures::extract(tensor, mode), mode, rank)
     }
+
+    /// Whether two planning problems may share one *batched* plan.
+    ///
+    /// The serving layer fuses jobs into a single ScheduleIR plan only when
+    /// their keys are batch-compatible: the fused plan uploads one set of
+    /// shared factor matrices and reuses one launch-configuration verdict
+    /// for every member, so every feature the predictor and planner read
+    /// must agree. That makes compatibility exactly key *equality* — and
+    /// deliberately so: group formation partitions the queue, which needs
+    /// an equivalence relation, and any "nearby bucket" slack would break
+    /// transitivity (a ~ b and b ~ c without a ~ c) and let a group's
+    /// representative plan drift away from its members.
+    pub fn batch_compatible(&self, other: &FeatureKey) -> bool {
+        self == other
+    }
 }
 
 #[cfg(test)]
@@ -526,6 +541,57 @@ mod tests {
             fu.fiber_imbalance
         );
         assert!(fh.max_nnz_per_fiber as usize > uni.nnz() / 2);
+    }
+
+    /// Metamorphic: quantization-bucket equality ⇒ batch compatibility.
+    /// Two tensors resampled from the same shape class collapse to one key,
+    /// and the compatibility relation must follow the key — reflexively,
+    /// symmetrically, and across the resampling.
+    #[test]
+    fn batch_compatible_follows_bucket_equality() {
+        let a = crate::gen::zipf_slices(&[200, 120, 90], 20_000, 0.9, 11);
+        let b = crate::gen::zipf_slices(&[200, 120, 90], 20_000, 0.9, 12);
+        let ka = FeatureKey::of(&a, 0, 16);
+        let kb = FeatureKey::of(&b, 0, 16);
+        assert_eq!(ka, kb, "same shape class must collapse to one key");
+        assert!(ka.batch_compatible(&kb) && kb.batch_compatible(&ka), "equal keys ⇒ compatible");
+        assert!(ka.batch_compatible(&ka), "compatibility is reflexive");
+
+        // Any bucket disagreement breaks compatibility: a 10× larger
+        // tensor, a different mode, and a different rank all must refuse
+        // to fuse.
+        let large = crate::gen::uniform(&[1000, 800, 600], 400_000, 5);
+        assert!(!ka.batch_compatible(&FeatureKey::of(&large, 0, 16)));
+        assert!(!ka.batch_compatible(&FeatureKey::of(&a, 1, 16)));
+        assert!(!ka.batch_compatible(&FeatureKey::of(&a, 0, 32)));
+    }
+
+    /// Metamorphic: batch compatibility is a function of the slice/fiber
+    /// histograms, so reordering the entry storage must not flip it.
+    #[test]
+    fn batch_compatible_invariant_under_nnz_shuffle() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let t = crate::gen::zipf_slices(&[96, 64, 48], 6_000, 1.1, 23);
+        let n = t.nnz();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(29);
+        for i in (1..n).rev() {
+            order.swap(i, rng.gen_range(0..=i));
+        }
+        let mut shuffled = CooTensor::new(t.dims());
+        for &e in &order {
+            let coord: Vec<Idx> = (0..t.order()).map(|m| t.mode_indices(m)[e]).collect();
+            shuffled.push(&coord, t.values()[e]);
+        }
+        for mode in 0..t.order() {
+            let k = FeatureKey::of(&t, mode, 8);
+            let ks = FeatureKey::of(&shuffled, mode, 8);
+            assert!(
+                k.batch_compatible(&ks) && ks.batch_compatible(&k),
+                "mode {mode}: shuffle flipped batch compatibility"
+            );
+        }
     }
 
     #[test]

@@ -24,14 +24,20 @@ use scalfrag::tensor::gen;
 
 use scalfrag::conformance::{combined_plan_fingerprint, print_or_assert};
 
-const GOLDEN_SERVE_FINGERPRINT: u64 = 0x373c_1ac3_9717_638c;
+// Re-pinned for the batch-fused serving refactor: every dispatch now
+// goes through the fused builder, and records carry group bookkeeping
+// (group size, batch wait, dispatch-group counters) that the report
+// digest deliberately folds.
+const GOLDEN_SERVE_FINGERPRINT: u64 = 0xf111_6031_af67_9f0f;
 const GOLDEN_FAULT_LOG_FINGERPRINT: u64 = 0xbd60_acb6_58c7_9e45;
 const GOLDEN_CLUSTER_OUTPUT_CHECKSUM: u64 = 0xd336_3d55_543a_4baf;
 const GOLDEN_PLAN_TRACE_FINGERPRINT: u64 = 0xed33_cf2f_445d_e4d6;
 const GOLDEN_BALANCE_PLAN_TRACE_FINGERPRINT: u64 = 0x22fc_902a_17f3_df68;
-// Re-pinned when the two balance builders joined the registry (the opt
-// digest deliberately folds every builder, so it shifts on registration).
-const GOLDEN_OPT_PLAN_TRACE_FINGERPRINT: u64 = 0x0efc_bda0_9457_834f;
+const GOLDEN_BATCHED_PLAN_TRACE_FINGERPRINT: u64 = 0x4a79_4e71_6d71_1c32;
+// Re-pinned when the batch-fused serving builder joined the registry
+// (the opt digest deliberately folds every builder, so it shifts on
+// registration — previously when the two balance builders joined).
+const GOLDEN_OPT_PLAN_TRACE_FINGERPRINT: u64 = 0x2c80_f8f5_d801_5bc1;
 const GOLDEN_STREAMING_TRACE_FINGERPRINT: u64 = 0x3d53_ffcf_3f4e_e0c3;
 
 fn serve_workload() -> Vec<MttkrpJob> {
@@ -110,14 +116,15 @@ fn plan_trace_fingerprint_is_pinned() {
     let tensor = gen::zipf_slices(&dims, 6_000, 1.1, 61);
     let factors = FactorSet::random(&dims, 8, 62);
     // Builders added after this digest was pinned (the streamer, the two
-    // balance arms) have their own goldens below; folding them in here
-    // would shift the combined constant for the pre-existing builders.
+    // balance arms, the batch-fused serving builder) have their own
+    // goldens below; folding them in here would shift the combined
+    // constant for the pre-existing builders.
     let combined = || {
         combined_plan_fingerprint(
             &tensor,
             &factors,
             0,
-            |name| name != "oom-stream" && !name.starts_with("balance-"),
+            |name| name != "oom-stream" && !name.starts_with("balance-") && name != "serve-batched",
             |p| p,
         )
     };
@@ -143,9 +150,28 @@ fn balance_plan_trace_fingerprint_is_pinned() {
     print_or_assert("balance-plan-trace", a, GOLDEN_BALANCE_PLAN_TRACE_FINGERPRINT);
 }
 
+/// The batch-fused serving builder (`serve-batched`), lowered over the
+/// pinned tensor as a three-job fused batch and interpreted dry, must
+/// schedule deterministically — one shared factor upload, round-robin
+/// per-job H2D/launch fan-out, per-job D2H on the dedicated return
+/// stream. This is the pinned golden trace the batch-fused serving
+/// refactor is held to: group-size-1 dispatch in `serve::scheduler` goes
+/// through exactly this builder, so the pin covers the solo path too.
+#[test]
+fn batched_plan_trace_fingerprint_is_pinned() {
+    let dims = [80u32, 56, 40];
+    let tensor = gen::zipf_slices(&dims, 6_000, 1.1, 61);
+    let factors = FactorSet::random(&dims, 8, 62);
+    let combined =
+        || combined_plan_fingerprint(&tensor, &factors, 0, |name| name == "serve-batched", |p| p);
+    let a = combined();
+    assert_eq!(a, combined(), "same batched plan, two trace digests in one process");
+    print_or_assert("batched-plan-trace", a, GOLDEN_BATCHED_PLAN_TRACE_FINGERPRINT);
+}
+
 /// Every registered builder's plan, run through the *default optimizer
 /// pipeline* and interpreted dry, must also schedule deterministically —
-/// the optimized twin of the raw pin above, covering all ten builders
+/// the optimized twin of the raw pin above, covering all eleven builders
 /// (the streamer and both balance arms included: the streamer's
 /// evict/prefetch loop is exactly what the memory-op passes canonicalize).
 #[test]
